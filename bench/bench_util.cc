@@ -1,0 +1,101 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace bench {
+
+StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
+                                       const BenchConfig& config) {
+  core::BlackBoxOptimizer::Options opts;
+  opts.mode = config.mode;
+  // Cost the plans for the same simulated cluster the engine will run them
+  // on.
+  opts.weights.dop = config.exec.dop;
+  opts.weights.mem_budget_bytes = config.exec.mem_budget_bytes;
+  core::BlackBoxOptimizer optimizer(opts);
+  StatusOr<core::OptimizationResult> opt = optimizer.Optimize(w.flow);
+  if (!opt.ok()) return opt.status();
+
+  FigureResult fig;
+  fig.optimization = std::move(opt).value();
+  const size_t n = fig.optimization.ranked.size();
+
+  // Regular rank intervals, always including the best and worst plan.
+  std::vector<size_t> indices;
+  size_t count = std::min<size_t>(config.picks, n);
+  for (size_t k = 0; k < count; ++k) {
+    size_t idx = count == 1 ? 0 : k * (n - 1) / (count - 1);
+    if (indices.empty() || indices.back() != idx) indices.push_back(idx);
+  }
+
+  engine::Executor exec(&fig.optimization.annotated, config.exec);
+  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+
+  for (size_t idx : indices) {
+    const core::PlannedAlternative& alt = fig.optimization.ranked[idx];
+    RankedRun run;
+    run.rank = alt.rank;
+    run.est_cost = alt.cost;
+    for (int rep = 0; rep < config.reps; ++rep) {
+      engine::ExecStats stats;
+      StatusOr<DataSet> out = exec.Execute(alt.physical, &stats);
+      if (!out.ok()) return out.status();
+      fig.output_rows = out->size();
+      if (rep == 0 || stats.simulated_seconds < run.runtime_seconds) {
+        run.runtime_seconds = stats.simulated_seconds;
+        run.stats = stats;
+      }
+    }
+    fig.runs.push_back(run);
+  }
+
+  double min_cost = fig.runs.front().est_cost;
+  double min_runtime = fig.runs.front().runtime_seconds;
+  for (const RankedRun& r : fig.runs) {
+    min_cost = std::min(min_cost, r.est_cost);
+    min_runtime = std::min(min_runtime, r.runtime_seconds);
+  }
+  for (RankedRun& r : fig.runs) {
+    r.norm_cost = min_cost > 0 ? r.est_cost / min_cost : 0;
+    r.norm_runtime = min_runtime > 0 ? r.runtime_seconds / min_runtime : 0;
+  }
+  return fig;
+}
+
+void PrintFigure(const std::string& title, const FigureResult& result) {
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "  alternatives enumerated: %zu (enumeration %.1f ms, costing %.1f "
+      "ms)\n",
+      result.optimization.num_alternatives,
+      result.optimization.enumeration_seconds * 1e3,
+      result.optimization.costing_seconds * 1e3);
+  std::printf("  %-6s %-15s %-18s %-11s %-9s %-9s %-10s %-10s\n", "rank",
+              "norm.cost.est", "norm.exec.runtime", "runtime[s]", "cpu[s]",
+              "net[MB]", "disk[MB]", "udf calls");
+  for (const RankedRun& r : result.runs) {
+    std::printf("  %-6d %-15.2f %-18.2f %-11.3f %-9.3f %-9.3f %-10.3f %-10lld\n",
+                r.rank, r.norm_cost, r.norm_runtime, r.runtime_seconds,
+                r.stats.wall_seconds,
+                static_cast<double>(r.stats.network_bytes) / (1 << 20),
+                static_cast<double>(r.stats.disk_bytes) / (1 << 20),
+                static_cast<long long>(r.stats.udf_calls));
+  }
+  std::printf("  output rows: %zu\n\n", result.output_rows);
+}
+
+int FindImplementedRank(const workloads::Workload& w,
+                        const core::OptimizationResult& result) {
+  std::string key = reorder::CanonicalString(reorder::PlanFromFlow(w.flow));
+  for (const auto& alt : result.ranked) {
+    if (reorder::CanonicalString(alt.logical) == key) return alt.rank;
+  }
+  return -1;
+}
+
+}  // namespace bench
+}  // namespace blackbox

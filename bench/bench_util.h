@@ -1,0 +1,64 @@
+// Shared harness for the figure benchmarks: optimize a workload, pick plans
+// at regular rank intervals (the paper's methodology for Figures 5-7),
+// execute each against the generated data, and print normalized cost
+// estimates next to normalized measured runtimes.
+
+#ifndef BLACKBOX_BENCH_BENCH_UTIL_H_
+#define BLACKBOX_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace bench {
+
+struct RankedRun {
+  int rank = 0;
+  double est_cost = 0;
+  double norm_cost = 0;     // cost / min cost
+  double runtime_seconds = 0;  // simulated execution runtime (machine model)
+  double norm_runtime = 0;     // runtime / min runtime
+  engine::ExecStats stats;
+};
+
+struct FigureResult {
+  core::OptimizationResult optimization;
+  std::vector<RankedRun> runs;
+  size_t output_rows = 0;
+};
+
+/// Shared knobs for one figure run. The cost-model parameters (dop, memory
+/// budget) are derived from the execution options so estimates and measured
+/// runs describe the same simulated cluster.
+struct BenchConfig {
+  dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
+  int picks = 10;  // plans sampled at regular rank intervals
+  int reps = 3;    // repetitions per plan (the fastest run is reported)
+  engine::ExecOptions exec;
+
+  BenchConfig() {
+    exec.dop = 8;
+    exec.mem_budget_bytes = 1 << 20;
+  }
+};
+
+/// Optimizes `w`, picks plans in regular rank intervals (always including
+/// rank 1 and the last rank), executes them, and returns the series.
+StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
+                                       const BenchConfig& config);
+
+/// Prints the paper-style two-row series for a figure.
+void PrintFigure(const std::string& title, const FigureResult& result);
+
+/// Finds the rank of the originally implemented data flow in the result.
+int FindImplementedRank(const workloads::Workload& w,
+                        const core::OptimizationResult& result);
+
+}  // namespace bench
+}  // namespace blackbox
+
+#endif  // BLACKBOX_BENCH_BENCH_UTIL_H_

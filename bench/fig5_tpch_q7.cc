@@ -1,0 +1,51 @@
+// Figure 5: normalized cost estimates and execution runtimes for 10 plans
+// picked in regular rank intervals from the TPC-H Q7 plan space. The paper
+// reports 2518 alternatives and a ~7x worst/best runtime gap, with cost
+// estimates tracking runtimes; this harness regenerates the same series on
+// the simulated cluster (absolute counts differ — see EXPERIMENTS.md).
+//
+// Also prints Figure 2: the implemented flow vs. the 1st-ranked (bushy) flow.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "reorder/plan.h"
+#include "workloads/tpch.h"
+
+int main() {
+  using namespace blackbox;
+
+  workloads::TpchScale scale;
+  scale.lineitems = 60000;
+  scale.orders = 15000;
+  scale.customers = 1500;
+  scale.suppliers = 100;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+
+  bench::BenchConfig config;
+  config.mode = dataflow::AnnotationMode::kSca;
+  config.picks = 10;
+  config.reps = 2;
+  StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
+  if (!fig.ok()) {
+    std::fprintf(stderr, "error: %s\n", fig.status().ToString().c_str());
+    return 1;
+  }
+  bench::PrintFigure(
+      "Figure 5 — TPC-H Q7: normalized cost estimate vs. execution runtime "
+      "(10 rank-picked plans)",
+      *fig);
+
+  int implemented = bench::FindImplementedRank(w, fig->optimization);
+  std::printf("Figure 2(a) — implemented data flow (rank %d):\n%s\n",
+              implemented,
+              reorder::PlanToString(reorder::PlanFromFlow(w.flow), w.flow)
+                  .c_str());
+  std::printf("Figure 2(b) — 1st-ranked data flow:\n%s\n",
+              reorder::PlanToString(fig->optimization.ranked[0].logical,
+                                    w.flow)
+                  .c_str());
+  std::printf("1st-ranked physical plan:\n%s\n",
+              fig->optimization.ranked[0].physical.ToString(w.flow).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Non-relational data flow example: weblog clickstream sessionization (§7.2,
+// Figure 4) — the paper's headline capability: reordering *non-relational*
+// operators (two session-level Reduces and two Matches) that no algebraic
+// optimizer could touch, because their semantics live in imperative UDF code.
+//
+// Also demonstrates the manual-annotation vs. static-code-analysis trade-off
+// (Table 1): the "append user info" UDF reads a field through a computed
+// index, which SCA must treat conservatively — one valid rotation is lost.
+//
+// Run: ./build/examples/clickstream_sessions
+
+#include <cstdio>
+
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "workloads/clickstream.h"
+
+using namespace blackbox;
+
+namespace {
+
+StatusOr<core::OptimizationResult> OptimizeWith(
+    const workloads::Workload& w, dataflow::AnnotationMode mode) {
+  core::BlackBoxOptimizer::Options opts;
+  opts.mode = mode;
+  return core::BlackBoxOptimizer(opts).Optimize(w.flow);
+}
+
+}  // namespace
+
+int main() {
+  workloads::ClickstreamScale scale;
+  scale.sessions = 5000;
+  scale.users = 500;
+  workloads::Workload w = workloads::MakeClickstream(scale);
+
+  std::printf("=== Clickstream flow (Figure 4a) ===\n%s\n",
+              w.flow.ToString().c_str());
+
+  StatusOr<core::OptimizationResult> manual =
+      OptimizeWith(w, dataflow::AnnotationMode::kManual);
+  StatusOr<core::OptimizationResult> sca =
+      OptimizeWith(w, dataflow::AnnotationMode::kSca);
+  if (!manual.ok() || !sca.ok()) {
+    std::fprintf(stderr, "optimize error\n");
+    return 1;
+  }
+  std::printf(
+      "alternatives: %zu with manual annotations, %zu with SCA\n"
+      "(SCA cannot resolve the computed field index in append_user_info and\n"
+      " conservatively widens its read set, losing one join rotation)\n\n",
+      manual->num_alternatives, sca->num_alternatives);
+
+  std::printf("=== best plan (manual annotations) ===\n%s\n",
+              reorder::PlanToString(manual->best().logical, w.flow).c_str());
+  std::printf(
+      "The selective \"filter logged-in sessions\" join was pushed below\n"
+      "BOTH session Reduces — the rewrite the paper highlights as unique\n"
+      "among data processing systems (Figure 4b).\n\n");
+
+  engine::Executor exec(&manual->annotated);
+  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+  engine::ExecStats best_stats, orig_stats;
+  StatusOr<DataSet> best = exec.Execute(manual->best().physical, &best_stats);
+  if (!best.ok()) {
+    std::fprintf(stderr, "error: %s\n", best.status().ToString().c_str());
+    return 1;
+  }
+  // Execute the originally implemented order for comparison.
+  std::string orig_key =
+      reorder::CanonicalString(reorder::PlanFromFlow(w.flow));
+  for (const auto& alt : manual->ranked) {
+    if (reorder::CanonicalString(alt.logical) == orig_key) {
+      StatusOr<DataSet> out = exec.Execute(alt.physical, &orig_stats);
+      if (!out.ok()) return 1;
+      break;
+    }
+  }
+  std::printf("best plan:        %s\n", best_stats.ToString().c_str());
+  std::printf("implemented plan: %s\n", orig_stats.ToString().c_str());
+  std::printf("result: %zu buy sessions of logged-in users\n", best->size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Relational OLAP example: optimizing and running TPC-H Q15 (§7.2).
+//
+// Demonstrates the aggregation push-up rewrite (exchanging a Reduce and a
+// Match via the invariant-grouping conditions of §4.3.2) and the physical
+// consequences: when the Reduce runs first, the Match reuses its hash
+// partitioning; when the Match runs first, the optimizer broadcasts the small
+// supplier relation instead.
+//
+// Run: ./build/examples/relational_olap
+
+#include <cstdio>
+
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "workloads/tpch.h"
+
+using namespace blackbox;
+
+int main() {
+  workloads::TpchScale scale;
+  scale.lineitems = 30000;
+  scale.suppliers = 100;
+  workloads::Workload w = workloads::MakeTpchQ15(scale);
+
+  std::printf("=== TPC-H Q15 logical flow (Figure 3a) ===\n%s\n",
+              w.flow.ToString().c_str());
+
+  core::BlackBoxOptimizer optimizer;  // SCA mode by default
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== %zu alternative orders (paper: 4) ===\n\n",
+              result->num_alternatives);
+  for (const auto& alt : result->ranked) {
+    std::printf("---- rank %d, estimated cost %.3g ----\n%s\n", alt.rank,
+                alt.cost, alt.physical.ToString(w.flow).c_str());
+  }
+
+  engine::Executor exec(&result->annotated);
+  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+
+  for (const auto& alt : result->ranked) {
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = exec.Execute(alt.physical, &stats);
+    if (!out.ok()) {
+      std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("rank %d executed: %zu result rows, %s\n", alt.rank,
+                out->size(), stats.ToString().c_str());
+  }
+  std::printf(
+      "\nAll alternatives produce the same revenue-per-supplier result; the\n"
+      "optimizer picks the cheapest order and strategies automatically.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Text-mining pipeline example (§7.2): a chain of expensive NLP-style Map
+// operators whose order the optimizer is free to choose within the
+// dependency constraints discovered from their code. Running the cheap,
+// selective extractors first saves most of the work — the optimizer finds
+// that order without knowing anything about NLP.
+//
+// Run: ./build/examples/text_mining
+
+#include <cstdio>
+
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "workloads/textmining.h"
+
+using namespace blackbox;
+
+int main() {
+  workloads::TextMiningScale scale;
+  scale.documents = 5000;
+  workloads::Workload w = workloads::MakeTextMining(scale);
+
+  std::printf("=== Text-mining pipeline (implemented order) ===\n%s\n",
+              w.flow.ToString().c_str());
+
+  core::BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%zu valid orders (Preprocess pinned first, RelationExtract pinned\n"
+      "last by read/write conflicts; the four annotators commute: 4! = 24)\n\n",
+      result->num_alternatives);
+
+  engine::Executor exec(&result->annotated);
+  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+
+  const auto& best = result->ranked.front();
+  const auto& worst = result->ranked.back();
+  engine::ExecStats best_stats, worst_stats;
+  StatusOr<DataSet> a = exec.Execute(best.physical, &best_stats);
+  StatusOr<DataSet> b = exec.Execute(worst.physical, &worst_stats);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "execution error\n");
+    return 1;
+  }
+
+  std::printf("best order:\n%s  -> %.3fs compute\n\n",
+              reorder::PlanToString(best.logical, w.flow).c_str(),
+              best_stats.wall_seconds);
+  std::printf("worst order:\n%s  -> %.3fs compute (%.1fx slower)\n\n",
+              reorder::PlanToString(worst.logical, w.flow).c_str(),
+              worst_stats.wall_seconds,
+              worst_stats.wall_seconds / best_stats.wall_seconds);
+  std::printf("both orders extract the same %zu gene-drug relations\n",
+              a->size());
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace blackbox {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  // Approximate inversion via the continuous Zipf CDF (Newman's method):
+  // draw u in (0,1] and invert H(x) = (x^{1-s} - 1) / (1 - s).
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  if (s == 1.0) s = 1.0000001;  // avoid the harmonic singularity
+  double hn = (std::pow(static_cast<double>(n), 1.0 - s) - 1.0) / (1.0 - s);
+  double x = std::pow(u * hn * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+  int64_t k = static_cast<int64_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+std::string Rng::String(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + (Next() % 26)));
+  }
+  return out;
+}
+
+}  // namespace blackbox

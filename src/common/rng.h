@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. All generators are seeded explicitly so every experiment is
+// reproducible bit-for-bit.
+
+#ifndef BLACKBOX_COMMON_RNG_H_
+#define BLACKBOX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace blackbox {
+
+/// xorshift128+ generator: fast, deterministic, and good enough for workload
+/// synthesis (we never need cryptographic quality).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to avoid the all-zero state.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+    auto mix = [](uint64_t& s) {
+      s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      s = (s ^ (s >> 27)) * 0x94D049BB133111EBULL;
+      return s ^ (s >> 31);
+    };
+    s0_ = mix(z);
+    z += 0x9E3779B97F4A7C15ULL;
+    s1_ = mix(z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [1, n]; s is the skew exponent.
+  /// Uses rejection-inversion-free simple inversion over precomputable mass —
+  /// adequate for our data sizes (n up to ~1e6).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(size_t length);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace blackbox
+
+#endif  // BLACKBOX_COMMON_RNG_H_

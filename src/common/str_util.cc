@@ -1,0 +1,20 @@
+#include "common/str_util.h"
+
+namespace blackbox {
+
+std::vector<std::string> Split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == delim) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace blackbox

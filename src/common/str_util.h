@@ -1,0 +1,30 @@
+// Small string helpers shared across modules (joining, formatting).
+
+#ifndef BLACKBOX_COMMON_STR_UTIL_H_
+#define BLACKBOX_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace blackbox {
+
+/// Joins elements with a separator using operator<< for formatting.
+template <typename Container>
+std::string Join(const Container& items, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits on a single-character delimiter; empty tokens are preserved.
+std::vector<std::string> Split(const std::string& text, char delim);
+
+}  // namespace blackbox
+
+#endif  // BLACKBOX_COMMON_STR_UTIL_H_

@@ -1,0 +1,51 @@
+#include "core/optimizer_api.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace blackbox {
+namespace core {
+
+StatusOr<OptimizationResult> BlackBoxOptimizer::Optimize(
+    const dataflow::DataFlow& flow) const {
+  OptimizationResult result;
+
+  StatusOr<dataflow::AnnotatedFlow> af = dataflow::Annotate(flow, options_.mode);
+  if (!af.ok()) return af.status();
+  result.annotated = std::move(af).value();
+
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<enumerate::EnumResult> enum_result =
+      enumerate::EnumerateAlternatives(result.annotated,
+                                       options_.enum_options);
+  if (!enum_result.ok()) return enum_result.status();
+  auto t1 = std::chrono::steady_clock::now();
+  result.enumeration_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.num_alternatives = enum_result->plans.size();
+
+  result.ranked.reserve(enum_result->plans.size());
+  for (const reorder::PlanPtr& plan : enum_result->plans) {
+    StatusOr<optimizer::PhysicalPlan> phys =
+        optimizer::OptimizePhysical(result.annotated, plan, options_.weights);
+    if (!phys.ok()) return phys.status();
+    PlannedAlternative alt;
+    alt.logical = plan;
+    alt.cost = phys->total_cost;
+    alt.physical = std::move(phys).value();
+    result.ranked.push_back(std::move(alt));
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  result.costing_seconds = std::chrono::duration<double>(t2 - t1).count();
+
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const PlannedAlternative& a, const PlannedAlternative& b) {
+              return a.cost < b.cost;
+            });
+  for (size_t i = 0; i < result.ranked.size(); ++i) {
+    result.ranked[i].rank = static_cast<int>(i) + 1;
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace blackbox

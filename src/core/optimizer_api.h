@@ -1,0 +1,73 @@
+// BlackBoxOptimizer — the public entry point tying the pipeline together
+// (paper Section 3): annotate the flow's UDFs (static code analysis or manual
+// annotations), enumerate every valid reordered alternative (Section 6),
+// cost each alternative with the physical optimizer (Section 7.1), and return
+// the ranked plan list.
+//
+// Typical use:
+//
+//   dataflow::DataFlow flow = BuildMyFlow();
+//   core::BlackBoxOptimizer opt({.mode = dataflow::AnnotationMode::kSca});
+//   auto result = opt.Optimize(flow);
+//   // result->ranked[0] is the cheapest plan; execute it:
+//   engine::Executor exec(&result->annotated);
+//   exec.BindSource(src_id, &data);
+//   auto out = exec.Execute(result->ranked[0].physical);
+
+#ifndef BLACKBOX_CORE_OPTIMIZER_API_H_
+#define BLACKBOX_CORE_OPTIMIZER_API_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/annotate.h"
+#include "dataflow/flow.h"
+#include "enumerate/enumerate.h"
+#include "optimizer/physical.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace core {
+
+/// One costed alternative.
+struct PlannedAlternative {
+  reorder::PlanPtr logical;
+  optimizer::PhysicalPlan physical;
+  double cost = 0;
+  int rank = 0;  // 1-based rank by ascending estimated cost
+};
+
+struct OptimizationResult {
+  dataflow::AnnotatedFlow annotated;
+  std::vector<PlannedAlternative> ranked;  // ascending cost
+  size_t num_alternatives = 0;
+  double enumeration_seconds = 0;
+  double costing_seconds = 0;
+
+  const PlannedAlternative& best() const { return ranked.front(); }
+};
+
+class BlackBoxOptimizer {
+ public:
+  struct Options {
+    dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
+    optimizer::CostWeights weights;
+    enumerate::EnumOptions enum_options;
+  };
+
+  BlackBoxOptimizer() : options_(Options()) {}
+  explicit BlackBoxOptimizer(Options options) : options_(options) {}
+
+  /// Full pipeline: annotate -> enumerate -> cost -> rank.
+  StatusOr<OptimizationResult> Optimize(const dataflow::DataFlow& flow) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace core
+}  // namespace blackbox
+
+#endif  // BLACKBOX_CORE_OPTIMIZER_API_H_

@@ -1,0 +1,291 @@
+#include "dataflow/annotate.h"
+
+#include <map>
+#include <sstream>
+
+#include "sca/analyzer.h"
+
+namespace blackbox {
+namespace dataflow {
+
+namespace {
+
+using sca::FieldWrite;
+using sca::LocalUdfSummary;
+using sca::OutputKind;
+
+/// Resolves one operator's local summary against its input schemas,
+/// producing global sets and the output schema. Appends new attributes to the
+/// global record.
+Status ResolveOperator(const Operator& op, const LocalUdfSummary& summary,
+                       const std::vector<std::vector<AttrId>>& in_schemas,
+                       GlobalRecord* global, OpProperties* out) {
+  out->in_schemas = in_schemas;
+  out->min_emits = summary.min_emits;
+  out->max_emits = summary.max_emits;
+  out->kat_behavior = op.kat_behavior;
+
+  const int num_inputs = static_cast<int>(in_schemas.size());
+  if (summary.num_inputs != num_inputs) {
+    return Status::InvalidArgument("summary input count mismatch for " +
+                                   op.name);
+  }
+
+  // --- Read set from getField accesses. ---
+  for (int i = 0; i < num_inputs; ++i) {
+    if (summary.reads[i].all) {
+      for (AttrId a : in_schemas[i]) out->read.Add(a);
+    } else {
+      for (int f : summary.reads[i].fields) {
+        if (f < 0 || f >= static_cast<int>(in_schemas[i].size())) {
+          return Status::InvalidArgument("read of field " + std::to_string(f) +
+                                         " beyond input schema in " + op.name);
+        }
+        out->read.Add(in_schemas[i][f]);
+      }
+    }
+    if (summary.decision_reads[i].all) {
+      for (AttrId a : in_schemas[i]) out->decision.Add(a);
+    } else {
+      for (int f : summary.decision_reads[i].fields) {
+        out->decision.Add(in_schemas[i][f]);
+      }
+    }
+  }
+
+  // --- Key attributes: always part of the read set (Definition 3 note for
+  // KAT operators; the f' transformation of §4.3.1 for Match). They also
+  // influence grouping, hence the decision set. ---
+  out->keys.resize(num_inputs);
+  for (size_t i = 0; i < op.key_fields.size(); ++i) {
+    for (int f : op.key_fields[i]) {
+      if (f < 0 || f >= static_cast<int>(in_schemas[i].size())) {
+        return Status::InvalidArgument("key field out of range in " + op.name);
+      }
+      AttrId a = in_schemas[i][f];
+      out->keys[i].push_back(a);
+      out->read.Add(a);
+      out->decision.Add(a);
+    }
+  }
+
+  // --- Output schema and write set. ---
+  // Collect explicit writes by output position (conservative union already
+  // done by the analyzer).
+  std::map<int, FieldWrite> writes_by_pos;
+  for (const FieldWrite& w : summary.writes) {
+    auto it = writes_by_pos.find(w.out_pos);
+    if (it == writes_by_pos.end()) {
+      writes_by_pos[w.out_pos] = w;
+    } else if (it->second.kind != w.kind ||
+               it->second.from_input != w.from_input ||
+               it->second.from_field != w.from_field) {
+      // Conflicting writes to the same position on different paths: treat as
+      // modification (safe).
+      it->second.kind = FieldWrite::Kind::kModify;
+    }
+  }
+
+  auto fresh_attr = [&](int pos) {
+    return global->Register(op.name + ".out" + std::to_string(pos));
+  };
+
+  switch (summary.out_kind) {
+    case OutputKind::kCopyOfInput: {
+      const auto& base = in_schemas[summary.copy_input];
+      out->out_schema = base;
+      int width = static_cast<int>(base.size());
+      int max_pos = std::max(summary.max_out_pos, width - 1);
+      for (int pos = 0; pos <= max_pos; ++pos) {
+        auto it = writes_by_pos.find(pos);
+        if (it == writes_by_pos.end()) {
+          if (pos >= width) {
+            return Status::InvalidArgument("gap in output layout of " +
+                                           op.name);
+          }
+          continue;  // carried through unchanged
+        }
+        const FieldWrite& w = it->second;
+        if (pos < width) {
+          // Existing attribute: keeps identity; its value may change.
+          switch (w.kind) {
+            case FieldWrite::Kind::kExplicitCopy:
+              // Copying a field onto an existing position both modifies that
+              // position's attribute and is a read of the source — treat as
+              // modify (the analyzer recorded the read separately).
+              if (!(w.from_input == summary.copy_input &&
+                    w.from_field == pos)) {
+                out->write.Add(base[pos]);
+              }
+              break;
+            case FieldWrite::Kind::kExplicitProject:
+            case FieldWrite::Kind::kModify:
+            case FieldWrite::Kind::kAdd:
+              out->write.Add(base[pos]);
+              break;
+          }
+        } else {
+          // New attribute (Definition 2 case 1).
+          AttrId a = fresh_attr(pos);
+          out->out_schema.push_back(a);
+          out->write.Add(a);
+          out->introduced.Add(a);
+        }
+      }
+      break;
+    }
+    case OutputKind::kConcat: {
+      if (num_inputs != 2) {
+        return Status::InvalidArgument("concat output in unary UDF " +
+                                       op.name);
+      }
+      out->out_schema = in_schemas[0];
+      for (AttrId a : in_schemas[1]) out->out_schema.push_back(a);
+      int width = static_cast<int>(out->out_schema.size());
+      int max_pos = std::max(summary.max_out_pos, width - 1);
+      for (int pos = 0; pos <= max_pos; ++pos) {
+        auto it = writes_by_pos.find(pos);
+        if (it == writes_by_pos.end()) {
+          if (pos >= width) {
+            return Status::InvalidArgument("gap in output layout of " +
+                                           op.name);
+          }
+          continue;
+        }
+        const FieldWrite& w = it->second;
+        if (pos < width) {
+          bool identity_copy = false;
+          if (w.kind == FieldWrite::Kind::kExplicitCopy) {
+            int base_pos = w.from_input == 0
+                               ? w.from_field
+                               : static_cast<int>(in_schemas[0].size()) +
+                                     w.from_field;
+            identity_copy = base_pos == pos;
+          }
+          if (!identity_copy) out->write.Add(out->out_schema[pos]);
+        } else {
+          AttrId a = fresh_attr(pos);
+          out->out_schema.push_back(a);
+          out->write.Add(a);
+          out->introduced.Add(a);
+        }
+      }
+      break;
+    }
+    case OutputKind::kProjection: {
+      // Implicit projection: the write set is "everything except the
+      // explicitly kept attributes" (complement set — see attr_set.h).
+      std::set<AttrId> kept;
+      int max_pos = summary.max_out_pos;
+      out->out_schema.assign(max_pos + 1, -1);
+      for (int pos = 0; pos <= max_pos; ++pos) {
+        auto it = writes_by_pos.find(pos);
+        if (it == writes_by_pos.end()) {
+          // Position never written on any path: placeholder attribute.
+          AttrId a = fresh_attr(pos);
+          out->out_schema[pos] = a;
+          out->introduced.Add(a);
+          continue;
+        }
+        const FieldWrite& w = it->second;
+        if (w.kind == FieldWrite::Kind::kExplicitCopy) {
+          AttrId a = in_schemas[w.from_input][w.from_field];
+          out->out_schema[pos] = a;
+          kept.insert(a);
+        } else {
+          AttrId a = fresh_attr(pos);
+          out->out_schema[pos] = a;
+          out->introduced.Add(a);
+        }
+      }
+      out->write = AttrSet::AllExcept(std::move(kept));
+      break;
+    }
+  }
+
+  if (summary.writes_all) {
+    // A computed setField index may hit any attribute of the output layout —
+    // and, after reordering, any attribute flowing through. Full write set.
+    out->write = AttrSet::All();
+  }
+
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AnnotatedFlow::ToString() const {
+  std::ostringstream out;
+  for (int i = 0; i < flow->num_ops(); ++i) {
+    const Operator& op = flow->op(i);
+    const OpProperties& p = props[i];
+    out << i << ": " << OpKindName(op.kind) << " \"" << op.name << "\""
+        << " R=" << p.read.ToString() << " W=" << p.write.ToString()
+        << " emits=[" << p.min_emits << ","
+        << (p.max_emits < 0 ? std::string("inf")
+                            : std::to_string(p.max_emits))
+        << "]\n";
+  }
+  return out.str();
+}
+
+StatusOr<AnnotatedFlow> Annotate(const DataFlow& flow, AnnotationMode mode) {
+  BLACKBOX_RETURN_NOT_OK(flow.Validate());
+  AnnotatedFlow af;
+  af.flow = &flow;
+  af.mode = mode;
+  af.props.resize(flow.num_ops());
+
+  // Operators are topologically ordered by construction (inputs have smaller
+  // ids), so one forward pass resolves all schemas.
+  for (int id = 0; id < flow.num_ops(); ++id) {
+    const Operator& op = flow.op(id);
+    OpProperties& p = af.props[id];
+    switch (op.kind) {
+      case OpKind::kSource: {
+        for (int f = 0; f < op.source_arity; ++f) {
+          AttrId a = af.global.Register(op.name + "." + std::to_string(f));
+          p.out_schema.push_back(a);
+          p.introduced.Add(a);
+        }
+        p.min_emits = p.max_emits = 1;
+        break;
+      }
+      case OpKind::kSink: {
+        p.in_schemas = {af.props[op.inputs[0]].out_schema};
+        p.out_schema = p.in_schemas[0];
+        p.min_emits = p.max_emits = 1;
+        break;
+      }
+      default: {
+        std::vector<std::vector<AttrId>> in_schemas;
+        for (int in : op.inputs) {
+          in_schemas.push_back(af.props[in].out_schema);
+        }
+        LocalUdfSummary summary;
+        if (mode == AnnotationMode::kManual) {
+          if (!op.manual_summary.has_value()) {
+            return Status::InvalidArgument("operator " + op.name +
+                                           " has no manual annotation");
+          }
+          summary = *op.manual_summary;
+        } else {
+          if (!op.udf) {
+            return Status::InvalidArgument("operator " + op.name +
+                                           " has no UDF to analyze");
+          }
+          StatusOr<LocalUdfSummary> s = sca::AnalyzeUdf(*op.udf);
+          if (!s.ok()) return s.status();
+          summary = std::move(s).value();
+        }
+        BLACKBOX_RETURN_NOT_OK(
+            ResolveOperator(op, summary, in_schemas, &af.global, &p));
+        break;
+      }
+    }
+  }
+  return af;
+}
+
+}  // namespace dataflow
+}  // namespace blackbox

@@ -1,0 +1,106 @@
+// Resolution of UDF summaries against the flow: builds the global record
+// (Definition 1), the redirection map α(D, n), and per-operator global read /
+// write / decision sets. This is the bridge between local SCA results (or
+// manual annotations) and the order-independent conflict reasoning of §4.
+
+#ifndef BLACKBOX_DATAFLOW_ANNOTATE_H_
+#define BLACKBOX_DATAFLOW_ANNOTATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/attr_set.h"
+#include "dataflow/flow.h"
+#include "sca/summary.h"
+
+namespace blackbox {
+namespace dataflow {
+
+/// How UDF properties are obtained (Table 1 compares the two).
+enum class AnnotationMode {
+  kManual,  // use Operator::manual_summary (error if absent)
+  kSca,     // statically analyze the UDF code
+};
+
+/// The global record: a unique naming of all base and intermediate attributes
+/// in the data flow (Definition 1). Attribute ids double as positions in the
+/// in-flight record layout used by the execution engine.
+class GlobalRecord {
+ public:
+  AttrId Register(std::string name) {
+    names_.push_back(std::move(name));
+    return static_cast<AttrId>(names_.size()) - 1;
+  }
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(AttrId a) const { return names_[a]; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Resolved, order-independent properties of one operator.
+struct OpProperties {
+  /// Read set R_f (Definition 3), including key attributes of KAT operators
+  /// and the implicit equi-join keys of Match (the f' transformation of
+  /// §4.3.1 folds them into the read set).
+  AttrSet read;
+
+  /// Write set W_f (Definition 2): modified attributes, newly created
+  /// attributes, and — for implicitly projecting UDFs — the complement of the
+  /// kept attributes.
+  AttrSet write;
+
+  /// Attributes that can influence the UDF's emit decision; used for the KGP
+  /// condition (Definition 5 case 2).
+  AttrSet decision;
+
+  /// Attributes newly created by this operator.
+  AttrSet introduced;
+
+  /// Emit cardinality bounds per UDF call (max == -1: unbounded).
+  int min_emits = 0;
+  int max_emits = 0;
+
+  /// Grouping / join key attributes (global ids) per input.
+  std::vector<std::vector<AttrId>> keys;
+
+  /// Output schema: global attr id at each output position of the operator's
+  /// own output layout.
+  std::vector<AttrId> out_schema;
+
+  /// Input schemas as seen in the *original* flow (the layout UDF code was
+  /// written against) — the redirection map α for this operator.
+  std::vector<std::vector<AttrId>> in_schemas;
+
+  /// KAT behaviour for the KGP check between two KAT operators.
+  KatBehavior kat_behavior = KatBehavior::kUnknown;
+
+  /// touched = read ∪ write, the set used by the binary reordering conditions
+  /// of §4.3 ((R_f ∪ W_f) ∩ S = ∅ etc.).
+  AttrSet Touched() const { return read.Union(write); }
+};
+
+/// A fully annotated flow: the global record plus properties for every
+/// operator. Immutable once built; the enumerator and optimizer only read it.
+struct AnnotatedFlow {
+  const DataFlow* flow = nullptr;
+  GlobalRecord global;
+  std::vector<OpProperties> props;  // indexed by operator id
+  AnnotationMode mode = AnnotationMode::kSca;
+
+  const OpProperties& of(int op_id) const { return props[op_id]; }
+
+  std::string ToString() const;
+};
+
+/// Builds the annotation. In kSca mode every UDF is statically analyzed; in
+/// kManual mode the hand-written summaries are used. Source uniqueness and
+/// Match left/right uniqueness hints are honoured in both modes (they are
+/// schema knowledge, not UDF properties).
+StatusOr<AnnotatedFlow> Annotate(const DataFlow& flow, AnnotationMode mode);
+
+}  // namespace dataflow
+}  // namespace blackbox
+
+#endif  // BLACKBOX_DATAFLOW_ANNOTATE_H_

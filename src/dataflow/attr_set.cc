@@ -1,0 +1,88 @@
+#include "dataflow/attr_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace blackbox {
+namespace dataflow {
+
+bool AttrSet::Intersects(const AttrSet& other) const {
+  if (!complement_ && !other.complement_) {
+    const AttrSet* small = this;
+    const AttrSet* big = &other;
+    if (small->set_.size() > big->set_.size()) std::swap(small, big);
+    for (AttrId a : small->set_) {
+      if (big->set_.count(a)) return true;
+    }
+    return false;
+  }
+  if (complement_ && other.complement_) {
+    // Two cofinite sets over an infinite-ish universe always intersect.
+    return true;
+  }
+  // One positive, one complement: they intersect unless the positive set is
+  // fully contained in the complement's excluded list.
+  const AttrSet& pos = complement_ ? other : *this;
+  const AttrSet& comp = complement_ ? *this : other;
+  if (pos.set_.empty()) return false;
+  for (AttrId a : pos.set_) {
+    if (comp.set_.count(a) == 0) return true;
+  }
+  return false;
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet out;
+  if (!complement_ && !other.complement_) {
+    out.set_ = set_;
+    out.set_.insert(other.set_.begin(), other.set_.end());
+    return out;
+  }
+  if (complement_ && other.complement_) {
+    out.complement_ = true;
+    // Excluded = intersection of the two excluded lists.
+    for (AttrId a : set_) {
+      if (other.set_.count(a)) out.set_.insert(a);
+    }
+    return out;
+  }
+  const AttrSet& pos = complement_ ? other : *this;
+  const AttrSet& comp = complement_ ? *this : other;
+  out.complement_ = true;
+  for (AttrId a : comp.set_) {
+    if (pos.set_.count(a) == 0) out.set_.insert(a);
+  }
+  return out;
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  if (!complement_) {
+    for (AttrId a : set_) {
+      if (!other.Contains(a)) return false;
+    }
+    return true;
+  }
+  if (!other.complement_) return false;  // cofinite ⊄ finite
+  // this ⊆ other  <=>  other's excluded ⊆ this's excluded.
+  for (AttrId a : other.set_) {
+    if (set_.count(a) == 0) return false;
+  }
+  return true;
+}
+
+std::string AttrSet::ToString() const {
+  std::ostringstream out;
+  if (complement_) out << "ALL \\ ";
+  out << "{";
+  bool first = true;
+  for (AttrId a : set_) {
+    if (!first) out << ",";
+    out << a;
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dataflow
+}  // namespace blackbox

@@ -1,0 +1,85 @@
+// Attribute sets over the global record (Definition 1). Read and write sets
+// (Definitions 2 and 3) are sets of global attribute ids.
+//
+// A subtlety forces a complement representation: a UDF that *implicitly
+// projects* (default output constructor, §5) drops every attribute except the
+// ones it explicitly copies — including attributes that only exist in *other*
+// plans where an upstream operator was reordered below it. Its write set is
+// therefore "everything except the kept attributes", an open set relative to
+// the global record. Representing it as a complement set keeps the conflict
+// test safe under all reorderings.
+
+#ifndef BLACKBOX_DATAFLOW_ATTR_SET_H_
+#define BLACKBOX_DATAFLOW_ATTR_SET_H_
+
+#include <set>
+#include <string>
+
+namespace blackbox {
+namespace dataflow {
+
+using AttrId = int;
+
+class AttrSet {
+ public:
+  AttrSet() = default;
+
+  static AttrSet None() { return AttrSet(); }
+  static AttrSet All() {
+    AttrSet s;
+    s.complement_ = true;
+    return s;
+  }
+  static AttrSet Of(std::initializer_list<AttrId> ids) {
+    AttrSet s;
+    for (AttrId a : ids) s.set_.insert(a);
+    return s;
+  }
+  /// Everything except the given attributes.
+  static AttrSet AllExcept(std::set<AttrId> kept) {
+    AttrSet s;
+    s.complement_ = true;
+    s.set_ = std::move(kept);
+    return s;
+  }
+
+  void Add(AttrId a) {
+    if (complement_) {
+      set_.erase(a);  // remove from the excluded set
+    } else {
+      set_.insert(a);
+    }
+  }
+
+  bool Contains(AttrId a) const {
+    return complement_ ? set_.count(a) == 0 : set_.count(a) > 0;
+  }
+
+  bool Empty() const { return !complement_ && set_.empty(); }
+  bool is_complement() const { return complement_; }
+
+  /// The explicitly listed ids (meaning depends on is_complement()).
+  const std::set<AttrId>& listed() const { return set_; }
+
+  bool Intersects(const AttrSet& other) const;
+  AttrSet Union(const AttrSet& other) const;
+
+  /// True if every attribute of *this is in `other`. For complement sets this
+  /// can only hold when `other` is also (a superset-)complement.
+  bool IsSubsetOf(const AttrSet& other) const;
+
+  bool operator==(const AttrSet& other) const {
+    return complement_ == other.complement_ && set_ == other.set_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  bool complement_ = false;
+  std::set<AttrId> set_;
+};
+
+}  // namespace dataflow
+}  // namespace blackbox
+
+#endif  // BLACKBOX_DATAFLOW_ATTR_SET_H_

@@ -1,0 +1,185 @@
+#include "dataflow/flow.h"
+
+#include <sstream>
+
+namespace blackbox {
+namespace dataflow {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSource: return "Source";
+    case OpKind::kSink: return "Sink";
+    case OpKind::kMap: return "Map";
+    case OpKind::kReduce: return "Reduce";
+    case OpKind::kCross: return "Cross";
+    case OpKind::kMatch: return "Match";
+    case OpKind::kCoGroup: return "CoGroup";
+  }
+  return "?";
+}
+
+bool IsKat(OpKind kind) {
+  return kind == OpKind::kReduce || kind == OpKind::kCoGroup;
+}
+
+int NumInputs(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSource:
+      return 0;
+    case OpKind::kSink:
+    case OpKind::kMap:
+    case OpKind::kReduce:
+      return 1;
+    case OpKind::kCross:
+    case OpKind::kMatch:
+    case OpKind::kCoGroup:
+      return 2;
+  }
+  return 0;
+}
+
+int DataFlow::Add(Operator op) {
+  op.id = static_cast<int>(ops_.size());
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+int DataFlow::AddSource(std::string name, int arity, int64_t rows,
+                        double avg_bytes, std::vector<int> unique_fields) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kSource;
+  op.source_arity = arity;
+  op.source_rows = rows;
+  op.source_avg_bytes = avg_bytes;
+  op.source_unique_fields = std::move(unique_fields);
+  return Add(std::move(op));
+}
+
+int DataFlow::AddMap(std::string name, int input,
+                     std::shared_ptr<const tac::Function> udf, Hints hints) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kMap;
+  op.udf = std::move(udf);
+  op.hints = hints;
+  op.inputs = {input};
+  return Add(std::move(op));
+}
+
+int DataFlow::AddReduce(std::string name, int input,
+                        std::vector<int> key_fields,
+                        std::shared_ptr<const tac::Function> udf,
+                        Hints hints) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kReduce;
+  op.udf = std::move(udf);
+  op.key_fields = {std::move(key_fields)};
+  op.hints = hints;
+  op.inputs = {input};
+  return Add(std::move(op));
+}
+
+int DataFlow::AddMatch(std::string name, int left, int right,
+                       std::vector<int> left_key, std::vector<int> right_key,
+                       std::shared_ptr<const tac::Function> udf, Hints hints) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kMatch;
+  op.udf = std::move(udf);
+  op.key_fields = {std::move(left_key), std::move(right_key)};
+  op.hints = hints;
+  op.inputs = {left, right};
+  return Add(std::move(op));
+}
+
+int DataFlow::AddCross(std::string name, int left, int right,
+                       std::shared_ptr<const tac::Function> udf, Hints hints) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kCross;
+  op.udf = std::move(udf);
+  op.hints = hints;
+  op.inputs = {left, right};
+  return Add(std::move(op));
+}
+
+int DataFlow::AddCoGroup(std::string name, int left, int right,
+                         std::vector<int> left_key,
+                         std::vector<int> right_key,
+                         std::shared_ptr<const tac::Function> udf,
+                         Hints hints) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kCoGroup;
+  op.udf = std::move(udf);
+  op.key_fields = {std::move(left_key), std::move(right_key)};
+  op.hints = hints;
+  op.inputs = {left, right};
+  return Add(std::move(op));
+}
+
+int DataFlow::SetSink(std::string name, int input) {
+  Operator op;
+  op.name = std::move(name);
+  op.kind = OpKind::kSink;
+  op.inputs = {input};
+  int id = Add(std::move(op));
+  sink_id_ = id;
+  return id;
+}
+
+Status DataFlow::Validate() const {
+  if (sink_id_ < 0) return Status::InvalidArgument("flow has no sink");
+  std::vector<int> consumers(ops_.size(), 0);
+  for (const Operator& op : ops_) {
+    if (static_cast<int>(op.inputs.size()) != NumInputs(op.kind)) {
+      return Status::InvalidArgument("operator " + op.name +
+                                     " has wrong input count");
+    }
+    for (int in : op.inputs) {
+      if (in < 0 || in >= static_cast<int>(ops_.size())) {
+        return Status::InvalidArgument("operator " + op.name +
+                                       " references unknown input");
+      }
+      if (in >= op.id) {
+        return Status::InvalidArgument("operator " + op.name +
+                                       " references a later operator (cycle)");
+      }
+      consumers[in]++;
+    }
+    if (op.kind != OpKind::kSource && op.kind != OpKind::kSink && !op.udf) {
+      return Status::InvalidArgument("operator " + op.name + " lacks a UDF");
+    }
+  }
+  for (const Operator& op : ops_) {
+    int expected = op.id == sink_id_ ? 0 : 1;
+    if (consumers[op.id] != expected) {
+      return Status::InvalidArgument(
+          "operator " + op.name + " consumed " +
+          std::to_string(consumers[op.id]) + " times; flow must be a tree");
+    }
+  }
+  return Status::OK();
+}
+
+std::string DataFlow::ToString() const {
+  std::ostringstream out;
+  for (const Operator& op : ops_) {
+    out << op.id << ": " << OpKindName(op.kind) << " \"" << op.name << "\"";
+    if (!op.inputs.empty()) {
+      out << " <- (";
+      for (size_t i = 0; i < op.inputs.size(); ++i) {
+        if (i) out << ", ";
+        out << op.inputs[i];
+      }
+      out << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dataflow
+}  // namespace blackbox

@@ -1,0 +1,140 @@
+// Logical PACT data flows (Section 2.3): tree-shaped programs of data
+// sources, a data sink, and operators formed by a second-order function
+// (Map, Reduce, Cross, Match, CoGroup) with a first-order TAC UDF.
+
+#ifndef BLACKBOX_DATAFLOW_FLOW_H_
+#define BLACKBOX_DATAFLOW_FLOW_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sca/summary.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace dataflow {
+
+enum class OpKind { kSource, kSink, kMap, kReduce, kCross, kMatch, kCoGroup };
+
+const char* OpKindName(OpKind kind);
+
+/// Returns true for operators whose UDF is called with a list of records per
+/// input (key-at-a-time: Reduce, CoGroup) — §2.3.
+bool IsKat(OpKind kind);
+
+/// Returns the number of data inputs of an operator kind (sink and unary
+/// operators: 1; sources: 0; binary operators: 2).
+int NumInputs(OpKind kind);
+
+/// Optimizer hints (§7.1): "Average Number of Records Emitted per UDF Call",
+/// "CPU Cost per UDF Call", "Number of Distinct Values per Key-Set". Provided
+/// by the user, a language compiler, or runtime profiling.
+struct Hints {
+  double selectivity = 1.0;        // avg records emitted per UDF call
+  double cpu_cost_per_call = 1.0;  // relative CPU weight of one call
+  int64_t distinct_keys = -1;      // distinct key values (KAT / join keys)
+};
+
+/// Key-at-a-time behaviour that cannot be derived by SCA but can be declared
+/// manually (used by the KGP check when reordering two KAT operators).
+enum class KatBehavior {
+  kUnknown,          // conservative default (SCA always reports this)
+  kPerRecordOneToOne,  // emits exactly one record per input record
+  kGroupWiseFilter,    // emits all records of a group unchanged, or none
+};
+
+/// A logical operator node. Owned by DataFlow; identified by a dense id.
+struct Operator {
+  int id = -1;
+  std::string name;
+  OpKind kind = OpKind::kMap;
+
+  /// The black-box first-order function (absent for sources and sinks).
+  std::shared_ptr<const tac::Function> udf;
+
+  /// Key field indices (local to each input). Reduce/CoGroup: grouping keys;
+  /// Match: equi-join keys. key_fields[i] is input i's key.
+  std::vector<std::vector<int>> key_fields;
+
+  Hints hints;
+
+  /// Manual annotation: hand-written properties equivalent to what SCA
+  /// derives. When the optimizer runs in manual mode it uses these instead of
+  /// analyzing the UDF code.
+  std::optional<sca::LocalUdfSummary> manual_summary;
+  KatBehavior kat_behavior = KatBehavior::kUnknown;
+
+  // --- Source-only fields ---
+  int source_arity = 0;
+  int64_t source_rows = 0;        // cardinality hint
+  double source_avg_bytes = 64;   // avg record bytes hint
+  std::vector<int> source_unique_fields;  // primary key (empty: none)
+
+  // NOTE on referential integrity: the invariant-grouping transformation of
+  // §4.3.2 needs to know that one join side's key is unique. This is schema
+  // knowledge (not a UDF property), declared via source_unique_fields on the
+  // data sources and derived by reorder::SubtreeUniqueOnKey — available to
+  // both annotation modes, mirroring the paper.
+
+  /// Inputs as operator ids (empty for sources).
+  std::vector<int> inputs;
+};
+
+/// A tree-shaped logical data flow. The root is the sink.
+class DataFlow {
+ public:
+  /// Adds a data source with the given schema arity and cardinality hints.
+  int AddSource(std::string name, int arity, int64_t rows, double avg_bytes,
+                std::vector<int> unique_fields = {});
+
+  /// Adds a Map operator over `input`.
+  int AddMap(std::string name, int input,
+             std::shared_ptr<const tac::Function> udf, Hints hints = {});
+
+  /// Adds a Reduce operator grouping `input` on `key_fields`.
+  int AddReduce(std::string name, int input, std::vector<int> key_fields,
+                std::shared_ptr<const tac::Function> udf, Hints hints = {});
+
+  /// Adds a Match (equi-join) of `left` and `right`.
+  int AddMatch(std::string name, int left, int right,
+               std::vector<int> left_key, std::vector<int> right_key,
+               std::shared_ptr<const tac::Function> udf, Hints hints = {});
+
+  /// Adds a Cross (Cartesian product) of `left` and `right`.
+  int AddCross(std::string name, int left, int right,
+               std::shared_ptr<const tac::Function> udf, Hints hints = {});
+
+  /// Adds a CoGroup of `left` and `right` on the given keys.
+  int AddCoGroup(std::string name, int left, int right,
+                 std::vector<int> left_key, std::vector<int> right_key,
+                 std::shared_ptr<const tac::Function> udf, Hints hints = {});
+
+  /// Sets the sink; must be called exactly once, after which the flow is
+  /// complete.
+  int SetSink(std::string name, int input);
+
+  Operator& op(int id) { return ops_[id]; }
+  const Operator& op(int id) const { return ops_[id]; }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  int sink_id() const { return sink_id_; }
+
+  /// Validates tree shape: exactly one sink, every non-sink operator consumed
+  /// exactly once, no cycles, inputs exist.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  int Add(Operator op);
+
+  std::vector<Operator> ops_;
+  int sink_id_ = -1;
+};
+
+}  // namespace dataflow
+}  // namespace blackbox
+
+#endif  // BLACKBOX_DATAFLOW_FLOW_H_

@@ -1,0 +1,408 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+
+#include "interp/interp.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace engine {
+
+using dataflow::AttrId;
+using dataflow::OpKind;
+using dataflow::OpProperties;
+using interp::CallInputs;
+using interp::FieldTranslation;
+using interp::Interpreter;
+using optimizer::LocalStrategy;
+using optimizer::PhysicalNode;
+using optimizer::ShipStrategy;
+
+namespace {
+
+using Partitions = std::vector<std::vector<Record>>;
+
+/// Key extracted at the given global positions.
+std::vector<Value> KeyOf(const Record& r, const std::vector<AttrId>& key) {
+  std::vector<Value> k;
+  k.reserve(key.size());
+  for (AttrId a : key) {
+    k.push_back(a < static_cast<int>(r.num_fields()) ? r.field(a) : Value());
+  }
+  return k;
+}
+
+uint64_t KeyHash(const std::vector<Value>& key) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash();
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+size_t PartitionBytes(const std::vector<Record>& part) {
+  size_t total = 0;
+  for (const Record& r : part) total += r.SerializedSize();
+  return total;
+}
+
+class ExecContext {
+ public:
+  ExecContext(const dataflow::AnnotatedFlow& af,
+              const std::map<int, const DataSet*>& sources,
+              const ExecOptions& options, ExecStats* stats)
+      : af_(af), sources_(sources), options_(options), stats_(stats) {}
+
+  StatusOr<Partitions> Exec(const PhysicalNode& node) {
+    const dataflow::Operator& op = af_.flow->op(node.op_id);
+    switch (op.kind) {
+      case OpKind::kSource:
+        return Scan(node);
+      case OpKind::kSink: {
+        StatusOr<Partitions> in = Exec(*node.children[0]);
+        if (!in.ok()) return in.status();
+        return in;  // projection to the sink schema happens in Execute()
+      }
+      case OpKind::kMap:
+        return ExecMap(node, op);
+      case OpKind::kReduce:
+        return ExecReduce(node, op);
+      case OpKind::kMatch:
+        return ExecMatch(node, op);
+      case OpKind::kCross:
+        return ExecCross(node, op);
+      case OpKind::kCoGroup:
+        return ExecCoGroup(node, op);
+    }
+    return Status::Internal("unreachable operator kind");
+  }
+
+ private:
+  /// Builds the redirection tables for one operator occurrence: local field
+  /// index -> global record position (Definition 1's α map), with concat
+  /// ownership derived from the actual child subtrees of this plan.
+  FieldTranslation MakeTranslation(const PhysicalNode& node) {
+    const OpProperties& p = af_.of(node.op_id);
+    FieldTranslation t;
+    t.global_width = af_.global.size();
+    t.input_maps.resize(p.in_schemas.size());
+    for (size_t i = 0; i < p.in_schemas.size(); ++i) {
+      t.input_maps[i].assign(p.in_schemas[i].begin(), p.in_schemas[i].end());
+    }
+    t.output_map.assign(p.out_schema.begin(), p.out_schema.end());
+    // Extend input maps so writes of *new* attributes on copied input records
+    // resolve (positions >= original input arity map to the new attrs).
+    for (auto& m : t.input_maps) {
+      for (size_t pos = m.size(); pos < p.out_schema.size(); ++pos) {
+        m.push_back(p.out_schema[pos]);
+      }
+    }
+    // Concat ownership: the attributes actually originating in each child
+    // subtree of *this* plan (not the original flow) — reordering moves
+    // attribute origins across join inputs.
+    if (node.children.size() == 2) {
+      t.concat_positions.resize(2);
+      for (int i = 0; i < 2; ++i) {
+        t.concat_positions[i] = LiveAttrs(*node.children[i]);
+      }
+    }
+    return t;
+  }
+
+  std::vector<int> LiveAttrs(const PhysicalNode& node) {
+    std::set<AttrId> acc;
+    std::function<void(const PhysicalNode&)> walk = [&](const PhysicalNode& n) {
+      const OpProperties& p = af_.of(n.op_id);
+      for (AttrId a : p.introduced.listed()) acc.insert(a);
+      for (const auto& c : n.children) walk(*c);
+    };
+    walk(node);
+    return std::vector<int>(acc.begin(), acc.end());
+  }
+
+  StatusOr<Partitions> Scan(const PhysicalNode& node) {
+    auto it = sources_.find(node.op_id);
+    if (it == sources_.end()) {
+      return Status::InvalidArgument("no data bound for source " +
+                                     af_.flow->op(node.op_id).name);
+    }
+    const OpProperties& p = af_.of(node.op_id);
+    const int width = af_.global.size();
+    Partitions parts(options_.dop);
+    size_t i = 0;
+    for (const Record& src : it->second->records()) {
+      Record wide;
+      if (width > 0) wide.SetField(width - 1, Value::Null());
+      for (size_t f = 0; f < src.num_fields() && f < p.out_schema.size();
+           ++f) {
+        wide.SetField(p.out_schema[f], src.field(f));
+      }
+      parts[i++ % options_.dop].push_back(std::move(wide));
+    }
+    return parts;
+  }
+
+  /// Applies a shipping strategy, metering network bytes.
+  Partitions Ship(Partitions in, ShipStrategy strategy,
+                  const std::vector<AttrId>& key) {
+    switch (strategy) {
+      case ShipStrategy::kForward:
+        return in;
+      case ShipStrategy::kPartitionHash: {
+        Partitions out(options_.dop);
+        for (size_t from = 0; from < in.size(); ++from) {
+          for (Record& r : in[from]) {
+            size_t to = KeyHash(KeyOf(r, key)) % options_.dop;
+            if (to != from && stats_) {
+              stats_->network_bytes += r.SerializedSize();
+            }
+            out[to].push_back(std::move(r));
+          }
+        }
+        return out;
+      }
+      case ShipStrategy::kBroadcast: {
+        std::vector<Record> all;
+        for (auto& part : in) {
+          for (Record& r : part) all.push_back(std::move(r));
+        }
+        if (stats_) {
+          size_t bytes = 0;
+          for (const Record& r : all) bytes += r.SerializedSize();
+          stats_->network_bytes +=
+              static_cast<int64_t>(bytes) * (options_.dop - 1);
+        }
+        Partitions out(options_.dop, all);
+        return out;
+      }
+    }
+    return in;
+  }
+
+  void MeterSpill(size_t bytes) {
+    if (stats_ && static_cast<double>(bytes) > options_.mem_budget_bytes) {
+      stats_->disk_bytes += static_cast<int64_t>(2 * bytes);
+    }
+  }
+
+  Status CallUdf(const Interpreter& interp, const CallInputs& inputs,
+                 const FieldTranslation& t, std::vector<Record>* out) {
+    interp::RunStats rs;
+    BLACKBOX_RETURN_NOT_OK(interp.Run(inputs, t, out, &rs));
+    if (stats_) {
+      stats_->udf_calls++;
+      stats_->cpu_burn_units += rs.cpu_burn_units;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Partitions> ExecMap(const PhysicalNode& node,
+                               const dataflow::Operator& op) {
+    StatusOr<Partitions> in_or = Exec(*node.children[0]);
+    if (!in_or.ok()) return in_or.status();
+    Partitions in = Ship(std::move(in_or).value(), node.ships[0], {});
+    FieldTranslation t = MakeTranslation(node);
+    Interpreter interp(op.udf.get());
+    Partitions out(options_.dop);
+    for (size_t pi = 0; pi < in.size(); ++pi) {
+      for (const Record& r : in[pi]) {
+        CallInputs ci;
+        ci.groups = {{&r}};
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+        if (stats_) stats_->records_processed++;
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Partitions> ExecReduce(const PhysicalNode& node,
+                                  const dataflow::Operator& op) {
+    const OpProperties& p = af_.of(node.op_id);
+    StatusOr<Partitions> in_or = Exec(*node.children[0]);
+    if (!in_or.ok()) return in_or.status();
+    Partitions in = Ship(std::move(in_or).value(), node.ships[0], p.keys[0]);
+    FieldTranslation t = MakeTranslation(node);
+    Interpreter interp(op.udf.get());
+    Partitions out(options_.dop);
+    for (size_t pi = 0; pi < in.size(); ++pi) {
+      MeterSpill(PartitionBytes(in[pi]));
+      std::map<std::vector<Value>, std::vector<const Record*>> groups;
+      for (const Record& r : in[pi]) {
+        groups[KeyOf(r, p.keys[0])].push_back(&r);
+        if (stats_) stats_->records_processed++;
+      }
+      for (const auto& [key, members] : groups) {
+        CallInputs ci;
+        ci.groups = {members};
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Partitions> ExecMatch(const PhysicalNode& node,
+                                 const dataflow::Operator& op) {
+    const OpProperties& p = af_.of(node.op_id);
+    StatusOr<Partitions> l_or = Exec(*node.children[0]);
+    if (!l_or.ok()) return l_or.status();
+    StatusOr<Partitions> r_or = Exec(*node.children[1]);
+    if (!r_or.ok()) return r_or.status();
+    Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
+    Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    FieldTranslation t = MakeTranslation(node);
+    Interpreter interp(op.udf.get());
+    bool build_left = node.local == LocalStrategy::kHashJoinBuildLeft;
+    Partitions out(options_.dop);
+    for (int pi = 0; pi < options_.dop; ++pi) {
+      const std::vector<Record>& build = build_left ? left[pi] : right[pi];
+      const std::vector<Record>& probe = build_left ? right[pi] : left[pi];
+      const std::vector<AttrId>& build_key = build_left ? p.keys[0] : p.keys[1];
+      const std::vector<AttrId>& probe_key = build_left ? p.keys[1] : p.keys[0];
+      MeterSpill(PartitionBytes(build));
+      std::map<std::vector<Value>, std::vector<const Record*>> table;
+      for (const Record& r : build) {
+        table[KeyOf(r, build_key)].push_back(&r);
+        if (stats_) stats_->records_processed++;
+      }
+      for (const Record& r : probe) {
+        if (stats_) stats_->records_processed++;
+        auto it = table.find(KeyOf(r, probe_key));
+        if (it == table.end()) continue;
+        for (const Record* b : it->second) {
+          CallInputs ci;
+          const Record* lrec = build_left ? b : &r;
+          const Record* rrec = build_left ? &r : b;
+          ci.groups = {{lrec}, {rrec}};
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+        }
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Partitions> ExecCross(const PhysicalNode& node,
+                                 const dataflow::Operator& op) {
+    StatusOr<Partitions> l_or = Exec(*node.children[0]);
+    if (!l_or.ok()) return l_or.status();
+    StatusOr<Partitions> r_or = Exec(*node.children[1]);
+    if (!r_or.ok()) return r_or.status();
+    Partitions left = Ship(std::move(l_or).value(), node.ships[0], {});
+    Partitions right = Ship(std::move(r_or).value(), node.ships[1], {});
+    FieldTranslation t = MakeTranslation(node);
+    Interpreter interp(op.udf.get());
+    Partitions out(options_.dop);
+    for (int pi = 0; pi < options_.dop; ++pi) {
+      for (const Record& l : left[pi]) {
+        for (const Record& r : right[pi]) {
+          CallInputs ci;
+          ci.groups = {{&l}, {&r}};
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+        }
+      }
+      if (stats_) {
+        stats_->records_processed +=
+            static_cast<int64_t>(left[pi].size() + right[pi].size());
+      }
+    }
+    return out;
+  }
+
+  StatusOr<Partitions> ExecCoGroup(const PhysicalNode& node,
+                                   const dataflow::Operator& op) {
+    const OpProperties& p = af_.of(node.op_id);
+    StatusOr<Partitions> l_or = Exec(*node.children[0]);
+    if (!l_or.ok()) return l_or.status();
+    StatusOr<Partitions> r_or = Exec(*node.children[1]);
+    if (!r_or.ok()) return r_or.status();
+    Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
+    Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    FieldTranslation t = MakeTranslation(node);
+    Interpreter interp(op.udf.get());
+    Partitions out(options_.dop);
+    for (int pi = 0; pi < options_.dop; ++pi) {
+      MeterSpill(PartitionBytes(left[pi]) + PartitionBytes(right[pi]));
+      std::map<std::vector<Value>, CallInputs> groups;
+      for (const Record& r : left[pi]) {
+        auto& ci = groups[KeyOf(r, p.keys[0])];
+        if (ci.groups.empty()) ci.groups.resize(2);
+        ci.groups[0].push_back(&r);
+        if (stats_) stats_->records_processed++;
+      }
+      for (const Record& r : right[pi]) {
+        auto& ci = groups[KeyOf(r, p.keys[1])];
+        if (ci.groups.empty()) ci.groups.resize(2);
+        ci.groups[1].push_back(&r);
+        if (stats_) stats_->records_processed++;
+      }
+      for (const auto& [key, ci] : groups) {
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+      }
+    }
+    return out;
+  }
+
+  const dataflow::AnnotatedFlow& af_;
+  const std::map<int, const DataSet*>& sources_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+};
+
+}  // namespace
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "net=" + std::to_string(network_bytes) + "B";
+  out += " disk=" + std::to_string(disk_bytes) + "B";
+  out += " udf_calls=" + std::to_string(udf_calls);
+  out += " cpu_burn=" + std::to_string(cpu_burn_units);
+  out += " records=" + std::to_string(records_processed);
+  out += " out_rows=" + std::to_string(output_rows);
+  out += " wall=" + std::to_string(wall_seconds) + "s";
+  out += " simulated=" + std::to_string(simulated_seconds) + "s";
+  return out;
+}
+
+StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
+                                    ExecStats* stats) {
+  if (!plan.root) return Status::InvalidArgument("empty physical plan");
+  auto start = std::chrono::steady_clock::now();
+  ExecContext ctx(*af_, sources_, options_, stats);
+  StatusOr<Partitions> out = ctx.Exec(*plan.root);
+  if (!out.ok()) return out.status();
+
+  // Gather and project onto the sink schema so alternative plans of the same
+  // flow produce directly comparable records.
+  const OpProperties& sink = af_->of(plan.root->op_id);
+  DataSet result;
+  for (const auto& part : *out) {
+    for (const Record& wide : part) {
+      Record compact;
+      for (size_t i = 0; i < sink.out_schema.size(); ++i) {
+        AttrId a = sink.out_schema[i];
+        compact.Append(a < static_cast<int>(wide.num_fields()) ? wide.field(a)
+                                                               : Value());
+      }
+      result.Add(std::move(compact));
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  if (stats) {
+    stats->output_rows = static_cast<int64_t>(result.size());
+    stats->wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+    stats->simulated_seconds =
+        stats->wall_seconds +
+        static_cast<double>(stats->network_bytes) /
+            options_.net_bandwidth_bytes_per_s +
+        static_cast<double>(stats->disk_bytes) /
+            options_.disk_bandwidth_bytes_per_s;
+  }
+  return result;
+}
+
+}  // namespace engine
+}  // namespace blackbox

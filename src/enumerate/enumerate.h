@@ -1,0 +1,51 @@
+// Plan-space enumeration (Section 6). Two implementations:
+//
+// 1. EnumerateAlternatives — the production enumerator: computes the closure
+//    of the initial plan under all valid pairwise reorderings (unary swaps,
+//    unary/binary pushes, binary rotations) with canonical-form
+//    deduplication. Handles arbitrary tree-shaped flows with binary
+//    operators, like the paper's implementation.
+//
+// 2. EnumerateChainAlgorithm1 — a faithful transcription of the paper's
+//    Algorithm 1 (recursive root-removal with a memo table), restricted to
+//    single-input operator chains as presented in the paper. Used to
+//    cross-validate the closure enumerator.
+
+#ifndef BLACKBOX_ENUMERATE_ENUMERATE_H_
+#define BLACKBOX_ENUMERATE_ENUMERATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "reorder/conditions.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace enumerate {
+
+struct EnumOptions {
+  /// Safety valve against search-space explosions.
+  size_t max_plans = 1'000'000;
+};
+
+struct EnumResult {
+  std::vector<reorder::PlanPtr> plans;  // first entry is the original plan
+  size_t rewrites_applied = 0;          // total successful edge rewrites
+  size_t rewrites_rejected = 0;         // reorderable() returned false
+};
+
+/// Enumerates all data flows derivable from the original flow by valid
+/// pairwise reorderings (closure semantics).
+StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
+                                           const EnumOptions& options = {});
+
+/// Algorithm 1 from the paper, for chains of unary operators. Returns an
+/// error if the flow contains binary operators.
+StatusOr<EnumResult> EnumerateChainAlgorithm1(
+    const dataflow::AnnotatedFlow& af, const EnumOptions& options = {});
+
+}  // namespace enumerate
+}  // namespace blackbox
+
+#endif  // BLACKBOX_ENUMERATE_ENUMERATE_H_

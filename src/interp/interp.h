@@ -1,0 +1,78 @@
+// TAC interpreter: executes one UDF invocation. The engine calls this once
+// per record (RAT operators) or once per key group / co-group (KAT
+// operators). The interpreter is deliberately side-effect free — a UDF can
+// only observe its input records and only act by emitting output records,
+// which is exactly the "no hidden communication channels" restriction the
+// paper's reordering theory assumes (Section 3).
+//
+// Field translation: UDF code addresses fields by *static indices into its
+// original input layout*. After reordering, the physical record layout is the
+// global record (Definition 1), so every access goes through a redirection
+// table local index -> global position supplied by the caller.
+
+#ifndef BLACKBOX_INTERP_INTERP_H_
+#define BLACKBOX_INTERP_INTERP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace interp {
+
+/// Redirection configuration for one UDF invocation site (one operator
+/// placement inside one plan).
+struct FieldTranslation {
+  /// For each input: local field index -> position in the in-flight (global)
+  /// record. Identity translation if empty.
+  std::vector<std::vector<int>> input_maps;
+
+  /// Output local field index -> global position. Identity if empty.
+  std::vector<int> output_map;
+
+  /// Width of in-flight records; emitted records are resized to this. 0 means
+  /// "whatever the constructor produced" (raw mode for unit tests).
+  int global_width = 0;
+
+  /// For kConcatRecords: positions (global) owned by each input; the merge
+  /// takes input-0 positions from src0 and input-1 positions from src1.
+  /// Unused in raw mode (raw concat appends).
+  std::vector<std::vector<int>> concat_positions;
+};
+
+/// Per-invocation resource metering.
+struct RunStats {
+  int64_t instructions = 0;
+  int64_t cpu_burn_units = 0;
+  int64_t emits = 0;
+};
+
+/// One invocation's inputs: for RAT inputs the group has exactly one record.
+struct CallInputs {
+  /// groups[i] is the key group of input i (size 1 for RAT inputs).
+  std::vector<std::vector<const Record*>> groups;
+};
+
+class Interpreter {
+ public:
+  /// Upper bound on executed instructions per invocation; guards against
+  /// accidental infinite loops in hand-written UDFs.
+  static constexpr int64_t kDefaultStepLimit = 50'000'000;
+
+  explicit Interpreter(const tac::Function* fn) : fn_(fn) {}
+
+  /// Runs the UDF on the given inputs, appending emitted records to *out.
+  Status Run(const CallInputs& inputs, const FieldTranslation& translation,
+             std::vector<Record>* out, RunStats* stats = nullptr) const;
+
+ private:
+  const tac::Function* fn_;
+};
+
+}  // namespace interp
+}  // namespace blackbox
+
+#endif  // BLACKBOX_INTERP_INTERP_H_

@@ -1,0 +1,403 @@
+#include "optimizer/physical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace blackbox {
+namespace optimizer {
+
+using dataflow::AttrId;
+using dataflow::OpKind;
+using dataflow::OpProperties;
+using reorder::PlanPtr;
+
+const char* ShipStrategyName(ShipStrategy s) {
+  switch (s) {
+    case ShipStrategy::kForward: return "forward";
+    case ShipStrategy::kPartitionHash: return "hash-partition";
+    case ShipStrategy::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+const char* LocalStrategyName(LocalStrategy s) {
+  switch (s) {
+    case LocalStrategy::kNone: return "stream";
+    case LocalStrategy::kSortGroup: return "sort-group";
+    case LocalStrategy::kHashJoinBuildLeft: return "hash-join(build=left)";
+    case LocalStrategy::kHashJoinBuildRight: return "hash-join(build=right)";
+    case LocalStrategy::kNestedLoop: return "nested-loop";
+    case LocalStrategy::kSortCoGroup: return "sort-cogroup";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A partitioning property: the data is hash-partitioned on this attribute
+/// set (empty = no useful partitioning / random).
+using Partitioning = std::set<AttrId>;
+
+struct Candidate {
+  std::shared_ptr<PhysicalNode> node;  // shared: candidates share subtrees
+  Partitioning partitioning;
+  double cost = 0;
+  double est_rows = 0;
+  double est_bytes_per_row = 0;
+};
+
+std::unique_ptr<PhysicalNode> ClonePhysical(const PhysicalNode& n) {
+  auto out = std::make_unique<PhysicalNode>();
+  out->op_id = n.op_id;
+  out->ships = n.ships;
+  out->local = n.local;
+  out->est_rows = n.est_rows;
+  out->est_bytes_per_row = n.est_bytes_per_row;
+  out->cost_network = n.cost_network;
+  out->cost_disk = n.cost_disk;
+  out->cost_cpu = n.cost_cpu;
+  for (const auto& c : n.children) out->children.push_back(ClonePhysical(*c));
+  return out;
+}
+
+class PhysicalPlanner {
+ public:
+  PhysicalPlanner(const dataflow::AnnotatedFlow& af, const CostWeights& w)
+      : af_(af), w_(w) {}
+
+  StatusOr<PhysicalPlan> Plan(const PlanPtr& plan) {
+    StatusOr<std::vector<Candidate>> cands = PlanNodeCands(plan);
+    if (!cands.ok()) return cands.status();
+    if (cands->empty()) return Status::Internal("no physical candidates");
+    const Candidate* best = &cands->front();
+    for (const Candidate& c : *cands) {
+      if (c.cost < best->cost) best = &c;
+    }
+    PhysicalPlan out;
+    out.root = ClonePhysical(*best->node);
+    out.total_cost = best->cost;
+    return out;
+  }
+
+ private:
+  /// True if `partitioning` guarantees co-location of groups keyed on `key`:
+  /// a non-empty partitioning on a subset of the key attributes.
+  static bool PartitioningServesKey(const Partitioning& partitioning,
+                                    const std::vector<AttrId>& key) {
+    if (partitioning.empty()) return false;
+    for (AttrId a : partitioning) {
+      if (std::find(key.begin(), key.end(), a) == key.end()) return false;
+    }
+    return true;
+  }
+
+  double ShipCost(ShipStrategy s, double rows, double bytes_per_row) const {
+    double bytes = rows * bytes_per_row;
+    switch (s) {
+      case ShipStrategy::kForward:
+        return 0;
+      case ShipStrategy::kPartitionHash:
+        // (dop-1)/dop of the data crosses the network.
+        return w_.net_per_byte * bytes * (w_.dop - 1) / w_.dop;
+      case ShipStrategy::kBroadcast:
+        return w_.net_per_byte * bytes * (w_.dop - 1);
+    }
+    return 0;
+  }
+
+  /// Disk cost of materializing `bytes` per instance when it exceeds the
+  /// memory budget (sort spill / hash-table spill): write + re-read.
+  double SpillCost(double total_bytes) const {
+    double per_instance = total_bytes / w_.dop;
+    if (per_instance <= w_.mem_budget_bytes) return 0;
+    return w_.disk_per_byte * 2 * total_bytes;
+  }
+
+  /// Keeps the cheapest candidate per distinct partitioning property plus the
+  /// overall cheapest (principle of optimality with interesting properties).
+  static void Prune(std::vector<Candidate>* cands) {
+    std::vector<Candidate> kept;
+    for (Candidate& c : *cands) {
+      bool dominated = false;
+      for (Candidate& k : kept) {
+        if (k.partitioning == c.partitioning && k.cost <= c.cost) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                [&](const Candidate& k) {
+                                  return k.partitioning == c.partitioning &&
+                                         k.cost > c.cost;
+                                }),
+                 kept.end());
+      kept.push_back(std::move(c));
+    }
+    *cands = std::move(kept);
+  }
+
+  Candidate MakeCand(const PlanPtr& plan,
+                     std::vector<const Candidate*> child_cands,
+                     std::vector<ShipStrategy> ships, LocalStrategy local,
+                     Partitioning out_partitioning, double est_rows,
+                     double est_bpr, double local_net, double local_disk,
+                     double local_cpu) const {
+    auto node = std::make_shared<PhysicalNode>();
+    node->op_id = plan->op_id;
+    node->ships = ships;
+    node->local = local;
+    node->est_rows = est_rows;
+    node->est_bytes_per_row = est_bpr;
+    double child_cost = 0;
+    for (size_t i = 0; i < child_cands.size(); ++i) {
+      node->children.push_back(ClonePhysical(*child_cands[i]->node));
+      child_cost += child_cands[i]->cost;
+      local_net += ShipCost(ships[i], child_cands[i]->est_rows,
+                            child_cands[i]->est_bytes_per_row);
+    }
+    node->cost_network = local_net;
+    node->cost_disk = local_disk;
+    node->cost_cpu = local_cpu;
+    Candidate c;
+    c.cost = child_cost + local_net + local_disk + local_cpu;
+    c.node = std::move(node);
+    c.partitioning = std::move(out_partitioning);
+    c.est_rows = est_rows;
+    c.est_bytes_per_row = est_bpr;
+    return c;
+  }
+
+  StatusOr<std::vector<Candidate>> PlanNodeCands(const PlanPtr& plan) {
+    const dataflow::Operator& op = af_.flow->op(plan->op_id);
+    const OpProperties& p = af_.of(plan->op_id);
+    std::vector<Candidate> out;
+
+    switch (op.kind) {
+      case OpKind::kSource: {
+        out.push_back(MakeCand(plan, {}, {}, LocalStrategy::kNone, {},
+                               static_cast<double>(op.source_rows),
+                               op.source_avg_bytes, 0, 0, 0));
+        break;
+      }
+      case OpKind::kSink: {
+        StatusOr<std::vector<Candidate>> child = PlanNodeCands(plan->children[0]);
+        if (!child.ok()) return child.status();
+        for (const Candidate& c : *child) {
+          out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
+                                 LocalStrategy::kNone, c.partitioning,
+                                 c.est_rows, c.est_bytes_per_row, 0, 0, 0));
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        StatusOr<std::vector<Candidate>> child = PlanNodeCands(plan->children[0]);
+        if (!child.ok()) return child.status();
+        for (const Candidate& c : *child) {
+          double rows = c.est_rows * op.hints.selectivity;
+          double bpr = c.est_bytes_per_row + 9.0 * p.introduced.listed().size();
+          double cpu = w_.cpu_per_call_unit * c.est_rows *
+                           op.hints.cpu_cost_per_call +
+                       w_.cpu_per_record * c.est_rows;
+          // A Map invalidates a partitioning if it rewrites partition attrs.
+          Partitioning part = c.partitioning;
+          for (AttrId a : part) {
+            if (p.write.Contains(a)) {
+              part.clear();
+              break;
+            }
+          }
+          out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
+                                 LocalStrategy::kNone, part, rows, bpr, 0, 0,
+                                 cpu));
+        }
+        break;
+      }
+      case OpKind::kReduce: {
+        StatusOr<std::vector<Candidate>> child = PlanNodeCands(plan->children[0]);
+        if (!child.ok()) return child.status();
+        const std::vector<AttrId>& key = p.keys[0];
+        for (const Candidate& c : *child) {
+          double groups = op.hints.distinct_keys > 0
+                              ? std::min<double>(
+                                    static_cast<double>(op.hints.distinct_keys),
+                                    c.est_rows)
+                              : std::max(1.0, c.est_rows / 16.0);
+          double rows = groups * op.hints.selectivity;
+          double bpr = c.est_bytes_per_row + 9.0 * p.introduced.listed().size();
+          double in_bytes = c.est_rows * c.est_bytes_per_row;
+          double sort_cpu = w_.cpu_per_record * c.est_rows *
+                            std::max(1.0, std::log2(std::max(
+                                              2.0, c.est_rows / w_.dop)));
+          double cpu = w_.cpu_per_call_unit * groups *
+                           op.hints.cpu_cost_per_call +
+                       sort_cpu;
+          double disk = SpillCost(in_bytes);
+          Partitioning key_part(key.begin(), key.end());
+          // (a) Reuse an existing partitioning that serves the key.
+          if (w_.enable_partition_reuse &&
+              PartitioningServesKey(c.partitioning, key)) {
+            out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
+                                   LocalStrategy::kSortGroup, c.partitioning,
+                                   rows, bpr, 0, disk, cpu));
+          }
+          // (b) Hash-repartition on the key.
+          out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kPartitionHash},
+                                 LocalStrategy::kSortGroup, key_part, rows,
+                                 bpr, 0, disk, cpu));
+        }
+        break;
+      }
+      case OpKind::kMatch:
+      case OpKind::kCross:
+      case OpKind::kCoGroup: {
+        StatusOr<std::vector<Candidate>> left_or = PlanNodeCands(plan->children[0]);
+        if (!left_or.ok()) return left_or.status();
+        StatusOr<std::vector<Candidate>> right_or =
+            PlanNodeCands(plan->children[1]);
+        if (!right_or.ok()) return right_or.status();
+        for (const Candidate& l : *left_or) {
+          for (const Candidate& r : *right_or) {
+            AppendBinaryCands(plan, op, p, l, r, &out);
+          }
+        }
+        break;
+      }
+    }
+    Prune(&out);
+    // Cap the frontier to keep optimization linear in practice.
+    if (out.size() > 12) {
+      std::sort(out.begin(), out.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.cost < b.cost;
+                });
+      out.resize(12);
+    }
+    return out;
+  }
+
+  void AppendBinaryCands(const PlanPtr& plan, const dataflow::Operator& op,
+                         const OpProperties& p, const Candidate& l,
+                         const Candidate& r, std::vector<Candidate>* out) {
+    double lrows = l.est_rows, rrows = r.est_rows;
+    double out_bpr = l.est_bytes_per_row + r.est_bytes_per_row +
+                     9.0 * p.introduced.listed().size();
+
+    if (op.kind == OpKind::kCross) {
+      double rows = lrows * rrows * op.hints.selectivity;
+      double cpu = w_.cpu_per_call_unit * lrows * rrows *
+                       op.hints.cpu_cost_per_call +
+                   w_.cpu_per_record * (lrows + rrows);
+      // Broadcast the smaller side; nested loops locally.
+      bool bc_left = lrows * l.est_bytes_per_row <= rrows * r.est_bytes_per_row;
+      std::vector<ShipStrategy> ships = {
+          bc_left ? ShipStrategy::kBroadcast : ShipStrategy::kForward,
+          bc_left ? ShipStrategy::kForward : ShipStrategy::kBroadcast};
+      Partitioning part = bc_left ? r.partitioning : l.partitioning;
+      out->push_back(MakeCand(plan, {&l, &r}, ships, LocalStrategy::kNestedLoop,
+                              part, rows, out_bpr, 0, 0, cpu));
+      return;
+    }
+
+    const std::vector<AttrId>& lkey = p.keys[0];
+    const std::vector<AttrId>& rkey = p.keys[1];
+    double domain = op.hints.distinct_keys > 0
+                        ? static_cast<double>(op.hints.distinct_keys)
+                        : std::max({lrows, rrows, 1.0});
+    double rows = op.kind == OpKind::kCoGroup
+                      ? domain * op.hints.selectivity
+                      : lrows * rrows / domain * op.hints.selectivity;
+    double calls = op.kind == OpKind::kCoGroup ? domain : rows;
+    double cpu = w_.cpu_per_call_unit * calls * op.hints.cpu_cost_per_call +
+                 w_.cpu_per_record * (lrows + rrows);
+
+    bool l_served =
+        w_.enable_partition_reuse && PartitioningServesKey(l.partitioning, lkey);
+    bool r_served =
+        w_.enable_partition_reuse && PartitioningServesKey(r.partitioning, rkey);
+
+    LocalStrategy join_local =
+        op.kind == OpKind::kCoGroup
+            ? LocalStrategy::kSortCoGroup
+            : (lrows * l.est_bytes_per_row <= rrows * r.est_bytes_per_row
+                   ? LocalStrategy::kHashJoinBuildLeft
+                   : LocalStrategy::kHashJoinBuildRight);
+
+    double build_bytes = std::min(lrows * l.est_bytes_per_row,
+                                  rrows * r.est_bytes_per_row);
+    double disk = SpillCost(build_bytes);
+    if (op.kind == OpKind::kCoGroup) {
+      disk = SpillCost(lrows * l.est_bytes_per_row) +
+             SpillCost(rrows * r.est_bytes_per_row);
+    }
+
+    // (a) Repartition both sides on the join keys (reusing served sides).
+    {
+      std::vector<ShipStrategy> ships = {
+          l_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash,
+          r_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash};
+      // Result is co-partitioned on both key sets; emit one candidate per
+      // declared property so downstream operators can reuse either.
+      out->push_back(MakeCand(plan, {&l, &r}, ships, join_local,
+                              Partitioning(lkey.begin(), lkey.end()), rows,
+                              out_bpr, 0, disk, cpu));
+      out->push_back(MakeCand(plan, {&l, &r}, ships, join_local,
+                              Partitioning(rkey.begin(), rkey.end()), rows,
+                              out_bpr, 0, disk, cpu));
+    }
+
+    // (b) Broadcast one side, preserve the other's partitioning. Not
+    // applicable to CoGroup (a broadcast side would duplicate groups).
+    if (op.kind == OpKind::kMatch && w_.enable_broadcast) {
+      // Broadcast left.
+      out->push_back(MakeCand(
+          plan, {&l, &r},
+          {ShipStrategy::kBroadcast, ShipStrategy::kForward},
+          LocalStrategy::kHashJoinBuildLeft, r.partitioning, rows, out_bpr, 0,
+          SpillCost(lrows * l.est_bytes_per_row * w_.dop), cpu));
+      // Broadcast right.
+      out->push_back(MakeCand(
+          plan, {&l, &r},
+          {ShipStrategy::kForward, ShipStrategy::kBroadcast},
+          LocalStrategy::kHashJoinBuildRight, l.partitioning, rows, out_bpr, 0,
+          SpillCost(rrows * r.est_bytes_per_row * w_.dop), cpu));
+    }
+  }
+
+  const dataflow::AnnotatedFlow& af_;
+  const CostWeights& w_;
+};
+
+}  // namespace
+
+std::string PhysicalPlan::ToString(const dataflow::DataFlow& flow) const {
+  std::ostringstream out;
+  std::function<void(const PhysicalNode&, int)> walk = [&](const PhysicalNode& n,
+                                                           int depth) {
+    for (int i = 0; i < depth; ++i) out << "  ";
+    const dataflow::Operator& op = flow.op(n.op_id);
+    out << dataflow::OpKindName(op.kind) << " \"" << op.name << "\" ["
+        << LocalStrategyName(n.local);
+    for (size_t i = 0; i < n.ships.size(); ++i) {
+      out << ", in" << i << "=" << ShipStrategyName(n.ships[i]);
+    }
+    out << "] rows~" << static_cast<int64_t>(n.est_rows) << "\n";
+    for (const auto& c : n.children) walk(*c, depth + 1);
+  };
+  if (root) walk(*root, 0);
+  out << "total estimated cost: " << total_cost << "\n";
+  return out.str();
+}
+
+StatusOr<PhysicalPlan> OptimizePhysical(const dataflow::AnnotatedFlow& af,
+                                        const reorder::PlanPtr& plan,
+                                        const CostWeights& weights) {
+  PhysicalPlanner planner(af, weights);
+  return planner.Plan(plan);
+}
+
+}  // namespace optimizer
+}  // namespace blackbox

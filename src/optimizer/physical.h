@@ -1,0 +1,89 @@
+// Cost-based physical optimization (§7.1): for one logical alternative,
+// choose data shipping strategies (forward / hash-partition / broadcast) and
+// local execution strategies (sort-based grouping, hash join with build-side
+// choice), exploiting interesting properties (partitionings that survive
+// key-preserving operators) Volcano-style, and estimate a cost that combines
+// network IO, disk IO, and the CPU cost of UDF calls.
+
+#ifndef BLACKBOX_OPTIMIZER_PHYSICAL_H_
+#define BLACKBOX_OPTIMIZER_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace optimizer {
+
+enum class ShipStrategy {
+  kForward,        // keep existing partitions (local forward)
+  kPartitionHash,  // hash-repartition on the operator's key
+  kBroadcast,      // replicate to every parallel instance
+};
+
+enum class LocalStrategy {
+  kNone,               // per-record streaming (Map, sink)
+  kSortGroup,          // sort-based grouping (Reduce)
+  kHashJoinBuildLeft,  // hash join, build on left input
+  kHashJoinBuildRight,
+  kNestedLoop,     // Cross: nested loops against the broadcast side
+  kSortCoGroup,    // CoGroup: sort both sides, merge groups
+};
+
+const char* ShipStrategyName(ShipStrategy s);
+const char* LocalStrategyName(LocalStrategy s);
+
+/// Cost model weights; defaults calibrated so that shipping a byte across the
+/// network dominates local CPU, mirroring a 1 GbE cluster (§7.1).
+struct CostWeights {
+  double net_per_byte = 1.0;
+  double disk_per_byte = 0.6;
+  double cpu_per_call_unit = 40.0;  // per UDF call × the op's cpu hint
+  double cpu_per_record = 0.4;
+  int dop = 32;                          // degree of parallelism
+  double mem_budget_bytes = 16 << 20;    // per-instance memory before spill
+
+  // Ablation switches (see bench/ablation): disable individual optimizer
+  // features to measure their contribution to plan quality.
+  bool enable_broadcast = true;          // broadcast-join strategies
+  bool enable_partition_reuse = true;    // interesting-property reuse
+};
+
+/// A physical operator: one logical plan node with chosen strategies.
+struct PhysicalNode {
+  int op_id = -1;
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+  std::vector<ShipStrategy> ships;  // one per input
+  LocalStrategy local = LocalStrategy::kNone;
+
+  // Estimates at this node's output.
+  double est_rows = 0;
+  double est_bytes_per_row = 0;
+
+  // Cumulative estimated cost of the subtree.
+  double cost_network = 0;
+  double cost_disk = 0;
+  double cost_cpu = 0;
+
+  double TotalCost() const { return cost_network + cost_disk + cost_cpu; }
+};
+
+struct PhysicalPlan {
+  std::unique_ptr<PhysicalNode> root;
+  double total_cost = 0;
+
+  std::string ToString(const dataflow::DataFlow& flow) const;
+};
+
+/// Optimizes one logical alternative. Returns the cheapest physical plan.
+StatusOr<PhysicalPlan> OptimizePhysical(const dataflow::AnnotatedFlow& af,
+                                        const reorder::PlanPtr& plan,
+                                        const CostWeights& weights = {});
+
+}  // namespace optimizer
+}  // namespace blackbox
+
+#endif  // BLACKBOX_OPTIMIZER_PHYSICAL_H_

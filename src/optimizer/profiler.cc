@@ -1,0 +1,252 @@
+#include "optimizer/profiler.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "dataflow/annotate.h"
+#include "interp/interp.h"
+
+namespace blackbox {
+namespace optimizer {
+
+using dataflow::AttrId;
+using dataflow::OpKind;
+using dataflow::OpProperties;
+using interp::CallInputs;
+using interp::FieldTranslation;
+using interp::Interpreter;
+
+namespace {
+
+std::vector<Value> KeyOf(const Record& r, const std::vector<AttrId>& key) {
+  std::vector<Value> k;
+  k.reserve(key.size());
+  for (AttrId a : key) {
+    k.push_back(a < static_cast<int>(r.num_fields()) ? r.field(a) : Value());
+  }
+  return k;
+}
+
+/// Sequential (dop = 1) evaluation of one operator over complete in-memory
+/// inputs, with call/emit metering. Mirrors the engine's per-operator
+/// semantics without partitioning.
+class SampleRunner {
+ public:
+  SampleRunner(const dataflow::AnnotatedFlow& af, FlowProfile* profile)
+      : af_(af), profile_(profile) {}
+
+  StatusOr<std::vector<Record>> Eval(int op_id,
+                                     std::vector<std::vector<Record>> inputs) {
+    const dataflow::Operator& op = af_.flow->op(op_id);
+    const OpProperties& p = af_.of(op_id);
+    OperatorProfile& prof = profile_->per_op[op_id];
+
+    FieldTranslation t;
+    t.global_width = af_.global.size();
+    t.input_maps.resize(p.in_schemas.size());
+    for (size_t i = 0; i < p.in_schemas.size(); ++i) {
+      t.input_maps[i].assign(p.in_schemas[i].begin(), p.in_schemas[i].end());
+      for (size_t pos = t.input_maps[i].size(); pos < p.out_schema.size();
+           ++pos) {
+        t.input_maps[i].push_back(p.out_schema[pos]);
+      }
+    }
+    t.output_map.assign(p.out_schema.begin(), p.out_schema.end());
+    if (inputs.size() == 2) {
+      t.concat_positions.resize(2);
+      t.concat_positions[0].assign(p.in_schemas[0].begin(),
+                                   p.in_schemas[0].end());
+      t.concat_positions[1].assign(p.in_schemas[1].begin(),
+                                   p.in_schemas[1].end());
+    }
+
+    Interpreter interp(op.udf.get());
+    std::vector<Record> out;
+    auto start = std::chrono::steady_clock::now();
+    auto call = [&](const CallInputs& ci) -> Status {
+      prof.calls++;
+      size_t before = out.size();
+      BLACKBOX_RETURN_NOT_OK(interp.Run(ci, t, &out));
+      prof.emitted += static_cast<int64_t>(out.size() - before);
+      return Status::OK();
+    };
+
+    switch (op.kind) {
+      case OpKind::kMap: {
+        for (const Record& r : inputs[0]) {
+          CallInputs ci;
+          ci.groups = {{&r}};
+          BLACKBOX_RETURN_NOT_OK(call(ci));
+        }
+        break;
+      }
+      case OpKind::kReduce: {
+        std::map<std::vector<Value>, std::vector<const Record*>> groups;
+        for (const Record& r : inputs[0]) groups[KeyOf(r, p.keys[0])].push_back(&r);
+        prof.distinct_keys_scaled = static_cast<int64_t>(groups.size());
+        for (const auto& [k, members] : groups) {
+          CallInputs ci;
+          ci.groups = {members};
+          BLACKBOX_RETURN_NOT_OK(call(ci));
+        }
+        break;
+      }
+      case OpKind::kMatch: {
+        std::map<std::vector<Value>, std::vector<const Record*>> table;
+        std::set<std::vector<Value>> keys;
+        for (const Record& r : inputs[0]) {
+          table[KeyOf(r, p.keys[0])].push_back(&r);
+          keys.insert(KeyOf(r, p.keys[0]));
+        }
+        for (const Record& r : inputs[1]) keys.insert(KeyOf(r, p.keys[1]));
+        prof.distinct_keys_scaled = static_cast<int64_t>(keys.size());
+        for (const Record& r : inputs[1]) {
+          auto it = table.find(KeyOf(r, p.keys[1]));
+          if (it == table.end()) continue;
+          for (const Record* l : it->second) {
+            CallInputs ci;
+            ci.groups = {{l}, {&r}};
+            BLACKBOX_RETURN_NOT_OK(call(ci));
+          }
+        }
+        break;
+      }
+      case OpKind::kCross: {
+        for (const Record& l : inputs[0]) {
+          for (const Record& r : inputs[1]) {
+            CallInputs ci;
+            ci.groups = {{&l}, {&r}};
+            BLACKBOX_RETURN_NOT_OK(call(ci));
+          }
+        }
+        break;
+      }
+      case OpKind::kCoGroup: {
+        std::map<std::vector<Value>, CallInputs> groups;
+        for (const Record& r : inputs[0]) {
+          auto& ci = groups[KeyOf(r, p.keys[0])];
+          if (ci.groups.empty()) ci.groups.resize(2);
+          ci.groups[0].push_back(&r);
+        }
+        for (const Record& r : inputs[1]) {
+          auto& ci = groups[KeyOf(r, p.keys[1])];
+          if (ci.groups.empty()) ci.groups.resize(2);
+          ci.groups[1].push_back(&r);
+        }
+        prof.distinct_keys_scaled = static_cast<int64_t>(groups.size());
+        for (const auto& [k, ci] : groups) {
+          BLACKBOX_RETURN_NOT_OK(call(ci));
+        }
+        break;
+      }
+      default:
+        return Status::Internal("profiler cannot evaluate this operator");
+    }
+    auto end = std::chrono::steady_clock::now();
+    prof.seconds = std::chrono::duration<double>(end - start).count();
+    return out;
+  }
+
+ private:
+  const dataflow::AnnotatedFlow& af_;
+  FlowProfile* profile_;
+};
+
+}  // namespace
+
+StatusOr<FlowProfile> ProfileFlow(
+    const dataflow::DataFlow& flow,
+    const std::map<int, const DataSet*>& source_data,
+    const ProfileOptions& options) {
+  StatusOr<dataflow::AnnotatedFlow> af =
+      dataflow::Annotate(flow, dataflow::AnnotationMode::kSca);
+  if (!af.ok()) return af.status();
+
+  FlowProfile profile;
+  SampleRunner runner(*af, &profile);
+  Rng rng(options.seed);
+
+  // Evaluate operators in topological (id) order, materializing sampled
+  // intermediate results widened to the global record layout.
+  std::map<int, std::vector<Record>> results;
+  std::map<int, double> sample_fraction;  // per op: sample rows / true rows
+  const int width = af->global.size();
+
+  for (int id = 0; id < flow.num_ops(); ++id) {
+    const dataflow::Operator& op = flow.op(id);
+    if (op.kind == OpKind::kSource) {
+      auto it = source_data.find(id);
+      if (it == source_data.end()) {
+        return Status::InvalidArgument("no data bound for source " + op.name);
+      }
+      const DataSet& full = *it->second;
+      double keep = full.size() > options.sample_records
+                        ? static_cast<double>(options.sample_records) /
+                              full.size()
+                        : 1.0;
+      std::vector<Record> sample;
+      const OpProperties& p = af->of(id);
+      for (const Record& src : full.records()) {
+        if (!rng.Chance(keep)) continue;
+        Record wide;
+        if (width > 0) wide.SetField(width - 1, Value::Null());
+        for (size_t f = 0; f < src.num_fields() && f < p.out_schema.size();
+             ++f) {
+          wide.SetField(p.out_schema[f], src.field(f));
+        }
+        sample.push_back(std::move(wide));
+      }
+      sample_fraction[id] = keep;
+      results[id] = std::move(sample);
+      continue;
+    }
+    if (op.kind == OpKind::kSink) {
+      sample_fraction[id] = sample_fraction[op.inputs[0]];
+      results[id] = results[op.inputs[0]];
+      continue;
+    }
+    std::vector<std::vector<Record>> inputs;
+    double frac = 1.0;
+    for (int in : op.inputs) {
+      inputs.push_back(results[in]);
+      frac = std::min(frac, sample_fraction[in]);
+    }
+    StatusOr<std::vector<Record>> out = runner.Eval(id, std::move(inputs));
+    if (!out.ok()) return out.status();
+    results[id] = std::move(out).value();
+    sample_fraction[id] = frac;
+    // Scale the sample-distinct key count to the full data size.
+    OperatorProfile& prof = profile.per_op[id];
+    if (prof.distinct_keys_scaled > 0 && frac > 0 && frac < 1.0) {
+      prof.distinct_keys_scaled = static_cast<int64_t>(
+          static_cast<double>(prof.distinct_keys_scaled) / frac);
+    }
+  }
+  return profile;
+}
+
+void ApplyProfile(const FlowProfile& profile, dataflow::DataFlow* flow) {
+  // Normalize cpu cost so the cheapest profiled operator has cost 1.
+  double min_per_call = -1;
+  for (const auto& [id, prof] : profile.per_op) {
+    if (prof.calls == 0) continue;
+    double per_call = prof.seconds / prof.calls;
+    if (min_per_call < 0 || per_call < min_per_call) min_per_call = per_call;
+  }
+  if (min_per_call <= 0) min_per_call = 1e-9;
+
+  for (const auto& [id, prof] : profile.per_op) {
+    if (prof.calls == 0) continue;
+    dataflow::Operator& op = flow->op(id);
+    op.hints.selectivity = prof.selectivity();
+    op.hints.cpu_cost_per_call = (prof.seconds / prof.calls) / min_per_call;
+    if (prof.distinct_keys_scaled > 0) {
+      op.hints.distinct_keys = prof.distinct_keys_scaled;
+    }
+  }
+}
+
+}  // namespace optimizer
+}  // namespace blackbox

@@ -1,0 +1,64 @@
+// Runtime profiling of black-box operators — the paper lists "estimating the
+// selectivity and execution cost of black box operators" as future work (§9)
+// and names runtime profiling as one source of optimizer hints (§7.1). This
+// profiler executes the *original* flow once over a sample of the source data
+// and derives, per operator:
+//
+//   * selectivity            — emitted records per UDF call
+//   * cpu_cost_per_call      — measured interpreter work per call
+//   * distinct_keys          — sample-distinct count scaled to full size
+//
+// The measured values are written back into the operators' Hints, after
+// which the cost-based optimizer runs as usual. Sampling both inputs of a
+// join under-estimates the match rate; the scaling below corrects for the
+// sampled key-space thinning under the uniform-key assumption.
+
+#ifndef BLACKBOX_OPTIMIZER_PROFILER_H_
+#define BLACKBOX_OPTIMIZER_PROFILER_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "dataflow/flow.h"
+#include "record/record.h"
+
+namespace blackbox {
+namespace optimizer {
+
+struct ProfileOptions {
+  size_t sample_records = 2000;  // per source
+  uint64_t seed = 1;
+};
+
+/// Measured hints for one operator.
+struct OperatorProfile {
+  int64_t calls = 0;
+  int64_t emitted = 0;
+  double seconds = 0;
+  int64_t distinct_keys_scaled = -1;
+
+  double selectivity() const {
+    return calls > 0 ? static_cast<double>(emitted) / calls : 1.0;
+  }
+};
+
+struct FlowProfile {
+  std::map<int, OperatorProfile> per_op;
+};
+
+/// Runs the original flow on a uniform sample of each source and measures
+/// per-operator behaviour. Requires data for every source.
+StatusOr<FlowProfile> ProfileFlow(
+    const dataflow::DataFlow& flow,
+    const std::map<int, const DataSet*>& source_data,
+    const ProfileOptions& options = {});
+
+/// Writes measured selectivity / cpu cost / distinct keys into the flow's
+/// operator hints (leaves operators the profiler could not observe — e.g.
+/// ones whose sampled input was empty — untouched).
+void ApplyProfile(const FlowProfile& profile, dataflow::DataFlow* flow);
+
+}  // namespace optimizer
+}  // namespace blackbox
+
+#endif  // BLACKBOX_OPTIMIZER_PROFILER_H_

@@ -1,0 +1,76 @@
+#include "record/record.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace blackbox {
+
+Record Record::Concat(const Record& r, const Record& s) {
+  std::vector<Value> fields;
+  fields.reserve(r.num_fields() + s.num_fields());
+  for (size_t i = 0; i < r.num_fields(); ++i) fields.push_back(r.field(i));
+  for (size_t i = 0; i < s.num_fields(); ++i) fields.push_back(s.field(i));
+  return Record(std::move(fields));
+}
+
+bool Record::operator<(const Record& other) const {
+  return std::lexicographical_compare(fields_.begin(), fields_.end(),
+                                      other.fields_.begin(),
+                                      other.fields_.end());
+}
+
+uint64_t Record::Hash() const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const Value& v : fields_) {
+    h ^= v.Hash();
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+size_t Record::SerializedSize() const {
+  size_t total = 4;  // field count header
+  for (const Value& v : fields_) total += v.SerializedSize();
+  return total;
+}
+
+std::string Record::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Value& v : fields_) parts.push_back(v.ToString());
+  return "<" + Join(parts, ", ") + ">";
+}
+
+void DataSet::Append(DataSet other) {
+  records_.reserve(records_.size() + other.records_.size());
+  for (Record& r : other.records_) records_.push_back(std::move(r));
+}
+
+bool DataSet::BagEquals(const DataSet& other) const {
+  if (records_.size() != other.records_.size()) return false;
+  std::vector<Record> a = records_;
+  std::vector<Record> b = other.records_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+size_t DataSet::SerializedBytes() const {
+  size_t total = 0;
+  for (const Record& r : records_) total += r.SerializedSize();
+  return total;
+}
+
+std::string DataSet::ToString(size_t max_records) const {
+  std::string out = "[";
+  for (size_t i = 0; i < records_.size() && i < max_records; ++i) {
+    if (i > 0) out += ", ";
+    out += records_[i].ToString();
+  }
+  if (records_.size() > max_records) out += ", ...";
+  out += "] (" + std::to_string(records_.size()) + " records)";
+  return out;
+}
+
+}  // namespace blackbox

@@ -1,0 +1,85 @@
+// Record and DataSet: the Stratosphere record data model of Section 2.2.
+// A data set is an *unordered list* (bag) of records; a record is an ordered
+// tuple of values. Equality of data sets is bag equality (there exist
+// orderings making them pairwise equal).
+
+#ifndef BLACKBOX_RECORD_RECORD_H_
+#define BLACKBOX_RECORD_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "record/value.h"
+
+namespace blackbox {
+
+/// An ordered tuple of values r = <v1, ..., vm>.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+
+  const Value& field(size_t i) const { return fields_[i]; }
+
+  /// Sets field i, growing the record with nulls if i is past the end. This
+  /// mirrors the paper's record API where setField can *add* attributes
+  /// (which then join the global record).
+  void SetField(size_t i, Value v) {
+    if (i >= fields_.size()) fields_.resize(i + 1);
+    fields_[i] = std::move(v);
+  }
+
+  void Append(Value v) { fields_.push_back(std::move(v)); }
+
+  /// Concatenation r|s used by the Cartesian-product normalization (§4.3.1).
+  static Record Concat(const Record& r, const Record& s);
+
+  /// Record equality per §2.2: same arity, pairwise equal values.
+  bool operator==(const Record& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Record& other) const { return !(*this == other); }
+  bool operator<(const Record& other) const;
+
+  uint64_t Hash() const;
+  size_t SerializedSize() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> fields_;
+};
+
+/// An unordered list (bag) of records.
+class DataSet {
+ public:
+  DataSet() = default;
+  explicit DataSet(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(size_t i) const { return records_[i]; }
+  std::vector<Record>& records() { return records_; }
+  const std::vector<Record>& records() const { return records_; }
+
+  void Add(Record r) { records_.push_back(std::move(r)); }
+  void Append(DataSet other);
+
+  /// Bag equality D1 ≡ D2 per §2.2: equal after some reordering.
+  /// Implemented by sorting canonical forms — O(n log n).
+  bool BagEquals(const DataSet& other) const;
+
+  /// Total serialized size; the engine's byte meters build on this.
+  size_t SerializedBytes() const;
+
+  std::string ToString(size_t max_records = 20) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace blackbox
+
+#endif  // BLACKBOX_RECORD_RECORD_H_

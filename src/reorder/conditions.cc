@@ -1,0 +1,145 @@
+#include "reorder/conditions.h"
+
+namespace blackbox {
+namespace reorder {
+
+using dataflow::AttrId;
+using dataflow::AttrSet;
+using dataflow::KatBehavior;
+using dataflow::OpKind;
+using dataflow::OpProperties;
+
+namespace {
+
+AttrSet KeyAsSet(const std::vector<AttrId>& key) {
+  AttrSet s;
+  for (AttrId a : key) s.Add(a);
+  return s;
+}
+
+}  // namespace
+
+bool ReorderOracle::Roc(int f_op, int g_op) const {
+  const OpProperties& f = af_->of(f_op);
+  const OpProperties& g = af_->of(g_op);
+  return !f.read.Intersects(g.write) && !f.write.Intersects(g.read) &&
+         !f.write.Intersects(g.write);
+}
+
+bool ReorderOracle::Kgp(int op, const std::vector<AttrId>& key) const {
+  const OpProperties& p = af_->of(op);
+  if (p.max_emits < 0 || p.max_emits > 1) return false;
+  if (p.min_emits == 1 && p.max_emits == 1) return true;  // Def. 5 case 1
+  // Case 2: at most one emit, decision determined by attributes within K.
+  return p.decision.IsSubsetOf(KeyAsSet(key));
+}
+
+bool ReorderOracle::KatKgp(int op, const std::vector<AttrId>& key) const {
+  const OpProperties& p = af_->of(op);
+  switch (p.kat_behavior) {
+    case KatBehavior::kPerRecordOneToOne:
+      return true;
+    case KatBehavior::kGroupWiseFilter:
+      return p.decision.IsSubsetOf(KeyAsSet(key));
+    case KatBehavior::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+bool ReorderOracle::CanSwapUnaryUnary(int r, int s) const {
+  const OpKind rk = af_->flow->op(r).kind;
+  const OpKind sk = af_->flow->op(s).kind;
+  if (!Roc(r, s)) return false;
+  if (rk == OpKind::kMap && sk == OpKind::kMap) {
+    return true;  // Theorem 1
+  }
+  if (rk == OpKind::kMap && sk == OpKind::kReduce) {
+    return Kgp(r, af_->of(s).keys[0]);  // Theorem 2
+  }
+  if (rk == OpKind::kReduce && sk == OpKind::kMap) {
+    return Kgp(s, af_->of(r).keys[0]);  // Theorem 2 (mirrored)
+  }
+  if (rk == OpKind::kReduce && sk == OpKind::kReduce) {
+    return KatKgp(r, af_->of(s).keys[0]) && KatKgp(s, af_->of(r).keys[0]);
+  }
+  return false;
+}
+
+bool ReorderOracle::TouchesSubtree(int op, const PlanPtr& subtree) const {
+  return af_->of(op).Touched().Intersects(SubtreeAttrs(subtree, *af_));
+}
+
+bool ReorderOracle::CanSwapUnaryBinary(int u, int b, int side,
+                                       const PlanPtr& side_subtree,
+                                       const PlanPtr& other_subtree) const {
+  (void)side_subtree;
+  const OpKind uk = af_->flow->op(u).kind;
+  const OpKind bk = af_->flow->op(b).kind;
+  if (uk != OpKind::kMap && uk != OpKind::kReduce) return false;
+
+  // The unary operator must not touch attributes of the opposite input
+  // (Theorem 3: (R_f ∪ W_f) ∩ S = ∅) and must commute with the binary
+  // operator's (conceptually Map-ified, §4.3.1) UDF f'.
+  if (!Roc(u, b)) return false;
+  if (TouchesSubtree(u, other_subtree)) return false;
+
+  const OpProperties& bp = af_->of(b);
+
+  if (uk == OpKind::kMap) {
+    switch (bk) {
+      case OpKind::kMatch:
+      case OpKind::kCross:
+        return true;  // Theorem 3 + Theorem 1 on f'
+      case OpKind::kCoGroup:
+        // §4.3.2: CoGroup ~ Reduce over a tagged union; pushing a Map below
+        // it needs the Theorem 2 conditions against the side's key.
+        return Kgp(u, bp.keys[side]);
+      default:
+        return false;
+    }
+  }
+
+  // u is a Reduce: Theorem 4 / invariant grouping.
+  const OpProperties& up = af_->of(u);
+  if (bk == OpKind::kMatch) {
+    // The Reduce key must contain the Match key of the side the Reduce moves
+    // to/from (F ⊆ K), and the opposite side must be unique on its join key
+    // so the join neither duplicates records within a group (uniqueness) nor
+    // splits key groups (F ⊆ K ⇒ whole groups match or drop together).
+    AttrSet reduce_key = KeyAsSet(up.keys[0]);
+    for (AttrId a : bp.keys[side]) {
+      if (!reduce_key.Contains(a)) return false;
+    }
+    return SubtreeUniqueOnKey(other_subtree, *af_, bp.keys[1 - side]);
+  }
+  if (bk == OpKind::kCross) {
+    // Theorem 4 as stated requires the Reduce key to cover all attributes of
+    // the other side; the practical special case is a single-record side
+    // (e.g. a scalar subquery result).
+    const dataflow::Operator& other_op = af_->flow->op(other_subtree->op_id);
+    return other_op.kind == OpKind::kSource && other_op.source_rows == 1;
+  }
+  return false;  // Reduce vs. CoGroup: conservative
+}
+
+bool ReorderOracle::CanRotateBinaryBinary(int r, int s, const PlanPtr& staying,
+                                          const PlanPtr& outer) const {
+  const OpKind rk = af_->flow->op(r).kind;
+  const OpKind sk = af_->flow->op(s).kind;
+  // Only RAT binaries rotate (Lemma 1 and its Cross analogues); CoGroup
+  // rotations would need group-preservation reasoning we conservatively skip.
+  auto rotatable = [](OpKind k) {
+    return k == OpKind::kMatch || k == OpKind::kCross;
+  };
+  if (!rotatable(rk) || !rotatable(sk)) return false;
+  if (!Roc(r, s)) return false;
+  // r must not touch the grandchild that stays under s; s must not touch r's
+  // outer child (Lemma 1: (R_f' ∪ W_f) ∩ T = ∅ and (R_g' ∪ W_g) ∩ R = ∅).
+  if (TouchesSubtree(r, staying)) return false;
+  if (TouchesSubtree(s, outer)) return false;
+  return true;
+}
+
+}  // namespace reorder
+}  // namespace blackbox

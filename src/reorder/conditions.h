@@ -1,0 +1,69 @@
+// The reordering conditions of Section 4, evaluated over resolved operator
+// properties: ROC (Definition 4), KGP (Definition 5), and the per-pair
+// predicates of Theorems 1-4 and Lemma 1. The oracle answers "may these two
+// adjacent operators be swapped?" — the enumerator asks, the oracle never
+// looks at operator semantics, only at the conflict structure.
+
+#ifndef BLACKBOX_REORDER_CONDITIONS_H_
+#define BLACKBOX_REORDER_CONDITIONS_H_
+
+#include <vector>
+
+#include "dataflow/annotate.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace reorder {
+
+class ReorderOracle {
+ public:
+  explicit ReorderOracle(const dataflow::AnnotatedFlow* af) : af_(af) {}
+
+  /// Read-only conflict condition (Definition 4):
+  /// R_f ∩ W_g = W_f ∩ R_g = W_f ∩ W_g = ∅.
+  bool Roc(int f_op, int g_op) const;
+
+  /// Key group preservation (Definition 5) of a RAT unary operator's UDF
+  /// with respect to key attribute set K: the UDF emits exactly one record
+  /// per input (case 1), or at most one with the emit decision depending only
+  /// on attributes in K (case 2).
+  bool Kgp(int op, const std::vector<dataflow::AttrId>& key) const;
+
+  /// KGP extension for KAT operators: requires declared KAT behaviour
+  /// (kPerRecordOneToOne, or kGroupWiseFilter with decision ⊆ K). SCA cannot
+  /// derive this, so in SCA mode it holds only if manually declared.
+  bool KatKgp(int op, const std::vector<dataflow::AttrId>& key) const;
+
+  /// Can unary r (currently the parent) swap with unary s (its child)?
+  /// Covers Theorem 1 (Map-Map), Theorem 2 (Map-Reduce) and the
+  /// Reduce-Reduce case.
+  bool CanSwapUnaryUnary(int r, int s) const;
+
+  /// Can unary u and binary b be adjacent-swapped such that u sits on side
+  /// `side` of b below it (or is pulled up from that side)? `side_subtree`
+  /// is b's child subtree on that side *excluding u*, `other_subtree` the
+  /// child on the opposite side. Covers Theorem 3 (Map past a product),
+  /// Theorem 4 + invariant grouping (Reduce past Match/Cross), and the
+  /// CoGroup tagged-union push-down of §4.3.2.
+  bool CanSwapUnaryBinary(int u, int b, int side, const PlanPtr& side_subtree,
+                          const PlanPtr& other_subtree) const;
+
+  /// Can binary r (parent) rotate with binary s (child)? After rotation s
+  /// becomes the parent, `staying` remains s's child, and r joins the moving
+  /// grandchild with `outer` (r's other child). Covers Lemma 1 (Match-Match)
+  /// and the analogous Match/Cross combinations.
+  bool CanRotateBinaryBinary(int r, int s, const PlanPtr& staying,
+                             const PlanPtr& outer) const;
+
+  const dataflow::AnnotatedFlow& af() const { return *af_; }
+
+ private:
+  bool TouchesSubtree(int op, const PlanPtr& subtree) const;
+
+  const dataflow::AnnotatedFlow* af_;
+};
+
+}  // namespace reorder
+}  // namespace blackbox
+
+#endif  // BLACKBOX_REORDER_CONDITIONS_H_

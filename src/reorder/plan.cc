@@ -1,0 +1,128 @@
+#include "reorder/plan.h"
+
+#include <functional>
+#include <sstream>
+
+namespace blackbox {
+namespace reorder {
+
+using dataflow::AttrId;
+using dataflow::AttrSet;
+using dataflow::DataFlow;
+using dataflow::OpKind;
+
+PlanPtr PlanFromFlow(const DataFlow& flow) {
+  std::function<PlanPtr(int)> build = [&](int id) -> PlanPtr {
+    const dataflow::Operator& op = flow.op(id);
+    std::vector<PlanPtr> children;
+    children.reserve(op.inputs.size());
+    for (int in : op.inputs) children.push_back(build(in));
+    return PlanNode::Make(id, std::move(children));
+  };
+  return build(flow.sink_id());
+}
+
+std::string CanonicalString(const PlanPtr& plan) {
+  std::ostringstream out;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& n) {
+    out << n->op_id;
+    if (!n->children.empty()) {
+      out << "(";
+      for (size_t i = 0; i < n->children.size(); ++i) {
+        if (i) out << ",";
+        walk(n->children[i]);
+      }
+      out << ")";
+    }
+  };
+  walk(plan);
+  return out.str();
+}
+
+std::string PlanToString(const PlanPtr& plan, const DataFlow& flow) {
+  std::ostringstream out;
+  std::function<void(const PlanPtr&, int)> walk = [&](const PlanPtr& n,
+                                                      int depth) {
+    for (int i = 0; i < depth; ++i) out << "  ";
+    const dataflow::Operator& op = flow.op(n->op_id);
+    out << dataflow::OpKindName(op.kind) << " \"" << op.name << "\"\n";
+    for (const PlanPtr& c : n->children) walk(c, depth + 1);
+  };
+  walk(plan, 0);
+  return out.str();
+}
+
+std::string PlanToDot(const PlanPtr& plan, const DataFlow& flow) {
+  std::ostringstream out;
+  out << "digraph plan {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  int next_id = 0;
+  std::function<int(const PlanPtr&)> walk = [&](const PlanPtr& n) -> int {
+    int my_id = next_id++;
+    const dataflow::Operator& op = flow.op(n->op_id);
+    const char* shape = "box";
+    switch (op.kind) {
+      case OpKind::kSource:
+        shape = "cylinder";
+        break;
+      case OpKind::kSink:
+        shape = "invhouse";
+        break;
+      default:
+        break;
+    }
+    out << "  n" << my_id << " [label=\"" << dataflow::OpKindName(op.kind)
+        << "\\n" << op.name << "\", shape=" << shape << "];\n";
+    for (const PlanPtr& c : n->children) {
+      int child_id = walk(c);
+      out << "  n" << child_id << " -> n" << my_id << ";\n";
+    }
+    return my_id;
+  };
+  walk(plan);
+  out << "}\n";
+  return out.str();
+}
+
+AttrSet SubtreeAttrs(const PlanPtr& plan, const dataflow::AnnotatedFlow& af) {
+  AttrSet attrs;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& n) {
+    const dataflow::OpProperties& p = af.of(n->op_id);
+    attrs = attrs.Union(p.introduced);
+    for (const PlanPtr& c : n->children) walk(c);
+  };
+  walk(plan);
+  return attrs;
+}
+
+bool SubtreeUniqueOnKey(const PlanPtr& plan, const dataflow::AnnotatedFlow& af,
+                        const std::vector<AttrId>& key) {
+  const dataflow::Operator& op = af.flow->op(plan->op_id);
+  if (op.kind == OpKind::kSource) {
+    if (op.source_unique_fields.empty()) return false;
+    const dataflow::OpProperties& p = af.of(plan->op_id);
+    // Unique if the source's primary-key attributes are all in `key`.
+    for (int f : op.source_unique_fields) {
+      AttrId a = p.out_schema[f];
+      bool found = false;
+      for (AttrId k : key) found |= (k == a);
+      if (!found) return false;
+    }
+    return true;
+  }
+  // Uniqueness propagates through operators that emit at most one record per
+  // input record and do not modify the key attributes.
+  if (op.kind == OpKind::kMap) {
+    const dataflow::OpProperties& p = af.of(plan->op_id);
+    if (p.max_emits > 1 || p.max_emits < 0) return false;
+    for (AttrId k : key) {
+      if (p.write.Contains(k)) return false;
+    }
+    return SubtreeUniqueOnKey(plan->children[0], af, key);
+  }
+  // Conservative for everything else (mirrors the paper's restriction to
+  // base-relation FK/PK knowledge).
+  return false;
+}
+
+}  // namespace reorder
+}  // namespace blackbox

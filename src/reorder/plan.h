@@ -1,0 +1,67 @@
+// Immutable plan trees over the operators of an annotated flow. Enumeration
+// produces many plans sharing subtrees, so nodes are shared_ptr-shared and
+// never mutated.
+
+#ifndef BLACKBOX_REORDER_PLAN_H_
+#define BLACKBOX_REORDER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/annotate.h"
+#include "dataflow/flow.h"
+
+namespace blackbox {
+namespace reorder {
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One operator occurrence in a plan tree. `op_id` indexes the original
+/// flow's operator table; the same operator appears in many alternative plans
+/// at different positions.
+struct PlanNode {
+  int op_id = -1;
+  std::vector<PlanPtr> children;
+
+  static PlanPtr Make(int op_id, std::vector<PlanPtr> children = {}) {
+    auto n = std::make_shared<PlanNode>();
+    n->op_id = op_id;
+    n->children = std::move(children);
+    return n;
+  }
+};
+
+/// Builds the plan tree of the original flow (rooted at the sink).
+PlanPtr PlanFromFlow(const dataflow::DataFlow& flow);
+
+/// Canonical string form, e.g. "7(5(3(0),4(1)),2)". Used for deduplication
+/// and as memo-table key material.
+std::string CanonicalString(const PlanPtr& plan);
+
+/// Pretty multi-line rendering with operator names.
+std::string PlanToString(const PlanPtr& plan, const dataflow::DataFlow& flow);
+
+/// Graphviz rendering of a plan tree (one node per operator occurrence,
+/// edges from inputs to consumers). Paste into `dot -Tsvg` to visualize
+/// alternative flows side by side.
+std::string PlanToDot(const PlanPtr& plan, const dataflow::DataFlow& flow);
+
+/// Union of all attributes originating in this subtree: source attributes
+/// plus attributes introduced by operators (§4.3 uses these as the "attribute
+/// set of S" in conditions like (R_f ∪ W_f) ∩ S = ∅).
+dataflow::AttrSet SubtreeAttrs(const PlanPtr& plan,
+                               const dataflow::AnnotatedFlow& af);
+
+/// True if the subtree's output is unique on the given key attributes. Like
+/// the paper, we only derive uniqueness from base data sources annotated with
+/// a primary key; uniqueness is preserved through operators that emit at most
+/// one record per input and don't modify the key.
+bool SubtreeUniqueOnKey(const PlanPtr& plan, const dataflow::AnnotatedFlow& af,
+                        const std::vector<dataflow::AttrId>& key);
+
+}  // namespace reorder
+}  // namespace blackbox
+
+#endif  // BLACKBOX_REORDER_PLAN_H_

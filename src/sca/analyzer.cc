@@ -1,0 +1,312 @@
+#include "sca/analyzer.h"
+
+#include <map>
+#include <sstream>
+
+namespace blackbox {
+namespace sca {
+
+using tac::Instr;
+using tac::Opcode;
+
+namespace {
+
+/// Provenance of a record register at a use site: which input's layout its
+/// field indices refer to, or the output layout (-1), or mixed (-2).
+constexpr int kOutput = -1;
+constexpr int kMixed = -2;
+
+/// Traces the record used at `instr` via register `reg` back to its
+/// constructor site(s). Returns the set of constructor instruction indices.
+std::set<int> TraceRecordOrigins(const ControlFlowGraph& cfg, int instr,
+                                 int reg) {
+  std::set<int> origins;
+  std::set<std::pair<int, int>> visited;
+  std::vector<std::pair<int, int>> work{{instr, reg}};
+  while (!work.empty()) {
+    auto [at, r] = work.back();
+    work.pop_back();
+    if (!visited.insert({at, r}).second) continue;
+    for (int d : cfg.UseDefs(at, r)) {
+      const Instr& di = cfg.fn().instrs()[d];
+      switch (di.op) {
+        case Opcode::kInputRecord:
+        case Opcode::kInputAt:
+        case Opcode::kNewRecord:
+        case Opcode::kConcatRecords:
+          origins.insert(d);
+          break;
+        case Opcode::kCopyRecord:
+          // A copy's indices refer to the source's layout.
+          work.emplace_back(d, di.src0);
+          break;
+        case Opcode::kSetField:
+          // Mutation re-defines the record; keep tracing through it.
+          work.emplace_back(d, di.dst);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return origins;
+}
+
+/// Resolves provenance from constructor origins: input index, kOutput for
+/// constructed records (projection/concat layouts), kMixed if ambiguous.
+int ProvenanceFromOrigins(const ControlFlowGraph& cfg,
+                          const std::set<int>& origins) {
+  int prov = -3;  // unset
+  for (int o : origins) {
+    const Instr& oi = cfg.fn().instrs()[o];
+    int p;
+    if (oi.op == Opcode::kInputRecord || oi.op == Opcode::kInputAt) {
+      p = static_cast<int>(oi.imm_int);
+    } else {
+      p = kOutput;
+    }
+    if (prov == -3) {
+      prov = p;
+    } else if (prov != p) {
+      return kMixed;
+    }
+  }
+  return prov == -3 ? kMixed : prov;
+}
+
+}  // namespace
+
+std::string LocalUdfSummary::ToString() const {
+  std::ostringstream out;
+  out << "summary{reads=[";
+  for (int i = 0; i < num_inputs; ++i) {
+    if (i) out << "; ";
+    if (reads[i].all) {
+      out << "ALL";
+    } else {
+      bool first = true;
+      for (int f : reads[i].fields) {
+        if (!first) out << ",";
+        out << f;
+        first = false;
+      }
+    }
+  }
+  out << "], out=";
+  switch (out_kind) {
+    case OutputKind::kCopyOfInput:
+      out << "copy(" << copy_input << ")";
+      break;
+    case OutputKind::kProjection:
+      out << "projection";
+      break;
+    case OutputKind::kConcat:
+      out << "concat";
+      break;
+  }
+  out << ", writes=[";
+  if (writes_all) out << "ALL ";
+  for (const FieldWrite& w : writes) {
+    out << w.out_pos;
+    switch (w.kind) {
+      case FieldWrite::Kind::kExplicitCopy:
+        out << "<-" << w.from_input << "." << w.from_field;
+        break;
+      case FieldWrite::Kind::kExplicitProject:
+        out << ":null";
+        break;
+      case FieldWrite::Kind::kModify:
+        out << ":mod";
+        break;
+      case FieldWrite::Kind::kAdd:
+        out << ":add";
+        break;
+    }
+    out << " ";
+  }
+  out << "], emits=[" << min_emits << ","
+      << (max_emits < 0 ? std::string("inf") : std::to_string(max_emits))
+      << "]}";
+  return out.str();
+}
+
+StatusOr<LocalUdfSummary> AnalyzeUdf(const tac::Function& fn) {
+  StatusOr<ControlFlowGraph> cfg_or = ControlFlowGraph::Build(fn);
+  if (!cfg_or.ok()) return cfg_or.status();
+  const ControlFlowGraph& cfg = cfg_or.value();
+  const auto& instrs = fn.instrs();
+  const int n = static_cast<int>(instrs.size());
+
+  LocalUdfSummary s;
+  s.num_inputs = fn.num_inputs();
+  s.reads.resize(fn.num_inputs());
+  s.decision_reads.resize(fn.num_inputs());
+
+  // --- Read set: getField statements whose result is used (§5 ¶4). ---
+  for (int i = 0; i < n; ++i) {
+    const Instr& in = instrs[i];
+    if (in.op != Opcode::kGetField) continue;
+    if (cfg.DefUses(i).empty()) continue;  // value never used
+    std::set<int> origins = TraceRecordOrigins(cfg, i, in.src0);
+    int prov = ProvenanceFromOrigins(cfg, origins);
+    // Reads of self-constructed output records don't touch input attributes.
+    if (prov == kOutput) continue;
+    auto add_read = [&](int input, const Instr& gf, int at) {
+      if (gf.index_is_reg) {
+        int64_t c;
+        if (cfg.ResolveConstInt(at, gf.src1, &c)) {
+          s.reads[input].Add(static_cast<int>(c));
+        } else {
+          s.reads[input].AddAll();  // computed index: conservative
+        }
+      } else {
+        s.reads[input].Add(static_cast<int>(gf.imm_int));
+      }
+    };
+    if (prov == kMixed) {
+      // Could be any input: widen all.
+      for (int k = 0; k < fn.num_inputs(); ++k) add_read(k, in, i);
+    } else {
+      add_read(prov, in, i);
+    }
+  }
+
+  // --- Output construction: trace every emit to its constructor (§5 ¶6). ---
+  bool saw_copy = false, saw_projection = false, saw_concat = false;
+  int copy_input = -1;
+  bool copy_input_conflict = false;
+  std::set<int> emitted_regs_origins;
+  for (int i = 0; i < n; ++i) {
+    if (instrs[i].op != Opcode::kEmit) continue;
+    std::set<int> origins = TraceRecordOrigins(cfg, i, instrs[i].src0);
+    if (origins.empty()) {
+      return Status::Corruption("emit of untraceable record in " + fn.name());
+    }
+    for (int o : origins) {
+      emitted_regs_origins.insert(o);
+      const Instr& oi = instrs[o];
+      switch (oi.op) {
+        case Opcode::kNewRecord:
+          saw_projection = true;
+          break;
+        case Opcode::kConcatRecords:
+          saw_concat = true;
+          break;
+        case Opcode::kInputRecord:
+        case Opcode::kInputAt: {
+          // Emitting the input record directly behaves like an unmodified
+          // copy of that input.
+          saw_copy = true;
+          int inp = static_cast<int>(oi.imm_int);
+          if (copy_input >= 0 && copy_input != inp) copy_input_conflict = true;
+          copy_input = inp;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Copies are traced *through* by TraceRecordOrigins, so a copy of input
+    // shows up as kInputRecord/kInputAt origin above. A copy of a new record
+    // shows as kNewRecord. Nothing more to do here.
+  }
+  if (saw_concat && !saw_projection && !saw_copy) {
+    s.out_kind = OutputKind::kConcat;
+  } else if (saw_copy && !saw_projection && !saw_concat &&
+             !copy_input_conflict) {
+    s.out_kind = OutputKind::kCopyOfInput;
+    s.copy_input = copy_input;
+  } else {
+    // Mixed constructor paths: implicit projection is the safe choice (§5).
+    s.out_kind = OutputKind::kProjection;
+  }
+
+  // --- Field writes: all setField statements on records that can reach an
+  // emit. Conservative union over paths. ---
+  int input_arity_hint = -1;  // filled by the dataflow layer; here we only
+                              // classify by copy-source matching.
+  (void)input_arity_hint;
+  for (int i = 0; i < n; ++i) {
+    const Instr& in = instrs[i];
+    if (in.op != Opcode::kSetField) continue;
+    FieldWrite w;
+    if (in.index_is_reg) {
+      int64_t c;
+      if (cfg.ResolveConstInt(i, in.src1, &c)) {
+        w.out_pos = static_cast<int>(c);
+      } else {
+        s.writes_all = true;  // computed write index: every field may change
+        continue;
+      }
+    } else {
+      w.out_pos = static_cast<int>(in.imm_int);
+    }
+    s.max_out_pos = std::max(s.max_out_pos, w.out_pos);
+
+    // Classify the written value (§5): null const -> explicit projection;
+    // unique getField def -> explicit copy; anything else -> modification.
+    const std::set<int>& vdefs = cfg.UseDefs(i, in.src0);
+    if (vdefs.size() == 1) {
+      const Instr& vd = instrs[*vdefs.begin()];
+      if (vd.op == Opcode::kConstNull) {
+        w.kind = FieldWrite::Kind::kExplicitProject;
+        s.writes.push_back(w);
+        continue;
+      }
+      if (vd.op == Opcode::kGetField && !vd.index_is_reg) {
+        std::set<int> rec_origins =
+            TraceRecordOrigins(cfg, *vdefs.begin(), vd.src0);
+        int prov = ProvenanceFromOrigins(cfg, rec_origins);
+        if (prov >= 0) {
+          w.kind = FieldWrite::Kind::kExplicitCopy;
+          w.from_input = prov;
+          w.from_field = static_cast<int>(vd.imm_int);
+          s.writes.push_back(w);
+          continue;
+        }
+      }
+    }
+    w.kind = FieldWrite::Kind::kModify;  // kAdd decided by the dataflow layer
+    s.writes.push_back(w);
+  }
+
+  // --- Emit cardinality bounds. ---
+  cfg.EmitBounds(&s.min_emits, &s.max_emits);
+
+  // --- Decision reads: fields flowing into any branch condition. ---
+  for (int i = 0; i < n; ++i) {
+    const Instr& in = instrs[i];
+    if (in.op != Opcode::kBranchIfTrue && in.op != Opcode::kBranchIfFalse) {
+      continue;
+    }
+    std::set<int> gfs = cfg.BackwardSliceGetFields(i, in.src0);
+    for (int g : gfs) {
+      const Instr& gf = instrs[g];
+      std::set<int> origins = TraceRecordOrigins(cfg, g, gf.src0);
+      int prov = ProvenanceFromOrigins(cfg, origins);
+      auto add = [&](int input) {
+        if (gf.index_is_reg) {
+          int64_t c;
+          if (cfg.ResolveConstInt(g, gf.src1, &c)) {
+            s.decision_reads[input].Add(static_cast<int>(c));
+          } else {
+            s.decision_reads[input].AddAll();
+          }
+        } else {
+          s.decision_reads[input].Add(static_cast<int>(gf.imm_int));
+        }
+      };
+      if (prov == kOutput) continue;
+      if (prov == kMixed) {
+        for (int k = 0; k < fn.num_inputs(); ++k) add(k);
+      } else {
+        add(prov);
+      }
+    }
+  }
+
+  return s;
+}
+
+}  // namespace sca
+}  // namespace blackbox

@@ -1,0 +1,29 @@
+// Static code analysis of UDFs (paper Section 5): derives a conservative
+// LocalUdfSummary from the three-address code of a first-order function.
+//
+// Safety contract ("safety through conservatism", §5): the returned read and
+// write sets are supersets of the true sets for any input data set, emit
+// bounds enclose the true bounds, and unresolvable constructs (computed field
+// indices, mixed constructor paths) degrade to "all fields" / "projection".
+// Supersets can only *add* conflicts, so the enabled reorderings are a subset
+// of the truly valid ones — the optimizer never produces a wrong plan.
+
+#ifndef BLACKBOX_SCA_ANALYZER_H_
+#define BLACKBOX_SCA_ANALYZER_H_
+
+#include "common/status.h"
+#include "sca/cfg.h"
+#include "sca/summary.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace sca {
+
+/// Analyzes one UDF. Fails only on malformed code (e.g., emitting a record
+/// whose origin cannot be traced at all).
+StatusOr<LocalUdfSummary> AnalyzeUdf(const tac::Function& fn);
+
+}  // namespace sca
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SCA_ANALYZER_H_

@@ -1,0 +1,484 @@
+#include "sca/cfg.h"
+
+#include <algorithm>
+#include <map>
+
+namespace blackbox {
+namespace sca {
+
+using tac::Instr;
+using tac::Opcode;
+
+const std::set<int> ControlFlowGraph::kEmptySet;
+
+DefUseInfo GetDefUse(const Instr& i) {
+  DefUseInfo info;
+  switch (i.op) {
+    case Opcode::kConstInt:
+    case Opcode::kConstDouble:
+    case Opcode::kConstStr:
+    case Opcode::kConstNull:
+    case Opcode::kNewRecord:
+    case Opcode::kInputRecord:
+    case Opcode::kInputCount:
+      info.def = i.dst;
+      break;
+    case Opcode::kInputAt:
+      info.def = i.dst;
+      info.uses.push_back(i.src0);
+      break;
+    case Opcode::kMove:
+    case Opcode::kNeg:
+    case Opcode::kNot:
+    case Opcode::kStrLen:
+    case Opcode::kStrHashMod:
+    case Opcode::kCopyRecord:
+      info.def = i.dst;
+      info.uses.push_back(i.src0);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kStrConcat:
+    case Opcode::kStrContains:
+    case Opcode::kConcatRecords:
+      info.def = i.dst;
+      info.uses.push_back(i.src0);
+      info.uses.push_back(i.src1);
+      break;
+    case Opcode::kGetField:
+      info.def = i.dst;
+      info.uses.push_back(i.src0);
+      if (i.index_is_reg) info.uses.push_back(i.src1);
+      break;
+    case Opcode::kSetField:
+      // Mutation: uses the old record and the value, re-defines the record.
+      info.def = i.dst;
+      info.uses.push_back(i.dst);
+      info.uses.push_back(i.src0);
+      if (i.index_is_reg) info.uses.push_back(i.src1);
+      break;
+    case Opcode::kEmit:
+      info.uses.push_back(i.src0);
+      break;
+    case Opcode::kBranchIfTrue:
+    case Opcode::kBranchIfFalse:
+      info.uses.push_back(i.src0);
+      break;
+    case Opcode::kGoto:
+    case Opcode::kReturn:
+    case Opcode::kCpuBurn:
+      break;
+  }
+  return info;
+}
+
+StatusOr<ControlFlowGraph> ControlFlowGraph::Build(const tac::Function& fn) {
+  ControlFlowGraph cfg;
+  cfg.fn_ = &fn;
+  const auto& instrs = fn.instrs();
+  const int n = static_cast<int>(instrs.size());
+  if (n == 0) return Status::InvalidArgument("empty function");
+
+  // Identify leaders.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (int i = 0; i < n; ++i) {
+    const Instr& in = instrs[i];
+    if (in.op == Opcode::kGoto || in.op == Opcode::kBranchIfTrue ||
+        in.op == Opcode::kBranchIfFalse) {
+      if (in.target < n) leader[in.target] = true;
+      if (i + 1 < n) leader[i + 1] = true;
+    } else if (in.op == Opcode::kReturn && i + 1 < n) {
+      leader[i + 1] = true;
+    }
+  }
+
+  // Build blocks.
+  cfg.block_of_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    if (leader[i]) {
+      BasicBlock b;
+      b.begin = i;
+      cfg.blocks_.push_back(b);
+    }
+    cfg.blocks_.back().end = i + 1;
+    cfg.block_of_[i] = static_cast<int>(cfg.blocks_.size()) - 1;
+  }
+
+  // Edges.
+  for (size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    const Instr& last = instrs[block.end - 1];
+    auto add_edge = [&](int target_instr) {
+      int succ = cfg.block_of_[target_instr];
+      block.successors.push_back(succ);
+      cfg.blocks_[succ].predecessors.push_back(static_cast<int>(b));
+    };
+    switch (last.op) {
+      case Opcode::kGoto:
+        if (last.target < n) add_edge(last.target);
+        break;
+      case Opcode::kBranchIfTrue:
+      case Opcode::kBranchIfFalse:
+        if (last.target < n) add_edge(last.target);
+        if (block.end < n) add_edge(block.end);
+        break;
+      case Opcode::kReturn:
+        break;
+      default:
+        if (block.end < n) add_edge(block.end);
+        break;
+    }
+  }
+
+  cfg.ComputeReachingDefs();
+  cfg.ComputeSccs();
+  return cfg;
+}
+
+void ControlFlowGraph::ComputeReachingDefs() {
+  const auto& instrs = fn_->instrs();
+  const int n = static_cast<int>(instrs.size());
+  const int nb = static_cast<int>(blocks_.size());
+
+  // Per-block GEN/KILL over definition sites.
+  std::vector<std::map<int, int>> last_def_in_block(nb);  // reg -> instr
+  std::vector<std::set<int>> defines_regs(nb);
+  for (int b = 0; b < nb; ++b) {
+    for (int i = blocks_[b].begin; i < blocks_[b].end; ++i) {
+      DefUseInfo du = GetDefUse(instrs[i]);
+      if (du.def >= 0) {
+        last_def_in_block[b][du.def] = i;
+        defines_regs[b].insert(du.def);
+      }
+    }
+  }
+
+  // IN/OUT as sets of definition sites; iterate to fixpoint.
+  std::vector<std::set<int>> in(nb), out_sets(nb);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < nb; ++b) {
+      std::set<int> new_in;
+      for (int p : blocks_[b].predecessors) {
+        new_in.insert(out_sets[p].begin(), out_sets[p].end());
+      }
+      std::set<int> new_out;
+      for (int d : new_in) {
+        int reg = GetDefUse(instrs[d]).def;
+        if (defines_regs[b].count(reg) == 0) new_out.insert(d);
+      }
+      for (const auto& [reg, site] : last_def_in_block[b]) {
+        new_out.insert(site);
+      }
+      if (new_in != in[b] || new_out != out_sets[b]) {
+        in[b] = std::move(new_in);
+        out_sets[b] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+
+  // Per-instruction reaching-in by walking each block.
+  reaching_in_.assign(n, {});
+  for (int b = 0; b < nb; ++b) {
+    std::map<int, std::set<int>> live;  // reg -> def sites
+    for (int d : in[b]) {
+      live[GetDefUse(instrs[d]).def].insert(d);
+    }
+    for (int i = blocks_[b].begin; i < blocks_[b].end; ++i) {
+      std::set<int> here;
+      for (const auto& [reg, sites] : live) {
+        here.insert(sites.begin(), sites.end());
+      }
+      reaching_in_[i] = std::move(here);
+      DefUseInfo du = GetDefUse(instrs[i]);
+      if (du.def >= 0) {
+        live[du.def] = {i};
+      }
+    }
+  }
+
+  // USE-DEF and DEF-USE chains.
+  use_defs_.assign(n, {});
+  def_uses_.assign(n, {});
+  for (int i = 0; i < n; ++i) {
+    DefUseInfo du = GetDefUse(instrs[i]);
+    for (int reg : du.uses) {
+      std::set<int> defs;
+      for (int d : reaching_in_[i]) {
+        if (GetDefUse(instrs[d]).def == reg) defs.insert(d);
+      }
+      for (int d : defs) def_uses_[d].insert(i);
+      use_defs_[i].emplace_back(reg, std::move(defs));
+    }
+  }
+}
+
+void ControlFlowGraph::ComputeSccs() {
+  // Iterative Tarjan over blocks.
+  const int nb = static_cast<int>(blocks_.size());
+  scc_of_block_.assign(nb, -1);
+  block_in_loop_.assign(nb, false);
+  std::vector<int> index(nb, -1), low(nb, 0);
+  std::vector<bool> on_stack(nb, false);
+  std::vector<int> stack;
+  int next_index = 0, next_scc = 0;
+
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  for (int start = 0; start < nb; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      int v = f.v;
+      if (f.child < blocks_[v].successors.size()) {
+        int w = blocks_[v].successors[f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        if (low[v] == index[v]) {
+          int size = 0;
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of_block_[w] = next_scc;
+            ++size;
+            if (w == v) break;
+          }
+          if (size > 1) {
+            for (int b = 0; b < nb; ++b) {
+              if (scc_of_block_[b] == next_scc) block_in_loop_[b] = true;
+            }
+          } else {
+            // Self-loop?
+            for (int s : blocks_[v].successors) {
+              if (s == v) block_in_loop_[v] = true;
+            }
+          }
+          ++next_scc;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().v;
+          low[parent] = std::min(low[parent], low[v]);
+        }
+      }
+    }
+  }
+}
+
+const std::set<int>& ControlFlowGraph::UseDefs(int instr, int reg) const {
+  for (const auto& [r, defs] : use_defs_[instr]) {
+    if (r == reg) return defs;
+  }
+  return kEmptySet;
+}
+
+const std::set<int>& ControlFlowGraph::DefUses(int instr) const {
+  return def_uses_[instr];
+}
+
+bool ControlFlowGraph::ResolveConstInt(int instr, int reg, int64_t* out) const {
+  const std::set<int>& defs = UseDefs(instr, reg);
+  if (defs.size() != 1) return false;
+  const Instr& d = fn_->instrs()[*defs.begin()];
+  if (d.op == Opcode::kConstInt) {
+    *out = d.imm_int;
+    return true;
+  }
+  if (d.op == Opcode::kMove) {
+    return ResolveConstInt(*defs.begin(), d.src0, out);
+  }
+  return false;
+}
+
+std::set<int> ControlFlowGraph::BackwardSliceGetFields(int instr,
+                                                       int reg) const {
+  std::set<int> result;
+  std::set<std::pair<int, int>> visited;
+  std::vector<std::pair<int, int>> work{{instr, reg}};
+  while (!work.empty()) {
+    auto [at, r] = work.back();
+    work.pop_back();
+    if (!visited.insert({at, r}).second) continue;
+    for (int d : UseDefs(at, r)) {
+      const Instr& di = fn_->instrs()[d];
+      if (di.op == Opcode::kGetField) {
+        result.insert(d);
+        // A dynamic index feeding a getField also taints the slice.
+        if (di.index_is_reg) work.emplace_back(d, di.src1);
+      } else {
+        DefUseInfo du = GetDefUse(di);
+        for (int u : du.uses) {
+          // Only follow value registers; record provenance is handled
+          // separately by the analyzer.
+          if (fn_->reg_type(u) == tac::RegType::kValue) {
+            work.emplace_back(d, u);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool ControlFlowGraph::InLoop(int instr) const {
+  return block_in_loop_[block_of_[instr]];
+}
+
+void ControlFlowGraph::EmitBounds(int* min_emits, int* max_emits) const {
+  const auto& instrs = fn_->instrs();
+  const int nb = static_cast<int>(blocks_.size());
+
+  // Per-block emit count; emits in loops make max unbounded.
+  std::vector<int> emits(nb, 0);
+  bool unbounded = false;
+  for (int b = 0; b < nb; ++b) {
+    for (int i = blocks_[b].begin; i < blocks_[b].end; ++i) {
+      if (instrs[i].op == Opcode::kEmit) {
+        ++emits[b];
+        if (block_in_loop_[b]) unbounded = true;
+      }
+    }
+  }
+
+  // Min/max emits along paths from entry to exit blocks, over the SCC
+  // condensation (so cycles don't trap the DP). For min, a loop can run zero
+  // times only if it can be bypassed; since our loop headers always have an
+  // exit edge, treating each SCC's internal emits as optional-for-min is
+  // conservative (may under-estimate min, which is safe for KGP).
+  int nscc = 0;
+  for (int b = 0; b < nb; ++b) nscc = std::max(nscc, scc_of_block_[b] + 1);
+  std::vector<std::set<int>> scc_succ(nscc);
+  std::vector<int> scc_min(nscc, 0), scc_max(nscc, 0);
+  std::vector<bool> scc_loop(nscc, false);
+  for (int b = 0; b < nb; ++b) {
+    int s = scc_of_block_[b];
+    scc_min[s] += block_in_loop_[b] ? 0 : emits[b];
+    scc_max[s] += emits[b];
+    if (block_in_loop_[b]) scc_loop[s] = true;
+    for (int succ : blocks_[b].successors) {
+      int t = scc_of_block_[succ];
+      if (t != s) scc_succ[s].insert(t);
+    }
+  }
+  // Note: within one SCC that is not a loop (single block), min = max =
+  // emits. For multi-block non-loop paths the DP below handles branching.
+  // For simplicity we approximate the per-SCC min of a loop as 0 and handle
+  // straight-line/branching structure at block granularity when no loops
+  // exist.
+  if (!unbounded && std::none_of(scc_loop.begin(), scc_loop.end(),
+                                 [](bool x) { return x; })) {
+    // Acyclic CFG: exact DP over blocks in reverse topological order
+    // (instruction order is a topological order for structured builders, but
+    // compute properly via DFS post-order to be safe).
+    std::vector<int> order;
+    std::vector<int> state(nb, 0);
+    std::vector<std::pair<int, size_t>> stack{{0, 0}};
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [v, child] = stack.back();
+      if (child < blocks_[v].successors.size()) {
+        int w = blocks_[v].successors[child++];
+        if (state[w] == 0) {
+          state[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+    std::vector<int> mn(nb, 0), mx(nb, 0);
+    for (int v : order) {
+      if (blocks_[v].successors.empty()) {
+        mn[v] = mx[v] = emits[v];
+      } else {
+        int best_min = INT32_MAX, best_max = 0;
+        for (int w : blocks_[v].successors) {
+          best_min = std::min(best_min, mn[w]);
+          best_max = std::max(best_max, mx[w]);
+        }
+        mn[v] = emits[v] + best_min;
+        mx[v] = emits[v] + best_max;
+      }
+    }
+    *min_emits = mn[0];
+    *max_emits = mx[0];
+    return;
+  }
+
+  // Loopy CFG: min over condensation with loop-SCCs contributing 0; max
+  // unbounded if any emit is in a loop, else DP over condensation.
+  std::vector<int> scc_of_entry{scc_of_block_[0]};
+  // DP over condensation (it is a DAG).
+  std::vector<int> mn(nscc, -1), mx(nscc, -1);
+  // Build reverse topo order of condensation via DFS.
+  std::vector<int> order;
+  std::vector<int> state(nscc, 0);
+  std::vector<std::pair<int, std::set<int>::iterator>> stack2;
+  int entry = scc_of_block_[0];
+  stack2.push_back({entry, scc_succ[entry].begin()});
+  state[entry] = 1;
+  while (!stack2.empty()) {
+    auto& [v, it] = stack2.back();
+    if (it != scc_succ[v].end()) {
+      int w = *it;
+      ++it;
+      if (state[w] == 0) {
+        state[w] = 1;
+        stack2.push_back({w, scc_succ[w].begin()});
+      }
+    } else {
+      order.push_back(v);
+      stack2.pop_back();
+    }
+  }
+  for (int v : order) {
+    if (scc_succ[v].empty()) {
+      mn[v] = scc_min[v];
+      mx[v] = scc_max[v];
+    } else {
+      int best_min = INT32_MAX, best_max = 0;
+      for (int w : scc_succ[v]) {
+        if (mn[w] < 0) continue;
+        best_min = std::min(best_min, mn[w]);
+        best_max = std::max(best_max, mx[w]);
+      }
+      if (best_min == INT32_MAX) best_min = 0;
+      mn[v] = scc_min[v] + best_min;
+      mx[v] = scc_max[v] + best_max;
+    }
+  }
+  *min_emits = mn[entry] < 0 ? 0 : mn[entry];
+  *max_emits = unbounded ? -1 : (mx[entry] < 0 ? 0 : mx[entry]);
+}
+
+}  // namespace sca
+}  // namespace blackbox

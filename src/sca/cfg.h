@@ -1,0 +1,97 @@
+// Control-flow graph over TAC functions plus the classic data-flow analyses
+// the paper's SCA relies on (Section 5): reaching definitions and the derived
+// USE-DEF / DEF-USE chains.
+
+#ifndef BLACKBOX_SCA_CFG_H_
+#define BLACKBOX_SCA_CFG_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace sca {
+
+/// A basic block: [begin, end) range of instruction indices.
+struct BasicBlock {
+  int begin = 0;
+  int end = 0;
+  std::vector<int> successors;    // block ids
+  std::vector<int> predecessors;  // block ids
+};
+
+/// Which registers an instruction defines and uses. setField both uses and
+/// (re)defines its record register — a record mutation is modelled as a
+/// definition so provenance tracking stays conservative.
+struct DefUseInfo {
+  int def = -1;            // register defined (-1 if none)
+  std::vector<int> uses;   // registers read
+};
+
+DefUseInfo GetDefUse(const tac::Instr& instr);
+
+/// CFG + reaching definitions for one function. "Definition" means an
+/// instruction index whose def-register reaches a program point unredefined.
+class ControlFlowGraph {
+ public:
+  static StatusOr<ControlFlowGraph> Build(const tac::Function& fn);
+
+  const tac::Function& fn() const { return *fn_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  int block_of(int instr) const { return block_of_[instr]; }
+
+  /// USE-DEF chain (paper §5): all definitions of `reg` that may reach the
+  /// use at instruction `instr`.
+  const std::set<int>& UseDefs(int instr, int reg) const;
+
+  /// DEF-USE chain: all instructions that may use the value defined at
+  /// instruction `instr`.
+  const std::set<int>& DefUses(int instr) const;
+
+  /// Resolves a register use at `instr` to a compile-time integer constant if
+  /// it has a unique reaching definition that is a kConstInt ("literals and
+  /// final variables" — §7.3). Returns false otherwise.
+  bool ResolveConstInt(int instr, int reg, int64_t* out) const;
+
+  /// Transitive backward slice: all getField instructions whose value can
+  /// flow (through value registers) into the use of `reg` at `instr`.
+  std::set<int> BackwardSliceGetFields(int instr, int reg) const;
+
+  /// True if `instr` lies inside a cycle of the CFG (i.e., in a non-trivial
+  /// strongly connected component or a self-loop block).
+  bool InLoop(int instr) const;
+
+  /// Emit-count bounds over all execution paths: max == -1 means unbounded
+  /// (an emit inside a loop).
+  void EmitBounds(int* min_emits, int* max_emits) const;
+
+ private:
+  ControlFlowGraph() = default;
+
+  void ComputeReachingDefs();
+  void ComputeSccs();
+
+  const tac::Function* fn_ = nullptr;
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> block_of_;
+
+  // reaching_in_[instr] = set of definition sites reaching before instr.
+  std::vector<std::set<int>> reaching_in_;
+  // use_defs_[instr][slot] for each used reg (parallel to DefUseInfo::uses).
+  // Flattened: key (instr, reg) via map; small functions, so a vector of
+  // per-instr maps is fine.
+  std::vector<std::vector<std::pair<int, std::set<int>>>> use_defs_;
+  std::vector<std::set<int>> def_uses_;
+
+  std::vector<int> scc_of_block_;
+  std::vector<bool> block_in_loop_;
+
+  static const std::set<int> kEmptySet;
+};
+
+}  // namespace sca
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SCA_CFG_H_

@@ -1,0 +1,87 @@
+// The result of statically analyzing one UDF: a conservative summary of its
+// data access behaviour in terms of *local* field indices (positions in the
+// UDF's own input/output layout). The dataflow layer resolves local indices
+// against input schemas and the global record (Definition 1) to obtain global
+// read/write sets.
+
+#ifndef BLACKBOX_SCA_SUMMARY_H_
+#define BLACKBOX_SCA_SUMMARY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace blackbox {
+namespace sca {
+
+/// A set of local field indices of one input, with a conservative "all
+/// fields" escape hatch for statically unresolvable (computed) indices.
+struct LocalFieldSet {
+  std::set<int> fields;
+  bool all = false;  // computed index: every field may be accessed
+
+  bool Contains(int f) const { return all || fields.count(f) > 0; }
+  void Add(int f) { fields.insert(f); }
+  void AddAll() { all = true; }
+  bool Empty() const { return !all && fields.empty(); }
+};
+
+/// How the UDF constructs the records it emits (§5 write-set estimation).
+enum class OutputKind {
+  kCopyOfInput,  // copy constructor: implicit copy of input `copy_input`
+  kProjection,   // default constructor: implicit projection of everything
+  kConcat,       // binary concat constructor: implicit copy of both inputs
+};
+
+/// One (conservatively merged) field write on the output record.
+struct FieldWrite {
+  enum class Kind {
+    kExplicitCopy,     // setField(p, t) with t = getField(input, n): keeps
+                       // the attribute's identity (not a modification)
+    kExplicitProject,  // setField(p, null)
+    kModify,           // setField(p, computed) at a position < input arity
+    kAdd,              // setField(p, computed) at a new position
+  };
+  int out_pos = -1;
+  Kind kind = Kind::kModify;
+  int from_input = -1;  // kExplicitCopy: source input
+  int from_field = -1;  // kExplicitCopy: source field
+};
+
+/// Conservative summary of one UDF (the "opened black box").
+struct LocalUdfSummary {
+  int num_inputs = 1;
+
+  /// Read set estimate per input: fields whose getField result is used
+  /// (paper §5, DEF-USE non-empty).
+  std::vector<LocalFieldSet> reads;
+
+  /// Output record construction.
+  OutputKind out_kind = OutputKind::kProjection;
+  int copy_input = 0;  // for kCopyOfInput
+
+  /// All field writes that can reach an emit (conservative union).
+  std::vector<FieldWrite> writes;
+
+  /// A setField with a computed index was seen: every field of the output
+  /// may be modified.
+  bool writes_all = false;
+
+  /// Emit cardinality bounds per invocation; max_emits == -1 is unbounded.
+  int min_emits = 0;
+  int max_emits = 0;
+
+  /// Fields (per input) that can influence control flow, i.e. the emit
+  /// decision — used to check the KGP condition (Definition 5 case 2).
+  std::vector<LocalFieldSet> decision_reads;
+
+  /// Highest output position written explicitly (for layout sizing).
+  int max_out_pos = -1;
+
+  std::string ToString() const;
+};
+
+}  // namespace sca
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SCA_SUMMARY_H_

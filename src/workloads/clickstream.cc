@@ -1,0 +1,213 @@
+#include "workloads/clickstream.h"
+
+#include <cassert>
+
+namespace blackbox {
+namespace workloads {
+
+using dataflow::DataFlow;
+using dataflow::Hints;
+using dataflow::KatBehavior;
+using tac::FunctionBuilder;
+using tac::Reg;
+using tac::UdfKind;
+
+namespace {
+
+std::shared_ptr<const tac::Function> Built(FunctionBuilder&& b) {
+  StatusOr<tac::Function> fn = b.Build();
+  assert(fn.ok());
+  return std::make_shared<const tac::Function>(std::move(fn).value());
+}
+
+}  // namespace
+
+Workload MakeClickstream(const ClickstreamScale& scale) {
+  Workload w;
+  w.name = "clickstream";
+  Rng rng(scale.seed);
+
+  DataFlow& f = w.flow;
+  // click: 0 session_id, 1 ts, 2 action (1 = buy), 3 url
+  int64_t total_clicks = scale.sessions * scale.avg_clicks_per_session;
+  int click = f.AddSource("click", 4, total_clicks, 60);
+  // login: 0 session_id (unique), 1 user_id
+  int64_t logins =
+      static_cast<int64_t>(scale.sessions * scale.logged_in_fraction);
+  int login = f.AddSource("login", 2, logins, 18, {0});
+  // user: 0 user_id (unique), 1 name, 2 age, 3 segment
+  int user = f.AddSource("user", 4, scale.users, 46, {0});
+
+  // --- R1: filter buy sessions (all-or-nothing per key group). ---
+  std::shared_ptr<const tac::Function> filter_buy;
+  {
+    FunctionBuilder b("filter_buy_sessions", 1, UdfKind::kKat);
+    Reg n = b.InputCount(0);
+    Reg i = b.ConstInt(0);
+    Reg found = b.ConstInt(0);
+    tac::Label scan = b.NewLabel();
+    tac::Label scanned = b.NewLabel();
+    b.Bind(scan);
+    b.BranchIfFalse(b.CmpLt(i, n), scanned);
+    Reg r = b.InputAt(0, i);
+    Reg action = b.GetField(r, 2);
+    Reg is_buy = b.CmpEq(action, b.ConstInt(1));
+    tac::Label next = b.NewLabel();
+    b.BranchIfFalse(is_buy, next);
+    b.Assign(found, b.ConstInt(1));
+    b.Bind(next);
+    b.AccumAdd(i, b.ConstInt(1));
+    b.Goto(scan);
+    b.Bind(scanned);
+    tac::Label out = b.NewLabel();
+    b.BranchIfFalse(found, out);
+    Reg j = b.ConstInt(0);
+    tac::Label emit_loop = b.NewLabel();
+    b.Bind(emit_loop);
+    b.BranchIfFalse(b.CmpLt(j, n), out);
+    Reg rec = b.InputAt(0, j);
+    Reg copy = b.Copy(rec);
+    b.Emit(copy);
+    b.AccumAdd(j, b.ConstInt(1));
+    b.Goto(emit_loop);
+    b.Bind(out);
+    b.Return();
+    filter_buy = Built(std::move(b));
+  }
+  Hints r1_hints;
+  r1_hints.selectivity =
+      scale.buy_fraction * static_cast<double>(scale.avg_clicks_per_session);
+  r1_hints.distinct_keys = scale.sessions;
+  int r1 = f.AddReduce("filter_buy_sessions", click, {0}, filter_buy,
+                       r1_hints);
+  f.op(r1).kat_behavior = KatBehavior::kGroupWiseFilter;
+  f.op(r1).manual_summary = SummaryBuilder(1)
+                                .CopyOf(0)
+                                .DecisionReads(0, {2})
+                                .Emits(0, -1)
+                                .Build();
+
+  // --- R2: condense each session into one record: first record + click
+  // count (field 4) + first timestamp (field 5). ---
+  std::shared_ptr<const tac::Function> condense;
+  {
+    FunctionBuilder b("condense_sessions", 1, UdfKind::kKat);
+    Reg n = b.InputCount(0);
+    Reg i = b.ConstInt(1);
+    Reg first = b.InputAt(0, b.ConstInt(0));
+    Reg min_ts = b.GetField(first, 1);
+    tac::Label loop = b.NewLabel();
+    tac::Label done = b.NewLabel();
+    b.Bind(loop);
+    b.BranchIfFalse(b.CmpLt(i, n), done);
+    Reg r = b.InputAt(0, i);
+    Reg ts = b.GetField(r, 1);
+    tac::Label keep = b.NewLabel();
+    b.BranchIfFalse(b.CmpLt(ts, min_ts), keep);
+    b.Assign(min_ts, ts);
+    b.Bind(keep);
+    b.AccumAdd(i, b.ConstInt(1));
+    b.Goto(loop);
+    b.Bind(done);
+    Reg out = b.Copy(first);
+    b.SetField(out, 4, n);
+    b.SetField(out, 5, min_ts);
+    b.Emit(out);
+    b.Return();
+    condense = Built(std::move(b));
+  }
+  Hints r2_hints;
+  r2_hints.selectivity = 1.0;
+  r2_hints.distinct_keys = scale.sessions;
+  int r2 = f.AddReduce("condense_sessions", r1, {0}, condense, r2_hints);
+  f.op(r2).manual_summary = SummaryBuilder(1)
+                                .CopyOf(0)
+                                .Reads(0, {1})
+                                .Modifies(4)
+                                .Modifies(5)
+                                .Emits(1, 1)
+                                .Build();
+
+  // --- M1: keep only sessions of logged-in users (join with login). ---
+  // Left schema: click 0-3 | condensed 4-5; right: login 0-1 (-> 6-7).
+  Hints m1_hints;
+  m1_hints.distinct_keys = scale.sessions;
+  int m1 = f.AddMatch("filter_logged_in_sessions", r2, login, {0}, {0},
+                      MakeConcatJoinUdf("filter_logged_in_sessions"),
+                      m1_hints);
+  f.op(m1).manual_summary = ConcatJoinSummary();
+
+  // --- M2: append user info; computes an engagement attribute from a
+  // login-side field selected by a *computed* index (6 + segment % 2). ---
+  std::shared_ptr<const tac::Function> append_user;
+  {
+    FunctionBuilder b("append_user_info", 2, UdfKind::kRat);
+    Reg l = b.InputRecord(0);
+    Reg u = b.InputRecord(1);
+    Reg seg = b.GetField(u, 3);
+    Reg idx = b.Add(b.ConstInt(6), b.Mod(seg, b.ConstInt(2)));
+    Reg v = b.GetFieldDyn(l, idx);
+    Reg out = b.Concat(l, u);
+    b.SetField(out, 12, b.Add(v, seg));
+    b.Emit(out);
+    b.Return();
+    append_user = Built(std::move(b));
+  }
+  Hints m2_hints;
+  m2_hints.distinct_keys = scale.users;
+  int m2 = f.AddMatch("append_user_info", m1, user, {7}, {0}, append_user,
+                      m2_hints);
+  // True read set: only the two login-side fields (local 6, 7) and the user
+  // segment — what a developer (or a sharper analysis) would annotate.
+  f.op(m2).manual_summary = SummaryBuilder(2)
+                                .Concat()
+                                .Reads(0, {6, 7})
+                                .Reads(1, {3})
+                                .Modifies(12)
+                                .Emits(1, 1)
+                                .Build();
+
+  f.SetSink("clickstream_sink", m2);
+
+  // --- Data ---
+  DataSet clicks;
+  DataSet login_data;
+  for (int64_t sid = 0; sid < scale.sessions; ++sid) {
+    bool buys = rng.Chance(scale.buy_fraction);
+    int64_t n = std::max<int64_t>(
+        1, rng.Uniform(1, 2 * scale.avg_clicks_per_session - 1));
+    int64_t buy_at = buys ? rng.Uniform(0, n - 1) : -1;
+    for (int64_t k = 0; k < n; ++k) {
+      Record r;
+      r.Append(Value(sid));
+      r.Append(Value(rng.Uniform(1'000'000, 2'000'000)));
+      r.Append(Value(k == buy_at ? int64_t{1} : int64_t{0}));
+      r.Append(Value("/shop/item/" + std::to_string(rng.Uniform(0, 9999))));
+      clicks.Add(std::move(r));
+    }
+    if (rng.Chance(scale.logged_in_fraction)) {
+      Record r;
+      r.Append(Value(sid));
+      r.Append(Value(rng.Uniform(0, scale.users - 1)));
+      login_data.Add(std::move(r));
+    }
+  }
+  w.source_data[click] = std::move(clicks);
+  w.source_data[login] = std::move(login_data);
+
+  DataSet users;
+  for (int64_t uid = 0; uid < scale.users; ++uid) {
+    Record r;
+    r.Append(Value(uid));
+    r.Append(Value("user_" + rng.String(8)));
+    r.Append(Value(rng.Uniform(18, 80)));
+    r.Append(Value(rng.Uniform(0, 5)));
+    users.Add(std::move(r));
+  }
+  w.source_data[user] = std::move(users);
+
+  return w;
+}
+
+}  // namespace workloads
+}  // namespace blackbox

@@ -1,0 +1,43 @@
+// Weblog clickstream processing task (§7.2, Figure 4): extract click
+// sessions that lead to buy actions and augment them with user information.
+//
+//   click(session_id, ts, action, url)
+//     -> Reduce "filter buy sessions"   (key: session_id; emits the whole
+//                                        session iff it contains a buy)
+//     -> Reduce "condense sessions"     (key: session_id; one record per
+//                                        session with count + first ts)
+//     -> Match  "filter logged-in"      (⋈ login(session_id, user_id);
+//                                        login.session_id is unique)
+//     -> Match  "append user info"      (⋈ user(user_id, name, age, segment))
+//     -> sink
+//
+// The "append user info" UDF reads one of the login-side fields through a
+// *computed* field index. Its manual annotation states the true read set
+// ({login.session_id, login.user_id}); static code analysis cannot resolve
+// the index and conservatively widens the read set to the whole left input —
+// which blocks one otherwise-valid join rotation. This reproduces the paper's
+// Table 1 row (4 orders with manual annotations, 3 with SCA).
+
+#ifndef BLACKBOX_WORKLOADS_CLICKSTREAM_H_
+#define BLACKBOX_WORKLOADS_CLICKSTREAM_H_
+
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace workloads {
+
+struct ClickstreamScale {
+  int64_t sessions = 4000;
+  int64_t avg_clicks_per_session = 10;
+  int64_t users = 800;
+  double buy_fraction = 0.25;       // sessions containing a buy action
+  double logged_in_fraction = 0.4;  // sessions with a login record
+  uint64_t seed = 7;
+};
+
+Workload MakeClickstream(const ClickstreamScale& scale = {});
+
+}  // namespace workloads
+}  // namespace blackbox
+
+#endif  // BLACKBOX_WORKLOADS_CLICKSTREAM_H_

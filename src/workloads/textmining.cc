@@ -1,0 +1,205 @@
+#include "workloads/textmining.h"
+
+#include <cassert>
+
+namespace blackbox {
+namespace workloads {
+
+using dataflow::DataFlow;
+using dataflow::Hints;
+using tac::FunctionBuilder;
+using tac::Reg;
+using tac::UdfKind;
+
+namespace {
+
+std::shared_ptr<const tac::Function> Built(FunctionBuilder&& b) {
+  StatusOr<tac::Function> fn = b.Build();
+  assert(fn.ok());
+  return std::make_shared<const tac::Function>(std::move(fn).value());
+}
+
+/// An annotating NER-style component: burns CPU, reads the token field,
+/// filters records lacking the marker substring, and appends a mention hash.
+std::shared_ptr<const tac::Function> MakeNer(const std::string& name,
+                                             const std::string& marker,
+                                             int out_field, int64_t burn) {
+  FunctionBuilder b(name, 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg tok = b.GetField(ir, 2);
+  b.CpuBurn(burn);
+  Reg hit = b.StrContains(tok, b.ConstStr(marker));
+  tac::Label skip = b.NewLabel();
+  b.BranchIfFalse(hit, skip);
+  Reg out = b.Copy(ir);
+  b.SetField(out, out_field, b.StrHashMod(tok, 1000));
+  b.Emit(out);
+  b.Bind(skip);
+  b.Return();
+  return Built(std::move(b));
+}
+
+/// A non-filtering annotator: burns CPU and appends a derived attribute.
+std::shared_ptr<const tac::Function> MakeAnnotator(const std::string& name,
+                                                   int out_field,
+                                                   int64_t burn, int64_t mod) {
+  FunctionBuilder b(name, 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg tok = b.GetField(ir, 2);
+  b.CpuBurn(burn);
+  Reg out = b.Copy(ir);
+  b.SetField(out, out_field, b.StrHashMod(tok, mod));
+  b.Emit(out);
+  b.Return();
+  return Built(std::move(b));
+}
+
+sca::LocalUdfSummary NerSummary(int out_field) {
+  return SummaryBuilder(1)
+      .CopyOf(0)
+      .DecisionReads(0, {2})
+      .Modifies(out_field)
+      .Emits(0, 1)
+      .Build();
+}
+
+sca::LocalUdfSummary AnnotatorSummary(int out_field) {
+  return SummaryBuilder(1)
+      .CopyOf(0)
+      .Reads(0, {2})
+      .Modifies(out_field)
+      .Emits(1, 1)
+      .Build();
+}
+
+}  // namespace
+
+Workload MakeTextMining(const TextMiningScale& scale) {
+  Workload w;
+  w.name = "textmining";
+  Rng rng(scale.seed);
+
+  DataFlow& f = w.flow;
+  // docs: 0 doc_id, 1 text
+  int docs = f.AddSource("docs", 2, scale.documents, 180);
+
+  // --- Preprocess: tokenization + POS tagging; appends the token field (2)
+  // and filters empty sentences. Everything downstream reads field 2, so
+  // Preprocess is pinned to the front by read/write conflicts alone. ---
+  std::shared_ptr<const tac::Function> prep;
+  {
+    FunctionBuilder b("preprocess", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg text = b.GetField(ir, 1);
+    b.CpuBurn(scale.preprocess_burn);
+    Reg len = b.StrLen(text);
+    tac::Label skip = b.NewLabel();
+    b.BranchIfFalse(b.CmpGt(len, b.ConstInt(0)), skip);
+    Reg out = b.Copy(ir);
+    Reg toks = b.StrConcat(text, b.ConstStr("|tokenized"));
+    b.SetField(out, 2, toks);
+    b.Emit(out);
+    b.Bind(skip);
+    b.Return();
+    prep = Built(std::move(b));
+  }
+  Hints prep_hints;
+  prep_hints.selectivity = 1.0;
+  prep_hints.cpu_cost_per_call = static_cast<double>(scale.preprocess_burn);
+  int pre = f.AddMap("preprocess", docs, prep, prep_hints);
+  f.op(pre).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .DecisionReads(0, {1})
+                                 .Modifies(2)
+                                 .Emits(0, 1)
+                                 .Build();
+
+  // --- Four independent components over the token field. ---
+  Hints gene_hints;
+  gene_hints.selectivity = scale.gene_fraction;
+  gene_hints.cpu_cost_per_call = static_cast<double>(scale.gene_burn);
+  int gene = f.AddMap("gene_ner", pre,
+                      MakeNer("gene_ner", "gene", 3, scale.gene_burn),
+                      gene_hints);
+  f.op(gene).manual_summary = NerSummary(3);
+
+  Hints drug_hints;
+  drug_hints.selectivity = scale.drug_fraction;
+  drug_hints.cpu_cost_per_call = static_cast<double>(scale.drug_burn);
+  int drug = f.AddMap("drug_ner", gene,
+                      MakeNer("drug_ner", "drug", 4, scale.drug_burn),
+                      drug_hints);
+  f.op(drug).manual_summary = NerSummary(4);
+
+  Hints abbrev_hints;
+  abbrev_hints.selectivity = 1.0;
+  abbrev_hints.cpu_cost_per_call = static_cast<double>(scale.abbrev_burn);
+  int abbrev = f.AddMap("abbrev_resolver", drug,
+                        MakeAnnotator("abbrev_resolver", 5, scale.abbrev_burn,
+                                      500),
+                        abbrev_hints);
+  f.op(abbrev).manual_summary = AnnotatorSummary(5);
+
+  Hints sent_hints;
+  sent_hints.selectivity = 1.0;
+  sent_hints.cpu_cost_per_call = static_cast<double>(scale.sentence_burn);
+  int sent = f.AddMap("sentence_refiner", abbrev,
+                      MakeAnnotator("sentence_refiner", 6,
+                                    scale.sentence_burn, 300),
+                      sent_hints);
+  f.op(sent).manual_summary = AnnotatorSummary(6);
+
+  // --- Relation extraction: reads all four annotations, filters by a
+  // proximity heuristic, appends the relation score (field 7). ---
+  std::shared_ptr<const tac::Function> relation;
+  {
+    FunctionBuilder b("relation_extract", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg g = b.GetField(ir, 3);
+    Reg d = b.GetField(ir, 4);
+    Reg a = b.GetField(ir, 5);
+    Reg s = b.GetField(ir, 6);
+    b.CpuBurn(scale.relation_burn);
+    Reg prox = b.Mod(b.Add(g, d), b.ConstInt(7));
+    tac::Label skip = b.NewLabel();
+    b.BranchIfFalse(b.CmpLt(prox, b.ConstInt(2)), skip);
+    Reg out = b.Copy(ir);
+    Reg score = b.Add(b.Add(g, d), b.Add(a, s));
+    b.SetField(out, 7, score);
+    b.Emit(out);
+    b.Bind(skip);
+    b.Return();
+    relation = Built(std::move(b));
+  }
+  Hints rel_hints;
+  rel_hints.selectivity = 2.0 / 7.0;
+  rel_hints.cpu_cost_per_call = static_cast<double>(scale.relation_burn);
+  int rel = f.AddMap("relation_extract", sent, relation, rel_hints);
+  f.op(rel).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .DecisionReads(0, {3, 4})
+                                 .Reads(0, {5, 6})
+                                 .Modifies(7)
+                                 .Emits(0, 1)
+                                 .Build();
+
+  f.SetSink("textmining_sink", rel);
+
+  // --- Data: synthetic sentences with marker tokens at calibrated rates. ---
+  DataSet data;
+  for (int64_t i = 0; i < scale.documents; ++i) {
+    std::string text = "the " + rng.String(6) + " binds " + rng.String(5);
+    if (rng.Chance(scale.gene_fraction)) text += " gene " + rng.String(4);
+    if (rng.Chance(scale.drug_fraction)) text += " drug " + rng.String(4);
+    Record r;
+    r.Append(Value(i));
+    r.Append(Value(std::move(text)));
+    data.Add(std::move(r));
+  }
+  w.source_data[docs] = std::move(data);
+
+  return w;
+}
+
+}  // namespace workloads
+}  // namespace blackbox

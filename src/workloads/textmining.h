@@ -1,0 +1,43 @@
+// Biomedical text-mining task (§7.2, Figure 6): a pipeline of Map operators
+// applying (simulated) NLP components to a sentence corpus. Each extraction
+// component both filters and annotates; dependencies between components limit
+// the valid reorderings:
+//
+//   docs -> Preprocess (tokenize; everything depends on its output)
+//        -> { GeneNER, DrugNER, AbbrevResolver, SentenceRefiner }  (free order)
+//        -> RelationExtract (reads all four annotations; must run last)
+//        -> sink
+//
+// The four middle components commute pairwise, giving 4! = 24 valid orders —
+// the paper's Table 1 count for this task. Components carry calibrated CPU
+// burn so that plan order dominates runtime (Figure 6's ~10x spread between
+// running cheap selective filters first vs. expensive annotators first).
+
+#ifndef BLACKBOX_WORKLOADS_TEXTMINING_H_
+#define BLACKBOX_WORKLOADS_TEXTMINING_H_
+
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace workloads {
+
+struct TextMiningScale {
+  int64_t documents = 20000;
+  double gene_fraction = 0.30;  // sentences mentioning a gene
+  double drug_fraction = 0.25;  // sentences mentioning a drug
+  // Simulated per-call CPU work units of each component.
+  int64_t preprocess_burn = 300;
+  int64_t gene_burn = 1200;
+  int64_t drug_burn = 1500;
+  int64_t abbrev_burn = 25000;
+  int64_t sentence_burn = 20000;
+  int64_t relation_burn = 5000;
+  uint64_t seed = 11;
+};
+
+Workload MakeTextMining(const TextMiningScale& scale = {});
+
+}  // namespace workloads
+}  // namespace blackbox
+
+#endif  // BLACKBOX_WORKLOADS_TEXTMINING_H_

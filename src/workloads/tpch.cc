@@ -1,0 +1,389 @@
+#include "workloads/tpch.h"
+
+#include <cassert>
+
+namespace blackbox {
+namespace workloads {
+
+using dataflow::DataFlow;
+using dataflow::Hints;
+using tac::FunctionBuilder;
+using tac::Reg;
+using tac::UdfKind;
+
+namespace {
+
+constexpr int64_t kDateLo = 19950101;
+constexpr int64_t kDateHi = 19951231;
+// Q7 keeps a two-month shipdate window (~1/6 of the lineitems), which gives
+// the filter placement the weight it has in the paper's evaluation.
+constexpr int64_t kQ7FilterLo = 19950101;
+constexpr int64_t kQ7FilterHi = 19950228;
+// Q15 uses a one-quarter window.
+constexpr int64_t kQ15FilterLo = 19950101;
+constexpr int64_t kQ15FilterHi = 19950331;
+
+std::shared_ptr<const tac::Function> Built(FunctionBuilder&& b) {
+  StatusOr<tac::Function> fn = b.Build();
+  assert(fn.ok());
+  return std::make_shared<const tac::Function>(std::move(fn).value());
+}
+
+/// Map: emits a copy of the record iff lo <= shipdate(field) <= hi.
+std::shared_ptr<const tac::Function> MakeShipdateFilter(
+    const std::string& name, int field, int64_t lo, int64_t hi) {
+  FunctionBuilder b(name, 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg d = b.GetField(ir, field);
+  Reg ok = b.And(b.CmpGe(d, b.ConstInt(lo)), b.CmpLe(d, b.ConstInt(hi)));
+  tac::Label skip = b.NewLabel();
+  b.BranchIfFalse(ok, skip);
+  Reg out = b.Copy(ir);
+  b.Emit(out);
+  b.Bind(skip);
+  b.Return();
+  return Built(std::move(b));
+}
+
+sca::LocalUdfSummary ShipdateFilterSummary(int field) {
+  return SummaryBuilder(1)
+      .CopyOf(0)
+      .DecisionReads(0, {field})
+      .Emits(0, 1)
+      .Build();
+}
+
+DataSet GenNation(int64_t n) {
+  DataSet ds;
+  for (int64_t i = 0; i < n; ++i) {
+    Record r;
+    r.Append(Value(i));
+    r.Append(Value("NATION" + std::to_string(i)));
+    ds.Add(std::move(r));
+  }
+  return ds;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q7
+// ---------------------------------------------------------------------------
+
+Workload MakeTpchQ7(const TpchScale& scale) {
+  Workload w;
+  w.name = "tpch_q7";
+  Rng rng(scale.seed);
+
+  // --- Sources ---
+  DataFlow& f = w.flow;
+  int li = f.AddSource("lineitem", 5, scale.lineitems, 48);
+  int s = f.AddSource("supplier", 2, scale.suppliers, 20, {0});
+  int o = f.AddSource("orders", 2, scale.orders, 20, {0});
+  int c = f.AddSource("customer", 2, scale.customers, 20, {0});
+  int n1 = f.AddSource("nation1", 2, scale.nations, 24, {0});
+  int n2 = f.AddSource("nation2", 2, scale.nations, 24, {0});
+
+  // --- σ: shipdate filter + derived year and volume attributes ---
+  // (fields 5 = year, 6 = volume appended to the lineitem record).
+  std::shared_ptr<const tac::Function> sigma;
+  {
+    FunctionBuilder b("q7_filter_prepare", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg d = b.GetField(ir, 4);
+    Reg ok = b.And(b.CmpGe(d, b.ConstInt(kQ7FilterLo)),
+                   b.CmpLe(d, b.ConstInt(kQ7FilterHi)));
+    tac::Label skip = b.NewLabel();
+    b.BranchIfFalse(ok, skip);
+    Reg out = b.Copy(ir);
+    Reg year = b.Div(d, b.ConstInt(10000));
+    b.SetField(out, 5, year);
+    Reg price = b.GetField(ir, 2);
+    Reg disc = b.GetField(ir, 3);
+    Reg volume = b.Sub(price, b.Mul(price, disc));
+    b.SetField(out, 6, volume);
+    b.Emit(out);
+    b.Bind(skip);
+    b.Return();
+    sigma = Built(std::move(b));
+  }
+  Hints sigma_hints;
+  sigma_hints.selectivity = 0.165;
+  int sig = f.AddMap("q7_filter_prepare", li, sigma, sigma_hints);
+  f.op(sig).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .DecisionReads(0, {4})
+                                 .Reads(0, {2, 3})
+                                 .Modifies(5)
+                                 .Modifies(6)
+                                 .Emits(0, 1)
+                                 .Build();
+
+  // --- Join spine; every join UDF concatenates and emits. ---
+  // Left-input widths: σ output = 7 fields; each join appends the right side.
+  auto join_hints = [](int64_t distinct) {
+    Hints h;
+    h.distinct_keys = distinct;
+    return h;
+  };
+  int jls = f.AddMatch("q7_join_l_s", sig, s, {1}, {0},
+                       MakeConcatJoinUdf("q7_join_l_s"),
+                       join_hints(scale.suppliers));
+  f.op(jls).manual_summary = ConcatJoinSummary();
+  // schema now: lineitem 0-6 | supplier 7-8
+  int jlo = f.AddMatch("q7_join_l_o", jls, o, {0}, {0},
+                       MakeConcatJoinUdf("q7_join_l_o"),
+                       join_hints(scale.orders));
+  f.op(jlo).manual_summary = ConcatJoinSummary();
+  // schema: l 0-6 | s 7-8 | o 9-10
+  int joc = f.AddMatch("q7_join_o_c", jlo, c, {10}, {0},
+                       MakeConcatJoinUdf("q7_join_o_c"),
+                       join_hints(scale.customers));
+  f.op(joc).manual_summary = ConcatJoinSummary();
+  // schema: l 0-6 | s 7-8 | o 9-10 | c 11-12
+  int jcn1 = f.AddMatch("q7_join_c_n1", joc, n1, {12}, {0},
+                        MakeConcatJoinUdf("q7_join_c_n1"),
+                        join_hints(scale.nations));
+  f.op(jcn1).manual_summary = ConcatJoinSummary();
+  // schema: ... | n1 13-14
+  int jsn2 = f.AddMatch("q7_join_s_n2", jcn1, n2, {8}, {0},
+                        MakeConcatJoinUdf("q7_join_s_n2"),
+                        join_hints(scale.nations));
+  f.op(jsn2).manual_summary = ConcatJoinSummary();
+  // schema: ... | n2 15-16
+
+  // --- Disjunctive nation-pair filter (implemented as a Map, like the
+  // paper's handling of the circular join predicate). ---
+  std::shared_ptr<const tac::Function> disj;
+  {
+    FunctionBuilder b("q7_nation_pair_filter", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg a = b.GetField(ir, 14);
+    Reg bb = b.GetField(ir, 16);
+    Reg x = b.ConstStr("NATION3");
+    Reg y = b.ConstStr("NATION7");
+    Reg c1 = b.And(b.CmpEq(a, x), b.CmpEq(bb, y));
+    Reg c2 = b.And(b.CmpEq(a, y), b.CmpEq(bb, x));
+    Reg ok = b.Or(c1, c2);
+    tac::Label skip = b.NewLabel();
+    b.BranchIfFalse(ok, skip);
+    Reg out = b.Copy(ir);
+    b.Emit(out);
+    b.Bind(skip);
+    b.Return();
+    disj = Built(std::move(b));
+  }
+  Hints disj_hints;
+  disj_hints.selectivity =
+      2.0 / (static_cast<double>(scale.nations) * scale.nations);
+  int dis = f.AddMap("q7_nation_pair_filter", jsn2, disj, disj_hints);
+  f.op(dis).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .DecisionReads(0, {14, 16})
+                                 .Emits(0, 1)
+                                 .Build();
+
+  // --- γ: group by (n1 name, n2 name, year), sum volume into field 17. ---
+  std::shared_ptr<const tac::Function> gamma;
+  {
+    FunctionBuilder b("q7_sum_volume", 1, UdfKind::kKat);
+    Reg n = b.InputCount(0);
+    Reg i = b.ConstInt(0);
+    Reg sum = b.ConstInt(0);
+    tac::Label loop = b.NewLabel();
+    tac::Label done = b.NewLabel();
+    b.Bind(loop);
+    Reg cont = b.CmpLt(i, n);
+    b.BranchIfFalse(cont, done);
+    Reg r = b.InputAt(0, i);
+    Reg v = b.GetField(r, 6);
+    b.AccumAdd(sum, v);
+    b.AccumAdd(i, b.ConstInt(1));
+    b.Goto(loop);
+    b.Bind(done);
+    Reg first = b.InputAt(0, b.ConstInt(0));
+    Reg out = b.Copy(first);
+    b.SetField(out, 17, sum);
+    b.Emit(out);
+    b.Return();
+    gamma = Built(std::move(b));
+  }
+  Hints gamma_hints;
+  gamma_hints.distinct_keys = 4;  // two nation pairs × two years in range
+  gamma_hints.selectivity = 1.0;
+  int gam = f.AddReduce("q7_sum_volume", dis, {14, 16, 5}, gamma, gamma_hints);
+  f.op(gam).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .Reads(0, {6})
+                                 .Modifies(17)
+                                 .Emits(1, 1)
+                                 .Build();
+
+  f.SetSink("q7_sink", gam);
+
+  // --- Data ---
+  {
+    DataSet lineitem;
+    for (int64_t i = 0; i < scale.lineitems; ++i) {
+      Record r;
+      r.Append(Value(rng.Uniform(0, scale.orders - 1)));    // l_orderkey
+      r.Append(Value(rng.Uniform(0, scale.suppliers - 1))); // l_suppkey
+      r.Append(Value(rng.Uniform(100, 99999)));             // extendedprice
+      r.Append(Value(rng.Uniform(0, 10)));                  // discount (%)
+      r.Append(Value(rng.Uniform(kDateLo, kDateHi)));       // shipdate
+      lineitem.Add(std::move(r));
+    }
+    w.source_data[li] = std::move(lineitem);
+
+    DataSet supplier;
+    for (int64_t i = 0; i < scale.suppliers; ++i) {
+      Record r;
+      r.Append(Value(i));
+      r.Append(Value(rng.Uniform(0, scale.nations - 1)));
+      supplier.Add(std::move(r));
+    }
+    w.source_data[s] = std::move(supplier);
+
+    DataSet orders;
+    for (int64_t i = 0; i < scale.orders; ++i) {
+      Record r;
+      r.Append(Value(i));
+      r.Append(Value(rng.Uniform(0, scale.customers - 1)));
+      orders.Add(std::move(r));
+    }
+    w.source_data[o] = std::move(orders);
+
+    DataSet customer;
+    for (int64_t i = 0; i < scale.customers; ++i) {
+      Record r;
+      r.Append(Value(i));
+      r.Append(Value(rng.Uniform(0, scale.nations - 1)));
+      customer.Add(std::move(r));
+    }
+    w.source_data[c] = std::move(customer);
+
+    w.source_data[n1] = GenNation(scale.nations);
+    w.source_data[n2] = GenNation(scale.nations);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Q15
+// ---------------------------------------------------------------------------
+
+Workload MakeTpchQ15(const TpchScale& scale) {
+  Workload w;
+  w.name = "tpch_q15";
+  Rng rng(scale.seed + 1);
+
+  DataFlow& f = w.flow;
+  int li = f.AddSource("lineitem", 4, scale.lineitems, 40);
+  int s = f.AddSource("supplier", 3, scale.suppliers, 40, {0});
+
+  // σ: shipdate filter on field 3 (must see the raw date format, hence it can
+  // never move above the normalizing Map below).
+  Hints sigma_hints;
+  sigma_hints.selectivity = 0.25;
+  int sig = f.AddMap("q15_filter_shipdate", li,
+                     MakeShipdateFilter("q15_filter_shipdate", 3, kQ15FilterLo,
+                                        kQ15FilterHi),
+                     sigma_hints);
+  f.op(sig).manual_summary = ShipdateFilterSummary(3);
+
+  // π: normalizes the shipdate in place (writes field 3) and appends the
+  // per-record revenue as field 4.
+  std::shared_ptr<const tac::Function> prep;
+  {
+    FunctionBuilder b("q15_prepare", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg price = b.GetField(ir, 1);
+    Reg disc = b.GetField(ir, 2);
+    Reg date = b.GetField(ir, 3);
+    Reg out = b.Copy(ir);
+    Reg norm = b.Sub(date, b.ConstInt(kDateLo));
+    b.SetField(out, 3, norm);
+    Reg hundred = b.ConstInt(100);
+    Reg rev = b.Sub(b.Mul(price, hundred), b.Mul(price, disc));
+    b.SetField(out, 4, rev);
+    b.Emit(out);
+    b.Return();
+    prep = Built(std::move(b));
+  }
+  int pre = f.AddMap("q15_prepare", sig, prep);
+  f.op(pre).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .Reads(0, {1, 2, 3})
+                                 .Modifies(3)
+                                 .Modifies(4)
+                                 .Emits(1, 1)
+                                 .Build();
+
+  // γ: total revenue per supplier key, appended as field 5.
+  std::shared_ptr<const tac::Function> gamma;
+  {
+    FunctionBuilder b("q15_sum_revenue", 1, UdfKind::kKat);
+    Reg n = b.InputCount(0);
+    Reg i = b.ConstInt(0);
+    Reg sum = b.ConstInt(0);
+    tac::Label loop = b.NewLabel();
+    tac::Label done = b.NewLabel();
+    b.Bind(loop);
+    b.BranchIfFalse(b.CmpLt(i, n), done);
+    Reg r = b.InputAt(0, i);
+    b.AccumAdd(sum, b.GetField(r, 4));
+    b.AccumAdd(i, b.ConstInt(1));
+    b.Goto(loop);
+    b.Bind(done);
+    Reg out = b.Copy(b.InputAt(0, b.ConstInt(0)));
+    b.SetField(out, 5, sum);
+    b.Emit(out);
+    b.Return();
+    gamma = Built(std::move(b));
+  }
+  Hints gamma_hints;
+  gamma_hints.distinct_keys = scale.suppliers;
+  int gam = f.AddReduce("q15_sum_revenue", pre, {0}, gamma, gamma_hints);
+  f.op(gam).manual_summary = SummaryBuilder(1)
+                                 .CopyOf(0)
+                                 .Reads(0, {4})
+                                 .Modifies(5)
+                                 .Emits(1, 1)
+                                 .Build();
+
+  // Match with supplier (PK side) on s_suppkey = l_suppkey.
+  Hints join_hints;
+  join_hints.distinct_keys = scale.suppliers;
+  int join = f.AddMatch("q15_join_supplier", s, gam, {0}, {0},
+                        MakeConcatJoinUdf("q15_join_supplier"), join_hints);
+  f.op(join).manual_summary = ConcatJoinSummary();
+
+  f.SetSink("q15_sink", join);
+
+  // --- Data ---
+  DataSet lineitem;
+  for (int64_t i = 0; i < scale.lineitems; ++i) {
+    Record r;
+    r.Append(Value(rng.Uniform(0, scale.suppliers - 1)));  // l_suppkey
+    r.Append(Value(rng.Uniform(100, 99999)));              // extendedprice
+    r.Append(Value(rng.Uniform(0, 10)));                   // discount (%)
+    r.Append(Value(rng.Uniform(kDateLo, kDateHi)));        // shipdate
+    lineitem.Add(std::move(r));
+  }
+  w.source_data[li] = std::move(lineitem);
+
+  DataSet supplier;
+  for (int64_t i = 0; i < scale.suppliers; ++i) {
+    Record r;
+    r.Append(Value(i));
+    r.Append(Value("supplier_" + std::to_string(i)));
+    r.Append(Value(rng.Uniform(0, 100000)));
+    supplier.Add(std::move(r));
+  }
+  w.source_data[s] = std::move(supplier);
+
+  return w;
+}
+
+}  // namespace workloads
+}  // namespace blackbox

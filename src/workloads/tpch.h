@@ -1,0 +1,45 @@
+// TPC-H-derived relational OLAP workloads (§7.2): the paper's modified
+// queries 7 and 15, hand-crafted as PACT data flows over a synthetic TPC-H
+// subset generator. Schemas are trimmed to the attributes the queries touch.
+//
+// Q7 (Figure 2a): lineitem shipdate filter -> five Match joins
+// (l⋈s, l⋈o, o⋈c, c⋈n1, s⋈n2) -> disjunctive nation-pair filter Map ->
+// Reduce with sum aggregation over (n1, n2, year).
+//
+// Q15 (Figure 3a): lineitem shipdate filter Map -> revenue-preparation Map ->
+// Reduce summing revenue per supplier -> Match with supplier. The
+// Match/Reduce exchange is the invariant-grouping (aggregation push-up)
+// rewrite discussed in §7.3.
+
+#ifndef BLACKBOX_WORKLOADS_TPCH_H_
+#define BLACKBOX_WORKLOADS_TPCH_H_
+
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace workloads {
+
+struct TpchScale {
+  int64_t suppliers = 100;
+  int64_t customers = 1500;
+  int64_t orders = 15000;
+  int64_t lineitems = 60000;
+  int64_t nations = 25;
+  uint64_t seed = 42;
+};
+
+/// lineitem: 0 l_orderkey, 1 l_suppkey, 2 l_extendedprice, 3 l_discount,
+///           4 l_shipdate (int yyyymmdd)
+/// supplier: 0 s_suppkey, 1 s_nationkey
+/// orders:   0 o_orderkey, 1 o_custkey
+/// customer: 0 c_custkey, 1 c_nationkey
+/// nation:   0 n_nationkey, 1 n_name
+Workload MakeTpchQ7(const TpchScale& scale = {});
+
+/// lineitem as above; supplier: 0 s_suppkey, 1 s_name, 2 s_acctbal.
+Workload MakeTpchQ15(const TpchScale& scale = {});
+
+}  // namespace workloads
+}  // namespace blackbox
+
+#endif  // BLACKBOX_WORKLOADS_TPCH_H_

@@ -1,0 +1,24 @@
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace workloads {
+
+std::shared_ptr<const tac::Function> MakeConcatJoinUdf(
+    const std::string& name) {
+  tac::FunctionBuilder b(name, 2, tac::UdfKind::kRat);
+  tac::Reg l = b.InputRecord(0);
+  tac::Reg r = b.InputRecord(1);
+  tac::Reg out = b.Concat(l, r);
+  b.Emit(out);
+  b.Return();
+  StatusOr<tac::Function> fn = b.Build();
+  assert(fn.ok());
+  return std::make_shared<const tac::Function>(std::move(fn).value());
+}
+
+sca::LocalUdfSummary ConcatJoinSummary() {
+  return SummaryBuilder(2).Concat().Emits(1, 1).Build();
+}
+
+}  // namespace workloads
+}  // namespace blackbox

@@ -1,0 +1,106 @@
+// Common scaffolding for the four evaluation workloads (§7.2): a Workload
+// bundles a PACT data flow, generated source data, and expectations used by
+// the benchmark harnesses. All workload UDFs are written in the TAC IR and
+// carry hand-written manual annotations, so both annotation modes of Table 1
+// can be exercised.
+
+#ifndef BLACKBOX_WORKLOADS_WORKLOAD_H_
+#define BLACKBOX_WORKLOADS_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dataflow/flow.h"
+#include "record/record.h"
+#include "sca/summary.h"
+
+namespace blackbox {
+namespace workloads {
+
+/// A complete evaluation task: flow + data.
+struct Workload {
+  std::string name;
+  dataflow::DataFlow flow;
+  /// Source operator id -> generated data (source-local record layout).
+  std::map<int, DataSet> source_data;
+};
+
+/// Convenience: builds a manual LocalUdfSummary. Field writes and reads are
+/// specified with the same local indices the UDF code uses.
+class SummaryBuilder {
+ public:
+  explicit SummaryBuilder(int num_inputs) {
+    s_.num_inputs = num_inputs;
+    s_.reads.resize(num_inputs);
+    s_.decision_reads.resize(num_inputs);
+  }
+
+  SummaryBuilder& Reads(int input, std::initializer_list<int> fields) {
+    for (int f : fields) s_.reads[input].Add(f);
+    return *this;
+  }
+  SummaryBuilder& DecisionReads(int input, std::initializer_list<int> fields) {
+    for (int f : fields) {
+      s_.reads[input].Add(f);
+      s_.decision_reads[input].Add(f);
+    }
+    return *this;
+  }
+  SummaryBuilder& CopyOf(int input) {
+    s_.out_kind = sca::OutputKind::kCopyOfInput;
+    s_.copy_input = input;
+    return *this;
+  }
+  SummaryBuilder& Projection() {
+    s_.out_kind = sca::OutputKind::kProjection;
+    return *this;
+  }
+  SummaryBuilder& Concat() {
+    s_.out_kind = sca::OutputKind::kConcat;
+    return *this;
+  }
+  SummaryBuilder& Modifies(int pos) {
+    sca::FieldWrite w;
+    w.out_pos = pos;
+    w.kind = sca::FieldWrite::Kind::kModify;
+    s_.writes.push_back(w);
+    s_.max_out_pos = std::max(s_.max_out_pos, pos);
+    return *this;
+  }
+  SummaryBuilder& Keeps(int pos, int from_input, int from_field) {
+    sca::FieldWrite w;
+    w.out_pos = pos;
+    w.kind = sca::FieldWrite::Kind::kExplicitCopy;
+    w.from_input = from_input;
+    w.from_field = from_field;
+    s_.writes.push_back(w);
+    s_.reads[from_input].Add(from_field);
+    s_.max_out_pos = std::max(s_.max_out_pos, pos);
+    return *this;
+  }
+  SummaryBuilder& Emits(int min_emits, int max_emits) {
+    s_.min_emits = min_emits;
+    s_.max_emits = max_emits;
+    return *this;
+  }
+
+  sca::LocalUdfSummary Build() const { return s_; }
+
+ private:
+  sca::LocalUdfSummary s_;
+};
+
+/// Builds a Match UDF that concatenates both input records and emits the
+/// result — the plain equi-join UDF used throughout the workloads.
+std::shared_ptr<const tac::Function> MakeConcatJoinUdf(const std::string& name);
+
+/// Manual summary of MakeConcatJoinUdf.
+sca::LocalUdfSummary ConcatJoinSummary();
+
+}  // namespace workloads
+}  // namespace blackbox
+
+#endif  // BLACKBOX_WORKLOADS_WORKLOAD_H_

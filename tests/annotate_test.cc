@@ -1,0 +1,158 @@
+// Annotation-layer tests: the global record (Definition 1), redirection
+// schemas, write-set resolution including the complement representation for
+// implicit projection, and manual-vs-SCA agreement.
+
+#include "dataflow/annotate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_flows.h"
+#include "workloads/clickstream.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace dataflow {
+namespace {
+
+TEST(Annotate, Section3GlobalRecordHasTwoAttrs) {
+  DataFlow flow = blackbox::testing::MakeSection3Flow();
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok()) << af.status().ToString();
+  // The three maps only modify existing attributes: the global record is
+  // exactly {A, B}.
+  EXPECT_EQ(af->global.size(), 2);
+  // R_f1 = {B}, W_f1 = {B}.
+  EXPECT_TRUE(af->of(1).read.Contains(1));
+  EXPECT_TRUE(af->of(1).write.Contains(1));
+  EXPECT_FALSE(af->of(1).write.Contains(0));
+  // R_f2 = {A}, W_f2 = {}.
+  EXPECT_TRUE(af->of(2).read.Contains(0));
+  EXPECT_TRUE(af->of(2).write.Empty());
+  // W_f3 = {A}.
+  EXPECT_TRUE(af->of(3).write.Contains(0));
+}
+
+TEST(Annotate, NewAttributesJoinTheGlobalRecord) {
+  DataFlow flow = blackbox::testing::MakeSection422Flow();
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  // The Reduce appends attribute C: global record = {A, B, C}.
+  EXPECT_EQ(af->global.size(), 3);
+  const OpProperties& reduce = af->of(2);
+  EXPECT_EQ(reduce.out_schema.size(), 3u);
+  // C is newly created: in the write set and the introduced set (Def. 2
+  // case 1).
+  EXPECT_TRUE(reduce.write.Contains(2));
+  EXPECT_TRUE(reduce.introduced.Contains(2));
+}
+
+TEST(Annotate, KeysAreInReadAndDecisionSets) {
+  DataFlow flow = blackbox::testing::MakeSection422Flow();
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  const OpProperties& reduce = af->of(2);
+  ASSERT_EQ(reduce.keys[0].size(), 1u);
+  EXPECT_TRUE(reduce.read.Contains(reduce.keys[0][0]));
+  EXPECT_TRUE(reduce.decision.Contains(reduce.keys[0][0]));
+}
+
+TEST(Annotate, ImplicitProjectionProducesComplementWriteSet) {
+  DataFlow f;
+  int src = f.AddSource("I", 3, 100, 27);
+  tac::FunctionBuilder b("project_keep0", 1, tac::UdfKind::kRat);
+  tac::Reg ir = b.InputRecord(0);
+  tac::Reg k = b.GetField(ir, 0);
+  tac::Reg out = b.NewRecord();
+  b.SetField(out, 0, k);
+  b.Emit(out);
+  b.Return();
+  int map = f.AddMap("project_keep0", src,
+                     blackbox::testing::Built(std::move(b)));
+  f.SetSink("O", map);
+
+  StatusOr<AnnotatedFlow> af = Annotate(f, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  const OpProperties& p = af->of(map);
+  EXPECT_TRUE(p.write.is_complement());
+  EXPECT_FALSE(p.write.Contains(0));  // the kept attribute
+  EXPECT_TRUE(p.write.Contains(1));   // projected away
+  EXPECT_TRUE(p.write.Contains(2));
+  EXPECT_TRUE(p.write.Contains(999));  // and any future attribute
+}
+
+TEST(Annotate, RejectsReadsBeyondSchema) {
+  // A UDF addressing a field its input schema does not have (e.g., after an
+  // upstream projection narrowed the record) makes the program ill-formed;
+  // annotation reports it instead of guessing.
+  DataFlow f;
+  int src = f.AddSource("I", 2, 10, 18);
+  tac::FunctionBuilder b("reads_field_5", 1, tac::UdfKind::kRat);
+  tac::Reg ir = b.InputRecord(0);
+  tac::Reg v = b.GetField(ir, 5);
+  tac::Reg out = b.Copy(ir);
+  b.SetField(out, 0, v);
+  b.Emit(out);
+  b.Return();
+  int map = f.AddMap("reads_field_5", src,
+                     blackbox::testing::Built(std::move(b)));
+  f.SetSink("O", map);
+  StatusOr<AnnotatedFlow> af = Annotate(f, AnnotationMode::kSca);
+  EXPECT_FALSE(af.ok());
+  EXPECT_EQ(af.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Annotate, ManualModeRequiresSummaries) {
+  DataFlow flow = blackbox::testing::MakeSection3Flow();  // no annotations
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kManual);
+  EXPECT_FALSE(af.ok());
+  EXPECT_EQ(af.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Annotate, ScaIsSupersetOfManualOnWorkloads) {
+  // Conservatism: for every operator, the SCA-derived read/write sets contain
+  // the manually annotated (true) sets.
+  for (workloads::Workload w :
+       {workloads::MakeClickstream({}), workloads::MakeTpchQ15({})}) {
+    StatusOr<AnnotatedFlow> manual = Annotate(w.flow, AnnotationMode::kManual);
+    StatusOr<AnnotatedFlow> sca = Annotate(w.flow, AnnotationMode::kSca);
+    ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+    ASSERT_TRUE(sca.ok()) << sca.status().ToString();
+    for (int i = 0; i < w.flow.num_ops(); ++i) {
+      EXPECT_TRUE(manual->of(i).read.IsSubsetOf(sca->of(i).read))
+          << w.name << " op " << w.flow.op(i).name << ": manual R "
+          << manual->of(i).read.ToString() << " vs SCA R "
+          << sca->of(i).read.ToString();
+      EXPECT_TRUE(manual->of(i).write.IsSubsetOf(sca->of(i).write))
+          << w.name << " op " << w.flow.op(i).name;
+    }
+  }
+}
+
+TEST(Annotate, SchemasTrackConcatLayout) {
+  workloads::Workload w = workloads::MakeTpchQ15({});
+  StatusOr<AnnotatedFlow> af = Annotate(w.flow, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  // Join output schema = supplier (3 fields) + lineitem pipeline (6 fields).
+  const OpProperties& join = af->of(5);
+  EXPECT_EQ(join.out_schema.size(), 9u);
+}
+
+TEST(Annotate, ValidateRejectsDagShapedFlows) {
+  DataFlow f;
+  int src = f.AddSource("I", 2, 10, 18);
+  int m1 = f.AddMap("a", src, blackbox::testing::MakeAbsUdf());
+  // Consume m1 twice: not a tree.
+  tac::FunctionBuilder jb("join", 2, tac::UdfKind::kRat);
+  tac::Reg l = jb.InputRecord(0);
+  tac::Reg r = jb.InputRecord(1);
+  jb.Emit(jb.Concat(l, r));
+  jb.Return();
+  int j = f.AddMatch("self_join", m1, m1, {0}, {0},
+                     blackbox::testing::Built(std::move(jb)));
+  f.SetSink("O", j);
+  EXPECT_FALSE(f.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace blackbox

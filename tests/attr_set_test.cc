@@ -1,0 +1,88 @@
+#include "dataflow/attr_set.h"
+
+#include <gtest/gtest.h>
+
+namespace blackbox {
+namespace dataflow {
+namespace {
+
+TEST(AttrSet, PositiveBasics) {
+  AttrSet s = AttrSet::Of({1, 2});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(s.Empty());
+  EXPECT_TRUE(AttrSet::None().Empty());
+}
+
+TEST(AttrSet, PositiveIntersection) {
+  EXPECT_TRUE(AttrSet::Of({1, 2}).Intersects(AttrSet::Of({2, 3})));
+  EXPECT_FALSE(AttrSet::Of({1, 2}).Intersects(AttrSet::Of({3, 4})));
+  EXPECT_FALSE(AttrSet::None().Intersects(AttrSet::Of({1})));
+}
+
+TEST(AttrSet, ComplementContains) {
+  AttrSet w = AttrSet::AllExcept({5});
+  EXPECT_TRUE(w.Contains(0));
+  EXPECT_TRUE(w.Contains(1000));
+  EXPECT_FALSE(w.Contains(5));
+}
+
+TEST(AttrSet, ComplementIntersection) {
+  AttrSet w = AttrSet::AllExcept({5, 6});
+  EXPECT_TRUE(w.Intersects(AttrSet::Of({1})));
+  EXPECT_FALSE(w.Intersects(AttrSet::Of({5, 6})));
+  EXPECT_TRUE(w.Intersects(AttrSet::Of({5, 7})));
+  // Two cofinite sets always intersect.
+  EXPECT_TRUE(w.Intersects(AttrSet::AllExcept({1})));
+  // The empty set intersects nothing, even a complement.
+  EXPECT_FALSE(AttrSet::None().Intersects(w));
+}
+
+TEST(AttrSet, UnionPositivePositive) {
+  AttrSet u = AttrSet::Of({1}).Union(AttrSet::Of({2}));
+  EXPECT_TRUE(u.Contains(1));
+  EXPECT_TRUE(u.Contains(2));
+  EXPECT_FALSE(u.Contains(3));
+}
+
+TEST(AttrSet, UnionWithComplement) {
+  AttrSet u = AttrSet::Of({5}).Union(AttrSet::AllExcept({5, 6}));
+  EXPECT_TRUE(u.Contains(5));   // added back by the positive side
+  EXPECT_FALSE(u.Contains(6));  // still excluded
+  EXPECT_TRUE(u.Contains(99));
+}
+
+TEST(AttrSet, UnionComplementComplement) {
+  AttrSet u = AttrSet::AllExcept({1, 2}).Union(AttrSet::AllExcept({2, 3}));
+  EXPECT_FALSE(u.Contains(2));  // excluded from both
+  EXPECT_TRUE(u.Contains(1));
+  EXPECT_TRUE(u.Contains(3));
+}
+
+TEST(AttrSet, SubsetChecks) {
+  EXPECT_TRUE(AttrSet::Of({1}).IsSubsetOf(AttrSet::Of({1, 2})));
+  EXPECT_FALSE(AttrSet::Of({1, 3}).IsSubsetOf(AttrSet::Of({1, 2})));
+  EXPECT_TRUE(AttrSet::Of({7}).IsSubsetOf(AttrSet::AllExcept({5})));
+  EXPECT_FALSE(AttrSet::Of({5}).IsSubsetOf(AttrSet::AllExcept({5})));
+  // Cofinite is never a subset of a finite set.
+  EXPECT_FALSE(AttrSet::AllExcept({1}).IsSubsetOf(AttrSet::Of({1, 2})));
+  EXPECT_TRUE(
+      AttrSet::AllExcept({1, 2}).IsSubsetOf(AttrSet::AllExcept({1})));
+  EXPECT_TRUE(AttrSet::None().IsSubsetOf(AttrSet::None()));
+}
+
+TEST(AttrSet, AddOnComplementRemovesExclusion) {
+  AttrSet w = AttrSet::AllExcept({4});
+  EXPECT_FALSE(w.Contains(4));
+  w.Add(4);
+  EXPECT_TRUE(w.Contains(4));
+}
+
+TEST(AttrSet, AllIntersectsEverythingNonEmpty) {
+  EXPECT_TRUE(AttrSet::All().Intersects(AttrSet::Of({0})));
+  EXPECT_FALSE(AttrSet::All().Intersects(AttrSet::None()));
+}
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace blackbox

@@ -1,0 +1,139 @@
+// Tests for the common substrate: Status/StatusOr, deterministic RNG, and
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace blackbox {
+namespace {
+
+TEST(Status, CodesRoundTrip) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> s(std::string("hello"));
+  std::string v = std::move(s).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ReturnNotOkMacro, PropagatesFailure) {
+  auto inner = []() { return Status::InvalidArgument("bad"); };
+  auto outer = [&]() -> Status {
+    BLACKBOX_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  // Different seed diverges immediately with overwhelming probability.
+  Rng a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit
+  EXPECT_EQ(rng.Uniform(4, 4), 4);
+  EXPECT_EQ(rng.Uniform(9, 2), 9);  // degenerate range clamps to lo
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ZipfBoundsAndSkew) {
+  Rng rng(19);
+  int64_t low_bucket = 0;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    if (v <= 10) ++low_bucket;
+  }
+  // Skewed: the first decile gets far more than 10% of the mass.
+  EXPECT_GT(low_bucket, 2500);
+  EXPECT_EQ(rng.Zipf(1, 1.2), 1);
+}
+
+TEST(Rng, StringHasRequestedLengthAndAlphabet) {
+  Rng rng(23);
+  std::string s = rng.String(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(StrUtil, JoinFormatsWithSeparator) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(Join(v, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+}
+
+TEST(StrUtil, SplitPreservesEmptyTokens) {
+  std::vector<std::string> parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace blackbox

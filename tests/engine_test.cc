@@ -1,0 +1,130 @@
+// Execution engine tests: the Section 3 example end to end, byte metering of
+// shipping strategies, and estimate-vs-measured sanity.
+
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/optimizer_api.h"
+#include "tests/test_flows.h"
+
+namespace blackbox {
+namespace engine {
+namespace {
+
+using core::BlackBoxOptimizer;
+using dataflow::AnnotationMode;
+
+TEST(Engine, Section3FlowComputesExpectedOutput) {
+  dataflow::DataFlow flow = testing::MakeSection3Flow();
+  DataSet data = testing::MakeSection3Data();
+
+  BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ExecOptions eo;
+  eo.dop = 3;
+  Executor exec(&result->annotated, eo);
+  exec.BindSource(0, &data);
+
+  StatusOr<DataSet> out = exec.Execute(result->ranked[0].physical);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // Input: (2,-3) -> (5,3); (-2,-3) filtered; (5,1) -> (6,1);
+  // (0,0) -> (0,0); (-7,4) filtered.
+  DataSet expected;
+  expected.Add(Record({Value(int64_t{5}), Value(int64_t{3})}));
+  expected.Add(Record({Value(int64_t{6}), Value(int64_t{1})}));
+  expected.Add(Record({Value(int64_t{0}), Value(int64_t{0})}));
+  EXPECT_TRUE(out->BagEquals(expected)) << out->ToString();
+}
+
+TEST(Engine, AllSection3AlternativesAgree) {
+  dataflow::DataFlow flow = testing::MakeSection3Flow();
+  DataSet data = testing::MakeSection3Data();
+  BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->ranked.size(), 2u);
+
+  Executor exec(&result->annotated);
+  exec.BindSource(0, &data);
+  StatusOr<DataSet> a = exec.Execute(result->ranked[0].physical);
+  StatusOr<DataSet> b = exec.Execute(result->ranked[1].physical);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->BagEquals(*b));
+}
+
+TEST(Engine, StatsAreMetered) {
+  dataflow::DataFlow flow = testing::MakeSection422Flow();
+  DataSet data;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    data.Add(Record({Value(rng.Uniform(0, 20)), Value(rng.Uniform(0, 50))}));
+  }
+  BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok());
+
+  ExecOptions eo;
+  eo.dop = 4;
+  Executor exec(&result->annotated, eo);
+  exec.BindSource(0, &data);
+  ExecStats stats;
+  StatusOr<DataSet> out = exec.Execute(result->ranked[0].physical, &stats);
+  ASSERT_TRUE(out.ok());
+  // The Reduce repartitions by key: bytes must cross instances.
+  EXPECT_GT(stats.network_bytes, 0);
+  EXPECT_GT(stats.udf_calls, 0);
+  EXPECT_GT(stats.records_processed, 0);
+  EXPECT_EQ(stats.output_rows, static_cast<int64_t>(out->size()));
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(Engine, MissingSourceBindingFails) {
+  dataflow::DataFlow flow = testing::MakeSection3Flow();
+  BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok());
+  Executor exec(&result->annotated);
+  StatusOr<DataSet> out = exec.Execute(result->ranked[0].physical);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Engine, DopOneAndManyProduceSameResult) {
+  dataflow::DataFlow flow = testing::MakeSection422Flow();
+  DataSet data;
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    data.Add(Record({Value(rng.Uniform(0, 10)), Value(rng.Uniform(0, 9))}));
+  }
+  BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok());
+
+  StatusOr<DataSet> out1 = [&] {
+    ExecOptions eo;
+    eo.dop = 1;
+    Executor exec(&result->annotated, eo);
+    exec.BindSource(0, &data);
+    return exec.Execute(result->ranked[0].physical);
+  }();
+  StatusOr<DataSet> out8 = [&] {
+    ExecOptions eo;
+    eo.dop = 8;
+    Executor exec(&result->annotated, eo);
+    exec.BindSource(0, &data);
+    return exec.Execute(result->ranked[0].physical);
+  }();
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out8.ok());
+  EXPECT_TRUE(out1->BagEquals(*out8));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace blackbox

@@ -1,0 +1,194 @@
+// Plan enumeration tests: the Section 6 worked example, Algorithm 1
+// cross-validation against the closure enumerator, and memoization behaviour.
+
+#include "enumerate/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataflow/annotate.h"
+#include "tests/test_flows.h"
+
+namespace blackbox {
+namespace enumerate {
+namespace {
+
+using dataflow::AnnotatedFlow;
+using dataflow::Annotate;
+using dataflow::AnnotationMode;
+using dataflow::DataFlow;
+using reorder::CanonicalString;
+
+AnnotatedFlow MustAnnotate(const DataFlow& flow) {
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kSca);
+  EXPECT_TRUE(af.ok()) << af.status().ToString();
+  return std::move(af).value();
+}
+
+std::set<std::string> Canon(const EnumResult& r) {
+  std::set<std::string> out;
+  for (const auto& p : r.plans) out.insert(CanonicalString(p));
+  return out;
+}
+
+TEST(Enumerate, Section6WorkedExampleYieldsThreeFlows) {
+  // The paper's example: Src -> Map1 -> Map2 -> Map3 where all pairs reorder
+  // except (Map2, Map3). Expected alternatives:
+  //   [Src,Map1,Map2,Map3], [Src,Map2,Map1,Map3], [Src,Map2,Map3,Map1].
+  // Our Section 3 flow has exactly this conflict structure with the roles
+  // Map1=f1(abs B), Map2=f2(filter A), Map3=f3(A := A+B): f1/f2 commute,
+  // f1/f3 conflict on B, f2/f3 conflict on A. The paper's example assumes
+  // Map1/Map3 commute, so we relabel: here the reachable set is
+  //   {123, 213} plus nothing else (f3 is pinned by both).
+  DataFlow flow = testing::MakeSection3Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  StatusOr<EnumResult> r = EnumerateAlternatives(af);
+  ASSERT_TRUE(r.ok());
+  std::set<std::string> expected = {
+      "4(3(2(1(0))))",  // original
+      "4(3(1(2(0))))",  // Map1 and Map2 swapped
+  };
+  EXPECT_EQ(Canon(*r), expected);
+}
+
+TEST(Enumerate, Algorithm1MatchesClosureOnMapChains) {
+  DataFlow flow = testing::MakeSection3Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  StatusOr<EnumResult> closure = EnumerateAlternatives(af);
+  StatusOr<EnumResult> algo1 = EnumerateChainAlgorithm1(af);
+  ASSERT_TRUE(closure.ok());
+  ASSERT_TRUE(algo1.ok());
+  EXPECT_EQ(Canon(*closure), Canon(*algo1));
+}
+
+TEST(Enumerate, FullyCommutingChainYieldsAllPermutations) {
+  // Three Maps over disjoint attributes commute freely: 3! = 6 orders.
+  DataFlow f;
+  int src = f.AddSource("I", 3, 100, 27);
+  auto make_map = [&](const std::string& name, int field) {
+    tac::FunctionBuilder b(name, 1, tac::UdfKind::kRat);
+    tac::Reg ir = b.InputRecord(0);
+    tac::Reg v = b.GetField(ir, field);
+    tac::Reg out = b.Copy(ir);
+    b.SetField(out, field, b.Add(v, b.ConstInt(1)));
+    b.Emit(out);
+    b.Return();
+    return testing::Built(std::move(b));
+  };
+  int m1 = f.AddMap("inc0", src, make_map("inc0", 0));
+  int m2 = f.AddMap("inc1", m1, make_map("inc1", 1));
+  int m3 = f.AddMap("inc2", m2, make_map("inc2", 2));
+  f.SetSink("O", m3);
+
+  AnnotatedFlow af = MustAnnotate(f);
+  StatusOr<EnumResult> closure = EnumerateAlternatives(af);
+  StatusOr<EnumResult> algo1 = EnumerateChainAlgorithm1(af);
+  ASSERT_TRUE(closure.ok());
+  ASSERT_TRUE(algo1.ok());
+  EXPECT_EQ(closure->plans.size(), 6u);
+  EXPECT_EQ(Canon(*closure), Canon(*algo1));
+}
+
+TEST(Enumerate, FullyConflictingChainYieldsOnlyOriginal) {
+  // Three Maps all rewriting the same attribute: no reordering is valid.
+  DataFlow f;
+  int src = f.AddSource("I", 1, 100, 9);
+  auto make_map = [&](const std::string& name) {
+    tac::FunctionBuilder b(name, 1, tac::UdfKind::kRat);
+    tac::Reg ir = b.InputRecord(0);
+    tac::Reg v = b.GetField(ir, 0);
+    tac::Reg out = b.Copy(ir);
+    b.SetField(out, 0, b.Mul(v, b.ConstInt(2)));
+    b.Emit(out);
+    b.Return();
+    return testing::Built(std::move(b));
+  };
+  int m1 = f.AddMap("dbl_a", src, make_map("dbl_a"));
+  int m2 = f.AddMap("dbl_b", m1, make_map("dbl_b"));
+  int m3 = f.AddMap("dbl_c", m2, make_map("dbl_c"));
+  f.SetSink("O", m3);
+
+  AnnotatedFlow af = MustAnnotate(f);
+  StatusOr<EnumResult> r = EnumerateAlternatives(af);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->plans.size(), 1u);
+  EXPECT_GT(r->rewrites_rejected, 0u);
+}
+
+TEST(Enumerate, LongCommutingChainStressesMemoization) {
+  // 6 commuting Maps: 720 orders; both enumerators must agree.
+  DataFlow f;
+  int prev = f.AddSource("I", 6, 100, 54);
+  for (int k = 0; k < 6; ++k) {
+    tac::FunctionBuilder b("inc" + std::to_string(k), 1, tac::UdfKind::kRat);
+    tac::Reg ir = b.InputRecord(0);
+    tac::Reg v = b.GetField(ir, k);
+    tac::Reg out = b.Copy(ir);
+    b.SetField(out, k, b.Add(v, b.ConstInt(1)));
+    b.Emit(out);
+    b.Return();
+    prev = f.AddMap("inc" + std::to_string(k), prev,
+                    testing::Built(std::move(b)));
+  }
+  f.SetSink("O", prev);
+  AnnotatedFlow af = MustAnnotate(f);
+  StatusOr<EnumResult> closure = EnumerateAlternatives(af);
+  StatusOr<EnumResult> algo1 = EnumerateChainAlgorithm1(af);
+  ASSERT_TRUE(closure.ok());
+  ASSERT_TRUE(algo1.ok());
+  EXPECT_EQ(closure->plans.size(), 720u);
+  EXPECT_EQ(Canon(*closure), Canon(*algo1));
+}
+
+TEST(Enumerate, MaxPlansLimitIsEnforced) {
+  DataFlow f;
+  int prev = f.AddSource("I", 6, 100, 54);
+  for (int k = 0; k < 6; ++k) {
+    tac::FunctionBuilder b("inc" + std::to_string(k), 1, tac::UdfKind::kRat);
+    tac::Reg ir = b.InputRecord(0);
+    tac::Reg v = b.GetField(ir, k);
+    tac::Reg out = b.Copy(ir);
+    b.SetField(out, k, b.Add(v, b.ConstInt(1)));
+    b.Emit(out);
+    b.Return();
+    prev = f.AddMap("inc" + std::to_string(k), prev,
+                    testing::Built(std::move(b)));
+  }
+  f.SetSink("O", prev);
+  AnnotatedFlow af = MustAnnotate(f);
+  EnumOptions opts;
+  opts.max_plans = 10;
+  StatusOr<EnumResult> r = EnumerateAlternatives(af, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(Enumerate, Algorithm1RejectsBinaryFlows) {
+  DataFlow f;
+  int a = f.AddSource("A", 2, 10, 18, {0});
+  int b = f.AddSource("B", 2, 10, 18, {0});
+  tac::FunctionBuilder jb("join", 2, tac::UdfKind::kRat);
+  tac::Reg l = jb.InputRecord(0);
+  tac::Reg r = jb.InputRecord(1);
+  jb.Emit(jb.Concat(l, r));
+  jb.Return();
+  int j = f.AddMatch("join", a, b, {0}, {0}, testing::Built(std::move(jb)));
+  f.SetSink("O", j);
+  AnnotatedFlow af = MustAnnotate(f);
+  StatusOr<EnumResult> r1 = EnumerateChainAlgorithm1(af);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), Status::Code::kNotSupported);
+}
+
+TEST(Enumerate, OriginalPlanIsAlwaysFirst) {
+  DataFlow flow = testing::MakeSection3Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  StatusOr<EnumResult> r = EnumerateAlternatives(af);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(CanonicalString(r->plans[0]), "4(3(2(1(0))))");
+}
+
+}  // namespace
+}  // namespace enumerate
+}  // namespace blackbox

@@ -1,0 +1,272 @@
+#include "interp/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace blackbox {
+namespace interp {
+namespace {
+
+using tac::FunctionBuilder;
+using tac::Label;
+using tac::Reg;
+using tac::UdfKind;
+
+tac::Function MustBuild(FunctionBuilder&& b) {
+  StatusOr<tac::Function> fn = b.Build();
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  return std::move(fn).value();
+}
+
+std::vector<Record> RunRat(const tac::Function& fn, const Record& input,
+                           const FieldTranslation& t = {}) {
+  Interpreter interp(&fn);
+  CallInputs ci;
+  ci.groups = {{&input}};
+  std::vector<Record> out;
+  Status s = interp.Run(ci, t, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(Interp, PaperExampleF1AbsoluteValue) {
+  // f1 from §3: B := |B|.
+  FunctionBuilder b("f1", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg bval = b.GetField(ir, 1);
+  Reg out = b.Copy(ir);
+  Label done = b.NewLabel();
+  b.BranchIfTrue(b.CmpGe(bval, b.ConstInt(0)), done);
+  b.SetField(out, 1, b.Neg(bval));
+  b.Bind(done);
+  b.Emit(out);
+  b.Return();
+  tac::Function f1 = MustBuild(std::move(b));
+
+  Record in({Value(int64_t{2}), Value(int64_t{-3})});
+  std::vector<Record> out1 = RunRat(f1, in);
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0].field(0).AsInt(), 2);
+  EXPECT_EQ(out1[0].field(1).AsInt(), 3);
+
+  Record pos({Value(int64_t{2}), Value(int64_t{3})});
+  std::vector<Record> out2 = RunRat(f1, pos);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].field(1).AsInt(), 3);
+}
+
+TEST(Interp, FilterEmitsNothingForNegative) {
+  FunctionBuilder b("f2", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);
+  Label skip = b.NewLabel();
+  b.BranchIfTrue(b.CmpLt(a, b.ConstInt(0)), skip);
+  b.Emit(b.Copy(ir));
+  b.Bind(skip);
+  b.Return();
+  tac::Function f2 = MustBuild(std::move(b));
+
+  EXPECT_EQ(RunRat(f2, Record({Value(int64_t{-2}), Value(int64_t{1})})).size(),
+            0u);
+  EXPECT_EQ(RunRat(f2, Record({Value(int64_t{2}), Value(int64_t{1})})).size(),
+            1u);
+}
+
+TEST(Interp, ArithmeticIntAndDouble) {
+  FunctionBuilder b("math", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg x = b.GetField(ir, 0);
+  Reg y = b.GetField(ir, 1);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 2, b.Add(x, y));
+  b.SetField(orec, 3, b.Mul(x, y));
+  b.SetField(orec, 4, b.Div(x, y));
+  b.SetField(orec, 5, b.Mod(x, y));
+  b.Emit(orec);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+  std::vector<Record> res =
+      RunRat(fn, Record({Value(int64_t{7}), Value(int64_t{2})}));
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].field(2).AsInt(), 9);
+  EXPECT_EQ(res[0].field(3).AsInt(), 14);
+  EXPECT_EQ(res[0].field(4).AsInt(), 3);
+  EXPECT_EQ(res[0].field(5).AsInt(), 1);
+}
+
+TEST(Interp, DivisionByZeroYieldsZeroNotCrash) {
+  FunctionBuilder b("div0", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg x = b.GetField(ir, 0);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 1, b.Div(x, b.ConstInt(0)));
+  b.Emit(orec);
+  b.Return();
+  std::vector<Record> res =
+      RunRat(MustBuild(std::move(b)), Record({Value(int64_t{5})}));
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].field(1).AsInt(), 0);
+}
+
+TEST(Interp, StringOps) {
+  FunctionBuilder b("strs", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg s = b.GetField(ir, 0);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 1, b.StrLen(s));
+  b.SetField(orec, 2, b.StrContains(s, b.ConstStr("gene")));
+  b.SetField(orec, 3, b.StrConcat(s, b.ConstStr("!")));
+  b.Emit(orec);
+  b.Return();
+  std::vector<Record> res = RunRat(MustBuild(std::move(b)),
+                                   Record({Value(std::string("a gene b"))}));
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].field(1).AsInt(), 8);
+  EXPECT_EQ(res[0].field(2).AsInt(), 1);
+  EXPECT_EQ(res[0].field(3).AsString(), "a gene b!");
+}
+
+TEST(Interp, KatLoopSumsGroup) {
+  FunctionBuilder b("sum", 1, UdfKind::kKat);
+  Reg n = b.InputCount(0);
+  Reg i = b.ConstInt(0);
+  Reg sum = b.ConstInt(0);
+  Label loop = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(loop);
+  b.BranchIfFalse(b.CmpLt(i, n), done);
+  Reg r = b.InputAt(0, i);
+  b.AccumAdd(sum, b.GetField(r, 1));
+  b.AccumAdd(i, b.ConstInt(1));
+  b.Goto(loop);
+  b.Bind(done);
+  Reg orec = b.Copy(b.InputAt(0, b.ConstInt(0)));
+  b.SetField(orec, 2, sum);
+  b.Emit(orec);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+
+  Record a({Value(int64_t{1}), Value(int64_t{10})});
+  Record bb({Value(int64_t{1}), Value(int64_t{32})});
+  Interpreter interp(&fn);
+  CallInputs ci;
+  ci.groups = {{&a, &bb}};
+  std::vector<Record> out;
+  ASSERT_TRUE(interp.Run(ci, {}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].field(2).AsInt(), 42);
+}
+
+TEST(Interp, FieldTranslationRedirectsAccesses) {
+  // The UDF reads local field 0 and writes local field 1; the redirection
+  // map places them at global positions 3 and 5 of a width-6 global record.
+  FunctionBuilder b("redirect", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg v = b.GetField(ir, 0);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 1, b.Add(v, b.ConstInt(1)));
+  b.Emit(orec);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+
+  FieldTranslation t;
+  t.global_width = 6;
+  t.input_maps = {{3, 5}};
+  t.output_map = {3, 5};
+
+  Record wide;
+  wide.SetField(5, Value::Null());
+  wide.SetField(3, Value(int64_t{41}));
+  std::vector<Record> res = RunRat(fn, wide, t);
+  ASSERT_EQ(res.size(), 1u);
+  ASSERT_EQ(res[0].num_fields(), 6u);
+  EXPECT_EQ(res[0].field(5).AsInt(), 42);
+  EXPECT_EQ(res[0].field(3).AsInt(), 41);
+}
+
+TEST(Interp, ConcatMergesByOwnedPositions) {
+  FunctionBuilder b("join", 2, UdfKind::kRat);
+  Reg l = b.InputRecord(0);
+  Reg r = b.InputRecord(1);
+  b.Emit(b.Concat(l, r));
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+
+  FieldTranslation t;
+  t.global_width = 4;
+  t.input_maps = {{0, 1}, {2, 3}};
+  t.output_map = {0, 1, 2, 3};
+  t.concat_positions = {{0, 1}, {2, 3}};
+
+  Record left;
+  left.SetField(3, Value::Null());
+  left.SetField(0, Value(int64_t{1}));
+  left.SetField(1, Value(int64_t{2}));
+  Record right;
+  right.SetField(3, Value(int64_t{4}));
+  right.SetField(2, Value(int64_t{3}));
+
+  Interpreter interp(&fn);
+  CallInputs ci;
+  ci.groups = {{&left}, {&right}};
+  std::vector<Record> out;
+  ASSERT_TRUE(interp.Run(ci, t, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].field(0).AsInt(), 1);
+  EXPECT_EQ(out[0].field(1).AsInt(), 2);
+  EXPECT_EQ(out[0].field(2).AsInt(), 3);
+  EXPECT_EQ(out[0].field(3).AsInt(), 4);
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit) {
+  FunctionBuilder b("spin", 1, UdfKind::kRat);
+  Label loop = b.NewLabel();
+  b.Bind(loop);
+  b.Goto(loop);
+  tac::Function fn = MustBuild(std::move(b));
+  Interpreter interp(&fn);
+  Record in({Value(int64_t{1})});
+  CallInputs ci;
+  ci.groups = {{&in}};
+  std::vector<Record> out;
+  Status s = interp.Run(ci, {}, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInternal);
+}
+
+TEST(Interp, CpuBurnIsMetered) {
+  FunctionBuilder b("burn", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  b.CpuBurn(123);
+  b.Emit(b.Copy(ir));
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+  Interpreter interp(&fn);
+  Record in({Value(int64_t{1})});
+  CallInputs ci;
+  ci.groups = {{&in}};
+  std::vector<Record> out;
+  RunStats rs;
+  ASSERT_TRUE(interp.Run(ci, {}, &out, &rs).ok());
+  EXPECT_EQ(rs.cpu_burn_units, 123);
+  EXPECT_EQ(rs.emits, 1);
+}
+
+TEST(Interp, DynamicFieldIndexReadsAtRuntime) {
+  FunctionBuilder b("dyn", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg sel = b.GetField(ir, 0);  // selects which field to read
+  Reg v = b.GetFieldDyn(ir, sel);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 3, v);
+  b.Emit(orec);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+  std::vector<Record> res = RunRat(
+      fn, Record({Value(int64_t{2}), Value(int64_t{7}), Value(int64_t{9})}));
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].field(3).AsInt(), 9);  // field[field[0]] == field[2]
+}
+
+}  // namespace
+}  // namespace interp
+}  // namespace blackbox

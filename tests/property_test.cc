@@ -1,0 +1,261 @@
+// Property-based tests (parameterized over RNG seeds) for the two safety
+// theorems the whole system rests on:
+//
+// 1. SCA conservatism (§5): for *randomly generated* UDFs, the statically
+//    derived read/write sets are supersets of the dynamically observed ones
+//    (ground truth obtained by black-box probing with perturbed inputs —
+//    literally Definitions 2 and 3 executed).
+//
+// 2. Reordering safety (§4): for randomly generated Map-chain flows, every
+//    plan the enumerator derives produces a bag-equal output on random data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "interp/interp.h"
+#include "sca/analyzer.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace {
+
+constexpr int kArity = 5;
+
+/// Generates a random RAT Map UDF over kArity integer fields. The generator
+/// covers: filters on random fields, modifications from random field
+/// combinations, appended fields, copy vs. projection constructors, and
+/// multi-emit paths.
+std::shared_ptr<const tac::Function> RandomMapUdf(uint64_t seed,
+                                                  std::string name) {
+  Rng rng(seed);
+  tac::FunctionBuilder b(std::move(name), 1, tac::UdfKind::kRat);
+  tac::Reg ir = b.InputRecord(0);
+
+  // Optional filter on a random field.
+  tac::Label skip = b.NewLabel();
+  bool filtered = rng.Chance(0.5);
+  if (filtered) {
+    tac::Reg v = b.GetField(ir, static_cast<int>(rng.Uniform(0, kArity - 1)));
+    tac::Reg cond = b.CmpGe(v, b.ConstInt(rng.Uniform(-50, 50)));
+    b.BranchIfFalse(cond, skip);
+  }
+
+  bool projection = rng.Chance(0.3);
+  tac::Reg out = projection ? b.NewRecord() : b.Copy(ir);
+  if (projection) {
+    // Keep a random subset of fields by explicit copy. The last field is
+    // always kept so the output schema retains the full width — downstream
+    // UDFs in a generated chain address fields by index and a narrowed
+    // schema would make the chain ill-formed (the annotation layer rejects
+    // such programs; see annotate_test AnnotationRejectsReadsBeyondSchema).
+    for (int f = 0; f < kArity - 1; ++f) {
+      if (rng.Chance(0.6)) {
+        b.SetField(out, f, b.GetField(ir, f));
+      }
+    }
+    b.SetField(out, kArity - 1, b.GetField(ir, kArity - 1));
+  }
+  // Random modifications.
+  int mods = static_cast<int>(rng.Uniform(0, 2));
+  for (int m = 0; m < mods; ++m) {
+    int target = static_cast<int>(rng.Uniform(0, kArity - 1));
+    tac::Reg a = b.GetField(ir, static_cast<int>(rng.Uniform(0, kArity - 1)));
+    tac::Reg c = b.ConstInt(rng.Uniform(1, 9));
+    tac::Reg v = rng.Chance(0.5) ? b.Add(a, c) : b.Mul(a, c);
+    b.SetField(out, target, v);
+  }
+  // Optionally append a new field.
+  if (rng.Chance(0.4)) {
+    tac::Reg a = b.GetField(ir, static_cast<int>(rng.Uniform(0, kArity - 1)));
+    b.SetField(out, kArity, b.Add(a, b.ConstInt(100)));
+  }
+  b.Emit(out);
+  // Occasionally emit a second copy.
+  if (rng.Chance(0.2)) {
+    b.Emit(out);
+  }
+  if (filtered) b.Bind(skip);
+  b.Return();
+
+  StatusOr<tac::Function> fn = b.Build();
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  return std::make_shared<const tac::Function>(std::move(fn).value());
+}
+
+Record RandomRecord(Rng* rng) {
+  Record r;
+  for (int f = 0; f < kArity; ++f) {
+    r.Append(Value(rng->Uniform(-60, 60)));
+  }
+  return r;
+}
+
+std::vector<Record> RunUdf(const tac::Function& fn, const Record& in) {
+  interp::Interpreter interp(&fn);
+  interp::CallInputs ci;
+  ci.groups = {{&in}};
+  std::vector<Record> out;
+  Status s = interp.Run(ci, {}, &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+class UdfSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UdfSeedTest, ScaWriteSetIsSuperset) {
+  // Definition 2 executed: field n is *truly* written if some probe input
+  // yields an output whose field n differs from the input's.
+  uint64_t seed = GetParam();
+  auto fn = RandomMapUdf(seed, "w_probe");
+  StatusOr<sca::LocalUdfSummary> s = sca::AnalyzeUdf(*fn);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+
+  std::set<int> statically_written;
+  bool writes_everything = s->writes_all ||
+                           s->out_kind == sca::OutputKind::kProjection;
+  std::set<int> kept;  // projection: explicitly kept attrs are NOT written
+  for (const sca::FieldWrite& w : s->writes) {
+    if (w.kind == sca::FieldWrite::Kind::kExplicitCopy &&
+        w.out_pos == w.from_field) {
+      kept.insert(w.out_pos);
+    } else {
+      statically_written.insert(w.out_pos);
+    }
+  }
+
+  Rng rng(seed ^ 0xABCD);
+  for (int probe = 0; probe < 200; ++probe) {
+    Record in = RandomRecord(&rng);
+    for (const Record& out : RunUdf(*fn, in)) {
+      for (size_t f = 0; f < out.num_fields(); ++f) {
+        bool changed = f >= in.num_fields() || out.field(f) != in.field(f);
+        if (!changed) continue;
+        bool statically_covered =
+            statically_written.count(static_cast<int>(f)) > 0 ||
+            (writes_everything && kept.count(static_cast<int>(f)) == 0);
+        EXPECT_TRUE(statically_covered)
+            << "seed " << seed << ": field " << f
+            << " changed dynamically but SCA did not report it\n"
+            << fn->ToString() << s->ToString();
+      }
+    }
+  }
+}
+
+TEST_P(UdfSeedTest, ScaReadSetIsSuperset) {
+  // Definition 3 executed: field n truly influences the output if two inputs
+  // differing only at n produce different outputs (cardinality or any field
+  // other than n itself).
+  uint64_t seed = GetParam();
+  auto fn = RandomMapUdf(seed, "r_probe");
+  StatusOr<sca::LocalUdfSummary> s = sca::AnalyzeUdf(*fn);
+  ASSERT_TRUE(s.ok());
+
+  Rng rng(seed ^ 0x1234);
+  for (int probe = 0; probe < 120; ++probe) {
+    Record base = RandomRecord(&rng);
+    for (int n = 0; n < kArity; ++n) {
+      Record tweaked = base;
+      tweaked.SetField(n, Value(base.field(n).AsInt() + rng.Uniform(1, 40)));
+      std::vector<Record> out_a = RunUdf(*fn, base);
+      std::vector<Record> out_b = RunUdf(*fn, tweaked);
+      bool influences = out_a.size() != out_b.size();
+      if (!influences) {
+        for (size_t i = 0; i < out_a.size() && !influences; ++i) {
+          size_t width =
+              std::max(out_a[i].num_fields(), out_b[i].num_fields());
+          for (size_t f = 0; f < width; ++f) {
+            if (f == static_cast<size_t>(n)) continue;  // Def. 3: k != n
+            const Value va = f < out_a[i].num_fields() ? out_a[i].field(f)
+                                                       : Value();
+            const Value vb = f < out_b[i].num_fields() ? out_b[i].field(f)
+                                                       : Value();
+            if (va != vb) {
+              influences = true;
+              break;
+            }
+          }
+        }
+      }
+      if (influences) {
+        EXPECT_TRUE(s->reads[0].Contains(n))
+            << "seed " << seed << ": field " << n
+            << " influences the output but is not in the SCA read set\n"
+            << fn->ToString() << s->ToString();
+      }
+    }
+  }
+}
+
+TEST_P(UdfSeedTest, EmitBoundsEncloseObservedCounts) {
+  uint64_t seed = GetParam();
+  auto fn = RandomMapUdf(seed, "e_probe");
+  StatusOr<sca::LocalUdfSummary> s = sca::AnalyzeUdf(*fn);
+  ASSERT_TRUE(s.ok());
+  Rng rng(seed ^ 0x7777);
+  for (int probe = 0; probe < 200; ++probe) {
+    Record in = RandomRecord(&rng);
+    size_t emits = RunUdf(*fn, in).size();
+    EXPECT_GE(static_cast<int>(emits), s->min_emits);
+    if (s->max_emits >= 0) {
+      EXPECT_LE(static_cast<int>(emits), s->max_emits);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUdfs, UdfSeedTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Whole-flow reordering safety on random chains.
+// ---------------------------------------------------------------------------
+
+class FlowSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowSeedTest, AllEnumeratedPlansAreOutputEquivalent) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+
+  dataflow::DataFlow flow;
+  int prev = flow.AddSource("I", kArity, 500, kArity * 9);
+  int chain_len = static_cast<int>(rng.Uniform(3, 5));
+  for (int i = 0; i < chain_len; ++i) {
+    prev = flow.AddMap("m" + std::to_string(i), prev,
+                       RandomMapUdf(rng.Next(), "m" + std::to_string(i)));
+  }
+  flow.SetSink("O", prev);
+
+  core::BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  DataSet data;
+  for (int i = 0; i < 300; ++i) data.Add(RandomRecord(&rng));
+
+  engine::ExecOptions eo;
+  eo.dop = 4;
+  engine::Executor exec(&result->annotated, eo);
+  exec.BindSource(0, &data);
+
+  StatusOr<DataSet> reference = exec.Execute(result->ranked[0].physical);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t i = 1; i < result->ranked.size(); ++i) {
+    StatusOr<DataSet> out = exec.Execute(result->ranked[i].physical);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(reference->BagEquals(*out))
+        << "seed " << seed << ", plan "
+        << reorder::CanonicalString(result->ranked[i].logical)
+        << " diverges from "
+        << reorder::CanonicalString(result->ranked[0].logical);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFlows, FlowSeedTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace blackbox

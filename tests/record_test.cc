@@ -1,0 +1,94 @@
+#include "record/record.h"
+
+#include <gtest/gtest.h>
+
+namespace blackbox {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("abc")).AsString(), "abc");
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{1}).type(), ValueType::kInt);
+}
+
+TEST(Value, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));  // int and double never equal
+  EXPECT_NE(Value(std::string("3")), Value(int64_t{3}));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, CoercionToDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).ToDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToDouble(), 0.0);
+}
+
+TEST(Value, HashDistinguishesValues) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_EQ(Value(std::string("x")).Hash(), Value(std::string("x")).Hash());
+}
+
+TEST(Value, SerializedSizeCountsPayload) {
+  EXPECT_EQ(Value::Null().SerializedSize(), 1u);
+  EXPECT_EQ(Value(int64_t{5}).SerializedSize(), 9u);
+  EXPECT_EQ(Value(std::string("abcd")).SerializedSize(), 1u + 4u + 4u);
+}
+
+TEST(Value, TotalOrderAcrossTypes) {
+  EXPECT_TRUE(Value::Null() < Value(int64_t{0}));
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value(std::string("a")) < Value(std::string("b")));
+}
+
+TEST(Record, SetFieldGrowsWithNulls) {
+  Record r;
+  r.SetField(2, Value(int64_t{9}));
+  EXPECT_EQ(r.num_fields(), 3u);
+  EXPECT_TRUE(r.field(0).is_null());
+  EXPECT_EQ(r.field(2).AsInt(), 9);
+}
+
+TEST(Record, ConcatPreservesOrder) {
+  Record a({Value(int64_t{1}), Value(int64_t{2})});
+  Record b({Value(std::string("x"))});
+  Record c = Record::Concat(a, b);
+  ASSERT_EQ(c.num_fields(), 3u);
+  EXPECT_EQ(c.field(2).AsString(), "x");
+}
+
+TEST(Record, EqualityPerPaperDefinition) {
+  // r1 ≡ r2 iff same arity and pairwise equal values (§2.2).
+  Record a({Value(int64_t{1}), Value(int64_t{2})});
+  Record b({Value(int64_t{1}), Value(int64_t{2})});
+  Record c({Value(int64_t{1})});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DataSet, BagEqualityIgnoresOrder) {
+  Record r1({Value(int64_t{1})});
+  Record r2({Value(int64_t{2})});
+  DataSet a({std::vector<Record>{r1, r2}});
+  DataSet b({std::vector<Record>{r2, r1}});
+  EXPECT_TRUE(a.BagEquals(b));
+}
+
+TEST(DataSet, BagEqualityCountsDuplicates) {
+  Record r1({Value(int64_t{1})});
+  Record r2({Value(int64_t{2})});
+  DataSet a({std::vector<Record>{r1, r1, r2}});
+  DataSet b({std::vector<Record>{r1, r2, r2}});
+  EXPECT_FALSE(a.BagEquals(b));
+}
+
+TEST(DataSet, AppendMovesRecords) {
+  DataSet a({std::vector<Record>{Record({Value(int64_t{1})})}});
+  DataSet b({std::vector<Record>{Record({Value(int64_t{2})})}});
+  a.Append(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blackbox

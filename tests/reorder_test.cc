@@ -1,0 +1,183 @@
+// Tests for the reordering conditions of Section 4: ROC, KGP, and the
+// per-pair predicates — validated against the paper's own examples.
+
+#include "reorder/conditions.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/annotate.h"
+#include "tests/test_flows.h"
+
+namespace blackbox {
+namespace reorder {
+namespace {
+
+using dataflow::AnnotatedFlow;
+using dataflow::Annotate;
+using dataflow::AnnotationMode;
+using dataflow::DataFlow;
+
+AnnotatedFlow MustAnnotate(const DataFlow& flow) {
+  StatusOr<AnnotatedFlow> af = Annotate(flow, AnnotationMode::kSca);
+  EXPECT_TRUE(af.ok()) << af.status().ToString();
+  return std::move(af).value();
+}
+
+TEST(Roc, Section3ExampleConflicts) {
+  DataFlow flow = testing::MakeSection3Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  ReorderOracle oracle(&af);
+  // Operator ids: 0 source, 1 map1(f1), 2 map2(f2), 3 map3(f3).
+  // f1 (R={B}, W={B}) and f2 (R={A}, W={}) do not conflict.
+  EXPECT_TRUE(oracle.Roc(1, 2));
+  // f2 (R={A}) and f3 (W={A}) conflict on A.
+  EXPECT_FALSE(oracle.Roc(2, 3));
+  // f1 (W={B}) and f3 (R={A,B}) conflict on B.
+  EXPECT_FALSE(oracle.Roc(1, 3));
+}
+
+TEST(Roc, SwapDecisionsMatchTheorem1) {
+  DataFlow flow = testing::MakeSection3Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  ReorderOracle oracle(&af);
+  EXPECT_TRUE(oracle.CanSwapUnaryUnary(2, 1));   // Map2 above Map1: swap ok
+  EXPECT_FALSE(oracle.CanSwapUnaryUnary(3, 2));  // Map3 above Map2: conflict
+  EXPECT_FALSE(oracle.CanSwapUnaryUnary(3, 1));
+}
+
+TEST(Kgp, Section422CounterExampleIsBlocked) {
+  // The Map filters on both attributes; the Reduce keys on attribute A only.
+  // KGP fails (the filter decision depends on B ∉ K), so Theorem 2 forbids
+  // the swap even though ROC holds.
+  DataFlow flow = testing::MakeSection422Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  ReorderOracle oracle(&af);
+  const int map = 1, reduce = 2;
+  EXPECT_TRUE(oracle.Roc(map, reduce));
+  EXPECT_FALSE(oracle.Kgp(map, af.of(reduce).keys[0]));
+  EXPECT_FALSE(oracle.CanSwapUnaryUnary(reduce, map));
+}
+
+TEST(Kgp, FilterOnKeyAttributeSatisfiesCase2) {
+  // A Map filtering *on the Reduce key* preserves key groups (Definition 5
+  // case 2): it drops whole groups or none.
+  DataFlow f;
+  int src = f.AddSource("I", 2, 100, 18);
+  tac::FunctionBuilder b("key_filter", 1, tac::UdfKind::kRat);
+  tac::Reg ir = b.InputRecord(0);
+  tac::Reg a = b.GetField(ir, 0);
+  tac::Label skip = b.NewLabel();
+  b.BranchIfTrue(b.CmpLt(a, b.ConstInt(10)), skip);
+  b.Emit(b.Copy(ir));
+  b.Bind(skip);
+  b.Return();
+  int map = f.AddMap("key_filter", src, testing::Built(std::move(b)));
+
+  tac::FunctionBuilder rb("count", 1, tac::UdfKind::kKat);
+  tac::Reg n = rb.InputCount(0);
+  tac::Reg out = rb.Copy(rb.InputAt(0, rb.ConstInt(0)));
+  rb.SetField(out, 2, n);
+  rb.Emit(out);
+  rb.Return();
+  int red = f.AddReduce("count", map, {0}, testing::Built(std::move(rb)));
+  f.SetSink("O", red);
+
+  AnnotatedFlow af = MustAnnotate(f);
+  ReorderOracle oracle(&af);
+  EXPECT_TRUE(oracle.Kgp(map, af.of(red).keys[0]));
+  EXPECT_TRUE(oracle.CanSwapUnaryUnary(red, map));
+}
+
+TEST(Kgp, OneToOneMapAlwaysSatisfiesCase1) {
+  DataFlow f;
+  int src = f.AddSource("I", 2, 100, 18);
+  int map = f.AddMap("abs", src, testing::MakeAbsUdf());
+
+  tac::FunctionBuilder rb("count", 1, tac::UdfKind::kKat);
+  tac::Reg n = rb.InputCount(0);
+  tac::Reg out = rb.Copy(rb.InputAt(0, rb.ConstInt(0)));
+  rb.SetField(out, 2, n);
+  rb.Emit(out);
+  rb.Return();
+  int red = f.AddReduce("count", map, {0}, testing::Built(std::move(rb)));
+  f.SetSink("O", red);
+
+  AnnotatedFlow af = MustAnnotate(f);
+  ReorderOracle oracle(&af);
+  // f1 emits exactly one record per input (Definition 5 case 1)...
+  EXPECT_TRUE(oracle.Kgp(map, af.of(red).keys[0]));
+  // ...and writes only B (not the key A), so ROC holds and the swap is valid.
+  EXPECT_TRUE(oracle.CanSwapUnaryUnary(red, map));
+}
+
+TEST(Kgp, MapWritingTheKeyIsBlockedByRoc) {
+  // A one-to-one Map that *rewrites the key attribute* must not move past a
+  // Reduce keyed on it: the key attributes are in the Reduce's read set, so
+  // ROC catches the conflict.
+  DataFlow f;
+  int src = f.AddSource("I", 2, 100, 18);
+  int map = f.AddMap("sum_into_key", src, testing::MakeSumUdf());  // W = {A}
+
+  tac::FunctionBuilder rb("count", 1, tac::UdfKind::kKat);
+  tac::Reg n = rb.InputCount(0);
+  tac::Reg out = rb.Copy(rb.InputAt(0, rb.ConstInt(0)));
+  rb.SetField(out, 2, n);
+  rb.Emit(out);
+  rb.Return();
+  int red = f.AddReduce("count", map, {0}, testing::Built(std::move(rb)));
+  f.SetSink("O", red);
+
+  AnnotatedFlow af = MustAnnotate(f);
+  ReorderOracle oracle(&af);
+  EXPECT_FALSE(oracle.Roc(map, red));
+  EXPECT_FALSE(oracle.CanSwapUnaryUnary(red, map));
+}
+
+TEST(KatKgp, RequiresDeclaredBehaviour) {
+  DataFlow flow = testing::MakeSection422Flow();
+  AnnotatedFlow af = MustAnnotate(flow);
+  ReorderOracle oracle(&af);
+  // SCA mode leaves KAT behaviour unknown: conservative false.
+  EXPECT_FALSE(oracle.KatKgp(2, af.of(2).keys[0]));
+}
+
+TEST(Plan, CanonicalStringIsStableAndStructural) {
+  DataFlow flow = testing::MakeSection3Flow();
+  PlanPtr p = PlanFromFlow(flow);
+  EXPECT_EQ(CanonicalString(p), "4(3(2(1(0))))");
+}
+
+TEST(Plan, SubtreeAttrsCollectsSourceAndIntroduced) {
+  DataFlow flow = testing::MakeSection3Flow();
+  StatusOr<dataflow::AnnotatedFlow> af =
+      Annotate(flow, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  PlanPtr p = PlanFromFlow(flow);
+  dataflow::AttrSet attrs = SubtreeAttrs(p, *af);
+  // The source introduces A (0) and B (1); the maps introduce nothing new.
+  EXPECT_TRUE(attrs.Contains(0));
+  EXPECT_TRUE(attrs.Contains(1));
+  EXPECT_FALSE(attrs.Contains(2));
+}
+
+TEST(Plan, SubtreeUniquenessFromSourcePk) {
+  DataFlow f;
+  int src = f.AddSource("pk_src", 2, 100, 18, {0});
+  int map = f.AddMap("abs", src, testing::MakeAbsUdf());
+  f.SetSink("O", map);
+  StatusOr<dataflow::AnnotatedFlow> af = Annotate(f, AnnotationMode::kSca);
+  ASSERT_TRUE(af.ok());
+  PlanPtr p = PlanFromFlow(f);
+  const PlanPtr& map_node = p->children[0];
+  const PlanPtr& src_node = map_node->children[0];
+  dataflow::AttrId key0 = af->of(src).out_schema[0];
+  dataflow::AttrId attr1 = af->of(src).out_schema[1];
+  EXPECT_TRUE(SubtreeUniqueOnKey(src_node, *af, {key0}));
+  EXPECT_FALSE(SubtreeUniqueOnKey(src_node, *af, {attr1}));
+  // Uniqueness survives a 1:1 Map that doesn't write the key.
+  EXPECT_TRUE(SubtreeUniqueOnKey(map_node, *af, {key0}));
+}
+
+}  // namespace
+}  // namespace reorder
+}  // namespace blackbox

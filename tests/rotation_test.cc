@@ -1,0 +1,158 @@
+// Structural tests for binary-binary rotations (Lemma 1): on a three-relation
+// chain join R ⋈ S ⋈ T, the enumerator must produce exactly the valid
+// association trees and reject rotations whose key would leave its subtree.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/optimizer_api.h"
+#include "dataflow/annotate.h"
+#include "enumerate/enumerate.h"
+#include "engine/executor.h"
+#include "tests/test_flows.h"
+#include "workloads/workload.h"
+
+namespace blackbox {
+namespace {
+
+using dataflow::DataFlow;
+using dataflow::Hints;
+
+/// R(a, x) ⋈_{a=b} S(b, c, y) ⋈_{c=d} T(d, z): a chain join where the second
+/// join's key (S.c) lives on S — both associations are valid.
+DataFlow MakeChainJoin() {
+  DataFlow f;
+  int r = f.AddSource("R", 2, 100, 18, {0});
+  int s = f.AddSource("S", 3, 100, 27, {0});
+  int t = f.AddSource("T", 2, 100, 18, {0});
+  int rs = f.AddMatch("join_rs", r, s, {0}, {0},
+                      workloads::MakeConcatJoinUdf("join_rs"));
+  // Left schema: R 0-1 | S 2-4; S.c is local index 3.
+  int rst = f.AddMatch("join_st", rs, t, {3}, {0},
+                       workloads::MakeConcatJoinUdf("join_st"));
+  f.SetSink("O", rst);
+  (void)rst;
+  return f;
+}
+
+std::set<std::string> EnumCanon(const DataFlow& f) {
+  StatusOr<dataflow::AnnotatedFlow> af =
+      dataflow::Annotate(f, dataflow::AnnotationMode::kSca);
+  EXPECT_TRUE(af.ok()) << af.status().ToString();
+  StatusOr<enumerate::EnumResult> r = enumerate::EnumerateAlternatives(*af);
+  EXPECT_TRUE(r.ok());
+  std::set<std::string> out;
+  for (const auto& p : r->plans) out.insert(reorder::CanonicalString(p));
+  return out;
+}
+
+TEST(Rotation, ChainJoinYieldsBothAssociations) {
+  DataFlow f = MakeChainJoin();
+  std::set<std::string> plans = EnumCanon(f);
+  // Operators: 0=R 1=S 2=T 3=join_rs 4=join_st 5=sink.
+  // (R ⋈ S) ⋈ T — the original — and R ⋈ (S ⋈ T) — the rotation.
+  EXPECT_EQ(plans.size(), 2u);
+  EXPECT_TRUE(plans.count("5(4(3(0,1),2))"));
+  EXPECT_TRUE(plans.count("5(3(0,4(1,2)))"));
+}
+
+TEST(Rotation, KeyOnOuterRelationBlocksRotation) {
+  // R(a,x) ⋈_{a=b} S(b,c) ⋈_{x=z} T(z): the second join's left key is R.x —
+  // rotating it below would strand the key outside its subtree, so only the
+  // original association is valid.
+  DataFlow f;
+  int r = f.AddSource("R", 2, 100, 18, {0});
+  int s = f.AddSource("S", 2, 100, 18, {0});
+  int t = f.AddSource("T", 1, 100, 9, {0});
+  int rs = f.AddMatch("join_rs", r, s, {0}, {0},
+                      workloads::MakeConcatJoinUdf("join_rs"));
+  int rst = f.AddMatch("join_rt", rs, t, {1}, {0},  // key R.x (local 1)
+                       workloads::MakeConcatJoinUdf("join_rt"));
+  f.SetSink("O", rst);
+  (void)rst;
+  std::set<std::string> plans = EnumCanon(f);
+  // The rotation R ⋈ (S ⋈ T) is invalid (S⋈T has no join predicate), but the
+  // *other* rotation (R ⋈ T) ⋈ S is valid: join_rt's key R.x lives on R.
+  EXPECT_EQ(plans.size(), 2u);
+  EXPECT_TRUE(plans.count("5(4(3(0,1),2))"));   // original
+  EXPECT_TRUE(plans.count("5(3(4(0,2),1))"));   // (R ⋈ T) ⋈ S
+}
+
+TEST(Rotation, RotatedChainExecutesIdentically) {
+  DataFlow f = MakeChainJoin();
+  core::BlackBoxOptimizer optimizer;
+  StatusOr<core::OptimizationResult> result = optimizer.Optimize(f);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->ranked.size(), 2u);
+
+  DataSet r_data, s_data, t_data;
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    r_data.Add(Record({Value(int64_t{i}), Value(rng.Uniform(0, 9))}));
+    s_data.Add(Record({Value(int64_t{i}), Value(rng.Uniform(0, 19)),
+                       Value(rng.Uniform(0, 9))}));
+  }
+  for (int i = 0; i < 20; ++i) {
+    t_data.Add(Record({Value(int64_t{i}), Value(rng.Uniform(0, 9))}));
+  }
+  engine::Executor exec(&result->annotated);
+  exec.BindSource(0, &r_data);
+  exec.BindSource(1, &s_data);
+  exec.BindSource(2, &t_data);
+  StatusOr<DataSet> a = exec.Execute(result->ranked[0].physical);
+  StatusOr<DataSet> b = exec.Execute(result->ranked[1].physical);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_GT(a->size(), 0u);
+  EXPECT_TRUE(a->BagEquals(*b));
+}
+
+TEST(Rotation, JoinUdfReadingOuterAttributeBlocksRotation) {
+  // Like MakeChainJoin, but join_st's UDF additionally reads an R attribute:
+  // its touched set now intersects the would-be "staying" subtree, so the
+  // R ⋈ (S ⋈ T) association must disappear.
+  DataFlow f;
+  int r = f.AddSource("R", 2, 100, 18, {0});
+  int s = f.AddSource("S", 3, 100, 27, {0});
+  int t = f.AddSource("T", 2, 100, 18, {0});
+  int rs = f.AddMatch("join_rs", r, s, {0}, {0},
+                      workloads::MakeConcatJoinUdf("join_rs"));
+  tac::FunctionBuilder jb("join_st_reads_rx", 2, tac::UdfKind::kRat);
+  tac::Reg l = jb.InputRecord(0);
+  tac::Reg rr = jb.InputRecord(1);
+  tac::Reg rx = jb.GetField(l, 1);  // R.x — outside the S⋈T subtree
+  tac::Reg out = jb.Concat(l, rr);
+  jb.SetField(out, 7, jb.Add(rx, jb.ConstInt(1)));
+  jb.Emit(out);
+  jb.Return();
+  int rst = f.AddMatch("join_st_reads_rx", rs, t, {3}, {0},
+                       testing::Built(std::move(jb)));
+  f.SetSink("O", rst);
+  (void)rst;
+  std::set<std::string> plans = EnumCanon(f);
+  EXPECT_EQ(plans.size(), 1u);
+}
+
+TEST(Rotation, BushyPlansAppearForStarJoins) {
+  // F(a, b) ⋈ D1(a) and ⋈ D2(b): the two dimension joins commute, and the
+  // enumerator produces both orders (left-deep both ways). With a chain of
+  // two independent dimensions there are exactly 2 trees.
+  DataFlow f;
+  int fact = f.AddSource("F", 2, 1000, 18);
+  int d1 = f.AddSource("D1", 1, 10, 9, {0});
+  int d2 = f.AddSource("D2", 1, 10, 9, {0});
+  int j1 = f.AddMatch("join_d1", fact, d1, {0}, {0},
+                      workloads::MakeConcatJoinUdf("join_d1"));
+  int j2 = f.AddMatch("join_d2", j1, d2, {1}, {0},
+                      workloads::MakeConcatJoinUdf("join_d2"));
+  f.SetSink("O", j2);
+  (void)j2;
+  std::set<std::string> plans = EnumCanon(f);
+  EXPECT_EQ(plans.size(), 2u);
+  EXPECT_TRUE(plans.count("5(4(3(0,1),2))"));  // (F⋈D1)⋈D2
+  EXPECT_TRUE(plans.count("5(3(4(0,2),1))"));  // (F⋈D2)⋈D1
+}
+
+}  // namespace
+}  // namespace blackbox

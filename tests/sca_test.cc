@@ -1,0 +1,248 @@
+// SCA framework tests, including the paper's Section 3 running example:
+// three Map UDFs f1 (B := |B|), f2 (filter A >= 0), f3 (A := A + B) with
+// R_f1 = {B}, W_f1 = {B}; R_f2 = {A}, W_f2 = {}; R_f3 = {A,B}, W_f3 = {A}.
+
+#include "sca/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "sca/cfg.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace sca {
+namespace {
+
+using tac::FunctionBuilder;
+using tac::Label;
+using tac::Reg;
+using tac::UdfKind;
+
+tac::Function MustBuild(FunctionBuilder&& b) {
+  StatusOr<tac::Function> fn = b.Build();
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  return std::move(fn).value();
+}
+
+// f1: replaces field 1 (B) with |B|.
+tac::Function MakeF1() {
+  FunctionBuilder b("f1", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg bval = b.GetField(ir, 1);
+  Reg out = b.Copy(ir);
+  Label done = b.NewLabel();
+  b.BranchIfTrue(b.CmpGe(bval, b.ConstInt(0)), done);
+  Reg neg = b.Neg(bval);
+  b.SetField(out, 1, neg);
+  b.Bind(done);
+  b.Emit(out);
+  b.Return();
+  return MustBuild(std::move(b));
+}
+
+// f2: emits records with field 0 (A) >= 0.
+tac::Function MakeF2() {
+  FunctionBuilder b("f2", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);
+  Label skip = b.NewLabel();
+  b.BranchIfTrue(b.CmpLt(a, b.ConstInt(0)), skip);
+  Reg out = b.Copy(ir);
+  b.Emit(out);
+  b.Bind(skip);
+  b.Return();
+  return MustBuild(std::move(b));
+}
+
+// f3: replaces field 0 (A) with A + B.
+tac::Function MakeF3() {
+  FunctionBuilder b("f3", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);
+  Reg bb = b.GetField(ir, 1);
+  Reg sum = b.Add(a, bb);
+  Reg out = b.Copy(ir);
+  b.SetField(out, 0, sum);
+  b.Emit(out);
+  b.Return();
+  return MustBuild(std::move(b));
+}
+
+TEST(ScaExample, F1ReadsAndWritesB) {
+  tac::Function f1 = MakeF1();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(f1);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s->reads[0].Contains(1));
+  EXPECT_FALSE(s->reads[0].Contains(0));
+  EXPECT_EQ(s->out_kind, OutputKind::kCopyOfInput);
+  ASSERT_EQ(s->writes.size(), 1u);
+  EXPECT_EQ(s->writes[0].out_pos, 1);
+  EXPECT_EQ(s->writes[0].kind, FieldWrite::Kind::kModify);
+  EXPECT_EQ(s->min_emits, 1);
+  EXPECT_EQ(s->max_emits, 1);
+}
+
+TEST(ScaExample, F2ReadsAOnlyNoWrites) {
+  tac::Function f2 = MakeF2();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(f2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->reads[0].Contains(0));
+  EXPECT_FALSE(s->reads[0].Contains(1));
+  EXPECT_TRUE(s->writes.empty());
+  EXPECT_EQ(s->min_emits, 0);
+  EXPECT_EQ(s->max_emits, 1);
+  // A is a decision attribute: it controls whether the record is emitted.
+  EXPECT_TRUE(s->decision_reads[0].Contains(0));
+}
+
+TEST(ScaExample, F3ReadsABWritesA) {
+  tac::Function f3 = MakeF3();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(f3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->reads[0].Contains(0));
+  EXPECT_TRUE(s->reads[0].Contains(1));
+  ASSERT_EQ(s->writes.size(), 1u);
+  EXPECT_EQ(s->writes[0].out_pos, 0);
+  EXPECT_EQ(s->min_emits, 1);
+  EXPECT_EQ(s->max_emits, 1);
+}
+
+TEST(Sca, UnusedGetFieldIsNotARead) {
+  FunctionBuilder b("dead_read", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  b.GetField(ir, 3);  // result never used
+  Reg out = b.Copy(ir);
+  b.Emit(out);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->reads[0].Contains(3));
+}
+
+TEST(Sca, ComputedIndexWidensReadSetToAll) {
+  FunctionBuilder b("dyn_read", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg seg = b.GetField(ir, 0);
+  Reg idx = b.Add(seg, b.ConstInt(1));
+  Reg v = b.GetFieldDyn(ir, idx);
+  Reg out = b.Copy(ir);
+  b.SetField(out, 5, v);
+  b.Emit(out);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->reads[0].all);
+}
+
+TEST(Sca, ConstantIndexThroughFinalVariableIsResolved) {
+  // "field accesses with literals and final variables" (§7.3).
+  FunctionBuilder b("const_idx", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg idx = b.ConstInt(2);
+  Reg v = b.GetFieldDyn(ir, idx);
+  Reg out = b.Copy(ir);
+  b.SetField(out, 4, v);
+  b.Emit(out);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->reads[0].all);
+  EXPECT_TRUE(s->reads[0].Contains(2));
+}
+
+TEST(Sca, DefaultConstructorMeansImplicitProjection) {
+  FunctionBuilder b("project", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg key = b.GetField(ir, 0);
+  Reg out = b.NewRecord();
+  b.SetField(out, 0, key);
+  b.Emit(out);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->out_kind, OutputKind::kProjection);
+  ASSERT_EQ(s->writes.size(), 1u);
+  EXPECT_EQ(s->writes[0].kind, FieldWrite::Kind::kExplicitCopy);
+  EXPECT_EQ(s->writes[0].from_field, 0);
+}
+
+TEST(Sca, MixedConstructorsDegradeToProjection) {
+  // Different code paths use the copy and the default constructor: the safe
+  // choice is implicit projection (§5).
+  FunctionBuilder b("mixed", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);
+  Label alt = b.NewLabel();
+  Label out_l = b.NewLabel();
+  b.BranchIfTrue(b.CmpGt(a, b.ConstInt(0)), alt);
+  Reg copy = b.Copy(ir);
+  b.Emit(copy);
+  b.Goto(out_l);
+  b.Bind(alt);
+  Reg fresh = b.NewRecord();
+  b.SetField(fresh, 0, a);
+  b.Emit(fresh);
+  b.Bind(out_l);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->out_kind, OutputKind::kProjection);
+}
+
+TEST(Sca, EmitInLoopIsUnbounded) {
+  FunctionBuilder b("loop_emit", 1, UdfKind::kKat);
+  Reg n = b.InputCount(0);
+  Reg i = b.ConstInt(0);
+  Label loop = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(loop);
+  b.BranchIfFalse(b.CmpLt(i, n), done);
+  Reg r = b.InputAt(0, i);
+  Reg c = b.Copy(r);
+  b.Emit(c);
+  b.AccumAdd(i, b.ConstInt(1));
+  b.Goto(loop);
+  b.Bind(done);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->min_emits, 0);
+  EXPECT_EQ(s->max_emits, -1);
+}
+
+TEST(Sca, BranchlessEmitCountsExactlyTwo) {
+  FunctionBuilder b("two_emits", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg c1 = b.Copy(ir);
+  b.Emit(c1);
+  Reg c2 = b.Copy(ir);
+  b.Emit(c2);
+  b.Return();
+  StatusOr<LocalUdfSummary> s = AnalyzeUdf(MustBuild(std::move(b)));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->min_emits, 2);
+  EXPECT_EQ(s->max_emits, 2);
+}
+
+TEST(Cfg, UseDefChainsFindTheUniqueDefinition) {
+  FunctionBuilder b("chains", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);           // instr 1, defines a
+  Reg c = b.Add(a, b.ConstInt(1));     // instr 3 uses a
+  Reg out = b.Copy(ir);
+  b.SetField(out, 0, c);
+  b.Emit(out);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+  StatusOr<ControlFlowGraph> cfg = ControlFlowGraph::Build(fn);
+  ASSERT_TRUE(cfg.ok());
+  // Instruction 3 (the add) uses register a defined at instruction 1.
+  const std::set<int>& defs = cfg->UseDefs(3, a.id);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(*defs.begin(), 1);
+  EXPECT_TRUE(cfg->DefUses(1).count(3) > 0);
+}
+
+}  // namespace
+}  // namespace sca
+}  // namespace blackbox

@@ -1,0 +1,105 @@
+#include "tac/tac.h"
+
+#include <gtest/gtest.h>
+
+namespace blackbox {
+namespace tac {
+namespace {
+
+TEST(Builder, BuildsAndVerifiesSimpleFunction) {
+  FunctionBuilder b("f", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg out = b.Copy(ir);
+  b.Emit(out);
+  b.Return();
+  StatusOr<Function> fn = b.Build();
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  EXPECT_EQ(fn->num_inputs(), 1);
+  EXPECT_EQ(fn->kind(), UdfKind::kRat);
+  EXPECT_EQ(fn->instrs().size(), 4u);
+}
+
+TEST(Builder, RejectsEmptyFunction) {
+  FunctionBuilder b("empty", 1, UdfKind::kRat);
+  StatusOr<Function> fn = b.Build();
+  EXPECT_FALSE(fn.ok());
+}
+
+TEST(Builder, RejectsUnboundLabel) {
+  FunctionBuilder b("bad", 1, UdfKind::kRat);
+  Label l = b.NewLabel();
+  b.Goto(l);
+  StatusOr<Function> fn = b.Build();
+  EXPECT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Builder, RejectsMissingTerminator) {
+  FunctionBuilder b("noret", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  b.GetField(ir, 0);
+  StatusOr<Function> fn = b.Build();
+  EXPECT_FALSE(fn.ok());
+}
+
+TEST(Builder, RejectsTypeConfusion) {
+  FunctionBuilder b("confused", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg v = b.GetField(ir, 0);
+  // Emitting a value register is a type error.
+  b.Emit(Reg{v.id});
+  b.Return();
+  StatusOr<Function> fn = b.Build();
+  EXPECT_FALSE(fn.ok());
+}
+
+TEST(Builder, RejectsInputIndexOutOfRange) {
+  FunctionBuilder b("bad_input", 1, UdfKind::kRat);
+  b.InputRecord(1);  // only input 0 exists
+  b.Return();
+  StatusOr<Function> fn = b.Build();
+  EXPECT_FALSE(fn.ok());
+}
+
+TEST(Builder, LabelsResolveToInstructionIndices) {
+  FunctionBuilder b("branchy", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg a = b.GetField(ir, 0);
+  Label skip = b.NewLabel();
+  b.BranchIfFalse(a, skip);
+  Reg out = b.Copy(ir);
+  b.Emit(out);
+  b.Bind(skip);
+  b.Return();
+  StatusOr<Function> fn = b.Build();
+  ASSERT_TRUE(fn.ok());
+  const Instr& br = fn->instrs()[2];
+  EXPECT_EQ(br.op, Opcode::kBranchIfFalse);
+  EXPECT_EQ(br.target, 5);  // the return
+}
+
+TEST(Disassembly, ShowsLabelsAndFields) {
+  FunctionBuilder b("pretty", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg v = b.GetField(ir, 3);
+  Reg out = b.Copy(ir);
+  b.SetField(out, 1, v);
+  b.Emit(out);
+  b.Return();
+  StatusOr<Function> fn = b.Build();
+  ASSERT_TRUE(fn.ok());
+  std::string text = fn->ToString();
+  EXPECT_NE(text.find("getField"), std::string::npos);
+  EXPECT_NE(text.find("[3]"), std::string::npos);
+  EXPECT_NE(text.find("emit"), std::string::npos);
+}
+
+TEST(Status, ToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("boom");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: boom");
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+}  // namespace
+}  // namespace tac
+}  // namespace blackbox

@@ -1,0 +1,100 @@
+// Validates both annotation paths against each other on the real workload
+// UDFs: for every operator whose UDF contains no SCA-opaque construct, the
+// statically derived *global* read/write/decision sets must equal the ones
+// resolved from the hand-written manual summary. (The clickstream
+// "append_user_info" UDF is the deliberate exception — its computed field
+// index is exactly what Table 1's 75% row is about.)
+
+#include <gtest/gtest.h>
+
+#include "dataflow/annotate.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+using dataflow::AnnotatedFlow;
+using dataflow::Annotate;
+using dataflow::AnnotationMode;
+
+void ExpectSameProperties(const workloads::Workload& w,
+                          const std::set<std::string>& expected_diffs) {
+  StatusOr<AnnotatedFlow> manual = Annotate(w.flow, AnnotationMode::kManual);
+  StatusOr<AnnotatedFlow> sca = Annotate(w.flow, AnnotationMode::kSca);
+  ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+  ASSERT_TRUE(sca.ok()) << sca.status().ToString();
+  for (int i = 0; i < w.flow.num_ops(); ++i) {
+    const dataflow::Operator& op = w.flow.op(i);
+    if (op.kind == dataflow::OpKind::kSource ||
+        op.kind == dataflow::OpKind::kSink) {
+      continue;
+    }
+    bool expect_diff = expected_diffs.count(op.name) > 0;
+    bool reads_equal = manual->of(i).read == sca->of(i).read;
+    bool writes_equal = manual->of(i).write == sca->of(i).write;
+    if (expect_diff) {
+      EXPECT_FALSE(reads_equal && writes_equal)
+          << w.name << "/" << op.name
+          << ": expected SCA to be strictly coarser here";
+    } else {
+      EXPECT_TRUE(reads_equal)
+          << w.name << "/" << op.name << ": manual R "
+          << manual->of(i).read.ToString() << " vs SCA R "
+          << sca->of(i).read.ToString();
+      EXPECT_TRUE(writes_equal)
+          << w.name << "/" << op.name << ": manual W "
+          << manual->of(i).write.ToString() << " vs SCA W "
+          << sca->of(i).write.ToString();
+      EXPECT_EQ(manual->of(i).min_emits, sca->of(i).min_emits)
+          << w.name << "/" << op.name;
+      EXPECT_EQ(manual->of(i).max_emits, sca->of(i).max_emits)
+          << w.name << "/" << op.name;
+    }
+  }
+}
+
+TEST(WorkloadSummaries, Q15ScaEqualsManual) {
+  ExpectSameProperties(workloads::MakeTpchQ15({}), {});
+}
+
+TEST(WorkloadSummaries, Q7ScaEqualsManual) {
+  workloads::TpchScale small;
+  small.lineitems = 100;
+  ExpectSameProperties(workloads::MakeTpchQ7(small), {});
+}
+
+TEST(WorkloadSummaries, TextMiningScaEqualsManual) {
+  workloads::TextMiningScale s;
+  s.documents = 10;
+  ExpectSameProperties(workloads::MakeTextMining(s), {});
+}
+
+TEST(WorkloadSummaries, ClickstreamScaDiffersOnlyOnAppendUserInfo) {
+  workloads::ClickstreamScale s;
+  s.sessions = 10;
+  ExpectSameProperties(workloads::MakeClickstream(s), {"append_user_info"});
+}
+
+TEST(WorkloadSummaries, AppendUserInfoScaReadSetCoversWholeLeftInput) {
+  workloads::ClickstreamScale s;
+  s.sessions = 10;
+  workloads::Workload w = workloads::MakeClickstream(s);
+  StatusOr<AnnotatedFlow> sca = Annotate(w.flow, AnnotationMode::kSca);
+  ASSERT_TRUE(sca.ok());
+  int m2 = -1;
+  for (int i = 0; i < w.flow.num_ops(); ++i) {
+    if (w.flow.op(i).name == "append_user_info") m2 = i;
+  }
+  ASSERT_GE(m2, 0);
+  // append_user_info's left input carries the click attributes — SCA must
+  // (conservatively) claim it reads them.
+  const dataflow::OpProperties& p = sca->of(m2);
+  for (dataflow::AttrId a : p.in_schemas[0]) {
+    EXPECT_TRUE(p.read.Contains(a));
+  }
+}
+
+}  // namespace
+}  // namespace blackbox
