@@ -1,6 +1,6 @@
 // Ablation study for the design choices DESIGN.md calls out:
 //
-//   A. Annotation source — manual annotations vs. SCA vs. runtime-profiled
+//   A. Annotation provider — manual annotations vs. SCA vs. profiler-refined
 //      hints: how much plan quality each knowledge source buys.
 //   B. Physical optimizer features — broadcast joins and interesting-property
 //      (partitioning) reuse, each switched off individually.
@@ -11,7 +11,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "optimizer/profiler.h"
 #include "workloads/clickstream.h"
 #include "workloads/tpch.h"
 
@@ -21,58 +20,42 @@ using namespace blackbox;
 
 struct Config {
   const char* name;
-  dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
+  const api::AnnotationProvider* provider = nullptr;  // null: SCA
   bool broadcast = true;
   bool reuse = true;
-  bool profiled_hints = false;
 };
 
-void RunConfig(const workloads::Workload& base, const Config& cfg) {
-  workloads::Workload w = base;  // copy (flows carry shared UDF pointers)
-  if (cfg.profiled_hints) {
-    for (int i = 0; i < w.flow.num_ops(); ++i) {
-      w.flow.op(i).hints = dataflow::Hints();
-    }
-    std::map<int, const DataSet*> srcs;
-    for (const auto& [id, data] : w.source_data) srcs[id] = &data;
-    StatusOr<optimizer::FlowProfile> profile =
-        optimizer::ProfileFlow(w.flow, srcs);
-    if (!profile.ok()) {
-      std::fprintf(stderr, "profiling failed: %s\n",
-                   profile.status().ToString().c_str());
-      return;
-    }
-    optimizer::ApplyProfile(*profile, &w.flow);
-  }
+void RunConfig(const workloads::Workload& w, const Config& cfg) {
+  api::ScaProvider sca;
+  const api::AnnotationProvider& provider =
+      cfg.provider ? *cfg.provider : sca;
 
-  core::BlackBoxOptimizer::Options opts;
-  opts.mode = cfg.mode;
-  opts.weights.dop = 8;
-  opts.weights.mem_budget_bytes = 1 << 20;
-  opts.weights.enable_broadcast = cfg.broadcast;
-  opts.weights.enable_partition_reuse = cfg.reuse;
-  core::BlackBoxOptimizer optimizer(opts);
-  StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
-  if (!result.ok()) {
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 1 << 20;
+  options.weights.enable_broadcast = cfg.broadcast;
+  options.weights.enable_partition_reuse = cfg.reuse;
+
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  if (!program.ok()) {
     std::fprintf(stderr, "optimize failed: %s\n",
-                 result.status().ToString().c_str());
+                 program.status().ToString().c_str());
     return;
   }
 
-  engine::ExecOptions eo;
-  eo.dop = 8;
-  eo.mem_budget_bytes = 1 << 20;
-  engine::Executor exec(&result->annotated, eo);
-  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
   engine::ExecStats stats;
-  StatusOr<DataSet> out = exec.Execute(result->best().physical, &stats);
+  StatusOr<DataSet> out = program->RunBest(&stats);
   if (!out.ok()) {
     std::fprintf(stderr, "execute failed: %s\n",
                  out.status().ToString().c_str());
     return;
   }
   std::printf("  %-28s %8zu plans   best est. cost %12.3g   runtime %7.3fs\n",
-              cfg.name, result->num_alternatives, result->best().cost,
+              cfg.name, program->num_alternatives(), program->best().cost,
               stats.simulated_seconds);
 }
 
@@ -84,14 +67,16 @@ int main() {
   cs.users = 2000;
   workloads::Workload clicks = workloads::MakeClickstream(cs);
 
-  std::printf("Ablation A — annotation / hint source (clickstream):\n");
-  RunConfig(clicks, {.name = "manual annotations",
-                     .mode = dataflow::AnnotationMode::kManual});
-  RunConfig(clicks, {.name = "static code analysis",
-                     .mode = dataflow::AnnotationMode::kSca});
-  RunConfig(clicks, {.name = "SCA + profiled hints",
-                     .mode = dataflow::AnnotationMode::kSca,
-                     .profiled_hints = true});
+  api::ManualProvider manual;
+  api::ScaProvider sca;
+  // Discard the hand-written hints so the optimizer sees measured values
+  // only — the "what if the author annotated nothing" configuration.
+  api::ProfilerProvider profiled({.reset_hints = true});
+
+  std::printf("Ablation A — annotation / hint provider (clickstream):\n");
+  RunConfig(clicks, {.name = "manual annotations", .provider = &manual});
+  RunConfig(clicks, {.name = "static code analysis", .provider = &sca});
+  RunConfig(clicks, {.name = "SCA + profiled hints", .provider = &profiled});
 
   workloads::TpchScale ts;
   ts.lineitems = 60000;

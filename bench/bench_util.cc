@@ -3,26 +3,29 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "reorder/plan.h"
-
 namespace blackbox {
 namespace bench {
 
 StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
                                        const BenchConfig& config) {
-  core::BlackBoxOptimizer::Options opts;
-  opts.mode = config.mode;
-  // Cost the plans for the same simulated cluster the engine will run them
-  // on.
-  opts.weights.dop = config.exec.dop;
-  opts.weights.mem_budget_bytes = config.exec.mem_budget_bytes;
-  core::BlackBoxOptimizer optimizer(opts);
-  StatusOr<core::OptimizationResult> opt = optimizer.Optimize(w.flow);
-  if (!opt.ok()) return opt.status();
+  api::ScaProvider sca;
+  const api::AnnotationProvider& provider =
+      config.provider ? *config.provider : sca;
+  api::OptimizeOptions options;
+  options.exec = config.exec;
+
+  // Bind up front so hint providers that execute the flow (ProfilerProvider)
+  // work through the harness; the bindings carry into the program for Run().
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  if (!program.ok()) return program.status();
 
   FigureResult fig;
-  fig.optimization = std::move(opt).value();
-  const size_t n = fig.optimization.ranked.size();
+  fig.program = std::move(program).value();
+  const size_t n = fig.program.ranked().size();
 
   // Regular rank intervals, always including the best and worst plan.
   std::vector<size_t> indices;
@@ -32,17 +35,14 @@ StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
     if (indices.empty() || indices.back() != idx) indices.push_back(idx);
   }
 
-  engine::Executor exec(&fig.optimization.annotated, config.exec);
-  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
-
   for (size_t idx : indices) {
-    const core::PlannedAlternative& alt = fig.optimization.ranked[idx];
+    const core::PlannedAlternative& alt = fig.program.ranked()[idx];
     RankedRun run;
     run.rank = alt.rank;
     run.est_cost = alt.cost;
     for (int rep = 0; rep < config.reps; ++rep) {
       engine::ExecStats stats;
-      StatusOr<DataSet> out = exec.Execute(alt.physical, &stats);
+      StatusOr<DataSet> out = fig.program.Run(idx, &stats);
       if (!out.ok()) return out.status();
       fig.output_rows = out->size();
       if (rep == 0 || stats.simulated_seconds < run.runtime_seconds) {
@@ -71,9 +71,9 @@ void PrintFigure(const std::string& title, const FigureResult& result) {
   std::printf(
       "  alternatives enumerated: %zu (enumeration %.1f ms, costing %.1f "
       "ms)\n",
-      result.optimization.num_alternatives,
-      result.optimization.enumeration_seconds * 1e3,
-      result.optimization.costing_seconds * 1e3);
+      result.program.num_alternatives(),
+      result.program.enumeration_seconds() * 1e3,
+      result.program.costing_seconds() * 1e3);
   std::printf("  %-6s %-15s %-18s %-11s %-9s %-9s %-10s %-10s\n", "rank",
               "norm.cost.est", "norm.exec.runtime", "runtime[s]", "cpu[s]",
               "net[MB]", "disk[MB]", "udf calls");
@@ -88,13 +88,9 @@ void PrintFigure(const std::string& title, const FigureResult& result) {
   std::printf("  output rows: %zu\n\n", result.output_rows);
 }
 
-int FindImplementedRank(const workloads::Workload& w,
-                        const core::OptimizationResult& result) {
-  std::string key = reorder::CanonicalString(reorder::PlanFromFlow(w.flow));
-  for (const auto& alt : result.ranked) {
-    if (reorder::CanonicalString(alt.logical) == key) return alt.rank;
-  }
-  return -1;
+int ImplementedRank(const api::OptimizedProgram& program) {
+  int idx = program.ImplementedIndex();
+  return idx < 0 ? -1 : program.ranked()[idx].rank;
 }
 
 }  // namespace bench

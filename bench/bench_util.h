@@ -1,7 +1,7 @@
-// Shared harness for the figure benchmarks: optimize a workload, pick plans
-// at regular rank intervals (the paper's methodology for Figures 5-7),
-// execute each against the generated data, and print normalized cost
-// estimates next to normalized measured runtimes.
+// Shared harness for the figure benchmarks: optimize a workload through the
+// api layer, pick plans at regular rank intervals (the paper's methodology
+// for Figures 5-7), execute each against the generated data, and print
+// normalized cost estimates next to normalized measured runtimes.
 
 #ifndef BLACKBOX_BENCH_BENCH_UTIL_H_
 #define BLACKBOX_BENCH_BENCH_UTIL_H_
@@ -9,8 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/optimizer_api.h"
-#include "engine/executor.h"
+#include "api/optimized_program.h"
 #include "workloads/workload.h"
 
 namespace blackbox {
@@ -26,16 +25,18 @@ struct RankedRun {
 };
 
 struct FigureResult {
-  core::OptimizationResult optimization;
+  api::OptimizedProgram program;
   std::vector<RankedRun> runs;
   size_t output_rows = 0;
 };
 
 /// Shared knobs for one figure run. The cost-model parameters (dop, memory
-/// budget) are derived from the execution options so estimates and measured
-/// runs describe the same simulated cluster.
+/// budget) follow the execution options (OptimizeOptions::
+/// cost_model_follows_exec), so estimates and measured runs describe the same
+/// simulated cluster.
 struct BenchConfig {
-  dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
+  /// Annotation source; null means static code analysis.
+  const api::AnnotationProvider* provider = nullptr;
   int picks = 10;  // plans sampled at regular rank intervals
   int reps = 3;    // repetitions per plan (the fastest run is reported)
   engine::ExecOptions exec;
@@ -54,9 +55,8 @@ StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
 /// Prints the paper-style two-row series for a figure.
 void PrintFigure(const std::string& title, const FigureResult& result);
 
-/// Finds the rank of the originally implemented data flow in the result.
-int FindImplementedRank(const workloads::Workload& w,
-                        const core::OptimizationResult& result);
+/// 1-based rank of the originally implemented data flow, -1 if absent.
+int ImplementedRank(const api::OptimizedProgram& program);
 
 }  // namespace bench
 }  // namespace blackbox

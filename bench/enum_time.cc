@@ -6,7 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/optimizer_api.h"
+#include "api/optimized_program.h"
 #include "dataflow/annotate.h"
 #include "enumerate/enumerate.h"
 #include "sca/analyzer.h"
@@ -75,11 +75,12 @@ void BM_StaticCodeAnalysis(benchmark::State& state) {
 BENCHMARK(BM_StaticCodeAnalysis)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
 void BM_FullOptimization(benchmark::State& state) {
-  // Annotate + enumerate + cost every alternative (the naive §7.3 pipeline).
+  // Annotate + enumerate + cost every alternative (the naive §7.3 pipeline),
+  // through the api facade.
   workloads::Workload w = MakeTask(static_cast<int>(state.range(0)));
+  api::ScaProvider provider;
   for (auto _ : state) {
-    core::BlackBoxOptimizer optimizer;
-    StatusOr<core::OptimizationResult> r = optimizer.Optimize(w.flow);
+    StatusOr<api::OptimizedProgram> r = api::OptimizeFlow(w.flow, provider);
     benchmark::DoNotOptimize(r);
   }
   state.SetLabel(w.name);

@@ -23,7 +23,6 @@ int main() {
   workloads::Workload w = workloads::MakeTpchQ7(scale);
 
   bench::BenchConfig config;
-  config.mode = dataflow::AnnotationMode::kSca;
   config.picks = 10;
   config.reps = 2;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
@@ -36,16 +35,16 @@ int main() {
       "(10 rank-picked plans)",
       *fig);
 
-  int implemented = bench::FindImplementedRank(w, fig->optimization);
+  int implemented = bench::ImplementedRank(fig->program);
   std::printf("Figure 2(a) — implemented data flow (rank %d):\n%s\n",
               implemented,
               reorder::PlanToString(reorder::PlanFromFlow(w.flow), w.flow)
                   .c_str());
   std::printf("Figure 2(b) — 1st-ranked data flow:\n%s\n",
-              reorder::PlanToString(fig->optimization.ranked[0].logical,
+              reorder::PlanToString(fig->program.ranked()[0].logical,
                                     w.flow)
                   .c_str());
   std::printf("1st-ranked physical plan:\n%s\n",
-              fig->optimization.ranked[0].physical.ToString(w.flow).c_str());
+              fig->program.ranked()[0].physical.ToString(w.flow).c_str());
   return 0;
 }

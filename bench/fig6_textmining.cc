@@ -17,7 +17,6 @@ int main() {
   workloads::Workload w = workloads::MakeTextMining(scale);
 
   bench::BenchConfig config;
-  config.mode = dataflow::AnnotationMode::kSca;
   config.picks = 10;
   config.reps = 2;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
@@ -31,11 +30,11 @@ int main() {
       *fig);
 
   std::printf("best plan (operator order bottom-up):\n%s\n",
-              reorder::PlanToString(fig->optimization.ranked[0].logical,
+              reorder::PlanToString(fig->program.ranked()[0].logical,
                                     w.flow)
                   .c_str());
   std::printf("worst plan:\n%s\n",
-              reorder::PlanToString(fig->optimization.ranked.back().logical,
+              reorder::PlanToString(fig->program.ranked().back().logical,
                                     w.flow)
                   .c_str());
   return 0;

@@ -20,8 +20,9 @@ int main() {
   scale.users = 2000;
   workloads::Workload w = workloads::MakeClickstream(scale);
 
+  api::ManualProvider manual;
   bench::BenchConfig config;
-  config.mode = dataflow::AnnotationMode::kManual;
+  config.provider = &manual;
   config.picks = 4;
   config.reps = 3;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
@@ -34,7 +35,7 @@ int main() {
       "runtime (all 4 plans)",
       *fig);
 
-  int implemented = bench::FindImplementedRank(w, fig->optimization);
+  int implemented = bench::ImplementedRank(fig->program);
   double speedup = 0;
   for (const bench::RankedRun& r : fig->runs) {
     if (r.rank == implemented) speedup = r.norm_runtime;
@@ -47,7 +48,7 @@ int main() {
               reorder::PlanToString(reorder::PlanFromFlow(w.flow), w.flow)
                   .c_str());
   std::printf("Figure 4(b) — 1st-ranked data flow:\n%s\n",
-              reorder::PlanToString(fig->optimization.ranked[0].logical,
+              reorder::PlanToString(fig->program.ranked()[0].logical,
                                     w.flow)
                   .c_str());
   return 0;

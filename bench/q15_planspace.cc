@@ -24,7 +24,6 @@ int main() {
   workloads::Workload w = workloads::MakeTpchQ15(scale);
 
   bench::BenchConfig config;
-  config.mode = dataflow::AnnotationMode::kSca;
   config.picks = 16;
   config.reps = 3;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
@@ -37,7 +36,7 @@ int main() {
       "push-up / invariant grouping)",
       *fig);
 
-  for (const auto& alt : fig->optimization.ranked) {
+  for (const auto& alt : fig->program.ranked()) {
     std::printf("---- rank %d (est. cost %.3g) ----\n%s\n", alt.rank,
                 alt.cost, alt.physical.ToString(w.flow).c_str());
   }

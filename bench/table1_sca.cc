@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/optimizer_api.h"
+#include "api/optimized_program.h"
 #include "workloads/clickstream.h"
 #include "workloads/textmining.h"
 #include "workloads/tpch.h"
@@ -18,21 +18,19 @@ namespace {
 
 using namespace blackbox;
 
-size_t Count(const dataflow::DataFlow& flow, dataflow::AnnotationMode mode) {
-  core::BlackBoxOptimizer::Options opts;
-  opts.mode = mode;
-  StatusOr<core::OptimizationResult> r =
-      core::BlackBoxOptimizer(opts).Optimize(flow);
-  if (!r.ok()) {
-    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+size_t Count(const dataflow::DataFlow& flow,
+             const api::AnnotationProvider& provider) {
+  StatusOr<api::OptimizedProgram> program = api::OptimizeFlow(flow, provider);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
     return 0;
   }
-  return r->num_alternatives;
+  return program->num_alternatives();
 }
 
 void Row(const char* task, const dataflow::DataFlow& flow, const char* paper) {
-  size_t manual = Count(flow, dataflow::AnnotationMode::kManual);
-  size_t sca = Count(flow, dataflow::AnnotationMode::kSca);
+  size_t manual = Count(flow, api::ManualProvider());
+  size_t sca = Count(flow, api::ScaProvider());
   std::printf("  %-14s %-18zu %zu (%.0f%%)%-6s paper: %s\n", task, manual, sca,
               manual ? 100.0 * sca / manual : 0, "", paper);
 }

@@ -3,30 +3,20 @@
 // operators (two session-level Reduces and two Matches) that no algebraic
 // optimizer could touch, because their semantics live in imperative UDF code.
 //
-// Also demonstrates the manual-annotation vs. static-code-analysis trade-off
-// (Table 1): the "append user info" UDF reads a field through a computed
-// index, which SCA must treat conservatively — one valid rotation is lost.
+// Also demonstrates pluggable annotation providers and the manual-annotation
+// vs. static-code-analysis trade-off (Table 1): the "append user info" UDF
+// reads a field through a computed index, which SCA must treat conservatively
+// — one valid rotation is lost.
 //
 // Run: ./build/examples/clickstream_sessions
 
 #include <cstdio>
 
-#include "core/optimizer_api.h"
-#include "engine/executor.h"
+#include "api/optimized_program.h"
+#include "reorder/plan.h"
 #include "workloads/clickstream.h"
 
 using namespace blackbox;
-
-namespace {
-
-StatusOr<core::OptimizationResult> OptimizeWith(
-    const workloads::Workload& w, dataflow::AnnotationMode mode) {
-  core::BlackBoxOptimizer::Options opts;
-  opts.mode = mode;
-  return core::BlackBoxOptimizer(opts).Optimize(w.flow);
-}
-
-}  // namespace
 
 int main() {
   workloads::ClickstreamScale scale;
@@ -37,10 +27,10 @@ int main() {
   std::printf("=== Clickstream flow (Figure 4a) ===\n%s\n",
               w.flow.ToString().c_str());
 
-  StatusOr<core::OptimizationResult> manual =
-      OptimizeWith(w, dataflow::AnnotationMode::kManual);
-  StatusOr<core::OptimizationResult> sca =
-      OptimizeWith(w, dataflow::AnnotationMode::kSca);
+  StatusOr<api::OptimizedProgram> manual =
+      api::OptimizeFlow(w.flow, api::ManualProvider());
+  StatusOr<api::OptimizedProgram> sca =
+      api::OptimizeFlow(w.flow, api::ScaProvider());
   if (!manual.ok() || !sca.ok()) {
     std::fprintf(stderr, "optimize error\n");
     return 1;
@@ -49,7 +39,7 @@ int main() {
       "alternatives: %zu with manual annotations, %zu with SCA\n"
       "(SCA cannot resolve the computed field index in append_user_info and\n"
       " conservatively widens its read set, losing one join rotation)\n\n",
-      manual->num_alternatives, sca->num_alternatives);
+      manual->num_alternatives(), sca->num_alternatives());
 
   std::printf("=== best plan (manual annotations) ===\n%s\n",
               reorder::PlanToString(manual->best().logical, w.flow).c_str());
@@ -58,23 +48,23 @@ int main() {
       "BOTH session Reduces — the rewrite the paper highlights as unique\n"
       "among data processing systems (Figure 4b).\n\n");
 
-  engine::Executor exec(&manual->annotated);
-  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+  Status bound = manual->BindSources(w.source_data);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind error: %s\n", bound.ToString().c_str());
+    return 1;
+  }
   engine::ExecStats best_stats, orig_stats;
-  StatusOr<DataSet> best = exec.Execute(manual->best().physical, &best_stats);
+  StatusOr<DataSet> best = manual->RunBest(&best_stats);
   if (!best.ok()) {
     std::fprintf(stderr, "error: %s\n", best.status().ToString().c_str());
     return 1;
   }
   // Execute the originally implemented order for comparison.
-  std::string orig_key =
-      reorder::CanonicalString(reorder::PlanFromFlow(w.flow));
-  for (const auto& alt : manual->ranked) {
-    if (reorder::CanonicalString(alt.logical) == orig_key) {
-      StatusOr<DataSet> out = exec.Execute(alt.physical, &orig_stats);
-      if (!out.ok()) return 1;
-      break;
-    }
+  int implemented = manual->ImplementedIndex();
+  if (implemented >= 0) {
+    StatusOr<DataSet> out =
+        manual->Run(static_cast<size_t>(implemented), &orig_stats);
+    if (!out.ok()) return 1;
   }
   std::printf("best plan:        %s\n", best_stats.ToString().c_str());
   std::printf("implemented plan: %s\n", orig_stats.ToString().c_str());

@@ -2,24 +2,24 @@
 //
 // Builds the three-Map data flow over records <A, B>:
 //   f1: B := |B|      f2: emit iff A >= 0      f3: A := A + B
-// then (1) statically analyzes the UDFs to discover read/write sets,
-// (2) enumerates every valid reordering, (3) picks the cheapest physical
-// plan, and (4) executes it on a small data set.
+// with the fluent Pipeline API, then (1) statically analyzes the UDFs to
+// discover read/write sets, (2) enumerates every valid reordering, (3) picks
+// the cheapest physical plan, and (4) executes it on a small data set.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/optimizer_api.h"
-#include "engine/executor.h"
+#include "api/pipeline.h"
+#include "reorder/plan.h"
 #include "sca/analyzer.h"
 
 using namespace blackbox;
 
 namespace {
 
-std::shared_ptr<const tac::Function> Built(tac::FunctionBuilder&& b) {
+api::Udf Built(tac::FunctionBuilder&& b) {
   StatusOr<tac::Function> fn = b.Build();
   if (!fn.ok()) {
     std::fprintf(stderr, "build error: %s\n", fn.status().ToString().c_str());
@@ -81,29 +81,28 @@ int main() {
                 s.ok() ? s->ToString().c_str() : s.status().ToString().c_str());
   }
 
-  // --- Assemble the PACT data flow P: I -> Map1 -> Map2 -> Map3 -> O. ---
-  dataflow::DataFlow flow;
-  int src = flow.AddSource("I", 2, 1000, 18);
+  // --- Assemble the pipeline P: I -> Map1 -> Map2 -> Map3 -> O. ---
+  api::Pipeline p;
   dataflow::Hints filter_hints;
   filter_hints.selectivity = 0.5;  // f2 drops about half the records
-  int m1 = flow.AddMap("map1_abs", src, f1);
-  int m2 = flow.AddMap("map2_filter", m1, f2, filter_hints);
-  int m3 = flow.AddMap("map3_sum", m2, f3);
-  flow.SetSink("O", m3);
+  api::Stream src = p.Source("I", 2, {.rows = 1000, .avg_bytes = 18});
+  src.Map("map1_abs", f1)
+      .Map("map2_filter", f2, {.hints = filter_hints})
+      .Map("map3_sum", f3)
+      .Sink("O");
 
-  // --- Optimize: enumerate reorderings, cost, rank. ---
-  core::BlackBoxOptimizer optimizer;
-  StatusOr<core::OptimizationResult> result = optimizer.Optimize(flow);
-  if (!result.ok()) {
+  // --- Optimize: annotate via SCA, enumerate reorderings, cost, rank. ---
+  StatusOr<api::OptimizedProgram> program = p.Optimize();
+  if (!program.ok()) {
     std::fprintf(stderr, "optimize error: %s\n",
-                 result.status().ToString().c_str());
+                 program.status().ToString().c_str());
     return 1;
   }
   std::printf("\n=== %zu alternative data flows ===\n",
-              result->num_alternatives);
-  for (const auto& alt : result->ranked) {
+              program->num_alternatives());
+  for (const auto& alt : program->ranked()) {
     std::printf("rank %d (est. cost %.0f):\n%s", alt.rank, alt.cost,
-                reorder::PlanToString(alt.logical, flow).c_str());
+                reorder::PlanToString(alt.logical, program->flow()).c_str());
   }
   std::printf(
       "\nThe optimizer pushed the selective filter f2 below f1 (valid: no\n"
@@ -115,10 +114,13 @@ int main() {
   data.Add(Record({Value(int64_t{-2}), Value(int64_t{-3})}));
   data.Add(Record({Value(int64_t{10}), Value(int64_t{5})}));
 
-  engine::Executor exec(&result->annotated);
-  exec.BindSource(src, &data);
+  Status bound = program->BindSource(src, &data);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind error: %s\n", bound.ToString().c_str());
+    return 1;
+  }
   engine::ExecStats stats;
-  StatusOr<DataSet> out = exec.Execute(result->best().physical, &stats);
+  StatusOr<DataSet> out = program->RunBest(&stats);
   if (!out.ok()) {
     std::fprintf(stderr, "execute error: %s\n",
                  out.status().ToString().c_str());

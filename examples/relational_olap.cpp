@@ -10,8 +10,7 @@
 
 #include <cstdio>
 
-#include "core/optimizer_api.h"
-#include "engine/executor.h"
+#include "api/optimized_program.h"
 #include "workloads/tpch.h"
 
 using namespace blackbox;
@@ -25,32 +24,36 @@ int main() {
   std::printf("=== TPC-H Q15 logical flow (Figure 3a) ===\n%s\n",
               w.flow.ToString().c_str());
 
-  core::BlackBoxOptimizer optimizer;  // SCA mode by default
-  StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, api::ScaProvider());
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
     return 1;
   }
 
   std::printf("=== %zu alternative orders (paper: 4) ===\n\n",
-              result->num_alternatives);
-  for (const auto& alt : result->ranked) {
+              program->num_alternatives());
+  for (const auto& alt : program->ranked()) {
     std::printf("---- rank %d, estimated cost %.3g ----\n%s\n", alt.rank,
-                alt.cost, alt.physical.ToString(w.flow).c_str());
+                alt.cost, alt.physical.ToString(program->flow()).c_str());
   }
 
-  engine::Executor exec(&result->annotated);
-  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+  Status bound = program->BindSources(w.source_data);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind error: %s\n", bound.ToString().c_str());
+    return 1;
+  }
 
-  for (const auto& alt : result->ranked) {
+  for (size_t i = 0; i < program->ranked().size(); ++i) {
     engine::ExecStats stats;
-    StatusOr<DataSet> out = exec.Execute(alt.physical, &stats);
+    StatusOr<DataSet> out = program->Run(i, &stats);
     if (!out.ok()) {
       std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
       return 1;
     }
-    std::printf("rank %d executed: %zu result rows, %s\n", alt.rank,
-                out->size(), stats.ToString().c_str());
+    std::printf("rank %d executed: %zu result rows, %s\n",
+                program->ranked()[i].rank, out->size(),
+                stats.ToString().c_str());
   }
   std::printf(
       "\nAll alternatives produce the same revenue-per-supplier result; the\n"

@@ -8,8 +8,8 @@
 
 #include <cstdio>
 
-#include "core/optimizer_api.h"
-#include "engine/executor.h"
+#include "api/optimized_program.h"
+#include "reorder/plan.h"
 #include "workloads/textmining.h"
 
 using namespace blackbox;
@@ -22,35 +22,41 @@ int main() {
   std::printf("=== Text-mining pipeline (implemented order) ===\n%s\n",
               w.flow.ToString().c_str());
 
-  core::BlackBoxOptimizer optimizer;
-  StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, api::ScaProvider());
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
     return 1;
   }
   std::printf(
       "%zu valid orders (Preprocess pinned first, RelationExtract pinned\n"
       "last by read/write conflicts; the four annotators commute: 4! = 24)\n\n",
-      result->num_alternatives);
+      program->num_alternatives());
 
-  engine::Executor exec(&result->annotated);
-  for (const auto& [src, data] : w.source_data) exec.BindSource(src, &data);
+  Status bound = program->BindSources(w.source_data);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind error: %s\n", bound.ToString().c_str());
+    return 1;
+  }
 
-  const auto& best = result->ranked.front();
-  const auto& worst = result->ranked.back();
+  size_t last = program->ranked().size() - 1;
   engine::ExecStats best_stats, worst_stats;
-  StatusOr<DataSet> a = exec.Execute(best.physical, &best_stats);
-  StatusOr<DataSet> b = exec.Execute(worst.physical, &worst_stats);
+  StatusOr<DataSet> a = program->RunBest(&best_stats);
+  StatusOr<DataSet> b = program->Run(last, &worst_stats);
   if (!a.ok() || !b.ok()) {
     std::fprintf(stderr, "execution error\n");
     return 1;
   }
 
   std::printf("best order:\n%s  -> %.3fs compute\n\n",
-              reorder::PlanToString(best.logical, w.flow).c_str(),
+              reorder::PlanToString(program->best().logical,
+                                    program->flow())
+                  .c_str(),
               best_stats.wall_seconds);
   std::printf("worst order:\n%s  -> %.3fs compute (%.1fx slower)\n\n",
-              reorder::PlanToString(worst.logical, w.flow).c_str(),
+              reorder::PlanToString(program->ranked()[last].logical,
+                                    program->flow())
+                  .c_str(),
               worst_stats.wall_seconds,
               worst_stats.wall_seconds / best_stats.wall_seconds);
   std::printf("both orders extract the same %zu gene-drug relations\n",

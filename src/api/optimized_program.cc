@@ -1,0 +1,110 @@
+#include "api/optimized_program.h"
+
+#include <utility>
+
+#include "api/pipeline.h"
+#include "reorder/plan.h"
+
+namespace blackbox {
+namespace api {
+
+int OptimizedProgram::ImplementedIndex() const {
+  if (!flow_) return -1;
+  std::string key = reorder::CanonicalString(reorder::PlanFromFlow(*flow_));
+  for (size_t i = 0; i < result_.ranked.size(); ++i) {
+    if (reorder::CanonicalString(result_.ranked[i].logical) == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status OptimizedProgram::BindSource(const Stream& source, const DataSet* data) {
+  if (!flow_) return Status::InvalidArgument("program is not optimized");
+  if (!source.ok()) return Status::InvalidArgument("invalid stream handle");
+  if (origin_pipeline_ == nullptr) {
+    return Status::InvalidArgument(
+        "program was optimized from a raw DataFlow; bind data with "
+        "BindSources()");
+  }
+  if (source.pipeline_ != origin_pipeline_) {
+    return Status::InvalidArgument(
+        "stream handle belongs to a different pipeline than this program");
+  }
+  if (data == nullptr) return Status::InvalidArgument("null data set");
+  int id = source.id();
+  if (id < 0 || id >= flow_->num_ops() ||
+      flow_->op(id).kind != dataflow::OpKind::kSource) {
+    return Status::InvalidArgument("stream handle is not a data source");
+  }
+  sources_[id] = data;
+  return Status::OK();
+}
+
+Status OptimizedProgram::BindSources(const std::map<int, DataSet>& data) {
+  if (!flow_) return Status::InvalidArgument("program is not optimized");
+  for (const auto& [id, ds] : data) {
+    if (id < 0 || id >= flow_->num_ops() ||
+        flow_->op(id).kind != dataflow::OpKind::kSource) {
+      return Status::InvalidArgument("id " + std::to_string(id) +
+                                     " is not a data source");
+    }
+    sources_[id] = &ds;
+  }
+  return Status::OK();
+}
+
+StatusOr<DataSet> OptimizedProgram::Run(size_t index,
+                                        engine::ExecStats* stats) const {
+  if (!flow_) return Status::InvalidArgument("program is not optimized");
+  if (index >= result_.ranked.size()) {
+    return Status::OutOfRange(
+        "alternative index " + std::to_string(index) + " out of range (" +
+        std::to_string(result_.ranked.size()) + " ranked alternatives)");
+  }
+  for (int id = 0; id < flow_->num_ops(); ++id) {
+    if (flow_->op(id).kind == dataflow::OpKind::kSource &&
+        sources_.find(id) == sources_.end()) {
+      return Status::InvalidArgument("source \"" + flow_->op(id).name +
+                                     "\" has no bound data");
+    }
+  }
+  engine::Executor exec(&result_.annotated, exec_);
+  for (const auto& [id, data] : sources_) exec.BindSource(id, data);
+  return exec.Execute(result_.ranked[index].physical, stats);
+}
+
+StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
+                                        const AnnotationProvider& provider,
+                                        const OptimizeOptions& options,
+                                        const SourceBindings& sources) {
+  StatusOr<dataflow::AnnotatedFlow> af = provider.Annotate(flow, sources);
+  if (!af.ok()) return af.status();
+  if (!af->owner) {
+    return Status::Internal("provider \"" + provider.name() +
+                            "\" returned an annotation without an owned "
+                            "flow snapshot");
+  }
+
+  core::BlackBoxOptimizer::Options copts;
+  copts.mode = af->mode;
+  copts.weights = options.weights;
+  copts.enum_options = options.enum_options;
+  if (options.cost_model_follows_exec) {
+    copts.weights.dop = options.exec.dop;
+    copts.weights.mem_budget_bytes = options.exec.mem_budget_bytes;
+  }
+  StatusOr<core::OptimizationResult> result =
+      core::BlackBoxOptimizer(copts).OptimizeAnnotated(std::move(af).value());
+  if (!result.ok()) return result.status();
+
+  OptimizedProgram program;
+  program.result_ = std::move(result).value();
+  program.flow_ = program.result_.annotated.owner;
+  program.sources_ = sources;
+  program.exec_ = options.exec;
+  return program;
+}
+
+}  // namespace api
+}  // namespace blackbox

@@ -1,0 +1,115 @@
+// OptimizedProgram — layer 3 of the fluent pipeline API (see DESIGN.md §4):
+// the runnable result of Pipeline::Optimize(). Owns a snapshot of the logical
+// flow, its annotation, and every ranked reordered alternative, and executes
+// any of them on the simulated cluster — replacing the manual
+// BlackBoxOptimizer + Executor + raw-operator-id dance of the core layer.
+
+#ifndef BLACKBOX_API_OPTIMIZED_PROGRAM_H_
+#define BLACKBOX_API_OPTIMIZED_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/annotation_provider.h"
+#include "common/status.h"
+#include "core/optimizer_api.h"
+#include "engine/executor.h"
+#include "enumerate/enumerate.h"
+#include "optimizer/physical.h"
+#include "record/record.h"
+
+namespace blackbox {
+namespace api {
+
+class Stream;
+
+/// Knobs for one optimization. The execution options describe the simulated
+/// cluster Run() executes on; by default the cost model is derived from them
+/// so estimates and measured runtimes describe the same machine.
+struct OptimizeOptions {
+  optimizer::CostWeights weights;
+  enumerate::EnumOptions enum_options;
+  engine::ExecOptions exec;
+
+  /// Copy exec.dop / exec.mem_budget_bytes into the cost weights. Disable to
+  /// cost for a different cluster than the one Run() simulates.
+  bool cost_model_follows_exec = true;
+};
+
+/// An optimized, runnable program: the annotated flow plus all ranked
+/// alternatives. Self-contained — it keeps the flow snapshot alive, so it may
+/// outlive the Pipeline (or DataFlow) it was optimized from.
+class OptimizedProgram {
+ public:
+  OptimizedProgram() = default;
+
+  const dataflow::DataFlow& flow() const { return *flow_; }
+  const dataflow::AnnotatedFlow& annotated() const {
+    return result_.annotated;
+  }
+
+  /// All costed alternatives, ascending estimated cost.
+  const std::vector<core::PlannedAlternative>& ranked() const {
+    return result_.ranked;
+  }
+  size_t num_alternatives() const { return result_.num_alternatives; }
+  double enumeration_seconds() const { return result_.enumeration_seconds; }
+  double costing_seconds() const { return result_.costing_seconds; }
+  const core::PlannedAlternative& best() const { return result_.best(); }
+
+  /// Position of the originally authored operator order in ranked()
+  /// (0-based), or -1 if it was pruned.
+  int ImplementedIndex() const;
+
+  /// Binds the data of one source, addressed by its Stream handle. Only
+  /// valid on programs produced by Pipeline::Optimize(), and only with
+  /// handles of that pipeline (handles from another pipeline could alias a
+  /// source id here); programs from OptimizeFlow() bind via BindSources().
+  Status BindSource(const Stream& source, const DataSet* data);
+
+  /// Bulk binding for workloads that keep generated data per source operator
+  /// id (the legacy bridge). The map must outlive this program.
+  Status BindSources(const std::map<int, DataSet>& data);
+
+  /// Executes the alternative at `index` in ranked order (0 = cheapest).
+  /// All sources must be bound.
+  StatusOr<DataSet> Run(size_t index = 0,
+                        engine::ExecStats* stats = nullptr) const;
+  StatusOr<DataSet> RunBest(engine::ExecStats* stats = nullptr) const {
+    return Run(0, stats);
+  }
+
+  const engine::ExecOptions& exec_options() const { return exec_; }
+
+ private:
+  friend class Pipeline;
+  friend StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow&,
+                                                 const AnnotationProvider&,
+                                                 const OptimizeOptions&,
+                                                 const SourceBindings&);
+
+  std::shared_ptr<const dataflow::DataFlow> flow_;  // == annotated().owner
+  core::OptimizationResult result_;
+  SourceBindings sources_;
+  engine::ExecOptions exec_;
+
+  /// Identity of the Pipeline this program was optimized from (never
+  /// dereferenced — only compared against Stream provenance in BindSource);
+  /// null for programs built from a raw DataFlow.
+  const void* origin_pipeline_ = nullptr;
+};
+
+/// Optimizes a pre-built logical flow: annotate via `provider`, enumerate all
+/// valid reorderings, cost and rank them. This is the bridge the workload /
+/// bench layers use for flows not built through a Pipeline; Pipeline::
+/// Optimize() lowers to it.
+StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
+                                        const AnnotationProvider& provider,
+                                        const OptimizeOptions& options = {},
+                                        const SourceBindings& sources = {});
+
+}  // namespace api
+}  // namespace blackbox
+
+#endif  // BLACKBOX_API_OPTIMIZED_PROGRAM_H_

@@ -1,0 +1,328 @@
+#include "api/pipeline.h"
+
+#include <utility>
+
+#include "sca/analyzer.h"
+
+namespace blackbox {
+namespace api {
+
+namespace {
+
+/// Output arity implied by a UDF summary, given the input arities — the same
+/// layout rules ResolveOperator applies during annotation (annotate.cc), so
+/// downstream key validation agrees with the eventual global schema.
+int OutArity(const sca::LocalUdfSummary& summary,
+             const std::vector<int>& in_arities) {
+  int base = 0;
+  switch (summary.out_kind) {
+    case sca::OutputKind::kCopyOfInput: {
+      size_t input = summary.copy_input < 0 ? 0 : summary.copy_input;
+      base = in_arities[input < in_arities.size() ? input : 0];
+      break;
+    }
+    case sca::OutputKind::kConcat:
+      base = in_arities.size() < 2 ? in_arities[0]
+                                   : in_arities[0] + in_arities[1];
+      break;
+    case sca::OutputKind::kProjection:
+      base = 0;
+      break;
+  }
+  return std::max(base, summary.max_out_pos + 1);
+}
+
+Status CheckKeys(const std::string& name, const char* side,
+                 const std::vector<int>& key_fields, int arity) {
+  for (int f : key_fields) {
+    if (f < 0 || f >= arity) {
+      return Status::InvalidArgument(
+          name + ": " + side + " key field " + std::to_string(f) +
+          " out of range for arity-" + std::to_string(arity) + " stream");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- Stream ---------------------------------------------------------------
+
+Stream Stream::Map(std::string name, Udf udf, OpOptions options) const {
+  if (!ok()) return Stream();
+  return pipeline_->AddUnary(dataflow::OpKind::kMap, std::move(name), *this,
+                             {}, std::move(udf), std::move(options));
+}
+
+Stream Stream::ReduceBy(std::string name, std::vector<int> key_fields, Udf udf,
+                        OpOptions options) const {
+  if (!ok()) return Stream();
+  return pipeline_->AddUnary(dataflow::OpKind::kReduce, std::move(name), *this,
+                             std::move(key_fields), std::move(udf),
+                             std::move(options));
+}
+
+Stream Stream::MatchWith(std::string name, const Stream& right,
+                         std::vector<int> left_key, std::vector<int> right_key,
+                         Udf udf, OpOptions options) const {
+  if (!ok()) return Stream();
+  return pipeline_->AddBinary(dataflow::OpKind::kMatch, std::move(name), *this,
+                              right, std::move(left_key), std::move(right_key),
+                              std::move(udf), std::move(options));
+}
+
+Stream Stream::CrossWith(std::string name, const Stream& right, Udf udf,
+                         OpOptions options) const {
+  if (!ok()) return Stream();
+  return pipeline_->AddBinary(dataflow::OpKind::kCross, std::move(name), *this,
+                              right, {}, {}, std::move(udf),
+                              std::move(options));
+}
+
+Stream Stream::CoGroupWith(std::string name, const Stream& right,
+                           std::vector<int> left_key,
+                           std::vector<int> right_key, Udf udf,
+                           OpOptions options) const {
+  if (!ok()) return Stream();
+  return pipeline_->AddBinary(dataflow::OpKind::kCoGroup, std::move(name),
+                              *this, right, std::move(left_key),
+                              std::move(right_key), std::move(udf),
+                              std::move(options));
+}
+
+void Stream::Sink(std::string name) const {
+  if (!ok()) return;
+  pipeline_->AddSink(std::move(name), *this);
+}
+
+// --- Pipeline -------------------------------------------------------------
+
+Stream Pipeline::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+  return Stream();
+}
+
+Status Pipeline::CheckInput(const Stream& s) const {
+  if (!s.ok() || s.pipeline_ != this) {
+    return Status::InvalidArgument("stream handle belongs to another (or no) "
+                                   "pipeline");
+  }
+  if (consumed_[s.id_]) {
+    return Status::InvalidArgument(
+        "stream of operator \"" + flow_.op(s.id_).name +
+        "\" is already consumed (flows are trees: each stream feeds exactly "
+        "one operator)");
+  }
+  return Status::OK();
+}
+
+Stream Pipeline::Source(std::string name, int arity, SourceOptions options) {
+  return AddSource(std::move(name), arity, std::move(options));
+}
+
+Stream Pipeline::AddSource(std::string name, int arity,
+                           SourceOptions options) {
+  if (has_sink_) return Fail(Status::InvalidArgument("pipeline is sealed"));
+  if (arity <= 0) {
+    return Fail(Status::InvalidArgument("source \"" + name +
+                                        "\": arity must be positive"));
+  }
+  for (int f : options.unique_fields) {
+    if (f < 0 || f >= arity) {
+      return Fail(Status::InvalidArgument(
+          "source \"" + name + "\": unique field " + std::to_string(f) +
+          " out of range for arity " + std::to_string(arity)));
+    }
+  }
+  int id = flow_.AddSource(std::move(name), arity, options.rows,
+                           options.avg_bytes, std::move(options.unique_fields));
+  consumed_.resize(id + 1, false);
+  return Stream(this, id, arity);
+}
+
+Stream Pipeline::AddUnary(dataflow::OpKind kind, std::string name,
+                          const Stream& in, std::vector<int> key_fields,
+                          Udf udf, OpOptions options) {
+  if (has_sink_) return Fail(Status::InvalidArgument("pipeline is sealed"));
+  Status st = CheckInput(in);
+  if (!st.ok()) return Fail(std::move(st));
+  if (!udf) {
+    return Fail(Status::InvalidArgument(name + ": null UDF"));
+  }
+  st = CheckKeys(name, "grouping", key_fields, in.arity_);
+  if (!st.ok()) return Fail(std::move(st));
+
+  sca::LocalUdfSummary summary;
+  if (options.summary.has_value()) {
+    summary = *options.summary;
+  } else {
+    StatusOr<sca::LocalUdfSummary> s = sca::AnalyzeUdf(*udf);
+    if (!s.ok()) return Fail(s.status());
+    summary = std::move(s).value();
+  }
+  if (summary.num_inputs != 1) {
+    return Fail(Status::InvalidArgument(name +
+                                        ": unary operator with a UDF of " +
+                                        std::to_string(summary.num_inputs) +
+                                        " inputs"));
+  }
+  if (summary.out_kind == sca::OutputKind::kConcat) {
+    return Fail(Status::InvalidArgument(
+        name + ": concat output summary on a unary operator"));
+  }
+  if (summary.out_kind == sca::OutputKind::kCopyOfInput &&
+      summary.copy_input != 0) {
+    return Fail(Status::InvalidArgument(
+        name + ": copy_input " + std::to_string(summary.copy_input) +
+        " out of range for a unary operator"));
+  }
+  int arity = OutArity(summary, {in.arity_});
+
+  int id;
+  if (kind == dataflow::OpKind::kMap) {
+    id = flow_.AddMap(std::move(name), in.id_, std::move(udf), options.hints);
+  } else {
+    id = flow_.AddReduce(std::move(name), in.id_, std::move(key_fields),
+                         std::move(udf), options.hints);
+  }
+  flow_.op(id).manual_summary = std::move(options.summary);
+  flow_.op(id).kat_behavior = options.kat_behavior;
+  consumed_.resize(id + 1, false);
+  consumed_[in.id_] = true;
+  return Stream(this, id, arity);
+}
+
+Stream Pipeline::AddBinary(dataflow::OpKind kind, std::string name,
+                           const Stream& left, const Stream& right,
+                           std::vector<int> left_key,
+                           std::vector<int> right_key, Udf udf,
+                           OpOptions options) {
+  if (has_sink_) return Fail(Status::InvalidArgument("pipeline is sealed"));
+  Status st = CheckInput(left);
+  if (!st.ok()) return Fail(std::move(st));
+  if (!right.ok() || right.pipeline_ != this) {
+    return Fail(Status::InvalidArgument(
+        name + ": right stream belongs to another (or no) pipeline"));
+  }
+  if (right.id_ == left.id_) {
+    return Fail(Status::InvalidArgument(
+        name + ": joining a stream with itself (flows are trees)"));
+  }
+  st = CheckInput(right);
+  if (!st.ok()) return Fail(std::move(st));
+  if (!udf) {
+    return Fail(Status::InvalidArgument(name + ": null UDF"));
+  }
+  st = CheckKeys(name, "left", left_key, left.arity_);
+  if (!st.ok()) return Fail(std::move(st));
+  st = CheckKeys(name, "right", right_key, right.arity_);
+  if (!st.ok()) return Fail(std::move(st));
+  if (left_key.size() != right_key.size()) {
+    return Fail(Status::InvalidArgument(
+        name + ": left and right key lists differ in length"));
+  }
+
+  sca::LocalUdfSummary summary;
+  if (options.summary.has_value()) {
+    summary = *options.summary;
+  } else {
+    StatusOr<sca::LocalUdfSummary> s = sca::AnalyzeUdf(*udf);
+    if (!s.ok()) return Fail(s.status());
+    summary = std::move(s).value();
+  }
+  if (summary.num_inputs != 2) {
+    return Fail(Status::InvalidArgument(name +
+                                        ": binary operator with a UDF of " +
+                                        std::to_string(summary.num_inputs) +
+                                        " inputs"));
+  }
+  if (summary.out_kind == sca::OutputKind::kCopyOfInput &&
+      (summary.copy_input < 0 || summary.copy_input > 1)) {
+    return Fail(Status::InvalidArgument(
+        name + ": copy_input " + std::to_string(summary.copy_input) +
+        " out of range for a binary operator"));
+  }
+  int arity = OutArity(summary, {left.arity_, right.arity_});
+
+  int id;
+  switch (kind) {
+    case dataflow::OpKind::kMatch:
+      id = flow_.AddMatch(std::move(name), left.id_, right.id_,
+                          std::move(left_key), std::move(right_key),
+                          std::move(udf), options.hints);
+      break;
+    case dataflow::OpKind::kCross:
+      id = flow_.AddCross(std::move(name), left.id_, right.id_,
+                          std::move(udf), options.hints);
+      break;
+    default:
+      id = flow_.AddCoGroup(std::move(name), left.id_, right.id_,
+                            std::move(left_key), std::move(right_key),
+                            std::move(udf), options.hints);
+      break;
+  }
+  flow_.op(id).manual_summary = std::move(options.summary);
+  flow_.op(id).kat_behavior = options.kat_behavior;
+  consumed_.resize(id + 1, false);
+  consumed_[left.id_] = true;
+  consumed_[right.id_] = true;
+  return Stream(this, id, arity);
+}
+
+void Pipeline::AddSink(std::string name, const Stream& in) {
+  if (has_sink_) {
+    Fail(Status::InvalidArgument("pipeline already has a sink"));
+    return;
+  }
+  Status st = CheckInput(in);
+  if (!st.ok()) {
+    Fail(std::move(st));
+    return;
+  }
+  int id = flow_.SetSink(std::move(name), in.id_);
+  consumed_.resize(id + 1, false);
+  consumed_[in.id_] = true;
+  has_sink_ = true;
+}
+
+Status Pipeline::BindSource(const Stream& source, const DataSet* data) {
+  if (!source.ok() || source.pipeline_ != this) {
+    return Status::InvalidArgument("stream handle belongs to another (or no) "
+                                   "pipeline");
+  }
+  if (flow_.op(source.id_).kind != dataflow::OpKind::kSource) {
+    return Status::InvalidArgument("stream handle is not a data source");
+  }
+  if (data == nullptr) return Status::InvalidArgument("null data set");
+  bindings_[source.id_] = data;
+  return Status::OK();
+}
+
+StatusOr<OptimizedProgram> Pipeline::Optimize(
+    const AnnotationProvider& provider, const OptimizeOptions& options) const {
+  if (!status_.ok()) return status_;
+  if (!has_sink_) {
+    return Status::InvalidArgument("pipeline has no sink");
+  }
+  StatusOr<OptimizedProgram> program =
+      OptimizeFlow(flow_, provider, options, bindings_);
+  if (program.ok()) program->origin_pipeline_ = this;
+  return program;
+}
+
+StatusOr<OptimizedProgram> Pipeline::Optimize(
+    const AnnotationProvider& provider) const {
+  return Optimize(provider, OptimizeOptions());
+}
+
+StatusOr<OptimizedProgram> Pipeline::Optimize(
+    const OptimizeOptions& options) const {
+  return Optimize(ScaProvider(), options);
+}
+
+StatusOr<OptimizedProgram> Pipeline::Optimize() const {
+  return Optimize(ScaProvider(), OptimizeOptions());
+}
+
+}  // namespace api
+}  // namespace blackbox

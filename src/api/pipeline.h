@@ -1,0 +1,176 @@
+// Fluent pipeline builder — layer 1 of the public API (see DESIGN.md §4).
+// Programs are assembled through typed Stream handles that carry their
+// record arity, so key indices are validated at the call site instead of at
+// DataFlow::Validate() time, and operator ids never surface in user code:
+//
+//   api::Pipeline p;
+//   auto orders    = p.Source("orders", 2, {.rows = 15000});
+//   auto lineitems = p.Source("lineitem", 5, {.rows = 60000});
+//   auto joined    = lineitems.MatchWith("join", orders, {0}, {0}, join_udf)
+//                             .Map("filter", filter_udf)
+//                             .ReduceBy("sum", {1}, sum_udf);
+//   joined.Sink("out");
+//   auto program = p.Optimize(api::ScaProvider());   // -> OptimizedProgram
+//   program->BindSource(orders, &orders_data);
+//   ...
+//   auto result = program->RunBest();
+//
+// Fluent calls never throw; the first invalid construction poisons the
+// returned Stream and records a Status that Optimize() reports. The builder
+// lowers to the legacy dataflow::DataFlow, which remains the optimizer's
+// internal representation.
+
+#ifndef BLACKBOX_API_PIPELINE_H_
+#define BLACKBOX_API_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/annotation_provider.h"
+#include "api/optimized_program.h"
+#include "common/status.h"
+#include "dataflow/flow.h"
+#include "record/record.h"
+#include "sca/summary.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace api {
+
+using Udf = std::shared_ptr<const tac::Function>;
+
+struct SourceOptions {
+  int64_t rows = 1000;        // cardinality hint
+  double avg_bytes = 64;      // avg record bytes hint
+  std::vector<int> unique_fields;  // primary key (empty: none)
+};
+
+/// Per-operator options attached at build time: optimizer hints (§7.1), an
+/// optional manual annotation (the ManualProvider source), and declared
+/// key-at-a-time behaviour for the KGP check.
+struct OpOptions {
+  dataflow::Hints hints;
+  std::optional<sca::LocalUdfSummary> summary;
+  dataflow::KatBehavior kat_behavior = dataflow::KatBehavior::kUnknown;
+};
+
+class Pipeline;
+
+/// A typed handle to one operator's output. Copyable value type; carries the
+/// record arity of the stream so downstream key indices are checked at build
+/// time. A default-constructed or failed handle is poisoned (ok() == false)
+/// and every operation on it is a recorded no-op.
+class Stream {
+ public:
+  Stream() = default;
+
+  bool ok() const { return pipeline_ != nullptr && id_ >= 0; }
+
+  /// Number of fields in this stream's record layout.
+  int arity() const { return arity_; }
+
+  /// The underlying operator id — the lowering detail the workload layer
+  /// uses to key generated source data; fluent user code never needs it.
+  int id() const { return id_; }
+
+  /// Unary record-at-a-time transformation.
+  Stream Map(std::string name, Udf udf, OpOptions options = {}) const;
+
+  /// Groups this stream on `key_fields` (validated against arity()) and
+  /// calls the key-at-a-time UDF once per group.
+  Stream ReduceBy(std::string name, std::vector<int> key_fields, Udf udf,
+                  OpOptions options = {}) const;
+
+  /// Equi-join with `right` on left_key = right_key (validated against the
+  /// respective arities).
+  Stream MatchWith(std::string name, const Stream& right,
+                   std::vector<int> left_key, std::vector<int> right_key,
+                   Udf udf, OpOptions options = {}) const;
+
+  /// Cartesian product with `right`.
+  Stream CrossWith(std::string name, const Stream& right, Udf udf,
+                   OpOptions options = {}) const;
+
+  /// Groups both sides on their keys and calls the UDF once per key.
+  Stream CoGroupWith(std::string name, const Stream& right,
+                     std::vector<int> left_key, std::vector<int> right_key,
+                     Udf udf, OpOptions options = {}) const;
+
+  /// Terminates the pipeline. Must be called exactly once.
+  void Sink(std::string name) const;
+
+ private:
+  friend class Pipeline;
+  friend class OptimizedProgram;
+  Stream(Pipeline* pipeline, int id, int arity)
+      : pipeline_(pipeline), id_(id), arity_(arity) {}
+
+  Pipeline* pipeline_ = nullptr;
+  int id_ = -1;
+  int arity_ = 0;
+};
+
+/// Owns the flow being built. Non-copyable: Stream handles point back into
+/// it. Optimize() may be called once the sink is set; the pipeline stays
+/// usable afterwards (the program owns its own snapshot).
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Adds a data source with `arity` fields.
+  Stream Source(std::string name, int arity, SourceOptions options = {});
+
+  /// Pre-optimization data binding. Needed by providers that execute the
+  /// flow (ProfilerProvider) and carried into the OptimizedProgram, so
+  /// sources bound here need not be re-bound before Run().
+  Status BindSource(const Stream& source, const DataSet* data);
+
+  /// Lowers the pipeline, annotates it via `provider`, enumerates every
+  /// valid reordering, costs and ranks them. Reports the first build error
+  /// if any fluent call was invalid.
+  StatusOr<OptimizedProgram> Optimize(const AnnotationProvider& provider,
+                                      const OptimizeOptions& options) const;
+  StatusOr<OptimizedProgram> Optimize(const AnnotationProvider& provider) const;
+
+  /// Convenience: annotate via static code analysis (ScaProvider).
+  StatusOr<OptimizedProgram> Optimize(const OptimizeOptions& options) const;
+  StatusOr<OptimizedProgram> Optimize() const;
+
+  /// First build error, OK if the pipeline is well-formed so far.
+  const Status& status() const { return status_; }
+
+  /// The lowered internal representation (read-only: direct mutation would
+  /// desync the arity and consumption tracking behind the Stream handles).
+  const dataflow::DataFlow& flow() const { return flow_; }
+
+ private:
+  friend class Stream;
+
+  Stream AddSource(std::string name, int arity, SourceOptions options);
+  Stream AddUnary(dataflow::OpKind kind, std::string name, const Stream& in,
+                  std::vector<int> key_fields, Udf udf, OpOptions options);
+  Stream AddBinary(dataflow::OpKind kind, std::string name, const Stream& left,
+                   const Stream& right, std::vector<int> left_key,
+                   std::vector<int> right_key, Udf udf, OpOptions options);
+  void AddSink(std::string name, const Stream& in);
+
+  /// Records the first error and returns a poisoned handle.
+  Stream Fail(Status status);
+  /// Checks that `s` is a live, unconsumed handle of this pipeline.
+  Status CheckInput(const Stream& s) const;
+
+  dataflow::DataFlow flow_;
+  std::vector<bool> consumed_;  // by operator id
+  bool has_sink_ = false;
+  Status status_ = Status::OK();
+  SourceBindings bindings_;
+};
+
+}  // namespace api
+}  // namespace blackbox
+
+#endif  // BLACKBOX_API_PIPELINE_H_

@@ -2,17 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 namespace blackbox {
 namespace core {
 
+const PlannedAlternative& OptimizationResult::best() const {
+  if (ranked.empty()) {
+    std::fprintf(stderr,
+                 "OptimizationResult::best(): no ranked alternatives (was "
+                 "this result produced by Optimize()?)\n");
+    std::abort();
+  }
+  return ranked.front();
+}
+
 StatusOr<OptimizationResult> BlackBoxOptimizer::Optimize(
     const dataflow::DataFlow& flow) const {
-  OptimizationResult result;
-
   StatusOr<dataflow::AnnotatedFlow> af = dataflow::Annotate(flow, options_.mode);
   if (!af.ok()) return af.status();
-  result.annotated = std::move(af).value();
+  return OptimizeAnnotated(std::move(af).value());
+}
+
+StatusOr<OptimizationResult> BlackBoxOptimizer::OptimizeAnnotated(
+    dataflow::AnnotatedFlow annotated) const {
+  OptimizationResult result;
+  result.annotated = std::move(annotated);
 
   auto t0 = std::chrono::steady_clock::now();
   StatusOr<enumerate::EnumResult> enum_result =
@@ -43,6 +59,11 @@ StatusOr<OptimizationResult> BlackBoxOptimizer::Optimize(
             });
   for (size_t i = 0; i < result.ranked.size(); ++i) {
     result.ranked[i].rank = static_cast<int>(i) + 1;
+  }
+  if (result.ranked.empty()) {
+    return Status::InvalidArgument(
+        "optimization produced zero alternatives (EnumOptions::max_plans "
+        "pruned everything?)");
   }
   return result;
 }

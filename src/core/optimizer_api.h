@@ -44,7 +44,10 @@ struct OptimizationResult {
   double enumeration_seconds = 0;
   double costing_seconds = 0;
 
-  const PlannedAlternative& best() const { return ranked.front(); }
+  /// The cheapest alternative. Optimize() guarantees at least one entry, so
+  /// this can only fail on a default-constructed or hand-assembled result;
+  /// aborts with a clear message instead of dereferencing an empty vector.
+  const PlannedAlternative& best() const;
 };
 
 class BlackBoxOptimizer {
@@ -58,8 +61,16 @@ class BlackBoxOptimizer {
   BlackBoxOptimizer() : options_(Options()) {}
   explicit BlackBoxOptimizer(Options options) : options_(options) {}
 
-  /// Full pipeline: annotate -> enumerate -> cost -> rank.
+  /// Full pipeline: annotate -> enumerate -> cost -> rank. Returns an error
+  /// if zero alternatives survive enumeration (e.g. EnumOptions prunes
+  /// everything), so a returned result always has a best() plan.
   StatusOr<OptimizationResult> Optimize(const dataflow::DataFlow& flow) const;
+
+  /// Enumerate -> cost -> rank on an already-annotated flow. This is the
+  /// lowering entry point the api layer uses after an AnnotationProvider has
+  /// produced the annotation; the result takes ownership of `annotated`.
+  StatusOr<OptimizationResult> OptimizeAnnotated(
+      dataflow::AnnotatedFlow annotated) const;
 
   const Options& options() const { return options_; }
 

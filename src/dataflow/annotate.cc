@@ -287,5 +287,15 @@ StatusOr<AnnotatedFlow> Annotate(const DataFlow& flow, AnnotationMode mode) {
   return af;
 }
 
+StatusOr<AnnotatedFlow> Annotate(std::shared_ptr<const DataFlow> flow,
+                                 AnnotationMode mode) {
+  if (!flow) return Status::InvalidArgument("Annotate: null flow");
+  StatusOr<AnnotatedFlow> af = Annotate(*flow, mode);
+  if (!af.ok()) return af.status();
+  af->owner = std::move(flow);
+  af->flow = af->owner.get();
+  return af;
+}
+
 }  // namespace dataflow
 }  // namespace blackbox

@@ -6,6 +6,7 @@
 #ifndef BLACKBOX_DATAFLOW_ANNOTATE_H_
 #define BLACKBOX_DATAFLOW_ANNOTATE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,12 @@ struct AnnotatedFlow {
   std::vector<OpProperties> props;  // indexed by operator id
   AnnotationMode mode = AnnotationMode::kSca;
 
+  /// When the annotation was produced from an owned snapshot (the api layer's
+  /// AnnotationProvider path), `owner` keeps that snapshot alive and `flow`
+  /// points into it; otherwise `owner` is null and the caller guarantees the
+  /// flow outlives this annotation.
+  std::shared_ptr<const DataFlow> owner;
+
   const OpProperties& of(int op_id) const { return props[op_id]; }
 
   std::string ToString() const;
@@ -99,6 +106,12 @@ struct AnnotatedFlow {
 /// Match left/right uniqueness hints are honoured in both modes (they are
 /// schema knowledge, not UDF properties).
 StatusOr<AnnotatedFlow> Annotate(const DataFlow& flow, AnnotationMode mode);
+
+/// As above, but the annotation takes (shared) ownership of the flow, making
+/// the result self-contained — safe to move across scopes that outlive the
+/// original builder.
+StatusOr<AnnotatedFlow> Annotate(std::shared_ptr<const DataFlow> flow,
+                                 AnnotationMode mode);
 
 }  // namespace dataflow
 }  // namespace blackbox

@@ -2,10 +2,13 @@
 
 #include <cassert>
 
+#include "api/pipeline.h"
+
 namespace blackbox {
 namespace workloads {
 
-using dataflow::DataFlow;
+using api::Pipeline;
+using api::Stream;
 using dataflow::Hints;
 using dataflow::KatBehavior;
 using tac::FunctionBuilder;
@@ -27,16 +30,21 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
   w.name = "clickstream";
   Rng rng(scale.seed);
 
-  DataFlow& f = w.flow;
+  Pipeline p;
   // click: 0 session_id, 1 ts, 2 action (1 = buy), 3 url
   int64_t total_clicks = scale.sessions * scale.avg_clicks_per_session;
-  int click = f.AddSource("click", 4, total_clicks, 60);
+  Stream click = p.Source("click", 4, {.rows = total_clicks,
+                                       .avg_bytes = 60});
   // login: 0 session_id (unique), 1 user_id
   int64_t logins =
       static_cast<int64_t>(scale.sessions * scale.logged_in_fraction);
-  int login = f.AddSource("login", 2, logins, 18, {0});
+  Stream login = p.Source("login", 2, {.rows = logins,
+                                       .avg_bytes = 18,
+                                       .unique_fields = {0}});
   // user: 0 user_id (unique), 1 name, 2 age, 3 segment
-  int user = f.AddSource("user", 4, scale.users, 46, {0});
+  Stream user = p.Source("user", 4, {.rows = scale.users,
+                                     .avg_bytes = 46,
+                                     .unique_fields = {0}});
 
   // --- R1: filter buy sessions (all-or-nothing per key group). ---
   std::shared_ptr<const tac::Function> filter_buy;
@@ -78,14 +86,14 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
   r1_hints.selectivity =
       scale.buy_fraction * static_cast<double>(scale.avg_clicks_per_session);
   r1_hints.distinct_keys = scale.sessions;
-  int r1 = f.AddReduce("filter_buy_sessions", click, {0}, filter_buy,
-                       r1_hints);
-  f.op(r1).kat_behavior = KatBehavior::kGroupWiseFilter;
-  f.op(r1).manual_summary = SummaryBuilder(1)
-                                .CopyOf(0)
-                                .DecisionReads(0, {2})
-                                .Emits(0, -1)
-                                .Build();
+  Stream r1 = click.ReduceBy("filter_buy_sessions", {0}, filter_buy,
+                             {.hints = r1_hints,
+                              .summary = SummaryBuilder(1)
+                                             .CopyOf(0)
+                                             .DecisionReads(0, {2})
+                                             .Emits(0, -1)
+                                             .Build(),
+                              .kat_behavior = KatBehavior::kGroupWiseFilter});
 
   // --- R2: condense each session into one record: first record + click
   // count (field 4) + first timestamp (field 5). ---
@@ -119,23 +127,24 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
   Hints r2_hints;
   r2_hints.selectivity = 1.0;
   r2_hints.distinct_keys = scale.sessions;
-  int r2 = f.AddReduce("condense_sessions", r1, {0}, condense, r2_hints);
-  f.op(r2).manual_summary = SummaryBuilder(1)
-                                .CopyOf(0)
-                                .Reads(0, {1})
-                                .Modifies(4)
-                                .Modifies(5)
-                                .Emits(1, 1)
-                                .Build();
+  Stream r2 = r1.ReduceBy("condense_sessions", {0}, condense,
+                          {.hints = r2_hints,
+                           .summary = SummaryBuilder(1)
+                                          .CopyOf(0)
+                                          .Reads(0, {1})
+                                          .Modifies(4)
+                                          .Modifies(5)
+                                          .Emits(1, 1)
+                                          .Build()});
 
   // --- M1: keep only sessions of logged-in users (join with login). ---
   // Left schema: click 0-3 | condensed 4-5; right: login 0-1 (-> 6-7).
   Hints m1_hints;
   m1_hints.distinct_keys = scale.sessions;
-  int m1 = f.AddMatch("filter_logged_in_sessions", r2, login, {0}, {0},
-                      MakeConcatJoinUdf("filter_logged_in_sessions"),
-                      m1_hints);
-  f.op(m1).manual_summary = ConcatJoinSummary();
+  Stream m1 = r2.MatchWith("filter_logged_in_sessions", login, {0}, {0},
+                           MakeConcatJoinUdf("filter_logged_in_sessions"),
+                           {.hints = m1_hints,
+                            .summary = ConcatJoinSummary()});
 
   // --- M2: append user info; computes an engagement attribute from a
   // login-side field selected by a *computed* index (6 + segment % 2). ---
@@ -155,19 +164,21 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
   }
   Hints m2_hints;
   m2_hints.distinct_keys = scale.users;
-  int m2 = f.AddMatch("append_user_info", m1, user, {7}, {0}, append_user,
-                      m2_hints);
   // True read set: only the two login-side fields (local 6, 7) and the user
   // segment — what a developer (or a sharper analysis) would annotate.
-  f.op(m2).manual_summary = SummaryBuilder(2)
-                                .Concat()
-                                .Reads(0, {6, 7})
-                                .Reads(1, {3})
-                                .Modifies(12)
-                                .Emits(1, 1)
-                                .Build();
+  Stream m2 = m1.MatchWith("append_user_info", user, {7}, {0}, append_user,
+                           {.hints = m2_hints,
+                            .summary = SummaryBuilder(2)
+                                           .Concat()
+                                           .Reads(0, {6, 7})
+                                           .Reads(1, {3})
+                                           .Modifies(12)
+                                           .Emits(1, 1)
+                                           .Build()});
 
-  f.SetSink("clickstream_sink", m2);
+  m2.Sink("clickstream_sink");
+  CheckBuild(p);
+  w.flow = p.flow();
 
   // --- Data ---
   DataSet clicks;
@@ -192,8 +203,8 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
       login_data.Add(std::move(r));
     }
   }
-  w.source_data[click] = std::move(clicks);
-  w.source_data[login] = std::move(login_data);
+  w.source_data[click.id()] = std::move(clicks);
+  w.source_data[login.id()] = std::move(login_data);
 
   DataSet users;
   for (int64_t uid = 0; uid < scale.users; ++uid) {
@@ -204,7 +215,7 @@ Workload MakeClickstream(const ClickstreamScale& scale) {
     r.Append(Value(rng.Uniform(0, 5)));
     users.Add(std::move(r));
   }
-  w.source_data[user] = std::move(users);
+  w.source_data[user.id()] = std::move(users);
 
   return w;
 }

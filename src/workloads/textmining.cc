@@ -2,10 +2,13 @@
 
 #include <cassert>
 
+#include "api/pipeline.h"
+
 namespace blackbox {
 namespace workloads {
 
-using dataflow::DataFlow;
+using api::Pipeline;
+using api::Stream;
 using dataflow::Hints;
 using tac::FunctionBuilder;
 using tac::Reg;
@@ -79,9 +82,10 @@ Workload MakeTextMining(const TextMiningScale& scale) {
   w.name = "textmining";
   Rng rng(scale.seed);
 
-  DataFlow& f = w.flow;
+  Pipeline p;
   // docs: 0 doc_id, 1 text
-  int docs = f.AddSource("docs", 2, scale.documents, 180);
+  Stream docs = p.Source("docs", 2, {.rows = scale.documents,
+                                     .avg_bytes = 180});
 
   // --- Preprocess: tokenization + POS tagging; appends the token field (2)
   // and filters empty sentences. Everything downstream reads field 2, so
@@ -106,48 +110,47 @@ Workload MakeTextMining(const TextMiningScale& scale) {
   Hints prep_hints;
   prep_hints.selectivity = 1.0;
   prep_hints.cpu_cost_per_call = static_cast<double>(scale.preprocess_burn);
-  int pre = f.AddMap("preprocess", docs, prep, prep_hints);
-  f.op(pre).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .DecisionReads(0, {1})
-                                 .Modifies(2)
-                                 .Emits(0, 1)
-                                 .Build();
+  Stream pre = docs.Map("preprocess", prep,
+                        {.hints = prep_hints,
+                         .summary = SummaryBuilder(1)
+                                        .CopyOf(0)
+                                        .DecisionReads(0, {1})
+                                        .Modifies(2)
+                                        .Emits(0, 1)
+                                        .Build()});
 
   // --- Four independent components over the token field. ---
   Hints gene_hints;
   gene_hints.selectivity = scale.gene_fraction;
   gene_hints.cpu_cost_per_call = static_cast<double>(scale.gene_burn);
-  int gene = f.AddMap("gene_ner", pre,
-                      MakeNer("gene_ner", "gene", 3, scale.gene_burn),
-                      gene_hints);
-  f.op(gene).manual_summary = NerSummary(3);
+  Stream gene = pre.Map("gene_ner",
+                        MakeNer("gene_ner", "gene", 3, scale.gene_burn),
+                        {.hints = gene_hints, .summary = NerSummary(3)});
 
   Hints drug_hints;
   drug_hints.selectivity = scale.drug_fraction;
   drug_hints.cpu_cost_per_call = static_cast<double>(scale.drug_burn);
-  int drug = f.AddMap("drug_ner", gene,
-                      MakeNer("drug_ner", "drug", 4, scale.drug_burn),
-                      drug_hints);
-  f.op(drug).manual_summary = NerSummary(4);
+  Stream drug = gene.Map("drug_ner",
+                         MakeNer("drug_ner", "drug", 4, scale.drug_burn),
+                         {.hints = drug_hints, .summary = NerSummary(4)});
 
   Hints abbrev_hints;
   abbrev_hints.selectivity = 1.0;
   abbrev_hints.cpu_cost_per_call = static_cast<double>(scale.abbrev_burn);
-  int abbrev = f.AddMap("abbrev_resolver", drug,
-                        MakeAnnotator("abbrev_resolver", 5, scale.abbrev_burn,
-                                      500),
-                        abbrev_hints);
-  f.op(abbrev).manual_summary = AnnotatorSummary(5);
+  Stream abbrev = drug.Map("abbrev_resolver",
+                           MakeAnnotator("abbrev_resolver", 5,
+                                         scale.abbrev_burn, 500),
+                           {.hints = abbrev_hints,
+                            .summary = AnnotatorSummary(5)});
 
   Hints sent_hints;
   sent_hints.selectivity = 1.0;
   sent_hints.cpu_cost_per_call = static_cast<double>(scale.sentence_burn);
-  int sent = f.AddMap("sentence_refiner", abbrev,
-                      MakeAnnotator("sentence_refiner", 6,
-                                    scale.sentence_burn, 300),
-                      sent_hints);
-  f.op(sent).manual_summary = AnnotatorSummary(6);
+  Stream sent = abbrev.Map("sentence_refiner",
+                           MakeAnnotator("sentence_refiner", 6,
+                                         scale.sentence_burn, 300),
+                           {.hints = sent_hints,
+                            .summary = AnnotatorSummary(6)});
 
   // --- Relation extraction: reads all four annotations, filters by a
   // proximity heuristic, appends the relation score (field 7). ---
@@ -174,16 +177,19 @@ Workload MakeTextMining(const TextMiningScale& scale) {
   Hints rel_hints;
   rel_hints.selectivity = 2.0 / 7.0;
   rel_hints.cpu_cost_per_call = static_cast<double>(scale.relation_burn);
-  int rel = f.AddMap("relation_extract", sent, relation, rel_hints);
-  f.op(rel).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .DecisionReads(0, {3, 4})
-                                 .Reads(0, {5, 6})
-                                 .Modifies(7)
-                                 .Emits(0, 1)
-                                 .Build();
+  Stream rel = sent.Map("relation_extract", relation,
+                        {.hints = rel_hints,
+                         .summary = SummaryBuilder(1)
+                                        .CopyOf(0)
+                                        .DecisionReads(0, {3, 4})
+                                        .Reads(0, {5, 6})
+                                        .Modifies(7)
+                                        .Emits(0, 1)
+                                        .Build()});
 
-  f.SetSink("textmining_sink", rel);
+  rel.Sink("textmining_sink");
+  CheckBuild(p);
+  w.flow = p.flow();
 
   // --- Data: synthetic sentences with marker tokens at calibrated rates. ---
   DataSet data;
@@ -196,7 +202,7 @@ Workload MakeTextMining(const TextMiningScale& scale) {
     r.Append(Value(std::move(text)));
     data.Add(std::move(r));
   }
-  w.source_data[docs] = std::move(data);
+  w.source_data[docs.id()] = std::move(data);
 
   return w;
 }

@@ -2,10 +2,15 @@
 
 #include <cassert>
 
+#include "api/pipeline.h"
+
 namespace blackbox {
 namespace workloads {
 
-using dataflow::DataFlow;
+using api::OpOptions;
+using api::Pipeline;
+using api::SourceOptions;
+using api::Stream;
 using dataflow::Hints;
 using tac::FunctionBuilder;
 using tac::Reg;
@@ -75,14 +80,26 @@ Workload MakeTpchQ7(const TpchScale& scale) {
   w.name = "tpch_q7";
   Rng rng(scale.seed);
 
+  Pipeline p;
+
   // --- Sources ---
-  DataFlow& f = w.flow;
-  int li = f.AddSource("lineitem", 5, scale.lineitems, 48);
-  int s = f.AddSource("supplier", 2, scale.suppliers, 20, {0});
-  int o = f.AddSource("orders", 2, scale.orders, 20, {0});
-  int c = f.AddSource("customer", 2, scale.customers, 20, {0});
-  int n1 = f.AddSource("nation1", 2, scale.nations, 24, {0});
-  int n2 = f.AddSource("nation2", 2, scale.nations, 24, {0});
+  Stream li = p.Source("lineitem", 5, {.rows = scale.lineitems,
+                                       .avg_bytes = 48});
+  Stream s = p.Source("supplier", 2, {.rows = scale.suppliers,
+                                      .avg_bytes = 20,
+                                      .unique_fields = {0}});
+  Stream o = p.Source("orders", 2, {.rows = scale.orders,
+                                    .avg_bytes = 20,
+                                    .unique_fields = {0}});
+  Stream c = p.Source("customer", 2, {.rows = scale.customers,
+                                      .avg_bytes = 20,
+                                      .unique_fields = {0}});
+  Stream n1 = p.Source("nation1", 2, {.rows = scale.nations,
+                                      .avg_bytes = 24,
+                                      .unique_fields = {0}});
+  Stream n2 = p.Source("nation2", 2, {.rows = scale.nations,
+                                      .avg_bytes = 24,
+                                      .unique_fields = {0}});
 
   // --- σ: shipdate filter + derived year and volume attributes ---
   // (fields 5 = year, 6 = volume appended to the lineitem record).
@@ -109,47 +126,44 @@ Workload MakeTpchQ7(const TpchScale& scale) {
   }
   Hints sigma_hints;
   sigma_hints.selectivity = 0.165;
-  int sig = f.AddMap("q7_filter_prepare", li, sigma, sigma_hints);
-  f.op(sig).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .DecisionReads(0, {4})
-                                 .Reads(0, {2, 3})
-                                 .Modifies(5)
-                                 .Modifies(6)
-                                 .Emits(0, 1)
-                                 .Build();
+  Stream sig = li.Map("q7_filter_prepare", sigma,
+                      {.hints = sigma_hints,
+                       .summary = SummaryBuilder(1)
+                                      .CopyOf(0)
+                                      .DecisionReads(0, {4})
+                                      .Reads(0, {2, 3})
+                                      .Modifies(5)
+                                      .Modifies(6)
+                                      .Emits(0, 1)
+                                      .Build()});
 
   // --- Join spine; every join UDF concatenates and emits. ---
   // Left-input widths: σ output = 7 fields; each join appends the right side.
-  auto join_hints = [](int64_t distinct) {
-    Hints h;
-    h.distinct_keys = distinct;
-    return h;
+  auto join_opts = [](int64_t distinct) {
+    OpOptions opts;
+    opts.hints.distinct_keys = distinct;
+    opts.summary = ConcatJoinSummary();
+    return opts;
   };
-  int jls = f.AddMatch("q7_join_l_s", sig, s, {1}, {0},
-                       MakeConcatJoinUdf("q7_join_l_s"),
-                       join_hints(scale.suppliers));
-  f.op(jls).manual_summary = ConcatJoinSummary();
+  Stream jls = sig.MatchWith("q7_join_l_s", s, {1}, {0},
+                             MakeConcatJoinUdf("q7_join_l_s"),
+                             join_opts(scale.suppliers));
   // schema now: lineitem 0-6 | supplier 7-8
-  int jlo = f.AddMatch("q7_join_l_o", jls, o, {0}, {0},
-                       MakeConcatJoinUdf("q7_join_l_o"),
-                       join_hints(scale.orders));
-  f.op(jlo).manual_summary = ConcatJoinSummary();
+  Stream jlo = jls.MatchWith("q7_join_l_o", o, {0}, {0},
+                             MakeConcatJoinUdf("q7_join_l_o"),
+                             join_opts(scale.orders));
   // schema: l 0-6 | s 7-8 | o 9-10
-  int joc = f.AddMatch("q7_join_o_c", jlo, c, {10}, {0},
-                       MakeConcatJoinUdf("q7_join_o_c"),
-                       join_hints(scale.customers));
-  f.op(joc).manual_summary = ConcatJoinSummary();
+  Stream joc = jlo.MatchWith("q7_join_o_c", c, {10}, {0},
+                             MakeConcatJoinUdf("q7_join_o_c"),
+                             join_opts(scale.customers));
   // schema: l 0-6 | s 7-8 | o 9-10 | c 11-12
-  int jcn1 = f.AddMatch("q7_join_c_n1", joc, n1, {12}, {0},
-                        MakeConcatJoinUdf("q7_join_c_n1"),
-                        join_hints(scale.nations));
-  f.op(jcn1).manual_summary = ConcatJoinSummary();
+  Stream jcn1 = joc.MatchWith("q7_join_c_n1", n1, {12}, {0},
+                              MakeConcatJoinUdf("q7_join_c_n1"),
+                              join_opts(scale.nations));
   // schema: ... | n1 13-14
-  int jsn2 = f.AddMatch("q7_join_s_n2", jcn1, n2, {8}, {0},
-                        MakeConcatJoinUdf("q7_join_s_n2"),
-                        join_hints(scale.nations));
-  f.op(jsn2).manual_summary = ConcatJoinSummary();
+  Stream jsn2 = jcn1.MatchWith("q7_join_s_n2", n2, {8}, {0},
+                               MakeConcatJoinUdf("q7_join_s_n2"),
+                               join_opts(scale.nations));
   // schema: ... | n2 15-16
 
   // --- Disjunctive nation-pair filter (implemented as a Map, like the
@@ -176,12 +190,13 @@ Workload MakeTpchQ7(const TpchScale& scale) {
   Hints disj_hints;
   disj_hints.selectivity =
       2.0 / (static_cast<double>(scale.nations) * scale.nations);
-  int dis = f.AddMap("q7_nation_pair_filter", jsn2, disj, disj_hints);
-  f.op(dis).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .DecisionReads(0, {14, 16})
-                                 .Emits(0, 1)
-                                 .Build();
+  Stream dis = jsn2.Map("q7_nation_pair_filter", disj,
+                        {.hints = disj_hints,
+                         .summary = SummaryBuilder(1)
+                                        .CopyOf(0)
+                                        .DecisionReads(0, {14, 16})
+                                        .Emits(0, 1)
+                                        .Build()});
 
   // --- γ: group by (n1 name, n2 name, year), sum volume into field 17. ---
   std::shared_ptr<const tac::Function> gamma;
@@ -211,15 +226,18 @@ Workload MakeTpchQ7(const TpchScale& scale) {
   Hints gamma_hints;
   gamma_hints.distinct_keys = 4;  // two nation pairs × two years in range
   gamma_hints.selectivity = 1.0;
-  int gam = f.AddReduce("q7_sum_volume", dis, {14, 16, 5}, gamma, gamma_hints);
-  f.op(gam).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .Reads(0, {6})
-                                 .Modifies(17)
-                                 .Emits(1, 1)
-                                 .Build();
+  Stream gam = dis.ReduceBy("q7_sum_volume", {14, 16, 5}, gamma,
+                            {.hints = gamma_hints,
+                             .summary = SummaryBuilder(1)
+                                            .CopyOf(0)
+                                            .Reads(0, {6})
+                                            .Modifies(17)
+                                            .Emits(1, 1)
+                                            .Build()});
 
-  f.SetSink("q7_sink", gam);
+  gam.Sink("q7_sink");
+  CheckBuild(p);
+  w.flow = p.flow();
 
   // --- Data ---
   {
@@ -233,7 +251,7 @@ Workload MakeTpchQ7(const TpchScale& scale) {
       r.Append(Value(rng.Uniform(kDateLo, kDateHi)));       // shipdate
       lineitem.Add(std::move(r));
     }
-    w.source_data[li] = std::move(lineitem);
+    w.source_data[li.id()] = std::move(lineitem);
 
     DataSet supplier;
     for (int64_t i = 0; i < scale.suppliers; ++i) {
@@ -242,7 +260,7 @@ Workload MakeTpchQ7(const TpchScale& scale) {
       r.Append(Value(rng.Uniform(0, scale.nations - 1)));
       supplier.Add(std::move(r));
     }
-    w.source_data[s] = std::move(supplier);
+    w.source_data[s.id()] = std::move(supplier);
 
     DataSet orders;
     for (int64_t i = 0; i < scale.orders; ++i) {
@@ -251,7 +269,7 @@ Workload MakeTpchQ7(const TpchScale& scale) {
       r.Append(Value(rng.Uniform(0, scale.customers - 1)));
       orders.Add(std::move(r));
     }
-    w.source_data[o] = std::move(orders);
+    w.source_data[o.id()] = std::move(orders);
 
     DataSet customer;
     for (int64_t i = 0; i < scale.customers; ++i) {
@@ -260,10 +278,10 @@ Workload MakeTpchQ7(const TpchScale& scale) {
       r.Append(Value(rng.Uniform(0, scale.nations - 1)));
       customer.Add(std::move(r));
     }
-    w.source_data[c] = std::move(customer);
+    w.source_data[c.id()] = std::move(customer);
 
-    w.source_data[n1] = GenNation(scale.nations);
-    w.source_data[n2] = GenNation(scale.nations);
+    w.source_data[n1.id()] = GenNation(scale.nations);
+    w.source_data[n2.id()] = GenNation(scale.nations);
   }
   return w;
 }
@@ -277,19 +295,22 @@ Workload MakeTpchQ15(const TpchScale& scale) {
   w.name = "tpch_q15";
   Rng rng(scale.seed + 1);
 
-  DataFlow& f = w.flow;
-  int li = f.AddSource("lineitem", 4, scale.lineitems, 40);
-  int s = f.AddSource("supplier", 3, scale.suppliers, 40, {0});
+  Pipeline p;
+  Stream li = p.Source("lineitem", 4, {.rows = scale.lineitems,
+                                       .avg_bytes = 40});
+  Stream s = p.Source("supplier", 3, {.rows = scale.suppliers,
+                                      .avg_bytes = 40,
+                                      .unique_fields = {0}});
 
   // σ: shipdate filter on field 3 (must see the raw date format, hence it can
   // never move above the normalizing Map below).
   Hints sigma_hints;
   sigma_hints.selectivity = 0.25;
-  int sig = f.AddMap("q15_filter_shipdate", li,
-                     MakeShipdateFilter("q15_filter_shipdate", 3, kQ15FilterLo,
-                                        kQ15FilterHi),
-                     sigma_hints);
-  f.op(sig).manual_summary = ShipdateFilterSummary(3);
+  Stream sig = li.Map("q15_filter_shipdate",
+                      MakeShipdateFilter("q15_filter_shipdate", 3,
+                                         kQ15FilterLo, kQ15FilterHi),
+                      {.hints = sigma_hints,
+                       .summary = ShipdateFilterSummary(3)});
 
   // π: normalizes the shipdate in place (writes field 3) and appends the
   // per-record revenue as field 4.
@@ -310,14 +331,14 @@ Workload MakeTpchQ15(const TpchScale& scale) {
     b.Return();
     prep = Built(std::move(b));
   }
-  int pre = f.AddMap("q15_prepare", sig, prep);
-  f.op(pre).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .Reads(0, {1, 2, 3})
-                                 .Modifies(3)
-                                 .Modifies(4)
-                                 .Emits(1, 1)
-                                 .Build();
+  Stream pre = sig.Map("q15_prepare", prep,
+                       {.summary = SummaryBuilder(1)
+                                       .CopyOf(0)
+                                       .Reads(0, {1, 2, 3})
+                                       .Modifies(3)
+                                       .Modifies(4)
+                                       .Emits(1, 1)
+                                       .Build()});
 
   // γ: total revenue per supplier key, appended as field 5.
   std::shared_ptr<const tac::Function> gamma;
@@ -343,22 +364,26 @@ Workload MakeTpchQ15(const TpchScale& scale) {
   }
   Hints gamma_hints;
   gamma_hints.distinct_keys = scale.suppliers;
-  int gam = f.AddReduce("q15_sum_revenue", pre, {0}, gamma, gamma_hints);
-  f.op(gam).manual_summary = SummaryBuilder(1)
-                                 .CopyOf(0)
-                                 .Reads(0, {4})
-                                 .Modifies(5)
-                                 .Emits(1, 1)
-                                 .Build();
+  Stream gam = pre.ReduceBy("q15_sum_revenue", {0}, gamma,
+                            {.hints = gamma_hints,
+                             .summary = SummaryBuilder(1)
+                                            .CopyOf(0)
+                                            .Reads(0, {4})
+                                            .Modifies(5)
+                                            .Emits(1, 1)
+                                            .Build()});
 
   // Match with supplier (PK side) on s_suppkey = l_suppkey.
   Hints join_hints;
   join_hints.distinct_keys = scale.suppliers;
-  int join = f.AddMatch("q15_join_supplier", s, gam, {0}, {0},
-                        MakeConcatJoinUdf("q15_join_supplier"), join_hints);
-  f.op(join).manual_summary = ConcatJoinSummary();
+  Stream join = s.MatchWith("q15_join_supplier", gam, {0}, {0},
+                            MakeConcatJoinUdf("q15_join_supplier"),
+                            {.hints = join_hints,
+                             .summary = ConcatJoinSummary()});
 
-  f.SetSink("q15_sink", join);
+  join.Sink("q15_sink");
+  CheckBuild(p);
+  w.flow = p.flow();
 
   // --- Data ---
   DataSet lineitem;
@@ -370,7 +395,7 @@ Workload MakeTpchQ15(const TpchScale& scale) {
     r.Append(Value(rng.Uniform(kDateLo, kDateHi)));        // shipdate
     lineitem.Add(std::move(r));
   }
-  w.source_data[li] = std::move(lineitem);
+  w.source_data[li.id()] = std::move(lineitem);
 
   DataSet supplier;
   for (int64_t i = 0; i < scale.suppliers; ++i) {
@@ -380,7 +405,7 @@ Workload MakeTpchQ15(const TpchScale& scale) {
     r.Append(Value(rng.Uniform(0, 100000)));
     supplier.Add(std::move(r));
   }
-  w.source_data[s] = std::move(supplier);
+  w.source_data[s.id()] = std::move(supplier);
 
   return w;
 }

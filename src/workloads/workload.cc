@@ -1,7 +1,20 @@
 #include "workloads/workload.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/pipeline.h"
+
 namespace blackbox {
 namespace workloads {
+
+void CheckBuild(const api::Pipeline& pipeline) {
+  if (!pipeline.status().ok()) {
+    std::fprintf(stderr, "workload build error: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::abort();
+  }
+}
 
 std::shared_ptr<const tac::Function> MakeConcatJoinUdf(
     const std::string& name) {

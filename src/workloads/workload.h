@@ -18,7 +18,18 @@
 #include "sca/summary.h"
 
 namespace blackbox {
+namespace api {
+class Pipeline;
+}  // namespace api
+}  // namespace blackbox
+
+namespace blackbox {
 namespace workloads {
+
+/// Aborts with the builder's message if the pipeline recorded a build error.
+/// Workload construction bugs must not survive into Release binaries, where
+/// a plain assert would compile out.
+void CheckBuild(const api::Pipeline& pipeline);
 
 /// A complete evaluation task: flow + data.
 struct Workload {
