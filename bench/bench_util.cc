@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace blackbox {
@@ -13,6 +14,7 @@ StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
       config.provider ? *config.provider : sca;
   api::OptimizeOptions options;
   options.exec = config.exec;
+  options.exec.num_threads = config.num_threads;  // costing inherits this
 
   // Bind up front so hint providers that execute the flow (ProfilerProvider)
   // work through the harness; the bindings carry into the program for Run().
@@ -91,6 +93,111 @@ void PrintFigure(const std::string& title, const FigureResult& result) {
 int ImplementedRank(const api::OptimizedProgram& program) {
   int idx = program.ImplementedIndex();
   return idx < 0 ? -1 : program.ranked()[idx].rank;
+}
+
+namespace {
+
+StatusOr<ThreadScalingPoint> MeasurePoint(const workloads::Workload& w,
+                                          const BenchConfig& config,
+                                          int threads) {
+  api::ScaProvider sca;
+  const api::AnnotationProvider& provider =
+      config.provider ? *config.provider : sca;
+  api::OptimizeOptions options;
+  options.exec = config.exec;
+  options.exec.num_threads = threads;  // costing inherits this
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  ThreadScalingPoint point;
+  point.threads = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  if (!program.ok()) return program.status();
+  auto t1 = std::chrono::steady_clock::now();
+  StatusOr<DataSet> out = program->RunBest();
+  if (!out.ok()) return out.status();
+  auto t2 = std::chrono::steady_clock::now();
+  point.optimize_seconds = std::chrono::duration<double>(t1 - t0).count();
+  point.run_seconds = std::chrono::duration<double>(t2 - t1).count();
+  return point;
+}
+
+}  // namespace
+
+StatusOr<ThreadScaling> MeasureThreadScaling(const workloads::Workload& w,
+                                             const BenchConfig& config,
+                                             int threads) {
+  ThreadScaling scaling;
+  StatusOr<ThreadScalingPoint> serial = MeasurePoint(w, config, 1);
+  if (!serial.ok()) return serial.status();
+  scaling.serial = *serial;
+  StatusOr<ThreadScalingPoint> parallel = MeasurePoint(w, config, threads);
+  if (!parallel.ok()) return parallel.status();
+  scaling.parallel = *parallel;
+  scaling.speedup = scaling.parallel.total_seconds() > 0
+                        ? scaling.serial.total_seconds() /
+                              scaling.parallel.total_seconds()
+                        : 0;
+  return scaling;
+}
+
+Status WriteBenchJson(const std::string& name, const FigureResult& result,
+                      const ThreadScaling* scaling) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::Internal("cannot open " + path + " for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", name.c_str());
+  std::fprintf(f, "  \"alternatives\": %zu,\n",
+               result.program.num_alternatives());
+  std::fprintf(f, "  \"truncated\": %s,\n",
+               result.program.truncated() ? "true" : "false");
+  std::fprintf(f, "  \"implemented_rank\": %d,\n",
+               ImplementedRank(result.program));
+  std::fprintf(f, "  \"enumeration_seconds\": %.6f,\n",
+               result.program.enumeration_seconds());
+  std::fprintf(f, "  \"costing_seconds\": %.6f,\n",
+               result.program.costing_seconds());
+  std::fprintf(f, "  \"output_rows\": %zu,\n", result.output_rows);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    const RankedRun& r = result.runs[i];
+    std::fprintf(f,
+                 "    {\"rank\": %d, \"estimated_cost\": %.6f, "
+                 "\"norm_cost\": %.4f, \"simulated_seconds\": %.6f, "
+                 "\"norm_runtime\": %.4f, \"wall_seconds\": %.6f, "
+                 "\"network_bytes\": %lld, \"disk_bytes\": %lld, "
+                 "\"udf_calls\": %lld}%s\n",
+                 r.rank, r.est_cost, r.norm_cost, r.runtime_seconds,
+                 r.norm_runtime, r.stats.wall_seconds,
+                 static_cast<long long>(r.stats.network_bytes),
+                 static_cast<long long>(r.stats.disk_bytes),
+                 static_cast<long long>(r.stats.udf_calls),
+                 i + 1 < result.runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", scaling ? "," : "");
+  if (scaling) {
+    std::fprintf(f, "  \"thread_scaling\": {\n");
+    std::fprintf(f,
+                 "    \"serial\": {\"threads\": 1, \"optimize_seconds\": "
+                 "%.6f, \"run_seconds\": %.6f, \"total_seconds\": %.6f},\n",
+                 scaling->serial.optimize_seconds, scaling->serial.run_seconds,
+                 scaling->serial.total_seconds());
+    std::fprintf(f,
+                 "    \"parallel\": {\"threads\": %d, \"optimize_seconds\": "
+                 "%.6f, \"run_seconds\": %.6f, \"total_seconds\": %.6f},\n",
+                 scaling->parallel.threads, scaling->parallel.optimize_seconds,
+                 scaling->parallel.run_seconds,
+                 scaling->parallel.total_seconds());
+    std::fprintf(f, "    \"speedup\": %.3f\n", scaling->speedup);
+    std::fprintf(f, "  }\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return Status::OK();
 }
 
 }  // namespace bench

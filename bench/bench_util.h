@@ -39,6 +39,11 @@ struct BenchConfig {
   const api::AnnotationProvider* provider = nullptr;
   int picks = 10;  // plans sampled at regular rank intervals
   int reps = 3;    // repetitions per plan (the fastest run is reported)
+  /// Worker threads for both plan costing and partition execution (the
+  /// single thread knob — it overrides exec.num_threads). Results are
+  /// thread-count-invariant (the determinism contract); this only moves
+  /// real wall time.
+  int num_threads = 1;
   engine::ExecOptions exec;
 
   BenchConfig() {
@@ -57,6 +62,34 @@ void PrintFigure(const std::string& title, const FigureResult& result);
 
 /// 1-based rank of the originally implemented data flow, -1 if absent.
 int ImplementedRank(const api::OptimizedProgram& program);
+
+/// Real wall time of one end-to-end optimize (annotate + enumerate + cost)
+/// plus one execution of the best-ranked plan, at a given thread count.
+struct ThreadScalingPoint {
+  int threads = 1;
+  double optimize_seconds = 0;
+  double run_seconds = 0;
+  double total_seconds() const { return optimize_seconds + run_seconds; }
+};
+
+/// Serial vs parallel end-to-end wall time for one workload.
+struct ThreadScaling {
+  ThreadScalingPoint serial;    // num_threads = 1
+  ThreadScalingPoint parallel;  // num_threads = threads
+  double speedup = 0;           // serial total / parallel total
+};
+
+/// Measures optimize+run wall time at 1 and `threads` worker threads.
+StatusOr<ThreadScaling> MeasureThreadScaling(const workloads::Workload& w,
+                                             const BenchConfig& config,
+                                             int threads);
+
+/// Writes machine-readable results to BENCH_<name>.json in the working
+/// directory (plan counts, estimated vs simulated seconds per picked rank,
+/// and — when `scaling` is non-null — real wall time at 1 and N threads).
+/// CI runs this on every push so the perf trajectory is tracked.
+Status WriteBenchJson(const std::string& name, const FigureResult& result,
+                      const ThreadScaling* scaling = nullptr);
 
 }  // namespace bench
 }  // namespace blackbox

@@ -4,36 +4,74 @@
 // estimates tracking runtimes; this harness regenerates the same series on
 // the simulated cluster (absolute counts differ — see EXPERIMENTS.md).
 //
-// Also prints Figure 2: the implemented flow vs. the 1st-ranked (bushy) flow.
+// Also prints Figure 2 (implemented vs 1st-ranked flow), measures end-to-end
+// optimize+run wall time at 1 and 8 worker threads, and writes the whole
+// series to BENCH_fig5_tpch_q7.json for the CI perf trajectory.
+//
+// Flags: --smoke   reduced scale + fewer picks (the CI smoke configuration).
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "reorder/plan.h"
 #include "workloads/tpch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace blackbox;
 
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   workloads::TpchScale scale;
-  scale.lineitems = 60000;
-  scale.orders = 15000;
-  scale.customers = 1500;
-  scale.suppliers = 100;
+  if (smoke) {
+    scale.lineitems = 6000;
+    scale.orders = 1500;
+    scale.customers = 150;
+    scale.suppliers = 25;
+  } else {
+    scale.lineitems = 60000;
+    scale.orders = 15000;
+    scale.customers = 1500;
+    scale.suppliers = 100;
+  }
   workloads::Workload w = workloads::MakeTpchQ7(scale);
 
   bench::BenchConfig config;
-  config.picks = 10;
-  config.reps = 2;
+  config.picks = smoke ? 5 : 10;
+  config.reps = smoke ? 1 : 2;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
   if (!fig.ok()) {
     std::fprintf(stderr, "error: %s\n", fig.status().ToString().c_str());
     return 1;
   }
   bench::PrintFigure(
-      "Figure 5 — TPC-H Q7: normalized cost estimate vs. execution runtime "
-      "(10 rank-picked plans)",
+      std::string("Figure 5 — TPC-H Q7: normalized cost estimate vs. "
+                  "execution runtime (rank-picked plans") +
+          (smoke ? ", smoke scale)" : ")"),
       *fig);
+
+  // End-to-end optimize+run wall time, serial vs 8 worker threads. The
+  // results are identical by the determinism contract; only wall time moves.
+  StatusOr<bench::ThreadScaling> scaling =
+      bench::MeasureThreadScaling(w, config, 8);
+  if (!scaling.ok()) {
+    std::fprintf(stderr, "error: %s\n", scaling.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "optimize+run wall time: %.3fs at 1 thread, %.3fs at %d threads "
+      "(speedup %.2fx)\n\n",
+      scaling->serial.total_seconds(), scaling->parallel.total_seconds(),
+      scaling->parallel.threads, scaling->speedup);
+
+  Status json = bench::WriteBenchJson("fig5_tpch_q7", *fig, &*scaling);
+  if (!json.ok()) {
+    std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
+    return 1;
+  }
 
   int implemented = bench::ImplementedRank(fig->program);
   std::printf("Figure 2(a) — implemented data flow (rank %d):\n%s\n",

@@ -29,6 +29,12 @@ int main() {
       "runtime (10 rank-picked plans of 24)",
       *fig);
 
+  Status json = bench::WriteBenchJson("fig6_textmining", *fig);
+  if (!json.ok()) {
+    std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
+    return 1;
+  }
+
   std::printf("best plan (operator order bottom-up):\n%s\n",
               reorder::PlanToString(fig->program.ranked()[0].logical,
                                     w.flow)

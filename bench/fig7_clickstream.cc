@@ -35,6 +35,12 @@ int main() {
       "runtime (all 4 plans)",
       *fig);
 
+  Status json = bench::WriteBenchJson("fig7_clickstream", *fig);
+  if (!json.ok()) {
+    std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
+    return 1;
+  }
+
   int implemented = bench::ImplementedRank(fig->program);
   double speedup = 0;
   for (const bench::RankedRun& r : fig->runs) {

@@ -1,8 +1,11 @@
 #include "api/optimized_program.h"
 
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "api/pipeline.h"
+#include "common/defaults.h"
 #include "reorder/plan.h"
 
 namespace blackbox {
@@ -90,13 +93,41 @@ StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
   copts.mode = af->mode;
   copts.weights = options.weights;
   copts.enum_options = options.enum_options;
+  copts.num_threads =
+      options.num_threads > 0 ? options.num_threads : options.exec.num_threads;
   if (options.cost_model_follows_exec) {
+    // Estimates and measured runs must describe the same simulated cluster.
+    // A caller-supplied cost-model cluster that contradicts the exec cluster
+    // is a configuration bug — surface it instead of silently overwriting.
+    // (Best-effort: the shared default doubles as the "untouched" sentinel,
+    // so explicitly setting a weight to its default value is indistinguishable
+    // from leaving it alone; cost for a deliberately different cluster by
+    // clearing cost_model_follows_exec instead.)
+    if (options.weights.dop != kDefaultDop &&
+        options.weights.dop != options.exec.dop) {
+      return Status::InvalidArgument(
+          "cost_model_follows_exec is set but weights.dop (" +
+          std::to_string(options.weights.dop) + ") contradicts exec.dop (" +
+          std::to_string(options.exec.dop) + ")");
+    }
+    if (options.weights.mem_budget_bytes != kDefaultMemBudgetBytes &&
+        options.weights.mem_budget_bytes != options.exec.mem_budget_bytes) {
+      return Status::InvalidArgument(
+          "cost_model_follows_exec is set but weights.mem_budget_bytes "
+          "contradicts exec.mem_budget_bytes");
+    }
     copts.weights.dop = options.exec.dop;
     copts.weights.mem_budget_bytes = options.exec.mem_budget_bytes;
   }
   StatusOr<core::OptimizationResult> result =
       core::BlackBoxOptimizer(copts).OptimizeAnnotated(std::move(af).value());
   if (!result.ok()) return result.status();
+  if (result->truncated) {
+    std::fprintf(stderr,
+                 "warning: plan enumeration hit max_plans=%zu; ranking "
+                 "covers a partial closure of %zu alternatives\n",
+                 options.enum_options.max_plans, result->ranked.size());
+  }
 
   OptimizedProgram program;
   program.result_ = std::move(result).value();

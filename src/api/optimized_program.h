@@ -33,8 +33,16 @@ struct OptimizeOptions {
   engine::ExecOptions exec;
 
   /// Copy exec.dop / exec.mem_budget_bytes into the cost weights. Disable to
-  /// cost for a different cluster than the one Run() simulates.
+  /// cost for a different cluster than the one Run() simulates. When set,
+  /// OptimizeFlow() rejects caller-supplied weights that contradict exec.
   bool cost_model_follows_exec = true;
+
+  /// Worker threads for costing the enumerated alternatives (streamed
+  /// through a bounded queue, deterministically ranked — see
+  /// core::BlackBoxOptimizer::Options::num_threads). 0 (the default)
+  /// inherits exec.num_threads, so one knob drives both phases; set
+  /// explicitly to use different costing and execution parallelism.
+  int num_threads = 0;
 };
 
 /// An optimized, runnable program: the annotated flow plus all ranked
@@ -54,6 +62,10 @@ class OptimizedProgram {
     return result_.ranked;
   }
   size_t num_alternatives() const { return result_.num_alternatives; }
+  /// True if enumeration hit EnumOptions::max_plans: ranked() covers only a
+  /// partial closure and the true optimum may be missing. OptimizeFlow()
+  /// also prints a warning to stderr when this happens.
+  bool truncated() const { return result_.truncated; }
   double enumeration_seconds() const { return result_.enumeration_seconds; }
   double costing_seconds() const { return result_.costing_seconds; }
   const core::PlannedAlternative& best() const { return result_.best(); }

@@ -1,9 +1,16 @@
 #include "core/optimizer_api.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/task_pool.h"
 
 namespace blackbox {
 namespace core {
@@ -25,45 +32,148 @@ StatusOr<OptimizationResult> BlackBoxOptimizer::Optimize(
   return OptimizeAnnotated(std::move(af).value());
 }
 
+namespace {
+
+/// One costed alternative before ranking: its discovery index, the costed
+/// plan, and its canonical form (the deterministic tie-break key).
+struct CostedSlot {
+  PlannedAlternative alt;
+  std::string canonical;
+  Status status = Status::OK();
+  bool filled = false;
+};
+
+}  // namespace
+
 StatusOr<OptimizationResult> BlackBoxOptimizer::OptimizeAnnotated(
     dataflow::AnnotatedFlow annotated) const {
   OptimizationResult result;
   result.annotated = std::move(annotated);
 
+  // Streaming enumerate+cost: the enumerator (this thread) pushes each
+  // discovered alternative through a bounded queue into a pool of costing
+  // workers, so costing overlaps enumeration instead of waiting behind a
+  // materialize-then-cost barrier. Each alternative's result lands in its
+  // discovery-index slot; ranking afterwards is a deterministic sort, so the
+  // outcome is identical for every num_threads.
+  struct CostJob {
+    size_t index;
+    reorder::PlanPtr plan;
+  };
+
+  TaskPool pool(options_.num_threads);
+  std::vector<CostedSlot> slots;
+  std::mutex slots_mu;  // guards the slots vector's size; each slot has one writer
+  std::atomic<int64_t> costing_nanos{0};  // aggregate across costing workers
+
+  auto cost_into_slot = [&](const CostJob& job) {
+    auto c0 = std::chrono::steady_clock::now();
+    StatusOr<optimizer::PhysicalPlan> phys = optimizer::OptimizePhysical(
+        result.annotated, job.plan, options_.weights);
+    costing_nanos.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - c0)
+                                .count(),
+                            std::memory_order_relaxed);
+    CostedSlot slot;
+    if (phys.ok()) {
+      slot.alt.logical = job.plan;
+      slot.alt.cost = phys->total_cost;
+      slot.alt.physical = std::move(phys).value();
+      slot.canonical = reorder::CanonicalString(job.plan);
+    } else {
+      slot.status = phys.status();
+    }
+    slot.filled = true;
+    std::lock_guard<std::mutex> lock(slots_mu);
+    if (slots.size() <= job.index) slots.resize(job.index + 1);
+    slots[job.index] = std::move(slot);
+  };
+
   auto t0 = std::chrono::steady_clock::now();
   StatusOr<enumerate::EnumResult> enum_result =
-      enumerate::EnumerateAlternatives(result.annotated,
-                                       options_.enum_options);
+      Status::Internal("enumeration did not run");
+  double enum_wall_seconds = 0;  // parallel path: span of the enumerator only
+  if (pool.num_threads() == 1) {
+    // Serial path: cost inline as plans stream out of the enumerator.
+    enum_result = enumerate::EnumerateAlternatives(
+        result.annotated, options_.enum_options,
+        [&](const reorder::PlanPtr& plan, size_t index) {
+          cost_into_slot(CostJob{index, plan});
+        });
+  } else {
+    BoundedQueue<CostJob> queue(4 * static_cast<size_t>(pool.num_threads()));
+    auto consume = [&] {
+      while (std::optional<CostJob> job = queue.Pop()) {
+        cost_into_slot(*job);
+      }
+    };
+    // The calling thread enumerates (and produces); the pool's worker
+    // threads consume concurrently.
+    std::vector<std::future<void>> workers;
+    workers.reserve(pool.num_threads() - 1);
+    for (int i = 0; i < pool.num_threads() - 1; ++i) {
+      workers.push_back(pool.Submit(consume));
+    }
+    enum_result = enumerate::EnumerateAlternatives(
+        result.annotated, options_.enum_options,
+        [&](const reorder::PlanPtr& plan, size_t index) {
+          queue.Push(CostJob{index, plan});
+        });
+    // The enumerator is done here; everything after is costing tail-drain.
+    enum_wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    queue.Close();
+    consume();  // help drain the tail once enumeration is done
+    for (std::future<void>& w : workers) w.wait();
+  }
   if (!enum_result.ok()) return enum_result.status();
   auto t1 = std::chrono::steady_clock::now();
-  result.enumeration_seconds = std::chrono::duration<double>(t1 - t0).count();
+  // Enumeration and costing overlap in the streaming stage. costing_seconds
+  // is the aggregate time inside OptimizePhysical across workers;
+  // enumeration_seconds is the enumerator's own wall time — serial: stage
+  // span minus the inline costing; parallel: the span up to the point the
+  // enumerator finished (excluding this thread's tail-drain costing).
+  double stage_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.costing_seconds = static_cast<double>(costing_nanos.load()) * 1e-9;
+  result.enumeration_seconds =
+      pool.num_threads() == 1
+          ? std::max(0.0, stage_seconds - result.costing_seconds)
+          : enum_wall_seconds;
   result.num_alternatives = enum_result->plans.size();
+  result.truncated = enum_result->truncated;
 
-  result.ranked.reserve(enum_result->plans.size());
-  for (const reorder::PlanPtr& plan : enum_result->plans) {
-    StatusOr<optimizer::PhysicalPlan> phys =
-        optimizer::OptimizePhysical(result.annotated, plan, options_.weights);
-    if (!phys.ok()) return phys.status();
-    PlannedAlternative alt;
-    alt.logical = plan;
-    alt.cost = phys->total_cost;
-    alt.physical = std::move(phys).value();
-    result.ranked.push_back(std::move(alt));
+  // Deterministic error reporting: the lowest-index failure wins, regardless
+  // of completion order.
+  for (const CostedSlot& slot : slots) {
+    if (slot.filled && !slot.status.ok()) return slot.status;
   }
-  auto t2 = std::chrono::steady_clock::now();
-  result.costing_seconds = std::chrono::duration<double>(t2 - t1).count();
 
-  std::sort(result.ranked.begin(), result.ranked.end(),
-            [](const PlannedAlternative& a, const PlannedAlternative& b) {
-              return a.cost < b.cost;
+  std::vector<CostedSlot> costed;
+  costed.reserve(slots.size());
+  for (CostedSlot& slot : slots) {
+    if (slot.filled) costed.push_back(std::move(slot));
+  }
+
+  // Rank by cost with a stable tie-break on canonical plan form, so equal-
+  // cost alternatives order identically for every thread count.
+  std::sort(costed.begin(), costed.end(),
+            [](const CostedSlot& a, const CostedSlot& b) {
+              if (a.alt.cost != b.alt.cost) return a.alt.cost < b.alt.cost;
+              return a.canonical < b.canonical;
             });
+  result.ranked.reserve(costed.size());
+  for (CostedSlot& slot : costed) result.ranked.push_back(std::move(slot.alt));
   for (size_t i = 0; i < result.ranked.size(); ++i) {
     result.ranked[i].rank = static_cast<int>(i) + 1;
   }
   if (result.ranked.empty()) {
-    return Status::InvalidArgument(
-        "optimization produced zero alternatives (EnumOptions::max_plans "
-        "pruned everything?)");
+    if (result.truncated) {
+      return Status::OutOfRange(
+          "optimization produced zero alternatives: EnumOptions::max_plans "
+          "pruned everything");
+    }
+    return Status::InvalidArgument("optimization produced zero alternatives");
   }
   return result;
 }

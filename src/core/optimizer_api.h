@@ -41,7 +41,15 @@ struct OptimizationResult {
   dataflow::AnnotatedFlow annotated;
   std::vector<PlannedAlternative> ranked;  // ascending cost
   size_t num_alternatives = 0;
+  /// EnumOptions::max_plans was hit: `ranked` covers a partial closure only
+  /// (the true optimum may be missing). Never silently dropped — the api
+  /// layer warns when this is set.
+  bool truncated = false;
+  /// Wall time of the enumerator itself (the streaming enumerate+cost stage
+  /// minus time spent inside physical costing on this thread).
   double enumeration_seconds = 0;
+  /// Aggregate time spent inside physical costing, summed across costing
+  /// workers — with N threads this can exceed the stage's wall time.
   double costing_seconds = 0;
 
   /// The cheapest alternative. Optimize() guarantees at least one entry, so
@@ -56,6 +64,11 @@ class BlackBoxOptimizer {
     dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
     optimizer::CostWeights weights;
     enumerate::EnumOptions enum_options;
+    /// Worker threads for costing enumerated alternatives. Alternatives
+    /// stream from the enumerator into costing through a bounded queue (no
+    /// enumerate-then-cost barrier); the final ranking is deterministic for
+    /// every thread count (stable tie-break on canonical plan form).
+    int num_threads = 1;
   };
 
   BlackBoxOptimizer() : options_(Options()) {}

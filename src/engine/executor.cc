@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 
+#include "common/task_pool.h"
 #include "interp/interp.h"
 #include "reorder/plan.h"
 
@@ -54,8 +55,12 @@ class ExecContext {
  public:
   ExecContext(const dataflow::AnnotatedFlow& af,
               const std::map<int, const DataSet*>& sources,
-              const ExecOptions& options, ExecStats* stats)
-      : af_(af), sources_(sources), options_(options), stats_(stats) {}
+              const ExecOptions& options, TaskPool* pool, ExecStats* stats)
+      : af_(af),
+        sources_(sources),
+        options_(options),
+        pool_(pool),
+        stats_(stats) {}
 
   StatusOr<Partitions> Exec(const PhysicalNode& node) {
     const dataflow::Operator& op = af_.flow->op(node.op_id);
@@ -124,6 +129,26 @@ class ExecContext {
     return std::vector<int>(acc.begin(), acc.end());
   }
 
+  /// Runs body(pi, &meters) for every partition as independent tasks on the
+  /// pool. The per-partition meters are merged into stats_ in partition
+  /// order and the lowest-partition error (if any) is returned, so both the
+  /// outcome and the meters are independent of scheduling order.
+  Status ForEachPartition(
+      const std::function<Status(size_t, ExecStats*)>& body) {
+    const size_t n = static_cast<size_t>(options_.dop);
+    std::vector<Status> statuses(n);
+    std::vector<ExecStats> meters(n);
+    pool_->ParallelFor(
+        n, [&](size_t pi) { statuses[pi] = body(pi, &meters[pi]); });
+    for (size_t pi = 0; pi < n; ++pi) {
+      if (!statuses[pi].ok()) return statuses[pi];
+    }
+    if (stats_) {
+      for (size_t pi = 0; pi < n; ++pi) stats_->AddCounters(meters[pi]);
+    }
+    return Status::OK();
+  }
+
   StatusOr<Partitions> Scan(const PhysicalNode& node) {
     auto it = sources_.find(node.op_id);
     if (it == sources_.end()) {
@@ -132,21 +157,29 @@ class ExecContext {
     }
     const OpProperties& p = af_.of(node.op_id);
     const int width = af_.global.size();
-    Partitions parts(options_.dop);
-    size_t i = 0;
-    for (const Record& src : it->second->records()) {
-      Record wide;
-      if (width > 0) wide.SetField(width - 1, Value::Null());
-      for (size_t f = 0; f < src.num_fields() && f < p.out_schema.size();
-           ++f) {
-        wide.SetField(p.out_schema[f], src.field(f));
+    const std::vector<Record>& src_records = it->second->records();
+    const size_t dop = static_cast<size_t>(options_.dop);
+    Partitions parts(dop);
+    // Partition pi owns source indices pi, pi+dop, ... — the same
+    // round-robin assignment as a serial scan, widened in parallel.
+    pool_->ParallelFor(dop, [&](size_t pi) {
+      for (size_t i = pi; i < src_records.size(); i += dop) {
+        const Record& src = src_records[i];
+        Record wide;
+        if (width > 0) wide.SetField(width - 1, Value::Null());
+        for (size_t f = 0; f < src.num_fields() && f < p.out_schema.size();
+             ++f) {
+          wide.SetField(p.out_schema[f], src.field(f));
+        }
+        parts[pi].push_back(std::move(wide));
       }
-      parts[i++ % options_.dop].push_back(std::move(wide));
-    }
+    });
     return parts;
   }
 
-  /// Applies a shipping strategy, metering network bytes.
+  /// Applies a shipping strategy, metering network bytes. Runs on the
+  /// calling thread: shuffles move records *between* partitions, so they are
+  /// the serial barrier separating parallel per-partition stages.
   Partitions Ship(Partitions in, ShipStrategy strategy,
                   const std::vector<AttrId>& key) {
     switch (strategy) {
@@ -183,20 +216,20 @@ class ExecContext {
     return in;
   }
 
-  void MeterSpill(size_t bytes) {
-    if (stats_ && static_cast<double>(bytes) > options_.mem_budget_bytes) {
-      stats_->disk_bytes += static_cast<int64_t>(2 * bytes);
+  void MeterSpill(size_t bytes, ExecStats* meters) {
+    if (static_cast<double>(bytes) > options_.mem_budget_bytes) {
+      meters->disk_bytes += static_cast<int64_t>(2 * bytes);
     }
   }
 
-  Status CallUdf(const Interpreter& interp, const CallInputs& inputs,
-                 const FieldTranslation& t, std::vector<Record>* out) {
+  static Status CallUdf(const Interpreter& interp, const CallInputs& inputs,
+                        const FieldTranslation& t, std::vector<Record>* out,
+                        ExecStats* meters) {
     interp::RunStats rs;
     BLACKBOX_RETURN_NOT_OK(interp.Run(inputs, t, out, &rs));
-    if (stats_) {
-      stats_->udf_calls++;
-      stats_->cpu_burn_units += rs.cpu_burn_units;
-    }
+    meters->udf_calls++;
+    meters->interp_instructions += rs.instructions;
+    meters->cpu_burn_units += rs.cpu_burn_units;
     return Status::OK();
   }
 
@@ -206,16 +239,18 @@ class ExecContext {
     if (!in_or.ok()) return in_or.status();
     Partitions in = Ship(std::move(in_or).value(), node.ships[0], {});
     FieldTranslation t = MakeTranslation(node);
-    Interpreter interp(op.udf.get());
     Partitions out(options_.dop);
-    for (size_t pi = 0; pi < in.size(); ++pi) {
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());  // task-local interpreter
       for (const Record& r : in[pi]) {
         CallInputs ci;
         ci.groups = {{&r}};
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
-        if (stats_) stats_->records_processed++;
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+        meters->records_processed++;
       }
-    }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
     return out;
   }
 
@@ -226,21 +261,24 @@ class ExecContext {
     if (!in_or.ok()) return in_or.status();
     Partitions in = Ship(std::move(in_or).value(), node.ships[0], p.keys[0]);
     FieldTranslation t = MakeTranslation(node);
-    Interpreter interp(op.udf.get());
     Partitions out(options_.dop);
-    for (size_t pi = 0; pi < in.size(); ++pi) {
-      MeterSpill(PartitionBytes(in[pi]));
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
+      MeterSpill(PartitionBytes(in[pi]), meters);
+      // Partition-local sorted groups (std::map orders keys canonically).
       std::map<std::vector<Value>, std::vector<const Record*>> groups;
       for (const Record& r : in[pi]) {
         groups[KeyOf(r, p.keys[0])].push_back(&r);
-        if (stats_) stats_->records_processed++;
+        meters->records_processed++;
       }
       for (const auto& [key, members] : groups) {
         CallInputs ci;
         ci.groups = {members};
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
       }
-    }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
     return out;
   }
 
@@ -254,22 +292,23 @@ class ExecContext {
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
     FieldTranslation t = MakeTranslation(node);
-    Interpreter interp(op.udf.get());
     bool build_left = node.local == LocalStrategy::kHashJoinBuildLeft;
     Partitions out(options_.dop);
-    for (int pi = 0; pi < options_.dop; ++pi) {
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
       const std::vector<Record>& build = build_left ? left[pi] : right[pi];
       const std::vector<Record>& probe = build_left ? right[pi] : left[pi];
       const std::vector<AttrId>& build_key = build_left ? p.keys[0] : p.keys[1];
       const std::vector<AttrId>& probe_key = build_left ? p.keys[1] : p.keys[0];
-      MeterSpill(PartitionBytes(build));
+      MeterSpill(PartitionBytes(build), meters);
+      // Partition-local build table.
       std::map<std::vector<Value>, std::vector<const Record*>> table;
       for (const Record& r : build) {
         table[KeyOf(r, build_key)].push_back(&r);
-        if (stats_) stats_->records_processed++;
+        meters->records_processed++;
       }
       for (const Record& r : probe) {
-        if (stats_) stats_->records_processed++;
+        meters->records_processed++;
         auto it = table.find(KeyOf(r, probe_key));
         if (it == table.end()) continue;
         for (const Record* b : it->second) {
@@ -277,10 +316,12 @@ class ExecContext {
           const Record* lrec = build_left ? b : &r;
           const Record* rrec = build_left ? &r : b;
           ci.groups = {{lrec}, {rrec}};
-          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
         }
       }
-    }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
     return out;
   }
 
@@ -293,21 +334,21 @@ class ExecContext {
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], {});
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], {});
     FieldTranslation t = MakeTranslation(node);
-    Interpreter interp(op.udf.get());
     Partitions out(options_.dop);
-    for (int pi = 0; pi < options_.dop; ++pi) {
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
       for (const Record& l : left[pi]) {
         for (const Record& r : right[pi]) {
           CallInputs ci;
           ci.groups = {{&l}, {&r}};
-          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
         }
       }
-      if (stats_) {
-        stats_->records_processed +=
-            static_cast<int64_t>(left[pi].size() + right[pi].size());
-      }
-    }
+      meters->records_processed +=
+          static_cast<int64_t>(left[pi].size() + right[pi].size());
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
     return out;
   }
 
@@ -321,43 +362,56 @@ class ExecContext {
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
     FieldTranslation t = MakeTranslation(node);
-    Interpreter interp(op.udf.get());
     Partitions out(options_.dop);
-    for (int pi = 0; pi < options_.dop; ++pi) {
-      MeterSpill(PartitionBytes(left[pi]) + PartitionBytes(right[pi]));
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
+      MeterSpill(PartitionBytes(left[pi]) + PartitionBytes(right[pi]), meters);
       std::map<std::vector<Value>, CallInputs> groups;
       for (const Record& r : left[pi]) {
         auto& ci = groups[KeyOf(r, p.keys[0])];
         if (ci.groups.empty()) ci.groups.resize(2);
         ci.groups[0].push_back(&r);
-        if (stats_) stats_->records_processed++;
+        meters->records_processed++;
       }
       for (const Record& r : right[pi]) {
         auto& ci = groups[KeyOf(r, p.keys[1])];
         if (ci.groups.empty()) ci.groups.resize(2);
         ci.groups[1].push_back(&r);
-        if (stats_) stats_->records_processed++;
+        meters->records_processed++;
       }
       for (const auto& [key, ci] : groups) {
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi]));
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
       }
-    }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
     return out;
   }
 
   const dataflow::AnnotatedFlow& af_;
   const std::map<int, const DataSet*>& sources_;
   const ExecOptions& options_;
+  TaskPool* pool_;
   ExecStats* stats_;
 };
 
 }  // namespace
+
+void ExecStats::AddCounters(const ExecStats& other) {
+  network_bytes += other.network_bytes;
+  disk_bytes += other.disk_bytes;
+  udf_calls += other.udf_calls;
+  interp_instructions += other.interp_instructions;
+  cpu_burn_units += other.cpu_burn_units;
+  records_processed += other.records_processed;
+}
 
 std::string ExecStats::ToString() const {
   std::string out;
   out += "net=" + std::to_string(network_bytes) + "B";
   out += " disk=" + std::to_string(disk_bytes) + "B";
   out += " udf_calls=" + std::to_string(udf_calls);
+  out += " instrs=" + std::to_string(interp_instructions);
   out += " cpu_burn=" + std::to_string(cpu_burn_units);
   out += " records=" + std::to_string(records_processed);
   out += " out_rows=" + std::to_string(output_rows);
@@ -370,12 +424,14 @@ StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
                                     ExecStats* stats) {
   if (!plan.root) return Status::InvalidArgument("empty physical plan");
   auto start = std::chrono::steady_clock::now();
-  ExecContext ctx(*af_, sources_, options_, stats);
+  if (!pool_) pool_ = std::make_unique<TaskPool>(options_.num_threads);
+  ExecContext ctx(*af_, sources_, options_, pool_.get(), stats);
   StatusOr<Partitions> out = ctx.Exec(*plan.root);
   if (!out.ok()) return out.status();
 
   // Gather and project onto the sink schema so alternative plans of the same
-  // flow produce directly comparable records.
+  // flow produce directly comparable records. Partitions are concatenated in
+  // index order — the canonical output order for every thread count.
   const OpProperties& sink = af_->of(plan.root->op_id);
   DataSet result;
   for (const auto& part : *out) {
@@ -392,10 +448,18 @@ StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
   auto end = std::chrono::steady_clock::now();
   if (stats) {
     stats->output_rows = static_cast<int64_t>(result.size());
-    stats->wall_seconds =
-        std::chrono::duration<double>(end - start).count();
+    stats->wall_seconds = std::chrono::duration<double>(end - start).count();
+    // simulated_seconds is a pure function of the meters (machine model),
+    // deliberately NOT of wall_seconds: the simulated cluster's runtime must
+    // not depend on how many real threads executed the simulation.
+    double compute_seconds =
+        static_cast<double>(stats->interp_instructions) /
+            options_.interp_instructions_per_s +
+        static_cast<double>(stats->cpu_burn_units) /
+            options_.cpu_burn_units_per_s +
+        static_cast<double>(stats->records_processed) / options_.records_per_s;
     stats->simulated_seconds =
-        stats->wall_seconds +
+        compute_seconds +
         static_cast<double>(stats->network_bytes) /
             options_.net_bandwidth_bytes_per_s +
         static_cast<double>(stats->disk_bytes) /

@@ -3,20 +3,27 @@
 // degree of parallelism: records live in hash partitions, shipping strategies
 // move bytes between (simulated) instances with exact byte accounting, local
 // strategies build real hash tables / sorted groups, and every UDF call runs
-// through the TAC interpreter. Wall-clock time of an execution therefore
-// scales with the same quantities the cost model estimates (bytes shipped,
-// records processed, UDF calls x their calibrated CPU burn), which is what
-// makes the paper's estimate-vs-runtime plots (Figures 5-7) reproducible in
-// shape.
+// through the TAC interpreter.
+//
+// Per-partition operator work (scan widening, Map/Reduce loops, hash-join
+// build/probe, cross, co-group) runs as independent partition tasks on a
+// TaskPool of ExecOptions::num_threads workers. All per-partition state
+// (hash tables, sorted groups, Interpreter instances, meters) is task-local
+// and merged in partition order, so sink output, meters, and
+// simulated_seconds are byte-identical for every thread count — only
+// wall_seconds (real elapsed time) varies (DESIGN.md §2.1).
 
 #ifndef BLACKBOX_ENGINE_EXECUTOR_H_
 #define BLACKBOX_ENGINE_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/defaults.h"
 #include "common/status.h"
+#include "common/task_pool.h"
 #include "dataflow/annotate.h"
 #include "optimizer/physical.h"
 #include "record/record.h"
@@ -25,33 +32,53 @@ namespace blackbox {
 namespace engine {
 
 struct ExecOptions {
-  int dop = 8;  // number of simulated parallel instances
-  double mem_budget_bytes = 16 << 20;  // per-instance memory before spilling
+  int dop = kDefaultDop;  // number of simulated parallel instances
+  double mem_budget_bytes =
+      kDefaultMemBudgetBytes;  // per-instance memory before spilling
 
-  // Machine model for simulated time: metered network/disk bytes are charged
-  // against these bandwidths and added to the measured compute time. The
-  // defaults are calibrated so that the compute/IO balance at our reduced
-  // data scale resembles the paper's 1 GbE four-node cluster, where shipping
-  // and spilling dominate (DESIGN.md §2).
+  /// Real worker threads executing partition tasks. Independent of `dop`
+  /// (the *simulated* cluster width): any thread count produces identical
+  /// results; more threads only shrink wall_seconds. <= 0 picks the
+  /// hardware concurrency.
+  int num_threads = 1;
+
+  // Machine model for simulated time. Metered network/disk bytes are charged
+  // against these bandwidths; metered compute (UDF calls, records, calibrated
+  // CPU burn) is charged against the throughputs below. The defaults are
+  // calibrated so that the compute/IO balance at our reduced data scale
+  // resembles the paper's 1 GbE four-node cluster, where shipping and
+  // spilling dominate (DESIGN.md §2).
   double net_bandwidth_bytes_per_s = 24.0 * (1 << 20);
   double disk_bandwidth_bytes_per_s = 48.0 * (1 << 20);
+  double interp_instructions_per_s = 50e6;  // TAC instruction throughput
+  double cpu_burn_units_per_s = 1e9;        // CpuBurn loop throughput
+  double records_per_s = 2e6;               // per-record engine overhead
 };
 
 /// Metered resources of one plan execution. The same quantities the cost
-/// model estimates, but measured.
+/// model estimates, but measured. Every field except wall_seconds is a pure
+/// function of (plan, data, dop, mem_budget) — identical for every
+/// num_threads.
 struct ExecStats {
   int64_t network_bytes = 0;  // bytes crossing instance boundaries
   int64_t disk_bytes = 0;     // spill write+read bytes
   int64_t udf_calls = 0;
+  int64_t interp_instructions = 0;  // TAC instructions executed by UDF calls
   int64_t cpu_burn_units = 0;
   int64_t records_processed = 0;
   int64_t output_rows = 0;
-  double wall_seconds = 0;  // measured compute time of the simulation
+  double wall_seconds = 0;  // real elapsed time (varies with num_threads)
 
-  /// wall_seconds plus the IO time implied by the machine model:
-  /// network_bytes / net_bandwidth + disk_bytes / disk_bandwidth. This is
-  /// the "execution runtime" the figure benchmarks report.
+  /// The "execution runtime" the figure benchmarks report: modeled compute
+  /// time (metered calls/records/burn over the machine-model throughputs)
+  /// plus network_bytes / net_bandwidth + disk_bytes / disk_bandwidth.
+  /// Deterministic — derived from meters, not from wall_seconds.
   double simulated_seconds = 0;
+
+  /// Adds the additive meters (bytes, calls, records) of `other` into this;
+  /// leaves the derived time fields untouched. Used to merge per-partition
+  /// task meters in partition order.
+  void AddCounters(const ExecStats& other);
 
   std::string ToString() const;
 };
@@ -79,6 +106,9 @@ class Executor {
   const dataflow::AnnotatedFlow* af_;
   ExecOptions options_;
   std::map<int, const DataSet*> sources_;
+  /// Worker pool shared by every Execute() on this Executor (created on
+  /// first use), so repeated runs don't respawn threads.
+  std::unique_ptr<TaskPool> pool_;
 };
 
 }  // namespace engine

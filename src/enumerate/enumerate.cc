@@ -126,19 +126,25 @@ void Neighbors(const PlanPtr& node, const dataflow::DataFlow& flow,
 }  // namespace
 
 StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
-                                           const EnumOptions& options) {
+                                           const EnumOptions& options,
+                                           const PlanSink& sink) {
   const dataflow::DataFlow& flow = *af.flow;
   ReorderOracle oracle(&af);
   EnumResult result;
 
   PlanPtr original = reorder::PlanFromFlow(flow);
+  if (options.max_plans == 0) {
+    result.truncated = true;
+    return result;
+  }
   std::unordered_set<std::string> seen;
   std::deque<PlanPtr> work;
   seen.insert(CanonicalString(original));
   work.push_back(original);
   result.plans.push_back(original);
+  if (sink) sink(original, 0);
 
-  while (!work.empty()) {
+  while (!work.empty() && !result.truncated) {
     PlanPtr plan = std::move(work.front());
     work.pop_front();
     std::vector<PlanPtr> neighbors;
@@ -148,8 +154,10 @@ StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
       std::string key = CanonicalString(n);
       if (seen.insert(std::move(key)).second) {
         if (result.plans.size() >= options.max_plans) {
-          return Status::OutOfRange("plan space exceeds max_plans limit");
+          result.truncated = true;
+          break;
         }
+        if (sink) sink(n, result.plans.size());
         result.plans.push_back(n);
         work.push_back(n);
       }
@@ -265,7 +273,8 @@ StatusOr<EnumResult> EnumerateChainAlgorithm1(const dataflow::AnnotatedFlow& af,
   EnumResult result;
   for (const Chain& c : unique_alts) {
     if (result.plans.size() >= options.max_plans) {
-      return Status::OutOfRange("plan space exceeds max_plans limit");
+      result.truncated = true;
+      break;
     }
     PlanPtr node = PlanNode::Make(c[0]);
     for (size_t i = 1; i < c.size(); ++i) {

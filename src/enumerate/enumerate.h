@@ -15,6 +15,7 @@
 #define BLACKBOX_ENUMERATE_ENUMERATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -25,7 +26,9 @@ namespace blackbox {
 namespace enumerate {
 
 struct EnumOptions {
-  /// Safety valve against search-space explosions.
+  /// Safety valve against search-space explosions. Hitting the limit stops
+  /// enumeration and marks the result truncated (it is NOT an error): the
+  /// returned plans are a valid but partial closure.
   size_t max_plans = 1'000'000;
 };
 
@@ -33,12 +36,21 @@ struct EnumResult {
   std::vector<reorder::PlanPtr> plans;  // first entry is the original plan
   size_t rewrites_applied = 0;          // total successful edge rewrites
   size_t rewrites_rejected = 0;         // reorderable() returned false
+  bool truncated = false;               // max_plans hit; partial closure
 };
 
+/// Called once per discovered alternative, in discovery order, with its
+/// position in EnumResult::plans. Lets the caller overlap downstream work
+/// (costing) with enumeration instead of waiting for the full closure.
+using PlanSink = std::function<void(const reorder::PlanPtr&, size_t index)>;
+
 /// Enumerates all data flows derivable from the original flow by valid
-/// pairwise reorderings (closure semantics).
+/// pairwise reorderings (closure semantics). If `sink` is non-null it is
+/// invoked synchronously for every plan as it is discovered (including the
+/// original at index 0), before the function returns.
 StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
-                                           const EnumOptions& options = {});
+                                           const EnumOptions& options = {},
+                                           const PlanSink& sink = nullptr);
 
 /// Algorithm 1 from the paper, for chains of unary operators. Returns an
 /// error if the flow contains binary operators.

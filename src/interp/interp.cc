@@ -1,5 +1,6 @@
 #include "interp/interp.h"
 
+#include <atomic>
 #include <cmath>
 #include <functional>
 
@@ -10,8 +11,10 @@ namespace {
 
 using tac::Opcode;
 
-/// Volatile sink so kCpuBurn work is not optimized away.
-volatile uint64_t g_burn_sink = 0;
+/// Shared sink so kCpuBurn work is not optimized away. Relaxed atomic: the
+/// value is meaningless, but partition tasks burn concurrently and a plain
+/// (or volatile) global would be a data race.
+std::atomic<uint64_t> g_burn_sink{0};
 
 int64_t ValueAsBool(const Value& v) {
   switch (v.type()) {
@@ -307,11 +310,11 @@ Status Interpreter::Run(const CallInputs& inputs,
         break;
       }
       case Opcode::kCpuBurn: {
-        uint64_t acc = g_burn_sink;
+        uint64_t acc = g_burn_sink.load(std::memory_order_relaxed);
         for (int64_t k = 0; k < i.imm_int; ++k) {
           acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
         }
-        g_burn_sink = acc;
+        g_burn_sink.store(acc, std::memory_order_relaxed);
         if (stats) stats->cpu_burn_units += i.imm_int;
         break;
       }

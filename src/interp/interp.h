@@ -65,6 +65,11 @@ class Interpreter {
   explicit Interpreter(const tac::Function* fn) : fn_(fn) {}
 
   /// Runs the UDF on the given inputs, appending emitted records to *out.
+  ///
+  /// Thread-safety: Run is re-entrant — all interpreter state (registers,
+  /// record slots, step counter) lives on the caller's stack, and the shared
+  /// kCpuBurn sink is a relaxed atomic. The engine relies on this to run one
+  /// Interpreter per partition task concurrently (DESIGN.md §2.1).
   Status Run(const CallInputs& inputs, const FieldTranslation& translation,
              std::vector<Record>* out, RunStats* stats = nullptr) const;
 

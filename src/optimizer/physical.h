@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/defaults.h"
 #include "common/status.h"
 #include "reorder/plan.h"
 
@@ -43,8 +44,11 @@ struct CostWeights {
   double disk_per_byte = 0.6;
   double cpu_per_call_unit = 40.0;  // per UDF call × the op's cpu hint
   double cpu_per_record = 0.4;
-  int dop = 32;                          // degree of parallelism
-  double mem_budget_bytes = 16 << 20;    // per-instance memory before spill
+  // Cluster shape: shared defaults with engine::ExecOptions (see
+  // common/defaults.h) so estimates and measured runs describe the same
+  // simulated cluster out of the box.
+  int dop = kDefaultDop;                          // degree of parallelism
+  double mem_budget_bytes = kDefaultMemBudgetBytes;  // per-instance memory
 
   // Ablation switches (see bench/ablation): disable individual optimizer
   // features to measure their contribution to plan quality.

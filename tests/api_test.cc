@@ -470,6 +470,19 @@ TEST(Optimize, PrunedPlanSpaceIsAnErrorNotACrash) {
   EXPECT_EQ(program.status().code(), Status::Code::kOutOfRange);
 }
 
+TEST(Optimize, ContradictoryCostModelClusterIsRejected) {
+  // cost_model_follows_exec would silently overwrite a deliberately
+  // different weights.dop; that contradiction must surface as an error.
+  Pipeline p;
+  Stream src = p.Source("I", 2, {.rows = 10});
+  src.Map("m", testing::MakeAbsUdf()).Sink("O");
+  api::OptimizeOptions options;
+  options.weights.dop = options.exec.dop * 2;
+  StatusOr<api::OptimizedProgram> program = p.Optimize(options);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), Status::Code::kInvalidArgument);
+}
+
 TEST(OptimizationResultDeathTest, BestOnEmptyResultAborts) {
   core::OptimizationResult empty;
   EXPECT_DEATH(empty.best(), "no ranked alternatives");
