@@ -4,11 +4,19 @@
 //      hints: how much plan quality each knowledge source buys.
 //   B. Physical optimizer features — broadcast joins and interesting-property
 //      (partitioning) reuse, each switched off individually.
+//   C. Sort-aware physical optimization — sort-order tracking (merge joins,
+//      sort reuse) and combiner insertion, each switched off individually.
+//      The combiner's headline effect is shuffled bytes: Q7's combiner plan
+//      ships aggregated partials instead of the full join output.
 //
 // For every configuration the harness optimizes, executes the chosen best
-// plan, and reports estimated cost and simulated runtime.
+// plan, and reports estimated cost, simulated runtime, and shuffle/spill
+// bytes. All rows are also written to BENCH_ablation.json so CI tracks the
+// feature contributions alongside the figure benchmarks.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workloads/clickstream.h"
@@ -23,9 +31,26 @@ struct Config {
   const api::AnnotationProvider* provider = nullptr;  // null: SCA
   bool broadcast = true;
   bool reuse = true;
+  bool sort_merge = true;
+  bool combiner = true;
 };
 
-void RunConfig(const workloads::Workload& w, const Config& cfg) {
+struct Row {
+  std::string workload;
+  std::string config;
+  size_t plans = 0;
+  double est_cost = 0;
+  double simulated_seconds = 0;
+  long long network_bytes = 0;
+  long long disk_bytes = 0;
+  int sort_merge_plans = 0;
+  int combiner_plans = 0;
+};
+
+/// Returns false if the configuration failed to optimize or execute, so
+/// main can exit nonzero and CI's bench-smoke step catches the regression.
+bool RunConfig(const workloads::Workload& w, const Config& cfg,
+               std::vector<Row>* rows) {
   api::ScaProvider sca;
   const api::AnnotationProvider& provider =
       cfg.provider ? *cfg.provider : sca;
@@ -35,6 +60,8 @@ void RunConfig(const workloads::Workload& w, const Config& cfg) {
   options.exec.mem_budget_bytes = 1 << 20;
   options.weights.enable_broadcast = cfg.broadcast;
   options.weights.enable_partition_reuse = cfg.reuse;
+  options.weights.enable_sort_merge = cfg.sort_merge;
+  options.weights.enable_combiner = cfg.combiner;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
@@ -44,7 +71,7 @@ void RunConfig(const workloads::Workload& w, const Config& cfg) {
   if (!program.ok()) {
     std::fprintf(stderr, "optimize failed: %s\n",
                  program.status().ToString().c_str());
-    return;
+    return false;
   }
 
   engine::ExecStats stats;
@@ -52,16 +79,59 @@ void RunConfig(const workloads::Workload& w, const Config& cfg) {
   if (!out.ok()) {
     std::fprintf(stderr, "execute failed: %s\n",
                  out.status().ToString().c_str());
-    return;
+    return false;
   }
-  std::printf("  %-28s %8zu plans   best est. cost %12.3g   runtime %7.3fs\n",
-              cfg.name, program->num_alternatives(), program->best().cost,
-              stats.simulated_seconds);
+  bench::StrategyMix mix = bench::CountStrategyMix(*program);
+  std::printf(
+      "  %-28s %8zu plans   best est. cost %12.3g   runtime %7.3fs   "
+      "shuffle %8.3f MB\n",
+      cfg.name, program->num_alternatives(), program->best().cost,
+      stats.simulated_seconds,
+      static_cast<double>(stats.network_bytes) / (1 << 20));
+  Row row;
+  row.workload = w.name;
+  row.config = cfg.name;
+  row.plans = program->num_alternatives();
+  row.est_cost = program->best().cost;
+  row.simulated_seconds = stats.simulated_seconds;
+  row.network_bytes = static_cast<long long>(stats.network_bytes);
+  row.disk_bytes = static_cast<long long>(stats.disk_bytes);
+  row.sort_merge_plans = mix.sort_merge_plans;
+  row.combiner_plans = mix.combiner_plans;
+  rows->push_back(std::move(row));
+  return true;
+}
+
+Status WriteAblationJson(const std::vector<Row>& rows) {
+  const char* path = "BENCH_ablation.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return Status::Internal(std::string("cannot open ") + path);
+  std::fprintf(f, "{\n  \"bench\": \"ablation\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"config\": \"%s\", "
+                 "\"plans\": %zu, \"estimated_cost\": %.6f, "
+                 "\"simulated_seconds\": %.6f, \"network_bytes\": %lld, "
+                 "\"disk_bytes\": %lld, \"sort_merge_plans\": %d, "
+                 "\"combiner_plans\": %d}%s\n",
+                 r.workload.c_str(), r.config.c_str(), r.plans, r.est_cost,
+                 r.simulated_seconds, r.network_bytes, r.disk_bytes,
+                 r.sort_merge_plans, r.combiner_plans,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return Status::OK();
 }
 
 }  // namespace
 
 int main() {
+  std::vector<Row> rows;
+  bool ok = true;
+
   workloads::ClickstreamScale cs;
   cs.sessions = 20000;
   cs.users = 2000;
@@ -74,9 +144,12 @@ int main() {
   api::ProfilerProvider profiled({.reset_hints = true});
 
   std::printf("Ablation A — annotation / hint provider (clickstream):\n");
-  RunConfig(clicks, {.name = "manual annotations", .provider = &manual});
-  RunConfig(clicks, {.name = "static code analysis", .provider = &sca});
-  RunConfig(clicks, {.name = "SCA + profiled hints", .provider = &profiled});
+  ok &= RunConfig(clicks, {.name = "manual annotations", .provider = &manual},
+            &rows);
+  ok &= RunConfig(clicks, {.name = "static code analysis", .provider = &sca},
+            &rows);
+  ok &= RunConfig(clicks, {.name = "SCA + profiled hints", .provider = &profiled},
+            &rows);
 
   workloads::TpchScale ts;
   ts.lineitems = 60000;
@@ -86,9 +159,41 @@ int main() {
   workloads::Workload q7 = workloads::MakeTpchQ7(ts);
 
   std::printf("\nAblation B — physical optimizer features (TPC-H Q7, 5 joins):\n");
-  RunConfig(q7, {.name = "full optimizer"});
-  RunConfig(q7, {.name = "no broadcast joins", .broadcast = false});
-  RunConfig(q7, {.name = "no partitioning reuse", .reuse = false});
-  RunConfig(q7, {.name = "neither", .broadcast = false, .reuse = false});
-  return 0;
+  ok &= RunConfig(q7, {.name = "full optimizer"}, &rows);
+  ok &= RunConfig(q7, {.name = "no broadcast joins", .broadcast = false}, &rows);
+  ok &= RunConfig(q7, {.name = "no partitioning reuse", .reuse = false}, &rows);
+  ok &= RunConfig(q7, {.name = "neither", .broadcast = false, .reuse = false},
+            &rows);
+
+  std::printf(
+      "\nAblation C — sort-awareness & combiner (TPC-H Q7, estimated cost "
+      "and shuffle bytes):\n");
+  ok &= RunConfig(q7, {.name = "sort-merge + combiner"}, &rows);
+  ok &= RunConfig(q7, {.name = "no sort-merge", .sort_merge = false}, &rows);
+  ok &= RunConfig(q7, {.name = "no combiner", .combiner = false}, &rows);
+  ok &= RunConfig(q7,
+            {.name = "neither", .sort_merge = false, .combiner = false},
+            &rows);
+
+  std::printf("\nAblation C — sort-awareness & combiner (clickstream):\n");
+  ok &= RunConfig(clicks,
+            {.name = "sort-merge + combiner", .provider = &manual}, &rows);
+  ok &= RunConfig(clicks,
+            {.name = "no sort-merge", .provider = &manual,
+             .sort_merge = false},
+            &rows);
+  ok &= RunConfig(clicks,
+            {.name = "no combiner", .provider = &manual, .combiner = false},
+            &rows);
+  ok &= RunConfig(clicks,
+                  {.name = "neither", .provider = &manual,
+                   .sort_merge = false, .combiner = false},
+                  &rows);
+
+  Status json = WriteAblationJson(rows);
+  if (!json.ok()) {
+    std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
+    return 1;
+  }
+  return ok ? 0 : 1;
 }

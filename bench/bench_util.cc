@@ -7,6 +7,31 @@
 namespace blackbox {
 namespace bench {
 
+namespace {
+
+void CountNode(const optimizer::PhysicalNode& n, int* merge, int* comb) {
+  if (n.local == optimizer::LocalStrategy::kSortMergeJoin) ++*merge;
+  if (n.local == optimizer::LocalStrategy::kPreAggregate) ++*comb;
+  for (const auto& c : n.children) CountNode(*c, merge, comb);
+}
+
+}  // namespace
+
+StrategyMix CountStrategyMix(const api::OptimizedProgram& program) {
+  StrategyMix mix;
+  for (size_t i = 0; i < program.ranked().size(); ++i) {
+    int merge = 0, comb = 0;
+    CountNode(*program.ranked()[i].physical.root, &merge, &comb);
+    if (merge > 0) ++mix.sort_merge_plans;
+    if (comb > 0) ++mix.combiner_plans;
+    if (i == 0) {
+      mix.best_uses_sort_merge = merge > 0;
+      mix.best_uses_combiner = comb > 0;
+    }
+  }
+  return mix;
+}
+
 StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
                                        const BenchConfig& config) {
   api::ScaProvider sca;
@@ -76,6 +101,13 @@ void PrintFigure(const std::string& title, const FigureResult& result) {
       result.program.num_alternatives(),
       result.program.enumeration_seconds() * 1e3,
       result.program.costing_seconds() * 1e3);
+  StrategyMix mix = CountStrategyMix(result.program);
+  std::printf(
+      "  strategy mix: %d plans with sort-merge join, %d with combiner "
+      "(best plan: merge=%s combiner=%s)\n",
+      mix.sort_merge_plans, mix.combiner_plans,
+      mix.best_uses_sort_merge ? "yes" : "no",
+      mix.best_uses_combiner ? "yes" : "no");
   std::printf("  %-6s %-15s %-18s %-11s %-9s %-9s %-10s %-10s\n", "rank",
               "norm.cost.est", "norm.exec.runtime", "runtime[s]", "cpu[s]",
               "net[MB]", "disk[MB]", "udf calls");
@@ -161,6 +193,13 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
   std::fprintf(f, "  \"costing_seconds\": %.6f,\n",
                result.program.costing_seconds());
   std::fprintf(f, "  \"output_rows\": %zu,\n", result.output_rows);
+  StrategyMix mix = CountStrategyMix(result.program);
+  std::fprintf(f, "  \"sort_merge_plans\": %d,\n", mix.sort_merge_plans);
+  std::fprintf(f, "  \"combiner_plans\": %d,\n", mix.combiner_plans);
+  std::fprintf(f, "  \"best_uses_sort_merge\": %s,\n",
+               mix.best_uses_sort_merge ? "true" : "false");
+  std::fprintf(f, "  \"best_uses_combiner\": %s,\n",
+               mix.best_uses_combiner ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < result.runs.size(); ++i) {
     const RankedRun& r = result.runs[i];

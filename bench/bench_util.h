@@ -52,6 +52,18 @@ struct BenchConfig {
   }
 };
 
+/// How often the new physical strategies appear in a ranked plan list — the
+/// ablation-visible contribution of sort-order tracking and combiner
+/// insertion, recorded in every BENCH_*.json.
+struct StrategyMix {
+  int sort_merge_plans = 0;  // ranked plans containing a sort-merge join
+  int combiner_plans = 0;    // ranked plans containing a combiner
+  bool best_uses_sort_merge = false;
+  bool best_uses_combiner = false;
+};
+
+StrategyMix CountStrategyMix(const api::OptimizedProgram& program);
+
 /// Optimizes `w`, picks plans in regular rank intervals (always including
 /// rank 1 and the last rank), executes them, and returns the series.
 StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,

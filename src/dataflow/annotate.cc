@@ -14,6 +14,60 @@ using sca::FieldWrite;
 using sca::LocalUdfSummary;
 using sca::OutputKind;
 
+/// Combiner legality for a Reduce (see OpProperties::combinable). Checked in
+/// the UDF's *local* field indices: the summary alone decides, so both
+/// annotation modes (SCA and manual) derive the same verdict from the same
+/// evidence.
+bool DeriveCombinable(const Operator& op, const LocalUdfSummary& summary,
+                      const std::vector<std::vector<AttrId>>& in_schemas) {
+  if (summary.num_inputs != 1 || op.key_fields.empty()) return false;
+  // Exactly one record per group: a partial group must stand in for the full
+  // group without changing cardinality.
+  if (summary.min_emits != 1 || summary.max_emits != 1) return false;
+  // The partial record must use the *input* layout, so the second (post-
+  // shuffle) application reads its aggregates at the positions it wrote them:
+  // copy-of-first-record output, no attributes introduced.
+  if (summary.out_kind != OutputKind::kCopyOfInput || summary.copy_input != 0) {
+    return false;
+  }
+  if (summary.writes_all || summary.reads[0].all) return false;
+  const int width = static_cast<int>(in_schemas[0].size());
+  const std::set<int> key_fields(op.key_fields[0].begin(),
+                                 op.key_fields[0].end());
+  std::set<int> aggregated;  // fields written in place (read ∩ write)
+  for (const FieldWrite& w : summary.writes) {
+    if (w.kind == FieldWrite::Kind::kExplicitCopy && w.from_input == 0 &&
+        w.from_field == w.out_pos) {
+      continue;  // identity copy: carried through unchanged
+    }
+    if (w.out_pos >= width) return false;  // introduces an attribute
+    if (key_fields.count(w.out_pos) > 0) return false;  // rewrites the key
+    if (w.kind == FieldWrite::Kind::kExplicitProject) {
+      continue;  // nulling a field is idempotent across both passes
+    }
+    if (w.kind != FieldWrite::Kind::kModify) return false;
+    if (!summary.reads[0].Contains(w.out_pos)) return false;  // not in place
+    aggregated.insert(w.out_pos);
+  }
+  // Every non-key read must be one of the in-place aggregates — a field that
+  // is read but carried from the first record would make the second pass see
+  // a partial's copy instead of real group data.
+  for (int f : summary.reads[0].fields) {
+    if (key_fields.count(f) == 0 && aggregated.count(f) == 0) return false;
+  }
+  // Branch decisions must depend on key fields only: keys are constant per
+  // group, so both passes take the same branches. A decision on an
+  // aggregated field would branch on partial sums in the second pass, and a
+  // decision on a carried field on one subgroup's copy.
+  if (summary.decision_reads.empty() || summary.decision_reads[0].all) {
+    return false;
+  }
+  for (int f : summary.decision_reads[0].fields) {
+    if (key_fields.count(f) == 0) return false;
+  }
+  return !aggregated.empty();
+}
+
 /// Resolves one operator's local summary against its input schemas,
 /// producing global sets and the output schema. Appends new attributes to the
 /// global record.
@@ -207,6 +261,10 @@ Status ResolveOperator(const Operator& op, const LocalUdfSummary& summary,
     // A computed setField index may hit any attribute of the output layout —
     // and, after reordering, any attribute flowing through. Full write set.
     out->write = AttrSet::All();
+  }
+
+  if (op.kind == OpKind::kReduce) {
+    out->combinable = DeriveCombinable(op, summary, in_schemas);
   }
 
   return Status::OK();

@@ -63,6 +63,22 @@ struct OpProperties {
   int min_emits = 0;
   int max_emits = 0;
 
+  /// Reduce only: the UDF qualifies for combiner (pre-aggregation) insertion.
+  /// Derived from the summary (SCA or manual): exactly one emitted record per
+  /// group, built as a copy of the group's first record, where every modified
+  /// field is an in-place aggregate of itself (read and written at the same
+  /// position), no new attributes are introduced, the write set is disjoint
+  /// from the grouping key, every non-key read field is one of the
+  /// aggregated fields, and branch decisions read key fields only (keys are
+  /// constant per group, so both passes branch identically). Under these
+  /// conditions applying the UDF to
+  /// partition-local subgroups and re-applying it to the partial results is
+  /// byte-identical to one application per group, provided the in-place
+  /// aggregation is associative and commutative — the one property static
+  /// analysis takes on faith (like the PACT "combinable" contract); the
+  /// differential plan-equivalence test validates it at runtime.
+  bool combinable = false;
+
   /// Grouping / join key attributes (global ids) per input.
   std::vector<std::vector<AttrId>> keys;
 

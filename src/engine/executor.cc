@@ -51,6 +51,38 @@ size_t PartitionBytes(const std::vector<Record>& part) {
   return total;
 }
 
+bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// One partition's records paired with their extracted keys and stable-sorted
+/// by key: the per-partition input of a merge join. The stable sort keeps the
+/// arrival order within equal keys, so a stream that already carries a
+/// serving sort order passes through unchanged.
+struct SortedRun {
+  std::vector<std::pair<std::vector<Value>, const Record*>> entries;
+
+  SortedRun(const std::vector<Record>& part,
+            const std::vector<AttrId>& key) {
+    entries.reserve(part.size());
+    for (const Record& r : part) entries.emplace_back(KeyOf(r, key), &r);
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       return KeyLess(a.first, b.first);
+                     });
+  }
+
+  /// End of the equal-key run starting at `begin`.
+  size_t RunEnd(size_t begin) const {
+    size_t end = begin + 1;
+    while (end < entries.size() &&
+           !KeyLess(entries[begin].first, entries[end].first)) {
+      ++end;
+    }
+    return end;
+  }
+};
+
 class ExecContext {
  public:
   ExecContext(const dataflow::AnnotatedFlow& af,
@@ -254,30 +286,57 @@ class ExecContext {
     return out;
   }
 
+  /// One sort-group pass over `in`, calling the UDF once per key group.
+  /// Shared by the plain Reduce, the combiner's pre-aggregation pass, and
+  /// the combiner's post-shuffle pass.
+  Status SortGroupPass(const Partitions& in, const dataflow::Operator& op,
+                       const std::vector<AttrId>& key,
+                       const FieldTranslation& t, bool meter_spill,
+                       Partitions* out) {
+    return ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
+      if (meter_spill) MeterSpill(PartitionBytes(in[pi]), meters);
+      // Partition-local sorted groups (std::map orders keys canonically).
+      std::map<std::vector<Value>, std::vector<const Record*>> groups;
+      for (const Record& r : in[pi]) {
+        groups[KeyOf(r, key)].push_back(&r);
+        meters->records_processed++;
+      }
+      for (const auto& [k, members] : groups) {
+        CallInputs ci;
+        ci.groups = {members};
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &(*out)[pi], meters));
+      }
+      return Status::OK();
+    });
+  }
+
   StatusOr<Partitions> ExecReduce(const PhysicalNode& node,
                                   const dataflow::Operator& op) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
-    Partitions in = Ship(std::move(in_or).value(), node.ships[0], p.keys[0]);
+    Partitions in = std::move(in_or).value();
     FieldTranslation t = MakeTranslation(node);
+    if (node.local == LocalStrategy::kPreAggregate) {
+      // Combiner: aggregate each producer partition's local groups *before*
+      // the shuffle. The partial records use the Reduce's own output layout
+      // (combinability guarantees it coincides with the input layout), so
+      // the post-shuffle pass below runs the identical UDF unchanged and the
+      // shuffle ships at most (distinct keys × dop) records.
+      Partitions combined(options_.dop);
+      Status st = SortGroupPass(in, op, p.keys[0], t, /*meter_spill=*/true,
+                                &combined);
+      if (!st.ok()) return st;
+      in = std::move(combined);
+    }
+    in = Ship(std::move(in), node.ships[0], p.keys[0]);
     Partitions out(options_.dop);
-    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
-      Interpreter interp(op.udf.get());
-      MeterSpill(PartitionBytes(in[pi]), meters);
-      // Partition-local sorted groups (std::map orders keys canonically).
-      std::map<std::vector<Value>, std::vector<const Record*>> groups;
-      for (const Record& r : in[pi]) {
-        groups[KeyOf(r, p.keys[0])].push_back(&r);
-        meters->records_processed++;
-      }
-      for (const auto& [key, members] : groups) {
-        CallInputs ci;
-        ci.groups = {members};
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
-      }
-      return Status::OK();
-    });
+    // A presorted forward input streams its groups: no sort buffer, no spill.
+    bool meter_spill = node.local == LocalStrategy::kPreAggregate ||
+                       node.input_presorted.empty() ||
+                       !node.input_presorted[0];
+    Status st = SortGroupPass(in, op, p.keys[0], t, meter_spill, &out);
     if (!st.ok()) return st;
     return out;
   }
@@ -292,6 +351,9 @@ class ExecContext {
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
     FieldTranslation t = MakeTranslation(node);
+    if (node.local == LocalStrategy::kSortMergeJoin) {
+      return MergeJoin(node, op, p, left, right, t);
+    }
     bool build_left = node.local == LocalStrategy::kHashJoinBuildLeft;
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
@@ -318,6 +380,64 @@ class ExecContext {
           ci.groups = {{lrec}, {rrec}};
           BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
         }
+      }
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+    return out;
+  }
+
+  /// Sort-merge equi-join of two shipped sides. Both sides are stable-sorted
+  /// by their join key per partition — a no-op reordering when the optimizer
+  /// reused an existing sort order, but always executed so correctness never
+  /// depends on the claimed order — then equal-key runs are joined pairwise.
+  /// Output order is key-major; within one key the left run is streamed
+  /// outermost in arrival order (stable), so a downstream operator grouping
+  /// on this key sees members in the same relative order a hash join
+  /// probing a sorted stream would deliver.
+  StatusOr<Partitions> MergeJoin(const PhysicalNode& node,
+                                 const dataflow::Operator& op,
+                                 const OpProperties& p, const Partitions& left,
+                                 const Partitions& right,
+                                 const FieldTranslation& t) {
+    Partitions out(options_.dop);
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      Interpreter interp(op.udf.get());
+      // Sort buffers spill like any other materialization — except for a
+      // side the plan established as presorted, which streams straight
+      // through the (no-op) stable sort.
+      if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
+        MeterSpill(PartitionBytes(left[pi]), meters);
+      }
+      if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
+        MeterSpill(PartitionBytes(right[pi]), meters);
+      }
+      SortedRun ls(left[pi], p.keys[0]);
+      SortedRun rs(right[pi], p.keys[1]);
+      meters->records_processed +=
+          static_cast<int64_t>(left[pi].size() + right[pi].size());
+      size_t li = 0, ri = 0;
+      while (li < ls.entries.size() && ri < rs.entries.size()) {
+        const std::vector<Value>& lk = ls.entries[li].first;
+        const std::vector<Value>& rk = rs.entries[ri].first;
+        if (KeyLess(lk, rk)) {
+          li = ls.RunEnd(li);
+          continue;
+        }
+        if (KeyLess(rk, lk)) {
+          ri = rs.RunEnd(ri);
+          continue;
+        }
+        size_t lend = ls.RunEnd(li), rend = rs.RunEnd(ri);
+        for (size_t a = li; a < lend; ++a) {
+          for (size_t b = ri; b < rend; ++b) {
+            CallInputs ci;
+            ci.groups = {{ls.entries[a].second}, {rs.entries[b].second}};
+            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+          }
+        }
+        li = lend;
+        ri = rend;
       }
       return Status::OK();
     });
@@ -365,7 +485,14 @@ class ExecContext {
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      MeterSpill(PartitionBytes(left[pi]) + PartitionBytes(right[pi]), meters);
+      // Per-side sort buffers (matching the cost model); a presorted side
+      // streams its groups and never spills.
+      if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
+        MeterSpill(PartitionBytes(left[pi]), meters);
+      }
+      if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
+        MeterSpill(PartitionBytes(right[pi]), meters);
+      }
       std::map<std::vector<Value>, CallInputs> groups;
       for (const Record& r : left[pi]) {
         auto& ci = groups[KeyOf(r, p.keys[0])];

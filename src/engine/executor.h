@@ -6,7 +6,8 @@
 // through the TAC interpreter.
 //
 // Per-partition operator work (scan widening, Map/Reduce loops, hash-join
-// build/probe, cross, co-group) runs as independent partition tasks on a
+// build/probe, sort-merge join, combiner pre-aggregation, cross, co-group)
+// runs as independent partition tasks on a
 // TaskPool of ExecOptions::num_threads workers. All per-partition state
 // (hash tables, sorted groups, Interpreter instances, meters) is task-local
 // and merged in partition order, so sink output, meters, and

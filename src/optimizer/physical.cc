@@ -14,13 +14,16 @@ using dataflow::OpKind;
 using dataflow::OpProperties;
 using reorder::PlanPtr;
 
+// NOTE: the strategy-name switches are deliberately exhaustive with no
+// default case and no trailing fallback return, so adding an enum value
+// without a name is a compile error (-Wswitch / -Wreturn-type under -Werror).
 const char* ShipStrategyName(ShipStrategy s) {
   switch (s) {
     case ShipStrategy::kForward: return "forward";
     case ShipStrategy::kPartitionHash: return "hash-partition";
     case ShipStrategy::kBroadcast: return "broadcast";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 const char* LocalStrategyName(LocalStrategy s) {
@@ -31,8 +34,10 @@ const char* LocalStrategyName(LocalStrategy s) {
     case LocalStrategy::kHashJoinBuildRight: return "hash-join(build=right)";
     case LocalStrategy::kNestedLoop: return "nested-loop";
     case LocalStrategy::kSortCoGroup: return "sort-cogroup";
+    case LocalStrategy::kSortMergeJoin: return "sort-merge-join";
+    case LocalStrategy::kPreAggregate: return "combine+sort-group";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 namespace {
@@ -41,9 +46,16 @@ namespace {
 /// set (empty = no useful partitioning / random).
 using Partitioning = std::set<AttrId>;
 
+/// A per-partition sort order: records are sorted lexicographically by these
+/// attributes, most significant first (empty = no useful order). Produced by
+/// sort-based local strategies, destroyed by any shuffle, and truncated when
+/// an operator rewrites one of the attributes.
+using Ordering = std::vector<AttrId>;
+
 struct Candidate {
   std::shared_ptr<PhysicalNode> node;  // shared: candidates share subtrees
   Partitioning partitioning;
+  Ordering ordering;
   double cost = 0;
   double est_rows = 0;
   double est_bytes_per_row = 0;
@@ -54,12 +66,41 @@ std::unique_ptr<PhysicalNode> ClonePhysical(const PhysicalNode& n) {
   out->op_id = n.op_id;
   out->ships = n.ships;
   out->local = n.local;
+  out->input_presorted = n.input_presorted;
+  out->sort_order = n.sort_order;
   out->est_rows = n.est_rows;
   out->est_bytes_per_row = n.est_bytes_per_row;
   out->cost_network = n.cost_network;
   out->cost_disk = n.cost_disk;
   out->cost_cpu = n.cost_cpu;
   for (const auto& c : n.children) out->children.push_back(ClonePhysical(*c));
+  return out;
+}
+
+/// Canonical strategy string of a physical subtree — the deterministic
+/// tie-break key for equal-cost candidates (the new strategies routinely
+/// produce cost ties, e.g. two merge-join candidates declaring the left vs
+/// the right key property).
+std::string PhysicalKey(const PhysicalNode& n) {
+  std::string out = std::to_string(n.op_id);
+  out += '/';
+  out += std::to_string(static_cast<int>(n.local));
+  for (ShipStrategy s : n.ships) {
+    out += ',';
+    out += std::to_string(static_cast<int>(s));
+  }
+  out += '[';
+  for (AttrId a : n.sort_order) {
+    out += std::to_string(a);
+    out += ' ';
+  }
+  out += ']';
+  out += '(';
+  for (const auto& c : n.children) {
+    out += PhysicalKey(*c);
+    out += ';';
+  }
+  out += ')';
   return out;
 }
 
@@ -72,9 +113,18 @@ class PhysicalPlanner {
     StatusOr<std::vector<Candidate>> cands = PlanNodeCands(plan);
     if (!cands.ok()) return cands.status();
     if (cands->empty()) return Status::Internal("no physical candidates");
+    // Cheapest wins; ties break on the canonical strategy string so the
+    // choice is independent of candidate generation order.
     const Candidate* best = &cands->front();
+    std::string best_key = PhysicalKey(*best->node);
     for (const Candidate& c : *cands) {
-      if (c.cost < best->cost) best = &c;
+      if (&c == best) continue;
+      if (c.cost > best->cost) continue;
+      std::string key = PhysicalKey(*c.node);
+      if (c.cost < best->cost || key < best_key) {
+        best = &c;
+        best_key = std::move(key);
+      }
     }
     PhysicalPlan out;
     out.root = ClonePhysical(*best->node);
@@ -92,6 +142,31 @@ class PhysicalPlanner {
       if (std::find(key.begin(), key.end(), a) == key.end()) return false;
     }
     return true;
+  }
+
+  /// True if data sorted by `ordering` is also sorted by the key vector:
+  /// the key must be an exact prefix of the ordering (the executor's sort
+  /// comparator is lexicographic in key-vector order).
+  static bool OrderingServesKey(const Ordering& ordering,
+                                const std::vector<AttrId>& key) {
+    if (key.empty() || key.size() > ordering.size()) return false;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (ordering[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  /// The longest prefix of `ordering` that survives an operator with the
+  /// given write set (a rewritten attribute invalidates it and everything
+  /// less significant).
+  static Ordering SurvivingOrdering(const Ordering& ordering,
+                                    const dataflow::AttrSet& write) {
+    Ordering out;
+    for (AttrId a : ordering) {
+      if (write.Contains(a)) break;
+      out.push_back(a);
+    }
+    return out;
   }
 
   double ShipCost(ShipStrategy s, double rows, double bytes_per_row) const {
@@ -116,14 +191,29 @@ class PhysicalPlanner {
     return w_.disk_per_byte * 2 * total_bytes;
   }
 
-  /// Keeps the cheapest candidate per distinct partitioning property plus the
-  /// overall cheapest (principle of optimality with interesting properties).
+  /// CPU of sorting `rows` per-partition (also the cost of the tree-based
+  /// grouping the engine actually performs): n log(n/dop) comparisons.
+  double SortCpu(double rows) const {
+    return w_.cpu_per_record * rows *
+           std::max(1.0, std::log2(std::max(2.0, rows / w_.dop)));
+  }
+
+  /// Per-lookup depth of the engine's tree-based join table built over
+  /// `build_rows` per instance. Charged per build insert and per probe.
+  double LookupFactor(double build_rows) const {
+    return std::max(1.0, std::log2(std::max(2.0, build_rows / w_.dop)));
+  }
+
+  /// Keeps the cheapest candidate per distinct (partitioning, ordering)
+  /// property pair plus the overall cheapest (principle of optimality with
+  /// interesting properties).
   static void Prune(std::vector<Candidate>* cands) {
     std::vector<Candidate> kept;
     for (Candidate& c : *cands) {
       bool dominated = false;
       for (Candidate& k : kept) {
-        if (k.partitioning == c.partitioning && k.cost <= c.cost) {
+        if (k.partitioning == c.partitioning && k.ordering == c.ordering &&
+            k.cost <= c.cost) {
           dominated = true;
           break;
         }
@@ -132,6 +222,7 @@ class PhysicalPlanner {
       kept.erase(std::remove_if(kept.begin(), kept.end(),
                                 [&](const Candidate& k) {
                                   return k.partitioning == c.partitioning &&
+                                         k.ordering == c.ordering &&
                                          k.cost > c.cost;
                                 }),
                  kept.end());
@@ -143,21 +234,33 @@ class PhysicalPlanner {
   Candidate MakeCand(const PlanPtr& plan,
                      std::vector<const Candidate*> child_cands,
                      std::vector<ShipStrategy> ships, LocalStrategy local,
-                     Partitioning out_partitioning, double est_rows,
-                     double est_bpr, double local_net, double local_disk,
-                     double local_cpu) const {
+                     Partitioning out_partitioning, Ordering out_ordering,
+                     double est_rows, double est_bpr, double local_net,
+                     double local_disk, double local_cpu,
+                     double ship_rows_override = -1,
+                     double ship_bpr_override = -1,
+                     std::vector<uint8_t> presorted = {}) const {
     auto node = std::make_shared<PhysicalNode>();
     node->op_id = plan->op_id;
     node->ships = ships;
     node->local = local;
+    node->input_presorted = std::move(presorted);
+    node->sort_order = out_ordering;
     node->est_rows = est_rows;
     node->est_bytes_per_row = est_bpr;
     double child_cost = 0;
     for (size_t i = 0; i < child_cands.size(); ++i) {
       node->children.push_back(ClonePhysical(*child_cands[i]->node));
       child_cost += child_cands[i]->cost;
-      local_net += ShipCost(ships[i], child_cands[i]->est_rows,
-                            child_cands[i]->est_bytes_per_row);
+      // A combiner shrinks the shipped volume below the child's output
+      // estimate; the override carries the post-combine volume (input 0).
+      double srows = child_cands[i]->est_rows;
+      double sbpr = child_cands[i]->est_bytes_per_row;
+      if (i == 0 && ship_rows_override >= 0) {
+        srows = ship_rows_override;
+        sbpr = ship_bpr_override;
+      }
+      local_net += ShipCost(ships[i], srows, sbpr);
     }
     node->cost_network = local_net;
     node->cost_disk = local_disk;
@@ -166,6 +269,7 @@ class PhysicalPlanner {
     c.cost = child_cost + local_net + local_disk + local_cpu;
     c.node = std::move(node);
     c.partitioning = std::move(out_partitioning);
+    c.ordering = std::move(out_ordering);
     c.est_rows = est_rows;
     c.est_bytes_per_row = est_bpr;
     return c;
@@ -178,7 +282,7 @@ class PhysicalPlanner {
 
     switch (op.kind) {
       case OpKind::kSource: {
-        out.push_back(MakeCand(plan, {}, {}, LocalStrategy::kNone, {},
+        out.push_back(MakeCand(plan, {}, {}, LocalStrategy::kNone, {}, {},
                                static_cast<double>(op.source_rows),
                                op.source_avg_bytes, 0, 0, 0));
         break;
@@ -189,7 +293,8 @@ class PhysicalPlanner {
         for (const Candidate& c : *child) {
           out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
                                  LocalStrategy::kNone, c.partitioning,
-                                 c.est_rows, c.est_bytes_per_row, 0, 0, 0));
+                                 c.ordering, c.est_rows, c.est_bytes_per_row,
+                                 0, 0, 0));
         }
         break;
       }
@@ -202,7 +307,8 @@ class PhysicalPlanner {
           double cpu = w_.cpu_per_call_unit * c.est_rows *
                            op.hints.cpu_cost_per_call +
                        w_.cpu_per_record * c.est_rows;
-          // A Map invalidates a partitioning if it rewrites partition attrs.
+          // A Map invalidates a partitioning if it rewrites partition attrs;
+          // a sort order survives up to the first rewritten attribute.
           Partitioning part = c.partitioning;
           for (AttrId a : part) {
             if (p.write.Contains(a)) {
@@ -211,8 +317,9 @@ class PhysicalPlanner {
             }
           }
           out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
-                                 LocalStrategy::kNone, part, rows, bpr, 0, 0,
-                                 cpu));
+                                 LocalStrategy::kNone, part,
+                                 SurvivingOrdering(c.ordering, p.write), rows,
+                                 bpr, 0, 0, cpu));
         }
         break;
       }
@@ -229,25 +336,50 @@ class PhysicalPlanner {
           double rows = groups * op.hints.selectivity;
           double bpr = c.est_bytes_per_row + 9.0 * p.introduced.listed().size();
           double in_bytes = c.est_rows * c.est_bytes_per_row;
-          double sort_cpu = w_.cpu_per_record * c.est_rows *
-                            std::max(1.0, std::log2(std::max(
-                                              2.0, c.est_rows / w_.dop)));
-          double cpu = w_.cpu_per_call_unit * groups *
-                           op.hints.cpu_cost_per_call +
-                       sort_cpu;
+          double call_cpu = w_.cpu_per_call_unit * groups *
+                            op.hints.cpu_cost_per_call;
           double disk = SpillCost(in_bytes);
           Partitioning key_part(key.begin(), key.end());
-          // (a) Reuse an existing partitioning that serves the key.
+          // Sort-grouping emits groups in key order: the output carries the
+          // key as its sort order (truncated if the UDF rewrites key attrs —
+          // impossible for a valid Reduce, but keep the invariant uniform).
+          Ordering out_order = SurvivingOrdering(key, p.write);
+          // (a) Reuse an existing partitioning that serves the key. If the
+          // input also arrives sorted on the key, the grouping sort is free
+          // (the §7.1 interesting-order payoff).
           if (w_.enable_partition_reuse &&
               PartitioningServesKey(c.partitioning, key)) {
+            bool presorted =
+                w_.enable_sort_merge && OrderingServesKey(c.ordering, key);
+            double sort_cpu = presorted ? 0 : SortCpu(c.est_rows);
             out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kForward},
                                    LocalStrategy::kSortGroup, c.partitioning,
-                                   rows, bpr, 0, disk, cpu));
+                                   out_order, rows, bpr, 0,
+                                   presorted ? 0 : disk, call_cpu + sort_cpu,
+                                   -1, -1, {static_cast<uint8_t>(presorted)}));
           }
-          // (b) Hash-repartition on the key.
+          // (b) Hash-repartition on the key (the shuffle destroys any
+          // incoming order, so the grouping sort is always paid).
           out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kPartitionHash},
-                                 LocalStrategy::kSortGroup, key_part, rows,
-                                 bpr, 0, disk, cpu));
+                                 LocalStrategy::kSortGroup, key_part,
+                                 out_order, rows, bpr, 0, disk,
+                                 call_cpu + SortCpu(c.est_rows)));
+          // (c) Combiner: pre-aggregate partition-local groups before the
+          // shuffle (legal iff the SCA summary proves combinability). Each
+          // of the dop partitions holds at most `groups` distinct keys, so
+          // at most groups*dop partials cross the network.
+          if (w_.enable_combiner && p.combinable) {
+            double partials = std::min(c.est_rows, groups * w_.dop);
+            double pre_cpu = w_.cpu_per_call_unit * partials *
+                                 op.hints.cpu_cost_per_call +
+                             SortCpu(c.est_rows);
+            double post_cpu = call_cpu + SortCpu(partials);
+            double post_disk = SpillCost(partials * bpr);
+            out.push_back(MakeCand(plan, {&c}, {ShipStrategy::kPartitionHash},
+                                   LocalStrategy::kPreAggregate, key_part,
+                                   out_order, rows, bpr, 0, disk + post_disk,
+                                   pre_cpu + post_cpu, partials, bpr));
+          }
         }
         break;
       }
@@ -268,13 +400,15 @@ class PhysicalPlanner {
       }
     }
     Prune(&out);
-    // Cap the frontier to keep optimization linear in practice.
-    if (out.size() > 12) {
-      std::sort(out.begin(), out.end(),
-                [](const Candidate& a, const Candidate& b) {
-                  return a.cost < b.cost;
-                });
-      out.resize(12);
+    // Cap the frontier to keep optimization linear in practice. stable_sort:
+    // equal-cost candidates keep generation order, so the surviving frontier
+    // is deterministic.
+    if (out.size() > 16) {
+      std::stable_sort(out.begin(), out.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.cost < b.cost;
+                       });
+      out.resize(16);
     }
     return out;
   }
@@ -298,7 +432,7 @@ class PhysicalPlanner {
           bc_left ? ShipStrategy::kForward : ShipStrategy::kBroadcast};
       Partitioning part = bc_left ? r.partitioning : l.partitioning;
       out->push_back(MakeCand(plan, {&l, &r}, ships, LocalStrategy::kNestedLoop,
-                              part, rows, out_bpr, 0, 0, cpu));
+                              part, {}, rows, out_bpr, 0, 0, cpu));
       return;
     }
 
@@ -311,59 +445,132 @@ class PhysicalPlanner {
                       ? domain * op.hints.selectivity
                       : lrows * rrows / domain * op.hints.selectivity;
     double calls = op.kind == OpKind::kCoGroup ? domain : rows;
-    double cpu = w_.cpu_per_call_unit * calls * op.hints.cpu_cost_per_call +
-                 w_.cpu_per_record * (lrows + rrows);
+    double call_cpu = w_.cpu_per_call_unit * calls * op.hints.cpu_cost_per_call;
+    double record_cpu = w_.cpu_per_record * (lrows + rrows);
 
     bool l_served =
         w_.enable_partition_reuse && PartitioningServesKey(l.partitioning, lkey);
     bool r_served =
         w_.enable_partition_reuse && PartitioningServesKey(r.partitioning, rkey);
+    std::vector<ShipStrategy> part_ships = {
+        l_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash,
+        r_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash};
+    // Sort orders survive only a forward ship (a shuffle interleaves sorted
+    // runs from all producer partitions).
+    Ordering l_order = part_ships[0] == ShipStrategy::kForward ? l.ordering
+                                                               : Ordering{};
+    Ordering r_order = part_ships[1] == ShipStrategy::kForward ? r.ordering
+                                                               : Ordering{};
 
-    LocalStrategy join_local =
-        op.kind == OpKind::kCoGroup
-            ? LocalStrategy::kSortCoGroup
-            : (lrows * l.est_bytes_per_row <= rrows * r.est_bytes_per_row
-                   ? LocalStrategy::kHashJoinBuildLeft
-                   : LocalStrategy::kHashJoinBuildRight);
+    if (op.kind == OpKind::kCoGroup) {
+      // Sort both sides, merge groups; a side arriving sorted on its key
+      // skips its sort (and the sort's spill).
+      bool l_pre = w_.enable_sort_merge && OrderingServesKey(l_order, lkey);
+      bool r_pre = w_.enable_sort_merge && OrderingServesKey(r_order, rkey);
+      double disk =
+          (l_pre ? 0 : SpillCost(lrows * l.est_bytes_per_row)) +
+          (r_pre ? 0 : SpillCost(rrows * r.est_bytes_per_row));
+      double cpu = call_cpu + record_cpu + (l_pre ? 0 : SortCpu(lrows)) +
+                   (r_pre ? 0 : SortCpu(rrows));
+      std::vector<uint8_t> presorted = {static_cast<uint8_t>(l_pre),
+                                        static_cast<uint8_t>(r_pre)};
+      // Result is co-partitioned on both key sets and grouped in key order;
+      // emit one candidate per declared property so downstream operators can
+      // reuse either.
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships,
+                              LocalStrategy::kSortCoGroup,
+                              Partitioning(lkey.begin(), lkey.end()),
+                              SurvivingOrdering(lkey, p.write), rows, out_bpr,
+                              0, disk, cpu, -1, -1, presorted));
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships,
+                              LocalStrategy::kSortCoGroup,
+                              Partitioning(rkey.begin(), rkey.end()),
+                              SurvivingOrdering(rkey, p.write), rows, out_bpr,
+                              0, disk, cpu, -1, -1, presorted));
+      return;
+    }
 
+    // --- Match ---
+    bool build_left =
+        lrows * l.est_bytes_per_row <= rrows * r.est_bytes_per_row;
+    LocalStrategy join_local = build_left ? LocalStrategy::kHashJoinBuildLeft
+                                          : LocalStrategy::kHashJoinBuildRight;
+    double build_rows = build_left ? lrows : rrows;
     double build_bytes = std::min(lrows * l.est_bytes_per_row,
                                   rrows * r.est_bytes_per_row);
     double disk = SpillCost(build_bytes);
-    if (op.kind == OpKind::kCoGroup) {
-      disk = SpillCost(lrows * l.est_bytes_per_row) +
-             SpillCost(rrows * r.est_bytes_per_row);
-    }
+    // The engine's join table is an ordered tree: inserts and probes both
+    // pay a log(build/dop) depth factor.
+    double hash_cpu = call_cpu + record_cpu +
+                      w_.cpu_per_record * (lrows + rrows) *
+                          (LookupFactor(build_rows) - 1.0);
 
     // (a) Repartition both sides on the join keys (reusing served sides).
+    // The join streams the probe side, so the probe side's surviving sort
+    // order carries to the output.
     {
-      std::vector<ShipStrategy> ships = {
-          l_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash,
-          r_served ? ShipStrategy::kForward : ShipStrategy::kPartitionHash};
-      // Result is co-partitioned on both key sets; emit one candidate per
-      // declared property so downstream operators can reuse either.
-      out->push_back(MakeCand(plan, {&l, &r}, ships, join_local,
-                              Partitioning(lkey.begin(), lkey.end()), rows,
-                              out_bpr, 0, disk, cpu));
-      out->push_back(MakeCand(plan, {&l, &r}, ships, join_local,
-                              Partitioning(rkey.begin(), rkey.end()), rows,
-                              out_bpr, 0, disk, cpu));
+      Ordering probe_order = SurvivingOrdering(
+          build_left ? r_order : l_order, p.write);
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships, join_local,
+                              Partitioning(lkey.begin(), lkey.end()),
+                              probe_order, rows, out_bpr, 0, disk, hash_cpu));
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships, join_local,
+                              Partitioning(rkey.begin(), rkey.end()),
+                              probe_order, rows, out_bpr, 0, disk, hash_cpu));
     }
 
-    // (b) Broadcast one side, preserve the other's partitioning. Not
-    // applicable to CoGroup (a broadcast side would duplicate groups).
-    if (op.kind == OpKind::kMatch && w_.enable_broadcast) {
+    // (b) Sort-merge join: sort both sides by the join key and merge. A side
+    // that already arrives sorted on its key (forward ship from a sort-based
+    // producer) is merged for free — the payoff for tracking sort orders.
+    if (w_.enable_sort_merge) {
+      bool l_pre = OrderingServesKey(l_order, lkey);
+      bool r_pre = OrderingServesKey(r_order, rkey);
+      double merge_cpu = call_cpu + 0.5 * record_cpu +
+                         (l_pre ? 0 : SortCpu(lrows)) +
+                         (r_pre ? 0 : SortCpu(rrows));
+      double merge_disk =
+          (l_pre ? 0 : SpillCost(lrows * l.est_bytes_per_row)) +
+          (r_pre ? 0 : SpillCost(rrows * r.est_bytes_per_row));
+      std::vector<uint8_t> presorted = {static_cast<uint8_t>(l_pre),
+                                        static_cast<uint8_t>(r_pre)};
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships,
+                              LocalStrategy::kSortMergeJoin,
+                              Partitioning(lkey.begin(), lkey.end()),
+                              SurvivingOrdering(lkey, p.write), rows, out_bpr,
+                              0, merge_disk, merge_cpu, -1, -1, presorted));
+      out->push_back(MakeCand(plan, {&l, &r}, part_ships,
+                              LocalStrategy::kSortMergeJoin,
+                              Partitioning(rkey.begin(), rkey.end()),
+                              SurvivingOrdering(rkey, p.write), rows, out_bpr,
+                              0, merge_disk, merge_cpu, -1, -1, presorted));
+    }
+
+    // (c) Broadcast one side, preserve the other's partitioning and order.
+    // Not applicable to CoGroup (a broadcast side would duplicate groups).
+    // A broadcast build table holds the ENTIRE side in every instance, so
+    // its lookup depth is log2(rows), not log2(rows/dop) — LookupFactor
+    // divides by dop, hence the rows*dop argument.
+    if (w_.enable_broadcast) {
+      double bc_l_cpu = call_cpu + record_cpu +
+                        w_.cpu_per_record * (lrows + rrows) *
+                            (LookupFactor(lrows * w_.dop) - 1.0);
+      double bc_r_cpu = call_cpu + record_cpu +
+                        w_.cpu_per_record * (lrows + rrows) *
+                            (LookupFactor(rrows * w_.dop) - 1.0);
       // Broadcast left.
       out->push_back(MakeCand(
           plan, {&l, &r},
           {ShipStrategy::kBroadcast, ShipStrategy::kForward},
-          LocalStrategy::kHashJoinBuildLeft, r.partitioning, rows, out_bpr, 0,
-          SpillCost(lrows * l.est_bytes_per_row * w_.dop), cpu));
+          LocalStrategy::kHashJoinBuildLeft, r.partitioning,
+          SurvivingOrdering(r.ordering, p.write), rows, out_bpr, 0,
+          SpillCost(lrows * l.est_bytes_per_row * w_.dop), bc_l_cpu));
       // Broadcast right.
       out->push_back(MakeCand(
           plan, {&l, &r},
           {ShipStrategy::kForward, ShipStrategy::kBroadcast},
-          LocalStrategy::kHashJoinBuildRight, l.partitioning, rows, out_bpr, 0,
-          SpillCost(rrows * r.est_bytes_per_row * w_.dop), cpu));
+          LocalStrategy::kHashJoinBuildRight, l.partitioning,
+          SurvivingOrdering(l.ordering, p.write), rows, out_bpr, 0,
+          SpillCost(rrows * r.est_bytes_per_row * w_.dop), bc_r_cpu));
     }
   }
 
@@ -383,6 +590,9 @@ std::string PhysicalPlan::ToString(const dataflow::DataFlow& flow) const {
         << LocalStrategyName(n.local);
     for (size_t i = 0; i < n.ships.size(); ++i) {
       out << ", in" << i << "=" << ShipStrategyName(n.ships[i]);
+      if (i < n.input_presorted.size() && n.input_presorted[i]) {
+        out << "(presorted)";
+      }
     }
     out << "] rows~" << static_cast<int64_t>(n.est_rows) << "\n";
     for (const auto& c : n.children) walk(*c, depth + 1);

@@ -1,13 +1,15 @@
 // Cost-based physical optimization (§7.1): for one logical alternative,
 // choose data shipping strategies (forward / hash-partition / broadcast) and
 // local execution strategies (sort-based grouping, hash join with build-side
-// choice), exploiting interesting properties (partitionings that survive
-// key-preserving operators) Volcano-style, and estimate a cost that combines
-// network IO, disk IO, and the CPU cost of UDF calls.
+// choice, sort-merge join, combiner insertion), exploiting interesting
+// properties Volcano-style — both hash partitionings AND per-partition sort
+// orders that survive key-preserving operators — and estimate a cost that
+// combines network IO, disk IO, and the CPU cost of UDF calls.
 
 #ifndef BLACKBOX_OPTIMIZER_PHYSICAL_H_
 #define BLACKBOX_OPTIMIZER_PHYSICAL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +34,11 @@ enum class LocalStrategy {
   kHashJoinBuildRight,
   kNestedLoop,     // Cross: nested loops against the broadcast side
   kSortCoGroup,    // CoGroup: sort both sides, merge groups
+  kSortMergeJoin,  // Match: sort both sides by the join key (free for inputs
+                   // that already carry a serving sort order), merge runs
+  kPreAggregate,   // Reduce: combine partition-local groups *before* the
+                   // shuffle, then sort-group the shipped partials (§7.1's
+                   // combiner; legality from OpProperties::combinable)
 };
 
 const char* ShipStrategyName(ShipStrategy s);
@@ -53,7 +60,10 @@ struct CostWeights {
   // Ablation switches (see bench/ablation): disable individual optimizer
   // features to measure their contribution to plan quality.
   bool enable_broadcast = true;          // broadcast-join strategies
-  bool enable_partition_reuse = true;    // interesting-property reuse
+  bool enable_partition_reuse = true;    // partitioning-property reuse
+  bool enable_sort_merge = true;   // sort-order tracking: merge joins and
+                                   // sort reuse by Reduce / CoGroup
+  bool enable_combiner = true;     // combiner insertion below the shuffle
 };
 
 /// A physical operator: one logical plan node with chosen strategies.
@@ -62,6 +72,18 @@ struct PhysicalNode {
   std::vector<std::unique_ptr<PhysicalNode>> children;
   std::vector<ShipStrategy> ships;  // one per input
   LocalStrategy local = LocalStrategy::kNone;
+
+  /// kSortMergeJoin: per input, whether the optimizer established that the
+  /// shipped input already arrives sorted on the join key (a reused sort
+  /// order), so neither sort CPU nor a sort spill is charged/metered for it.
+  /// The executor still runs a stable sort — a no-op on presorted data — so
+  /// execution correctness never depends on the optimizer's claim.
+  std::vector<uint8_t> input_presorted;
+
+  /// Per-partition sort order of this node's output (attribute ids, most
+  /// significant first; empty = none). Informational: mirrors the ordering
+  /// interesting-property the planner tracked for this candidate.
+  std::vector<int> sort_order;
 
   // Estimates at this node's output.
   double est_rows = 0;

@@ -166,39 +166,18 @@ Workload MakeTpchQ7(const TpchScale& scale) {
                                join_opts(scale.nations));
   // schema: ... | n2 15-16
 
-  // --- Disjunctive nation-pair filter (implemented as a Map, like the
-  // paper's handling of the circular join predicate). ---
-  std::shared_ptr<const tac::Function> disj;
-  {
-    FunctionBuilder b("q7_nation_pair_filter", 1, UdfKind::kRat);
-    Reg ir = b.InputRecord(0);
-    Reg a = b.GetField(ir, 14);
-    Reg bb = b.GetField(ir, 16);
-    Reg x = b.ConstStr("NATION3");
-    Reg y = b.ConstStr("NATION7");
-    Reg c1 = b.And(b.CmpEq(a, x), b.CmpEq(bb, y));
-    Reg c2 = b.And(b.CmpEq(a, y), b.CmpEq(bb, x));
-    Reg ok = b.Or(c1, c2);
-    tac::Label skip = b.NewLabel();
-    b.BranchIfFalse(ok, skip);
-    Reg out = b.Copy(ir);
-    b.Emit(out);
-    b.Bind(skip);
-    b.Return();
-    disj = Built(std::move(b));
-  }
-  Hints disj_hints;
-  disj_hints.selectivity =
-      2.0 / (static_cast<double>(scale.nations) * scale.nations);
-  Stream dis = jsn2.Map("q7_nation_pair_filter", disj,
-                        {.hints = disj_hints,
-                         .summary = SummaryBuilder(1)
-                                        .CopyOf(0)
-                                        .DecisionReads(0, {14, 16})
-                                        .Emits(0, 1)
-                                        .Build()});
-
-  // --- γ: group by (n1 name, n2 name, year), sum volume into field 17. ---
+  // --- γ: group by (n1 name, n2 name, year), sum volume *in place* into
+  // field 6 and null every carried non-key field. The in-place associative
+  // aggregate makes the Reduce combinable (OpProperties::combinable), so the
+  // optimizer may pre-aggregate below the shuffle — the γ input is the full
+  // join output (~10k wide rows over nations² groups), so the combiner's
+  // shuffled-byte reduction is the headline effect of the ablation bench.
+  // The explicit projection of the other carried fields makes the output a
+  // pure function of the group key and the aggregate, so every reordered /
+  // re-strategized plan produces byte-identical sink rows (the differential
+  // oracle's contract).
+  constexpr int kQ7NulledFields[] = {0, 1, 2, 3, 4, 7, 8, 9, 10, 11, 12, 13,
+                                     15};
   std::shared_ptr<const tac::Function> gamma;
   {
     FunctionBuilder b("q7_sum_volume", 1, UdfKind::kKat);
@@ -218,24 +197,59 @@ Workload MakeTpchQ7(const TpchScale& scale) {
     b.Bind(done);
     Reg first = b.InputAt(0, b.ConstInt(0));
     Reg out = b.Copy(first);
-    b.SetField(out, 17, sum);
+    b.SetField(out, 6, sum);
+    Reg null = b.ConstNull();
+    for (int f : kQ7NulledFields) b.SetField(out, f, null);
     b.Emit(out);
     b.Return();
     gamma = Built(std::move(b));
   }
   Hints gamma_hints;
-  gamma_hints.distinct_keys = 4;  // two nation pairs × two years in range
+  gamma_hints.distinct_keys = scale.nations * scale.nations;  // pair domain
   gamma_hints.selectivity = 1.0;
-  Stream gam = dis.ReduceBy("q7_sum_volume", {14, 16, 5}, gamma,
-                            {.hints = gamma_hints,
-                             .summary = SummaryBuilder(1)
-                                            .CopyOf(0)
-                                            .Reads(0, {6})
-                                            .Modifies(17)
-                                            .Emits(1, 1)
-                                            .Build()});
+  SummaryBuilder gamma_summary(1);
+  gamma_summary.CopyOf(0).Reads(0, {6}).Modifies(6).Emits(1, 1);
+  for (int f : kQ7NulledFields) gamma_summary.Projects(f);
+  Stream gam = jsn2.ReduceBy("q7_sum_volume", {14, 16, 5}, gamma,
+                             {.hints = gamma_hints,
+                              .summary = gamma_summary.Build()});
 
-  gam.Sink("q7_sink");
+  // --- Disjunctive nation-pair filter over the aggregate (implemented as a
+  // Map, like the paper's handling of the circular join predicate). It also
+  // reads the aggregated volume (total != 0), so it is pinned above γ by a
+  // read/write conflict on field 6. ---
+  std::shared_ptr<const tac::Function> disj;
+  {
+    FunctionBuilder b("q7_nation_pair_filter", 1, UdfKind::kRat);
+    Reg ir = b.InputRecord(0);
+    Reg a = b.GetField(ir, 14);
+    Reg bb = b.GetField(ir, 16);
+    Reg tv = b.GetField(ir, 6);
+    Reg x = b.ConstStr("NATION3");
+    Reg y = b.ConstStr("NATION7");
+    Reg c1 = b.And(b.CmpEq(a, x), b.CmpEq(bb, y));
+    Reg c2 = b.And(b.CmpEq(a, y), b.CmpEq(bb, x));
+    Reg ok = b.And(b.Or(c1, c2), b.CmpNe(tv, b.ConstInt(0)));
+    tac::Label skip = b.NewLabel();
+    b.BranchIfFalse(ok, skip);
+    Reg out = b.Copy(ir);
+    b.Emit(out);
+    b.Bind(skip);
+    b.Return();
+    disj = Built(std::move(b));
+  }
+  Hints disj_hints;
+  disj_hints.selectivity =
+      2.0 / (static_cast<double>(scale.nations) * scale.nations);
+  Stream dis = gam.Map("q7_nation_pair_filter", disj,
+                       {.hints = disj_hints,
+                        .summary = SummaryBuilder(1)
+                                       .CopyOf(0)
+                                       .DecisionReads(0, {14, 16, 6})
+                                       .Emits(0, 1)
+                                       .Build()});
+
+  dis.Sink("q7_sink");
   CheckBuild(p);
   w.flow = p.flow();
 

@@ -81,6 +81,15 @@ class SummaryBuilder {
     s_.max_out_pos = std::max(s_.max_out_pos, pos);
     return *this;
   }
+  /// Explicit projection: setField(pos, null).
+  SummaryBuilder& Projects(int pos) {
+    sca::FieldWrite w;
+    w.out_pos = pos;
+    w.kind = sca::FieldWrite::Kind::kExplicitProject;
+    s_.writes.push_back(w);
+    s_.max_out_pos = std::max(s_.max_out_pos, pos);
+    return *this;
+  }
   SummaryBuilder& Keeps(int pos, int from_input, int from_field) {
     sca::FieldWrite w;
     w.out_pos = pos;

@@ -120,13 +120,13 @@ TEST(PipelineRoundTrip, TpchQ7MatchesLegacyBuilder) {
   int joc = add_match("q7_join_o_c", jlo, c, {10}, {0});
   int jcn1 = add_match("q7_join_c_n1", joc, n1, {12}, {0});
   int jsn2 = add_match("q7_join_s_n2", jcn1, n2, {8}, {0});
-  int dis = add_map("q7_nation_pair_filter", jsn2);
   {
     const dataflow::Operator& op = FindOp(w.flow, "q7_sum_volume");
-    int gam = legacy.AddReduce("q7_sum_volume", dis, {14, 16, 5}, op.udf,
+    int gam = legacy.AddReduce("q7_sum_volume", jsn2, {14, 16, 5}, op.udf,
                                op.hints);
     legacy.op(gam).manual_summary = op.manual_summary;
-    legacy.SetSink("q7_sink", gam);
+    int dis = add_map("q7_nation_pair_filter", gam);
+    legacy.SetSink("q7_sink", dis);
   }
 
   ExpectRoundTrip(w.flow, legacy);

@@ -1,0 +1,178 @@
+// Golden-cost snapshots for the winning physical plans of TPC-H Q7 and the
+// clickstream task at a fixed optimizer configuration. The full strategy
+// string (ship + local strategy per operator, presorted-input markers) and
+// the cost components are pinned, so silent cost-model drift — a changed
+// weight, a lost interesting property, an accidentally disabled strategy —
+// fails a test instead of only bending a benchmark curve.
+//
+// When a deliberate cost-model change moves these values, re-derive the
+// goldens from the failure output (the test prints the actual summary and
+// components) and update them together with a DESIGN.md note.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/optimized_program.h"
+#include "api/pipeline.h"
+#include "optimizer/physical.h"
+#include "workloads/clickstream.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+/// Compact preorder strategy summary: name[local|ship,...] per node, with a
+/// '*' marking an input whose sort order the optimizer reused (presorted).
+std::string Summary(const optimizer::PhysicalNode& n,
+                    const dataflow::DataFlow& flow) {
+  std::string out =
+      flow.op(n.op_id).name + "[" + optimizer::LocalStrategyName(n.local);
+  for (size_t i = 0; i < n.ships.size(); ++i) {
+    out += "|";
+    out += optimizer::ShipStrategyName(n.ships[i]);
+    if (i < n.input_presorted.size() && n.input_presorted[i]) out += "*";
+  }
+  out += "]";
+  for (const auto& c : n.children) out += " " + Summary(*c, flow);
+  return out;
+}
+
+void Components(const optimizer::PhysicalNode& n, double* net, double* disk,
+                double* cpu) {
+  *net += n.cost_network;
+  *disk += n.cost_disk;
+  *cpu += n.cost_cpu;
+  for (const auto& c : n.children) Components(*c, net, disk, cpu);
+}
+
+struct Snapshot {
+  std::string summary;
+  double total = 0, net = 0, disk = 0, cpu = 0;
+};
+
+Snapshot TakeSnapshot(const workloads::Workload& w,
+                      const api::AnnotationProvider& provider) {
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 1 << 20;
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  Snapshot snap;
+  if (!program.ok()) {
+    ADD_FAILURE() << "optimize failed: " << program.status().ToString();
+    return snap;
+  }
+  const core::PlannedAlternative& best = program->best();
+  snap.summary = Summary(*best.physical.root, w.flow);
+  snap.total = best.cost;
+  Components(*best.physical.root, &snap.net, &snap.disk, &snap.cpu);
+  return snap;
+}
+
+void ExpectNearRel(double actual, double golden, const char* what) {
+  EXPECT_NEAR(actual, golden, std::abs(golden) * 1e-9 + 1e-9)
+      << what << " drifted: actual " << actual << " vs golden " << golden;
+}
+
+TEST(CostSnapshot, TpchQ7WinningPlan) {
+  // The fig5 / ablation scale: large enough that γ's input dwarfs the
+  // nations²·dop partial bound, so the combiner belongs in the winner.
+  workloads::TpchScale scale;
+  scale.lineitems = 60000;
+  scale.orders = 15000;
+  scale.customers = 1500;
+  scale.suppliers = 100;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  Snapshot snap = TakeSnapshot(w, sca);
+
+  // The winner inserts a combiner below the aggregation's shuffle; the
+  // lineitem spine stays forward with small sides broadcast.
+  EXPECT_EQ(snap.summary,
+            "q7_sink[stream|forward] "
+            "q7_nation_pair_filter[stream|forward] "
+            "q7_sum_volume[combine+sort-group|hash-partition] "
+            "q7_join_o_c[hash-join(build=right)|forward|broadcast] "
+            "q7_join_l_s[hash-join(build=right)|forward|broadcast] "
+            "q7_join_l_o[hash-join(build=right)|hash-partition|hash-partition] "
+            "q7_filter_prepare[stream|forward] "
+            "lineitem[stream] "
+            "orders[stream] "
+            "q7_join_s_n2[hash-join(build=right)|hash-partition|hash-partition] "
+            "supplier[stream] "
+            "nation2[stream] "
+            "q7_join_c_n1[hash-join(build=right)|forward|broadcast] "
+            "customer[stream] "
+            "nation1[stream]");
+  ExpectNearRel(snap.total, 6266150.964479, "q7 total cost");
+  ExpectNearRel(snap.net, 2094750.0, "q7 network cost");
+  ExpectNearRel(snap.disk, 0.0, "q7 disk cost");
+  ExpectNearRel(snap.cpu, 4171400.964479, "q7 cpu cost");
+}
+
+TEST(CostSnapshot, ClickstreamWinningPlan) {
+  workloads::ClickstreamScale scale;
+  scale.sessions = 2000;
+  scale.users = 200;
+  workloads::Workload w = workloads::MakeClickstream(scale);
+  api::ManualProvider manual;
+  Snapshot snap = TakeSnapshot(w, manual);
+
+  // The winner pushes both joins below the Reduces (broadcast login/user)
+  // and condense_sessions reuses filter_buy_sessions' sort order — the
+  // forward* marker pins the interesting-order reuse.
+  EXPECT_EQ(snap.summary,
+            "clickstream_sink[stream|forward] "
+            "append_user_info[hash-join(build=right)|forward|broadcast] "
+            "condense_sessions[sort-group|forward*] "
+            "filter_buy_sessions[sort-group|hash-partition] "
+            "filter_logged_in_sessions[hash-join(build=right)|forward|"
+            "broadcast] "
+            "click[stream] "
+            "login[stream] "
+            "user[stream]");
+  ExpectNearRel(snap.total, 1390053.986657, "clickstream total cost");
+  ExpectNearRel(snap.net, 711200.0, "clickstream network cost");
+  ExpectNearRel(snap.disk, 0.0, "clickstream disk cost");
+  ExpectNearRel(snap.cpu, 678853.986657, "clickstream cpu cost");
+}
+
+TEST(CostSnapshot, AblationSwitchesChangeTheWinner) {
+  // Cross-check that the pinned winners actually depend on the new features:
+  // disabling the combiner must strictly raise Q7's best estimated cost, and
+  // the flag must flip the chosen Reduce strategy out of combine+sort-group.
+  workloads::TpchScale scale;
+  scale.lineitems = 60000;
+  scale.orders = 15000;
+  scale.customers = 1500;
+  scale.suppliers = 100;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  auto best_with = [&](bool combiner) {
+    api::OptimizeOptions options;
+    options.exec.dop = 8;
+    options.exec.mem_budget_bytes = 1 << 20;
+    options.weights.enable_combiner = combiner;
+    StatusOr<api::OptimizedProgram> program =
+        api::OptimizeFlow(w.flow, sca, options, sources);
+    EXPECT_TRUE(program.ok());
+    Snapshot snap;
+    snap.total = program->best().cost;
+    snap.summary = Summary(*program->best().physical.root, w.flow);
+    return snap;
+  };
+  Snapshot on = best_with(true);
+  Snapshot off = best_with(false);
+  EXPECT_LT(on.total, off.total);
+  EXPECT_NE(on.summary.find("combine+sort-group"), std::string::npos);
+  EXPECT_EQ(off.summary.find("combine+sort-group"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blackbox

@@ -1,0 +1,183 @@
+// Differential plan-equivalence oracle (the safety net for the widened §7.1
+// physical plan space): enumerate the full reordering closure of each seed
+// workload, execute EVERY costed alternative — whatever mix of ship
+// strategies, hash vs sort-merge joins, sort-group vs combiner Reduces the
+// physical optimizer picked for it — and assert the sorted sink output is
+// byte-identical to the original plan's, at 1 and at 8 worker threads.
+//
+// Registered under the `differential` ctest label with its own timeout (see
+// CMakeLists.txt); CI runs it in the ASan/UBSan job as well.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/optimized_program.h"
+#include "api/pipeline.h"
+#include "engine/executor.h"
+#include "reorder/plan.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+using optimizer::LocalStrategy;
+using optimizer::PhysicalNode;
+
+/// Canonical byte string of a sink output: records sorted, then serialized.
+/// Two plans are judged equivalent iff these strings are identical — bag
+/// equality expressed as byte equality, per the determinism contract.
+std::string SortedOutputBytes(const DataSet& ds) {
+  std::vector<Record> sorted = ds.records();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Record& r : sorted) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void CountStrategies(const PhysicalNode& n, int* merge_joins, int* combiners) {
+  if (n.local == LocalStrategy::kSortMergeJoin) ++*merge_joins;
+  if (n.local == LocalStrategy::kPreAggregate) ++*combiners;
+  for (const auto& c : n.children) CountStrategies(*c, merge_joins, combiners);
+}
+
+struct ClosureStats {
+  size_t alternatives = 0;
+  int merge_join_plans = 0;  // executed plans containing a sort-merge join
+  int combiner_plans = 0;    // executed plans containing a combiner
+};
+
+/// Optimizes `w` at the given worker-thread count, executes every ranked
+/// alternative, and asserts each one's sorted sink bytes equal `*reference`
+/// (filling it from the original plan on first use).
+ClosureStats RunClosure(const workloads::Workload& w,
+                        const api::AnnotationProvider& provider, int threads,
+                        std::string* reference) {
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 1 << 20;
+  options.exec.num_threads = threads;
+  // Differential execution is linear in the closure size; the cap keeps the
+  // oracle tractable if a workload's plan space ever explodes.
+  options.enum_options.max_plans = 512;
+
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  ClosureStats stats;
+  if (!program.ok()) {
+    ADD_FAILURE() << w.name << ": optimize failed: "
+                  << program.status().ToString();
+    return stats;
+  }
+  // A truncated closure would silently degrade the oracle to a partial
+  // check; if a workload ever outgrows the cap, raise it deliberately.
+  EXPECT_FALSE(program->truncated())
+      << w.name << ": closure truncated at max_plans — oracle is partial";
+  stats.alternatives = program->ranked().size();
+
+  // The reference output is the *original* (implemented) plan's, which is
+  // what the paper's semantics promise every reordering preserves.
+  int original = program->ImplementedIndex();
+  if (original < 0) {
+    ADD_FAILURE() << w.name << ": original plan missing from closure";
+    return stats;
+  }
+  if (reference->empty()) {
+    StatusOr<DataSet> ref = program->Run(static_cast<size_t>(original));
+    if (!ref.ok() || ref->empty()) {
+      ADD_FAILURE() << w.name << ": reference run failed or empty: "
+                    << ref.status().ToString();
+      return stats;
+    }
+    *reference = SortedOutputBytes(*ref);
+  }
+
+  for (size_t i = 0; i < program->ranked().size(); ++i) {
+    const core::PlannedAlternative& alt = program->ranked()[i];
+    int merge = 0, comb = 0;
+    CountStrategies(*alt.physical.root, &merge, &comb);
+    if (merge > 0) ++stats.merge_join_plans;
+    if (comb > 0) ++stats.combiner_plans;
+
+    StatusOr<DataSet> out = program->Run(i);
+    if (!out.ok()) {
+      ADD_FAILURE() << w.name << " rank " << alt.rank << ": "
+                    << out.status().ToString();
+      return stats;
+    }
+    EXPECT_EQ(SortedOutputBytes(*out), *reference)
+        << w.name << " rank " << alt.rank << " at " << threads
+        << " thread(s) diverges from the original plan.\nlogical: "
+        << reorder::PlanToString(alt.logical, w.flow)
+        << "physical:\n" << alt.physical.ToString(w.flow);
+    if (::testing::Test::HasFailure()) break;  // one dump is enough
+  }
+  return stats;
+}
+
+TEST(PlanEquivalence, TpchQ7ClosureIsByteIdenticalAndCoversCombiner) {
+  workloads::TpchScale scale;
+  // Enough lineitems that γ's input comfortably exceeds nations²·dop, so
+  // combiner plans actually win their slot in the costed closure; few
+  // nations so the NATION3/NATION7 pair filter keeps a non-trivial output.
+  scale.lineitems = 8000;
+  scale.orders = 800;
+  scale.customers = 120;
+  scale.suppliers = 20;
+  scale.nations = 8;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  std::string reference;
+  ClosureStats serial = RunClosure(w, sca, /*threads=*/1, &reference);
+  if (::testing::Test::HasFailure()) return;
+  ClosureStats parallel = RunClosure(w, sca, /*threads=*/8, &reference);
+  EXPECT_EQ(serial.alternatives, parallel.alternatives);
+  // The widened plan space must actually exercise the combiner.
+  EXPECT_GT(serial.combiner_plans, 0)
+      << "no enumerated Q7 alternative chose a combiner plan";
+  EXPECT_EQ(serial.combiner_plans, parallel.combiner_plans);
+}
+
+TEST(PlanEquivalence, TextMiningClosureIsByteIdentical) {
+  workloads::TextMiningScale scale;
+  scale.documents = 800;
+  workloads::Workload w = workloads::MakeTextMining(scale);
+  api::ScaProvider sca;
+  std::string reference;
+  ClosureStats serial = RunClosure(w, sca, /*threads=*/1, &reference);
+  if (::testing::Test::HasFailure()) return;
+  ClosureStats parallel = RunClosure(w, sca, /*threads=*/8, &reference);
+  EXPECT_EQ(serial.alternatives, parallel.alternatives);
+  EXPECT_GT(serial.alternatives, 1u);
+}
+
+TEST(PlanEquivalence, ClickstreamClosureIsByteIdenticalAndCoversMergeJoin) {
+  workloads::ClickstreamScale scale;
+  scale.sessions = 600;
+  scale.users = 80;
+  workloads::Workload w = workloads::MakeClickstream(scale);
+  // Manual annotations: SCA must treat the computed-index UDF conservatively,
+  // which shrinks the clickstream plan space to the original plan only.
+  api::ManualProvider manual;
+  std::string reference;
+  ClosureStats serial = RunClosure(w, manual, /*threads=*/1, &reference);
+  if (::testing::Test::HasFailure()) return;
+  ClosureStats parallel = RunClosure(w, manual, /*threads=*/8, &reference);
+  EXPECT_EQ(serial.alternatives, parallel.alternatives);
+  // The widened plan space must actually exercise the sort-merge join.
+  EXPECT_GT(serial.merge_join_plans, 0)
+      << "no enumerated clickstream alternative chose a sort-merge-join plan";
+  EXPECT_EQ(serial.merge_join_plans, parallel.merge_join_plans);
+}
+
+}  // namespace
+}  // namespace blackbox
