@@ -8,11 +8,17 @@
 //      sort reuse) and combiner insertion, each switched off individually.
 //      The combiner's headline effect is shuffled bytes: Q7's combiner plan
 //      ships aggregated partials instead of the full join output.
+//   D. Streaming data plane — fused operator chains vs --no-chain
+//      (materialize-everything) execution of the same plan, plus the
+//      pipeline-aware costing term switched off. The headline effect is
+//      peak_bytes: fused peak memory is bounded by pipeline-breaker buffers
+//      instead of every operator's output.
 //
 // For every configuration the harness optimizes, executes the chosen best
-// plan, and reports estimated cost, simulated runtime, and shuffle/spill
-// bytes. All rows are also written to BENCH_ablation.json so CI tracks the
-// feature contributions alongside the figure benchmarks.
+// plan, and reports estimated cost, simulated runtime, shuffle/spill bytes,
+// and peak materialized bytes. All rows are also written to
+// BENCH_ablation.json so CI tracks the feature contributions alongside the
+// figure benchmarks.
 
 #include <cstdio>
 #include <string>
@@ -20,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "workloads/clickstream.h"
+#include "workloads/textmining.h"
 #include "workloads/tpch.h"
 
 namespace {
@@ -33,6 +40,8 @@ struct Config {
   bool reuse = true;
   bool sort_merge = true;
   bool combiner = true;
+  bool chain_costing = true;  // pipeline-aware cost model (fused-edge term)
+  bool fuse_chains = true;    // fused execution; false = --no-chain mode
 };
 
 struct Row {
@@ -43,6 +52,7 @@ struct Row {
   double simulated_seconds = 0;
   long long network_bytes = 0;
   long long disk_bytes = 0;
+  long long peak_bytes = 0;
   int sort_merge_plans = 0;
   int combiner_plans = 0;
 };
@@ -58,10 +68,12 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   api::OptimizeOptions options;
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = 1 << 20;
+  options.exec.fuse_chains = cfg.fuse_chains;
   options.weights.enable_broadcast = cfg.broadcast;
   options.weights.enable_partition_reuse = cfg.reuse;
   options.weights.enable_sort_merge = cfg.sort_merge;
   options.weights.enable_combiner = cfg.combiner;
+  options.weights.enable_chain_fusion = cfg.chain_costing;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
@@ -84,10 +96,11 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   bench::StrategyMix mix = bench::CountStrategyMix(*program);
   std::printf(
       "  %-28s %8zu plans   best est. cost %12.3g   runtime %7.3fs   "
-      "shuffle %8.3f MB\n",
+      "shuffle %8.3f MB   peak %8.3f MB\n",
       cfg.name, program->num_alternatives(), program->best().cost,
       stats.simulated_seconds,
-      static_cast<double>(stats.network_bytes) / (1 << 20));
+      static_cast<double>(stats.network_bytes) / (1 << 20),
+      static_cast<double>(stats.peak_bytes) / (1 << 20));
   Row row;
   row.workload = w.name;
   row.config = cfg.name;
@@ -96,6 +109,7 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   row.simulated_seconds = stats.simulated_seconds;
   row.network_bytes = static_cast<long long>(stats.network_bytes);
   row.disk_bytes = static_cast<long long>(stats.disk_bytes);
+  row.peak_bytes = static_cast<long long>(stats.peak_bytes);
   row.sort_merge_plans = mix.sort_merge_plans;
   row.combiner_plans = mix.combiner_plans;
   rows->push_back(std::move(row));
@@ -113,11 +127,11 @@ Status WriteAblationJson(const std::vector<Row>& rows) {
                  "    {\"workload\": \"%s\", \"config\": \"%s\", "
                  "\"plans\": %zu, \"estimated_cost\": %.6f, "
                  "\"simulated_seconds\": %.6f, \"network_bytes\": %lld, "
-                 "\"disk_bytes\": %lld, \"sort_merge_plans\": %d, "
-                 "\"combiner_plans\": %d}%s\n",
+                 "\"disk_bytes\": %lld, \"peak_bytes\": %lld, "
+                 "\"sort_merge_plans\": %d, \"combiner_plans\": %d}%s\n",
                  r.workload.c_str(), r.config.c_str(), r.plans, r.est_cost,
                  r.simulated_seconds, r.network_bytes, r.disk_bytes,
-                 r.sort_merge_plans, r.combiner_plans,
+                 r.peak_bytes, r.sort_merge_plans, r.combiner_plans,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -162,8 +176,9 @@ int main() {
   ok &= RunConfig(q7, {.name = "full optimizer"}, &rows);
   ok &= RunConfig(q7, {.name = "no broadcast joins", .broadcast = false}, &rows);
   ok &= RunConfig(q7, {.name = "no partitioning reuse", .reuse = false}, &rows);
-  ok &= RunConfig(q7, {.name = "neither", .broadcast = false, .reuse = false},
-            &rows);
+  ok &= RunConfig(
+      q7, {.name = "no broadcast + no reuse", .broadcast = false, .reuse = false},
+      &rows);
 
   std::printf(
       "\nAblation C — sort-awareness & combiner (TPC-H Q7, estimated cost "
@@ -171,9 +186,11 @@ int main() {
   ok &= RunConfig(q7, {.name = "sort-merge + combiner"}, &rows);
   ok &= RunConfig(q7, {.name = "no sort-merge", .sort_merge = false}, &rows);
   ok &= RunConfig(q7, {.name = "no combiner", .combiner = false}, &rows);
-  ok &= RunConfig(q7,
-            {.name = "neither", .sort_merge = false, .combiner = false},
-            &rows);
+  ok &= RunConfig(
+      q7,
+      {.name = "no sort-merge + no combiner", .sort_merge = false,
+       .combiner = false},
+      &rows);
 
   std::printf("\nAblation C — sort-awareness & combiner (clickstream):\n");
   ok &= RunConfig(clicks,
@@ -188,6 +205,22 @@ int main() {
   ok &= RunConfig(clicks,
                   {.name = "neither", .provider = &manual,
                    .sort_merge = false, .combiner = false},
+                  &rows);
+
+  std::printf(
+      "\nAblation D — streaming data plane (fused chains vs --no-chain; "
+      "peak MB is the acceptance meter):\n");
+  ok &= RunConfig(q7, {.name = "q7 fused (default)"}, &rows);
+  ok &= RunConfig(q7, {.name = "q7 no chaining", .fuse_chains = false}, &rows);
+  ok &= RunConfig(q7,
+                  {.name = "q7 no fusion costing", .chain_costing = false},
+                  &rows);
+
+  workloads::TextMiningScale tms;
+  tms.documents = 3000;
+  workloads::Workload text = workloads::MakeTextMining(tms);
+  ok &= RunConfig(text, {.name = "textmining fused (default)"}, &rows);
+  ok &= RunConfig(text, {.name = "textmining no chaining", .fuse_chains = false},
                   &rows);
 
   Status json = WriteAblationJson(rows);

@@ -108,16 +108,18 @@ void PrintFigure(const std::string& title, const FigureResult& result) {
       mix.sort_merge_plans, mix.combiner_plans,
       mix.best_uses_sort_merge ? "yes" : "no",
       mix.best_uses_combiner ? "yes" : "no");
-  std::printf("  %-6s %-15s %-18s %-11s %-9s %-9s %-10s %-10s\n", "rank",
+  std::printf("  %-6s %-15s %-18s %-11s %-9s %-9s %-10s %-9s %-10s\n", "rank",
               "norm.cost.est", "norm.exec.runtime", "runtime[s]", "cpu[s]",
-              "net[MB]", "disk[MB]", "udf calls");
+              "net[MB]", "disk[MB]", "peak[MB]", "udf calls");
   for (const RankedRun& r : result.runs) {
-    std::printf("  %-6d %-15.2f %-18.2f %-11.3f %-9.3f %-9.3f %-10.3f %-10lld\n",
-                r.rank, r.norm_cost, r.norm_runtime, r.runtime_seconds,
-                r.stats.wall_seconds,
-                static_cast<double>(r.stats.network_bytes) / (1 << 20),
-                static_cast<double>(r.stats.disk_bytes) / (1 << 20),
-                static_cast<long long>(r.stats.udf_calls));
+    std::printf(
+        "  %-6d %-15.2f %-18.2f %-11.3f %-9.3f %-9.3f %-10.3f %-9.3f %-10lld\n",
+        r.rank, r.norm_cost, r.norm_runtime, r.runtime_seconds,
+        r.stats.wall_seconds,
+        static_cast<double>(r.stats.network_bytes) / (1 << 20),
+        static_cast<double>(r.stats.disk_bytes) / (1 << 20),
+        static_cast<double>(r.stats.peak_bytes) / (1 << 20),
+        static_cast<long long>(r.stats.udf_calls));
   }
   std::printf("  output rows: %zu\n\n", result.output_rows);
 }
@@ -208,11 +210,12 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  "\"norm_cost\": %.4f, \"simulated_seconds\": %.6f, "
                  "\"norm_runtime\": %.4f, \"wall_seconds\": %.6f, "
                  "\"network_bytes\": %lld, \"disk_bytes\": %lld, "
-                 "\"udf_calls\": %lld}%s\n",
+                 "\"peak_bytes\": %lld, \"udf_calls\": %lld}%s\n",
                  r.rank, r.est_cost, r.norm_cost, r.runtime_seconds,
                  r.norm_runtime, r.stats.wall_seconds,
                  static_cast<long long>(r.stats.network_bytes),
                  static_cast<long long>(r.stats.disk_bytes),
+                 static_cast<long long>(r.stats.peak_bytes),
                  static_cast<long long>(r.stats.udf_calls),
                  i + 1 < result.runs.size() ? "," : "");
   }

@@ -8,7 +8,9 @@
 // optimize+run wall time at 1 and 8 worker threads, and writes the whole
 // series to BENCH_fig5_tpch_q7.json for the CI perf trajectory.
 //
-// Flags: --smoke   reduced scale + fewer picks (the CI smoke configuration).
+// Flags: --smoke     reduced scale + fewer picks (the CI smoke config).
+//        --no-chain  disable fused operator chains (materialize-everything
+//                    execution; byte meters identical, peak_bytes higher).
 
 #include <cstdio>
 #include <cstring>
@@ -21,8 +23,10 @@ int main(int argc, char** argv) {
   using namespace blackbox;
 
   bool smoke = false;
+  bool no_chain = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--no-chain") == 0) no_chain = true;
   }
 
   workloads::TpchScale scale;
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   bench::BenchConfig config;
   config.picks = smoke ? 5 : 10;
   config.reps = smoke ? 1 : 2;
+  config.exec.fuse_chains = !no_chain;
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
   if (!fig.ok()) {
     std::fprintf(stderr, "error: %s\n", fig.status().ToString().c_str());

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <functional>
 #include <map>
@@ -24,7 +25,11 @@ using optimizer::ShipStrategy;
 
 namespace {
 
-using Partitions = std::vector<std::vector<Record>>;
+/// One partition's records, packed into batches with cached serialized
+/// sizes; a Partitions is one materialized inter-operator buffer (a pipeline
+/// breaker's input or output).
+using BatchRun = std::vector<RecordBatch>;
+using Partitions = std::vector<BatchRun>;
 
 /// Key extracted at the given global positions.
 std::vector<Value> KeyOf(const Record& r, const std::vector<AttrId>& key) {
@@ -45,12 +50,6 @@ uint64_t KeyHash(const std::vector<Value>& key) {
   return h;
 }
 
-size_t PartitionBytes(const std::vector<Record>& part) {
-  size_t total = 0;
-  for (const Record& r : part) total += r.SerializedSize();
-  return total;
-}
-
 bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
@@ -62,10 +61,13 @@ bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
 struct SortedRun {
   std::vector<std::pair<std::vector<Value>, const Record*>> entries;
 
-  SortedRun(const std::vector<Record>& part,
-            const std::vector<AttrId>& key) {
-    entries.reserve(part.size());
-    for (const Record& r : part) entries.emplace_back(KeyOf(r, key), &r);
+  SortedRun(const BatchRun& part, const std::vector<AttrId>& key) {
+    entries.reserve(BatchesRows(part));
+    for (const RecordBatch& b : part) {
+      for (size_t i = 0; i < b.size(); ++i) {
+        entries.emplace_back(KeyOf(b.record(i), key), &b.record(i));
+      }
+    }
     std::stable_sort(entries.begin(), entries.end(),
                      [](const auto& a, const auto& b) {
                        return KeyLess(a.first, b.first);
@@ -83,6 +85,123 @@ struct SortedRun {
   }
 };
 
+/// Compacts a wide (global-layout) record onto the sink schema. The single
+/// definition of sink projection: used by the fused chain's sink stage and
+/// by the unfused gather, whose outputs the differential contract requires
+/// to be byte-identical.
+Record ProjectToSinkSchema(const Record& wide,
+                           const std::vector<AttrId>& sink_schema) {
+  Record compact;
+  for (AttrId a : sink_schema) {
+    compact.Append(a < static_cast<int>(wide.num_fields()) ? wide.field(a)
+                                                           : Value());
+  }
+  return compact;
+}
+
+/// One record-at-a-time stage of a fused chain: a streaming Map, or the
+/// sink's projection onto the sink schema (op == nullptr).
+struct ChainStage {
+  const PhysicalNode* node = nullptr;
+  const dataflow::Operator* op = nullptr;  // null: sink projection stage
+  FieldTranslation translation;            // Map only
+  std::vector<AttrId> sink_schema;         // sink only
+};
+
+/// Per-partition chain executor: the producer (scan or breaker) pushes its
+/// emitted records here; full batches are pulled through every stage in one
+/// pass and the final stage's output is packed into the chain's materialized
+/// output run. In-flight records between stages are plain vectors — their
+/// serialized sizes are cached exactly once, at the terminal write into the
+/// output run (the only place byte meters ever read them). All state — the
+/// pending buffer, the ping-pong scratch buffers (cleared, never shrunk:
+/// arena reuse across flushes), one Interpreter per Map stage — is owned by
+/// one partition task (DESIGN.md §2.1).
+class ChainRunner {
+ public:
+  ChainRunner(const std::vector<ChainStage>* stages, size_t capacity,
+              BatchRun* out, ExecStats* meters)
+      : stages_(stages),
+        capacity_(capacity),
+        writer_(out, capacity),
+        meters_(meters) {
+    pending_.reserve(capacity);
+    if (stages_) {
+      for (const ChainStage& s : *stages_) {
+        interps_.push_back(s.op ? std::make_unique<Interpreter>(s.op->udf.get())
+                                : nullptr);
+      }
+    }
+  }
+
+  /// Moves a producer's emitted records into the pending buffer, flushing
+  /// through the chain whenever it fills. Clears *emitted.
+  Status Consume(std::vector<Record>* emitted) {
+    for (Record& r : *emitted) {
+      BLACKBOX_RETURN_NOT_OK(Push(std::move(r)));
+    }
+    emitted->clear();
+    return Status::OK();
+  }
+
+  Status Push(Record r) {
+    pending_.push_back(std::move(r));
+    if (pending_.size() >= capacity_) return Flush();
+    return Status::OK();
+  }
+
+  /// Drains the pending buffer through the chain; flushing an empty buffer
+  /// is a no-op (the end-of-partition call on an exactly-full stream).
+  Status Flush() {
+    if (pending_.empty()) return Status::OK();
+    BLACKBOX_RETURN_NOT_OK(ProcessBatch(&pending_));
+    pending_.clear();
+    return Status::OK();
+  }
+
+ private:
+  Status ProcessBatch(std::vector<Record>* batch) {
+    std::vector<Record>* cur = batch;
+    if (stages_) {
+      size_t flip = 0;
+      for (size_t si = 0; si < stages_->size(); ++si) {
+        const ChainStage& s = (*stages_)[si];
+        std::vector<Record>* next = &scratch_[flip];
+        next->clear();
+        if (s.op != nullptr) {
+          interp::RunStats rs;
+          Status st = interps_[si]->RunBatch(*cur, s.translation, next, &rs);
+          meters_->udf_calls += static_cast<int64_t>(cur->size());
+          meters_->records_processed += static_cast<int64_t>(cur->size());
+          meters_->interp_instructions += rs.instructions;
+          meters_->cpu_burn_units += rs.cpu_burn_units;
+          BLACKBOX_RETURN_NOT_OK(st);
+        } else {
+          // Sink projection stage (unmetered in both modes, like the
+          // unfused gather-time projection it replaces).
+          for (const Record& wide : *cur) {
+            next->push_back(ProjectToSinkSchema(wide, s.sink_schema));
+          }
+        }
+        cur = next;
+        flip ^= 1;
+      }
+    }
+    // Terminal write: the single point where serialized sizes are computed
+    // and cached (writer_.Append), feeding every downstream byte meter.
+    for (Record& r : *cur) writer_.Append(std::move(r));
+    return Status::OK();
+  }
+
+  const std::vector<ChainStage>* stages_;  // bottom-up; may be null/empty
+  size_t capacity_;
+  std::vector<Record> pending_;
+  std::vector<Record> scratch_[2];  // ping-pong stage outputs, reused
+  BatchWriter writer_;
+  std::vector<std::unique_ptr<Interpreter>> interps_;
+  ExecStats* meters_;
+};
+
 class ExecContext {
  public:
   ExecContext(const dataflow::AnnotatedFlow& af,
@@ -94,31 +213,84 @@ class ExecContext {
         pool_(pool),
         stats_(stats) {}
 
-  StatusOr<Partitions> Exec(const PhysicalNode& node) {
-    const dataflow::Operator& op = af_.flow->op(node.op_id);
+  /// Executes the chain whose top is `top`: collects the run of streaming
+  /// stages (fused mode), then dispatches on the chain's producer. Returns
+  /// the chain's materialized output — the only materialization between this
+  /// producer and the next breaker above.
+  StatusOr<Partitions> Exec(const PhysicalNode& top) {
+    std::vector<ChainStage> stages;  // collected top-down
+    const PhysicalNode* n = &top;
+    if (options_.fuse_chains) {
+      while (optimizer::IsStreamingStage(af_.flow->op(n->op_id), *n)) {
+        stages.push_back(MakeStage(*n));
+        n = n->children[0].get();
+      }
+      // Stages apply bottom-up from the producer.
+      std::reverse(stages.begin(), stages.end());
+    }
+    const dataflow::Operator& op = af_.flow->op(n->op_id);
     switch (op.kind) {
       case OpKind::kSource:
-        return Scan(node);
+        return Scan(*n, stages);
       case OpKind::kSink: {
-        StatusOr<Partitions> in = Exec(*node.children[0]);
+        // Unfused mode only (a forward-shipped sink is always a stage when
+        // fusing): projection to the sink schema happens in Execute().
+        StatusOr<Partitions> in = Exec(*n->children[0]);
         if (!in.ok()) return in.status();
-        return in;  // projection to the sink schema happens in Execute()
+        return in;
       }
       case OpKind::kMap:
-        return ExecMap(node, op);
+        return ExecMap(*n, op, stages);
       case OpKind::kReduce:
-        return ExecReduce(node, op);
+        return ExecReduce(*n, op, stages);
       case OpKind::kMatch:
-        return ExecMatch(node, op);
+        return ExecMatch(*n, op, stages);
       case OpKind::kCross:
-        return ExecCross(node, op);
+        return ExecCross(*n, op, stages);
       case OpKind::kCoGroup:
-        return ExecCoGroup(node, op);
+        return ExecCoGroup(*n, op, stages);
     }
     return Status::Internal("unreachable operator kind");
   }
 
+  /// True if the executed chains already projected the sink output (the
+  /// root chain contained the sink stage), so Execute() must not re-project.
+  bool sink_projected() const { return sink_projected_; }
+
+  int64_t peak_bytes() const { return peak_bytes_; }
+
  private:
+  ChainStage MakeStage(const PhysicalNode& node) {
+    const dataflow::Operator& op = af_.flow->op(node.op_id);
+    ChainStage s;
+    s.node = &node;
+    if (op.kind == OpKind::kSink) {
+      const OpProperties& p = af_.of(node.op_id);
+      s.sink_schema.assign(p.out_schema.begin(), p.out_schema.end());
+      sink_projected_ = true;
+    } else {
+      s.op = &op;
+      s.translation = MakeTranslation(node);
+    }
+    return s;
+  }
+
+  /// Peak-memory ledger (DESIGN.md §2.2). Updated only at the serial
+  /// materialization boundaries between parallel stages, so the high-water
+  /// mark is a pure function of the plan — identical for every thread
+  /// count. Retain before Release at each hand-off: a breaker's input and
+  /// output coexist while it runs.
+  void Retain(size_t bytes) {
+    live_bytes_ += static_cast<int64_t>(bytes);
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  }
+  void Release(size_t bytes) { live_bytes_ -= static_cast<int64_t>(bytes); }
+  size_t PartitionsBytes(const Partitions& parts) const {
+    size_t total = 0;
+    for (const BatchRun& part : parts) total += BatchesBytes(part);
+    return total;
+  }
+
   /// Builds the redirection tables for one operator occurrence: local field
   /// index -> global record position (Definition 1's α map), with concat
   /// ownership derived from the actual child subtrees of this plan.
@@ -181,7 +353,8 @@ class ExecContext {
     return Status::OK();
   }
 
-  StatusOr<Partitions> Scan(const PhysicalNode& node) {
+  StatusOr<Partitions> Scan(const PhysicalNode& node,
+                            const std::vector<ChainStage>& stages) {
     auto it = sources_.find(node.op_id);
     if (it == sources_.end()) {
       return Status::InvalidArgument("no data bound for source " +
@@ -189,59 +362,97 @@ class ExecContext {
     }
     const OpProperties& p = af_.of(node.op_id);
     const int width = af_.global.size();
-    const std::vector<Record>& src_records = it->second->records();
+    const DataSet& src = *it->second;
     const size_t dop = static_cast<size_t>(options_.dop);
     Partitions parts(dop);
     // Partition pi owns source indices pi, pi+dop, ... — the same
-    // round-robin assignment as a serial scan, widened in parallel.
-    pool_->ParallelFor(dop, [&](size_t pi) {
-      for (size_t i = pi; i < src_records.size(); i += dop) {
-        const Record& src = src_records[i];
+    // round-robin assignment as a serial scan. The widened record enters the
+    // chain: with fused stages above, it streams through them batch-wise and
+    // never materializes on its own.
+    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+      ChainRunner runner(&stages, options_.batch_capacity, &parts[pi], meters);
+      for (size_t i = pi; i < src.size(); i += dop) {
+        const Record& rec = src.record(i);
         Record wide;
         if (width > 0) wide.SetField(width - 1, Value::Null());
-        for (size_t f = 0; f < src.num_fields() && f < p.out_schema.size();
+        for (size_t f = 0; f < rec.num_fields() && f < p.out_schema.size();
              ++f) {
-          wide.SetField(p.out_schema[f], src.field(f));
+          wide.SetField(p.out_schema[f], rec.field(f));
         }
-        parts[pi].push_back(std::move(wide));
+        BLACKBOX_RETURN_NOT_OK(runner.Push(std::move(wide)));
       }
+      return runner.Flush();
     });
+    if (!st.ok()) return st;
+    Retain(PartitionsBytes(parts));
     return parts;
   }
 
-  /// Applies a shipping strategy, metering network bytes. Runs on the
-  /// calling thread: shuffles move records *between* partitions, so they are
-  /// the serial barrier separating parallel per-partition stages.
+  /// Applies a shipping strategy, metering network bytes from the batches'
+  /// cached record sizes. Runs on the calling thread: shuffles move records
+  /// *between* partitions, so they are the serial barrier separating
+  /// parallel per-partition stages.
   Partitions Ship(Partitions in, ShipStrategy strategy,
                   const std::vector<AttrId>& key) {
     switch (strategy) {
       case ShipStrategy::kForward:
         return in;
       case ShipStrategy::kPartitionHash: {
+        size_t in_bytes = PartitionsBytes(in);
         Partitions out(options_.dop);
-        for (size_t from = 0; from < in.size(); ++from) {
-          for (Record& r : in[from]) {
-            size_t to = KeyHash(KeyOf(r, key)) % options_.dop;
-            if (to != from && stats_) {
-              stats_->network_bytes += r.SerializedSize();
-            }
-            out[to].push_back(std::move(r));
-          }
+        // Drained input batches are recycled into the output through the
+        // pool, so the shuffle rewrites partitions without reallocating
+        // batch backing stores.
+        BatchPool pool;
+        std::vector<BatchWriter> writers;
+        writers.reserve(out.size());
+        for (BatchRun& part : out) {
+          writers.emplace_back(&part, options_.batch_capacity, &pool);
         }
+        for (size_t from = 0; from < in.size(); ++from) {
+          for (RecordBatch& b : in[from]) {
+            // The cached sizes ARE the meter; this guards the cache against
+            // ever drifting from Record::SerializedSize.
+            assert(b.bytes() == b.RecomputeBytes());
+            for (size_t i = 0; i < b.size(); ++i) {
+              Record& r = b.mutable_record(i);
+              size_t to = KeyHash(KeyOf(r, key)) % options_.dop;
+              if (to != from && stats_) {
+                stats_->network_bytes += b.record_bytes(i);
+              }
+              writers[to].AppendWithSize(std::move(r), b.record_bytes(i));
+            }
+            pool.Release(std::move(b));
+          }
+          in[from].clear();
+        }
+        // Bytes are conserved across a hash shuffle; swap the ledger entry.
+        Retain(PartitionsBytes(out));
+        Release(in_bytes);
         return out;
       }
       case ShipStrategy::kBroadcast: {
-        std::vector<Record> all;
-        for (auto& part : in) {
-          for (Record& r : part) all.push_back(std::move(r));
+        size_t in_bytes = PartitionsBytes(in);
+        BatchRun all;
+        BatchPool pool;
+        BatchWriter writer(&all, options_.batch_capacity, &pool);
+        for (BatchRun& part : in) {
+          for (RecordBatch& b : part) {
+            for (size_t i = 0; i < b.size(); ++i) {
+              writer.AppendWithSize(std::move(b.mutable_record(i)),
+                                    b.record_bytes(i));
+            }
+            pool.Release(std::move(b));
+          }
+          part.clear();
         }
         if (stats_) {
-          size_t bytes = 0;
-          for (const Record& r : all) bytes += r.SerializedSize();
-          stats_->network_bytes +=
-              static_cast<int64_t>(bytes) * (options_.dop - 1);
+          stats_->network_bytes += static_cast<int64_t>(BatchesBytes(all)) *
+                                   (options_.dop - 1);
         }
         Partitions out(options_.dop, all);
+        Retain(PartitionsBytes(out));
+        Release(in_bytes);
         return out;
       }
     }
@@ -265,84 +476,112 @@ class ExecContext {
     return Status::OK();
   }
 
+  /// Unfused Map (fuse_chains off, or a defensively non-forward ship): one
+  /// materialized pass, the pre-streaming behavior.
   StatusOr<Partitions> ExecMap(const PhysicalNode& node,
-                               const dataflow::Operator& op) {
+                               const dataflow::Operator& op,
+                               const std::vector<ChainStage>& stages) {
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
     Partitions in = Ship(std::move(in_or).value(), node.ships[0], {});
+    size_t in_bytes = PartitionsBytes(in);
     FieldTranslation t = MakeTranslation(node);
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());  // task-local interpreter
-      for (const Record& r : in[pi]) {
-        CallInputs ci;
-        ci.groups = {{&r}};
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
-        meters->records_processed++;
+      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
+      std::vector<Record> emitted;
+      for (const RecordBatch& b : in[pi]) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          CallInputs ci;
+          ci.groups = {{&b.record(i)}};
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+          meters->records_processed++;
+          BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+        }
       }
-      return Status::OK();
+      return runner.Flush();
     });
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
   /// One sort-group pass over `in`, calling the UDF once per key group.
   /// Shared by the plain Reduce, the combiner's pre-aggregation pass, and
-  /// the combiner's post-shuffle pass.
+  /// the combiner's post-shuffle pass. Emitted records stream through the
+  /// chain `stages` (empty for the pre-aggregation pass).
   Status SortGroupPass(const Partitions& in, const dataflow::Operator& op,
                        const std::vector<AttrId>& key,
                        const FieldTranslation& t, bool meter_spill,
+                       const std::vector<ChainStage>& stages,
                        Partitions* out) {
     return ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      if (meter_spill) MeterSpill(PartitionBytes(in[pi]), meters);
+      ChainRunner runner(&stages, options_.batch_capacity, &(*out)[pi],
+                         meters);
+      if (meter_spill) MeterSpill(BatchesBytes(in[pi]), meters);
       // Partition-local sorted groups (std::map orders keys canonically).
       std::map<std::vector<Value>, std::vector<const Record*>> groups;
-      for (const Record& r : in[pi]) {
-        groups[KeyOf(r, key)].push_back(&r);
-        meters->records_processed++;
+      for (const RecordBatch& b : in[pi]) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          groups[KeyOf(b.record(i), key)].push_back(&b.record(i));
+          meters->records_processed++;
+        }
       }
+      std::vector<Record> emitted;
       for (const auto& [k, members] : groups) {
         CallInputs ci;
         ci.groups = {members};
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &(*out)[pi], meters));
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+        BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
       }
-      return Status::OK();
+      return runner.Flush();
     });
   }
 
   StatusOr<Partitions> ExecReduce(const PhysicalNode& node,
-                                  const dataflow::Operator& op) {
+                                  const dataflow::Operator& op,
+                                  const std::vector<ChainStage>& stages) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
     Partitions in = std::move(in_or).value();
     FieldTranslation t = MakeTranslation(node);
+    static const std::vector<ChainStage> kNoStages;
     if (node.local == LocalStrategy::kPreAggregate) {
       // Combiner: aggregate each producer partition's local groups *before*
       // the shuffle. The partial records use the Reduce's own output layout
       // (combinability guarantees it coincides with the input layout), so
       // the post-shuffle pass below runs the identical UDF unchanged and the
       // shuffle ships at most (distinct keys × dop) records.
+      size_t in_bytes = PartitionsBytes(in);
       Partitions combined(options_.dop);
       Status st = SortGroupPass(in, op, p.keys[0], t, /*meter_spill=*/true,
-                                &combined);
+                                kNoStages, &combined);
       if (!st.ok()) return st;
+      Retain(PartitionsBytes(combined));
+      Release(in_bytes);
       in = std::move(combined);
     }
     in = Ship(std::move(in), node.ships[0], p.keys[0]);
+    size_t in_bytes = PartitionsBytes(in);
     Partitions out(options_.dop);
     // A presorted forward input streams its groups: no sort buffer, no spill.
     bool meter_spill = node.local == LocalStrategy::kPreAggregate ||
                        node.input_presorted.empty() ||
                        !node.input_presorted[0];
-    Status st = SortGroupPass(in, op, p.keys[0], t, meter_spill, &out);
+    Status st = SortGroupPass(in, op, p.keys[0], t, meter_spill, stages, &out);
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
   StatusOr<Partitions> ExecMatch(const PhysicalNode& node,
-                                 const dataflow::Operator& op) {
+                                 const dataflow::Operator& op,
+                                 const std::vector<ChainStage>& stages) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
@@ -350,40 +589,51 @@ class ExecContext {
     if (!r_or.ok()) return r_or.status();
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
     FieldTranslation t = MakeTranslation(node);
     if (node.local == LocalStrategy::kSortMergeJoin) {
-      return MergeJoin(node, op, p, left, right, t);
+      return MergeJoin(node, op, p, left, right, t, in_bytes, stages);
     }
     bool build_left = node.local == LocalStrategy::kHashJoinBuildLeft;
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      const std::vector<Record>& build = build_left ? left[pi] : right[pi];
-      const std::vector<Record>& probe = build_left ? right[pi] : left[pi];
+      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
+      const BatchRun& build = build_left ? left[pi] : right[pi];
+      const BatchRun& probe = build_left ? right[pi] : left[pi];
       const std::vector<AttrId>& build_key = build_left ? p.keys[0] : p.keys[1];
       const std::vector<AttrId>& probe_key = build_left ? p.keys[1] : p.keys[0];
-      MeterSpill(PartitionBytes(build), meters);
+      MeterSpill(BatchesBytes(build), meters);
       // Partition-local build table.
       std::map<std::vector<Value>, std::vector<const Record*>> table;
-      for (const Record& r : build) {
-        table[KeyOf(r, build_key)].push_back(&r);
-        meters->records_processed++;
-      }
-      for (const Record& r : probe) {
-        meters->records_processed++;
-        auto it = table.find(KeyOf(r, probe_key));
-        if (it == table.end()) continue;
-        for (const Record* b : it->second) {
-          CallInputs ci;
-          const Record* lrec = build_left ? b : &r;
-          const Record* rrec = build_left ? &r : b;
-          ci.groups = {{lrec}, {rrec}};
-          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+      for (const RecordBatch& b : build) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          table[KeyOf(b.record(i), build_key)].push_back(&b.record(i));
+          meters->records_processed++;
         }
       }
-      return Status::OK();
+      std::vector<Record> emitted;
+      for (const RecordBatch& pb : probe) {
+        for (size_t i = 0; i < pb.size(); ++i) {
+          const Record& r = pb.record(i);
+          meters->records_processed++;
+          auto it = table.find(KeyOf(r, probe_key));
+          if (it == table.end()) continue;
+          for (const Record* b : it->second) {
+            CallInputs ci;
+            const Record* lrec = build_left ? b : &r;
+            const Record* rrec = build_left ? &r : b;
+            ci.groups = {{lrec}, {rrec}};
+            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+            BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+          }
+        }
+      }
+      return runner.Flush();
     });
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
@@ -399,24 +649,27 @@ class ExecContext {
                                  const dataflow::Operator& op,
                                  const OpProperties& p, const Partitions& left,
                                  const Partitions& right,
-                                 const FieldTranslation& t) {
+                                 const FieldTranslation& t, size_t in_bytes,
+                                 const std::vector<ChainStage>& stages) {
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
+      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
       // Sort buffers spill like any other materialization — except for a
       // side the plan established as presorted, which streams straight
       // through the (no-op) stable sort.
       if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
-        MeterSpill(PartitionBytes(left[pi]), meters);
+        MeterSpill(BatchesBytes(left[pi]), meters);
       }
       if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
-        MeterSpill(PartitionBytes(right[pi]), meters);
+        MeterSpill(BatchesBytes(right[pi]), meters);
       }
       SortedRun ls(left[pi], p.keys[0]);
       SortedRun rs(right[pi], p.keys[1]);
       meters->records_processed +=
-          static_cast<int64_t>(left[pi].size() + right[pi].size());
+          static_cast<int64_t>(BatchesRows(left[pi]) + BatchesRows(right[pi]));
       size_t li = 0, ri = 0;
+      std::vector<Record> emitted;
       while (li < ls.entries.size() && ri < rs.entries.size()) {
         const std::vector<Value>& lk = ls.entries[li].first;
         const std::vector<Value>& rk = rs.entries[ri].first;
@@ -433,47 +686,62 @@ class ExecContext {
           for (size_t b = ri; b < rend; ++b) {
             CallInputs ci;
             ci.groups = {{ls.entries[a].second}, {rs.entries[b].second}};
-            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+            BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
           }
         }
         li = lend;
         ri = rend;
       }
-      return Status::OK();
+      return runner.Flush();
     });
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
   StatusOr<Partitions> ExecCross(const PhysicalNode& node,
-                                 const dataflow::Operator& op) {
+                                 const dataflow::Operator& op,
+                                 const std::vector<ChainStage>& stages) {
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
     StatusOr<Partitions> r_or = Exec(*node.children[1]);
     if (!r_or.ok()) return r_or.status();
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], {});
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], {});
+    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
     FieldTranslation t = MakeTranslation(node);
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      for (const Record& l : left[pi]) {
-        for (const Record& r : right[pi]) {
-          CallInputs ci;
-          ci.groups = {{&l}, {&r}};
-          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
+      std::vector<Record> emitted;
+      for (const RecordBatch& lb : left[pi]) {
+        for (size_t i = 0; i < lb.size(); ++i) {
+          for (const RecordBatch& rb : right[pi]) {
+            for (size_t j = 0; j < rb.size(); ++j) {
+              CallInputs ci;
+              ci.groups = {{&lb.record(i)}, {&rb.record(j)}};
+              BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+              BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+            }
+          }
         }
       }
       meters->records_processed +=
-          static_cast<int64_t>(left[pi].size() + right[pi].size());
-      return Status::OK();
+          static_cast<int64_t>(BatchesRows(left[pi]) + BatchesRows(right[pi]));
+      return runner.Flush();
     });
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
   StatusOr<Partitions> ExecCoGroup(const PhysicalNode& node,
-                                   const dataflow::Operator& op) {
+                                   const dataflow::Operator& op,
+                                   const std::vector<ChainStage>& stages) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
@@ -481,37 +749,47 @@ class ExecContext {
     if (!r_or.ok()) return r_or.status();
     Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
     Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
     FieldTranslation t = MakeTranslation(node);
     Partitions out(options_.dop);
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
+      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
       // Per-side sort buffers (matching the cost model); a presorted side
       // streams its groups and never spills.
       if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
-        MeterSpill(PartitionBytes(left[pi]), meters);
+        MeterSpill(BatchesBytes(left[pi]), meters);
       }
       if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
-        MeterSpill(PartitionBytes(right[pi]), meters);
+        MeterSpill(BatchesBytes(right[pi]), meters);
       }
       std::map<std::vector<Value>, CallInputs> groups;
-      for (const Record& r : left[pi]) {
-        auto& ci = groups[KeyOf(r, p.keys[0])];
-        if (ci.groups.empty()) ci.groups.resize(2);
-        ci.groups[0].push_back(&r);
-        meters->records_processed++;
+      for (const RecordBatch& b : left[pi]) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          auto& ci = groups[KeyOf(b.record(i), p.keys[0])];
+          if (ci.groups.empty()) ci.groups.resize(2);
+          ci.groups[0].push_back(&b.record(i));
+          meters->records_processed++;
+        }
       }
-      for (const Record& r : right[pi]) {
-        auto& ci = groups[KeyOf(r, p.keys[1])];
-        if (ci.groups.empty()) ci.groups.resize(2);
-        ci.groups[1].push_back(&r);
-        meters->records_processed++;
+      for (const RecordBatch& b : right[pi]) {
+        for (size_t i = 0; i < b.size(); ++i) {
+          auto& ci = groups[KeyOf(b.record(i), p.keys[1])];
+          if (ci.groups.empty()) ci.groups.resize(2);
+          ci.groups[1].push_back(&b.record(i));
+          meters->records_processed++;
+        }
       }
+      std::vector<Record> emitted;
       for (const auto& [key, ci] : groups) {
-        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &out[pi], meters));
+        BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+        BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
       }
-      return Status::OK();
+      return runner.Flush();
     });
     if (!st.ok()) return st;
+    Retain(PartitionsBytes(out));
+    Release(in_bytes);
     return out;
   }
 
@@ -520,6 +798,9 @@ class ExecContext {
   const ExecOptions& options_;
   TaskPool* pool_;
   ExecStats* stats_;
+  bool sink_projected_ = false;
+  int64_t live_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
 };
 
 }  // namespace
@@ -537,6 +818,7 @@ std::string ExecStats::ToString() const {
   std::string out;
   out += "net=" + std::to_string(network_bytes) + "B";
   out += " disk=" + std::to_string(disk_bytes) + "B";
+  out += " peak=" + std::to_string(peak_bytes) + "B";
   out += " udf_calls=" + std::to_string(udf_calls);
   out += " instrs=" + std::to_string(interp_instructions);
   out += " cpu_burn=" + std::to_string(cpu_burn_units);
@@ -550,31 +832,39 @@ std::string ExecStats::ToString() const {
 StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
                                     ExecStats* stats) {
   if (!plan.root) return Status::InvalidArgument("empty physical plan");
+  if (options_.batch_capacity < 1) {
+    return Status::InvalidArgument("batch_capacity must be >= 1");
+  }
   auto start = std::chrono::steady_clock::now();
   if (!pool_) pool_ = std::make_unique<TaskPool>(options_.num_threads);
   ExecContext ctx(*af_, sources_, options_, pool_.get(), stats);
   StatusOr<Partitions> out = ctx.Exec(*plan.root);
   if (!out.ok()) return out.status();
 
-  // Gather and project onto the sink schema so alternative plans of the same
-  // flow produce directly comparable records. Partitions are concatenated in
-  // index order — the canonical output order for every thread count.
+  // Gather in partition index order — the canonical output order for every
+  // thread count. With a fused root chain the sink projection already ran
+  // inside the chain; otherwise project onto the sink schema here so
+  // alternative plans of the same flow produce directly comparable records.
   const OpProperties& sink = af_->of(plan.root->op_id);
   DataSet result;
-  for (const auto& part : *out) {
-    for (const Record& wide : part) {
-      Record compact;
-      for (size_t i = 0; i < sink.out_schema.size(); ++i) {
-        AttrId a = sink.out_schema[i];
-        compact.Append(a < static_cast<int>(wide.num_fields()) ? wide.field(a)
-                                                               : Value());
+  for (BatchRun& part : *out) {
+    for (RecordBatch& b : part) {
+      for (size_t i = 0; i < b.size(); ++i) {
+        if (ctx.sink_projected()) {
+          // Chain output records ARE the final records: reuse their cached
+          // sizes instead of re-walking every payload.
+          result.AddWithSize(std::move(b.mutable_record(i)),
+                             b.record_bytes(i));
+          continue;
+        }
+        result.Add(ProjectToSinkSchema(b.record(i), sink.out_schema));
       }
-      result.Add(std::move(compact));
     }
   }
   auto end = std::chrono::steady_clock::now();
   if (stats) {
     stats->output_rows = static_cast<int64_t>(result.size());
+    stats->peak_bytes = ctx.peak_bytes();
     stats->wall_seconds = std::chrono::duration<double>(end - start).count();
     // simulated_seconds is a pure function of the meters (machine model),
     // deliberately NOT of wall_seconds: the simulated cluster's runtime must

@@ -5,11 +5,18 @@
 // strategies build real hash tables / sorted groups, and every UDF call runs
 // through the TAC interpreter.
 //
-// Per-partition operator work (scan widening, Map/Reduce loops, hash-join
-// build/probe, sort-merge join, combiner pre-aggregation, cross, co-group)
-// runs as independent partition tasks on a
-// TaskPool of ExecOptions::num_threads workers. All per-partition state
-// (hash tables, sorted groups, Interpreter instances, meters) is task-local
+// Data plane (DESIGN.md §2.2): records flow in RecordBatches, and operators
+// execute as fused chains — a pipeline breaker (shuffle, group build, join
+// build, sort) plus the maximal run of forward-shipped record-at-a-time
+// stages above it. Within a chain, each partition task pulls batches through
+// every stage in one pass, so intermediate Map outputs never materialize;
+// only breaker buffers do, and the peak_bytes meter proves it.
+//
+// Per-partition operator work (scan widening, chain runs, Map/Reduce loops,
+// hash-join build/probe, sort-merge join, combiner pre-aggregation, cross,
+// co-group) runs as independent partition tasks on a TaskPool of
+// ExecOptions::num_threads workers. All per-partition state (hash tables,
+// sorted groups, Interpreter instances, batch pools, meters) is task-local
 // and merged in partition order, so sink output, meters, and
 // simulated_seconds are byte-identical for every thread count — only
 // wall_seconds (real elapsed time) varies (DESIGN.md §2.1).
@@ -28,6 +35,7 @@
 #include "dataflow/annotate.h"
 #include "optimizer/physical.h"
 #include "record/record.h"
+#include "record/record_batch.h"
 
 namespace blackbox {
 namespace engine {
@@ -42,6 +50,18 @@ struct ExecOptions {
   /// results; more threads only shrink wall_seconds. <= 0 picks the
   /// hardware concurrency.
   int num_threads = 1;
+
+  /// Fused operator chains (the default). When false ("--no-chain"), every
+  /// plan node materializes its full output before the next starts — the
+  /// pre-streaming data plane, kept as the differential reference: sink
+  /// output, byte meters, and simulated_seconds are byte-identical in both
+  /// modes; only peak_bytes (and wall time) may differ — see DESIGN.md §2.2.
+  bool fuse_chains = true;
+
+  /// Records per RecordBatch flowing through a chain. Any value >= 1
+  /// produces identical output and meters; this only trades batch-dispatch
+  /// amortization against buffer footprint.
+  size_t batch_capacity = RecordBatch::kDefaultCapacity;
 
   // Machine model for simulated time. Metered network/disk bytes are charged
   // against these bandwidths; metered compute (UDF calls, records, calibrated
@@ -58,8 +78,9 @@ struct ExecOptions {
 
 /// Metered resources of one plan execution. The same quantities the cost
 /// model estimates, but measured. Every field except wall_seconds is a pure
-/// function of (plan, data, dop, mem_budget) — identical for every
-/// num_threads.
+/// function of (plan, data, dop, mem_budget, fuse_chains) — identical for
+/// every num_threads; all fields except peak_bytes and wall_seconds are also
+/// identical across fused and unfused execution.
 struct ExecStats {
   int64_t network_bytes = 0;  // bytes crossing instance boundaries
   int64_t disk_bytes = 0;     // spill write+read bytes
@@ -68,6 +89,14 @@ struct ExecStats {
   int64_t cpu_burn_units = 0;
   int64_t records_processed = 0;
   int64_t output_rows = 0;
+
+  /// Peak of the total serialized bytes held in materialized inter-operator
+  /// buffers (pipeline-breaker inputs and outputs) at any point of the run —
+  /// the streaming data plane's memory contract (DESIGN.md §2.2). Tracked at
+  /// the serial materialization boundaries, so it is deterministic for every
+  /// num_threads; fused execution lowers it, never the other meters.
+  int64_t peak_bytes = 0;
+
   double wall_seconds = 0;  // real elapsed time (varies with num_threads)
 
   /// The "execution runtime" the figure benchmarks report: modeled compute
@@ -77,8 +106,8 @@ struct ExecStats {
   double simulated_seconds = 0;
 
   /// Adds the additive meters (bytes, calls, records) of `other` into this;
-  /// leaves the derived time fields untouched. Used to merge per-partition
-  /// task meters in partition order.
+  /// leaves the derived time fields and the peak_bytes high-water mark
+  /// untouched. Used to merge per-partition task meters in partition order.
   void AddCounters(const ExecStats& other);
 
   std::string ToString() const;

@@ -70,9 +70,38 @@ int Compare(const Value& a, const Value& b) {
 Status Interpreter::Run(const CallInputs& inputs,
                         const FieldTranslation& translation,
                         std::vector<Record>* out, RunStats* stats) const {
+  Workspace ws;
+  ws.Resize(fn_->num_registers());
+  return RunInternal(inputs, translation, out, stats, &ws);
+}
+
+Status Interpreter::RunBatch(const std::vector<Record>& in,
+                             const FieldTranslation& translation,
+                             std::vector<Record>* out,
+                             RunStats* stats) const {
+  Workspace ws;
+  ws.Resize(fn_->num_registers());
+  CallInputs ci;
+  ci.groups.resize(1);
+  ci.groups[0].resize(1);
+  for (size_t i = 0; i < in.size(); ++i) {
+    ci.groups[0][0] = &in[i];
+    ws.emitted.clear();
+    BLACKBOX_RETURN_NOT_OK(
+        RunInternal(ci, translation, &ws.emitted, stats, &ws));
+    for (Record& r : ws.emitted) out->push_back(std::move(r));
+    if (i + 1 < in.size()) ws.Reset();
+  }
+  return Status::OK();
+}
+
+Status Interpreter::RunInternal(const CallInputs& inputs,
+                                const FieldTranslation& translation,
+                                std::vector<Record>* out, RunStats* stats,
+                                Workspace* ws) const {
   const auto& instrs = fn_->instrs();
-  std::vector<Value> vals(fn_->num_registers());
-  std::vector<Record> recs(fn_->num_registers());
+  std::vector<Value>& vals = ws->vals;
+  std::vector<Record>& recs = ws->recs;
 
   auto input_pos = [&](int input, int local) -> int {
     if (translation.input_maps.empty()) return local;
@@ -92,7 +121,7 @@ Status Interpreter::Run(const CallInputs& inputs,
   // Needed to translate field indices: reads of records loaded from input i
   // use input i's map; reads of constructed output records use the output
   // map. Copies inherit the source record's provenance.
-  std::vector<int> rec_input(fn_->num_registers(), -2);
+  std::vector<int>& rec_input = ws->rec_input;
 
   int64_t steps = 0;
   const int n = static_cast<int>(instrs.size());

@@ -13,6 +13,7 @@
 #ifndef BLACKBOX_INTERP_INTERP_H_
 #define BLACKBOX_INTERP_INTERP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -73,7 +74,46 @@ class Interpreter {
   Status Run(const CallInputs& inputs, const FieldTranslation& translation,
              std::vector<Record>* out, RunStats* stats = nullptr) const;
 
+  /// Batch entry point for RAT operators (DESIGN.md §2.2): one UDF
+  /// invocation per record of `in`, with the per-invocation setup — the
+  /// register / record-slot / provenance workspaces the FieldTranslation is
+  /// applied through — allocated once and reused across the whole batch.
+  /// Emitted records are appended to *out. Byte-equivalent to calling Run()
+  /// once per record; `stats` accumulates over the batch.
+  Status RunBatch(const std::vector<Record>& in,
+                  const FieldTranslation& translation,
+                  std::vector<Record>* out, RunStats* stats = nullptr) const;
+
  private:
+  /// Reusable per-invocation state. Sized to the function's register count
+  /// once; Reset() restores the fresh-call contents without reallocating.
+  struct Workspace {
+    std::vector<Value> vals;
+    std::vector<Record> recs;
+    std::vector<int> rec_input;
+    std::vector<Record> emitted;  // RunBatch's per-call emit buffer
+
+    /// First-use sizing on a fresh workspace: resize value-initializes vals
+    /// and recs, so only rec_input's "no provenance" sentinel needs filling.
+    void Resize(size_t num_registers) {
+      vals.resize(num_registers);
+      recs.resize(num_registers);
+      rec_input.assign(num_registers, -2);
+    }
+    /// Between-record reuse (RunBatch): restore the fresh-call contents
+    /// without reallocating.
+    void Reset() {
+      std::fill(vals.begin(), vals.end(), Value());
+      std::fill(recs.begin(), recs.end(), Record());
+      std::fill(rec_input.begin(), rec_input.end(), -2);
+    }
+  };
+
+  Status RunInternal(const CallInputs& inputs,
+                     const FieldTranslation& translation,
+                     std::vector<Record>* out, RunStats* stats,
+                     Workspace* ws) const;
+
   const tac::Function* fn_;
 };
 

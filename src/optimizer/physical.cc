@@ -68,6 +68,7 @@ std::unique_ptr<PhysicalNode> ClonePhysical(const PhysicalNode& n) {
   out->local = n.local;
   out->input_presorted = n.input_presorted;
   out->sort_order = n.sort_order;
+  out->chain_id = n.chain_id;
   out->est_rows = n.est_rows;
   out->est_bytes_per_row = n.est_bytes_per_row;
   out->cost_network = n.cost_network;
@@ -129,6 +130,7 @@ class PhysicalPlanner {
     PhysicalPlan out;
     out.root = ClonePhysical(*best->node);
     out.total_cost = best->cost;
+    AssignChainIds(*af_.flow, out.root.get());
     return out;
   }
 
@@ -304,9 +306,15 @@ class PhysicalPlanner {
         for (const Candidate& c : *child) {
           double rows = c.est_rows * op.hints.selectivity;
           double bpr = c.est_bytes_per_row + 9.0 * p.introduced.listed().size();
+          // A Map always consumes a forward-shipped stream, so with chain
+          // fusion its input edge is fused: records flow through the chain
+          // without a per-record materialize/dispatch step, and the engine
+          // overhead term (cpu_per_record) is not charged (DESIGN.md §2.2).
+          // The UDF's own cost is unchanged.
           double cpu = w_.cpu_per_call_unit * c.est_rows *
                            op.hints.cpu_cost_per_call +
-                       w_.cpu_per_record * c.est_rows;
+                       (w_.enable_chain_fusion ? 0.0
+                                               : w_.cpu_per_record * c.est_rows);
           // A Map invalidates a partitioning if it rewrites partition attrs;
           // a sort order survives up to the first rewritten attribute.
           Partitioning part = c.partitioning;
@@ -580,6 +588,31 @@ class PhysicalPlanner {
 
 }  // namespace
 
+bool IsStreamingStage(const dataflow::Operator& op, const PhysicalNode& n) {
+  if (n.children.size() != 1 || n.ships.size() != 1 ||
+      n.ships[0] != ShipStrategy::kForward) {
+    return false;
+  }
+  if (n.local != LocalStrategy::kNone) return false;
+  return op.kind == OpKind::kMap || op.kind == OpKind::kSink;
+}
+
+int AssignChainIds(const dataflow::DataFlow& flow, PhysicalNode* root) {
+  int next = 0;
+  std::function<void(PhysicalNode&, int)> walk = [&](PhysicalNode& n,
+                                                     int inherited) {
+    n.chain_id = inherited >= 0 ? inherited : next++;
+    // Children join this node's chain only when *this node* streams them
+    // through; a breaker's children always open fresh chains.
+    bool fuses_child = IsStreamingStage(flow.op(n.op_id), n);
+    for (auto& c : n.children) {
+      walk(*c, fuses_child ? n.chain_id : -1);
+    }
+  };
+  if (root) walk(*root, -1);
+  return next;
+}
+
 std::string PhysicalPlan::ToString(const dataflow::DataFlow& flow) const {
   std::ostringstream out;
   std::function<void(const PhysicalNode&, int)> walk = [&](const PhysicalNode& n,
@@ -594,7 +627,9 @@ std::string PhysicalPlan::ToString(const dataflow::DataFlow& flow) const {
         out << "(presorted)";
       }
     }
-    out << "] rows~" << static_cast<int64_t>(n.est_rows) << "\n";
+    out << "] rows~" << static_cast<int64_t>(n.est_rows);
+    if (n.chain_id >= 0) out << " chain=" << n.chain_id;
+    out << "\n";
     for (const auto& c : n.children) walk(*c, depth + 1);
   };
   if (root) walk(*root, 0);

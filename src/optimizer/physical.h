@@ -64,6 +64,11 @@ struct CostWeights {
   bool enable_sort_merge = true;   // sort-order tracking: merge joins and
                                    // sort reuse by Reduce / CoGroup
   bool enable_combiner = true;     // combiner insertion below the shuffle
+  bool enable_chain_fusion = true;  // pipeline-aware costing: a forward edge
+                                    // into a record-at-a-time stage is fused
+                                    // (DESIGN.md §2.2), so the stage pays no
+                                    // per-record engine overhead
+                                    // (cpu_per_record) for its input
 };
 
 /// A physical operator: one logical plan node with chosen strategies.
@@ -85,6 +90,13 @@ struct PhysicalNode {
   /// interesting-property the planner tracked for this candidate.
   std::vector<int> sort_order;
 
+  /// Operator-chain group (DESIGN.md §2.2): nodes sharing a chain_id execute
+  /// as one fused streaming pass — a chain is a pipeline breaker (or scan)
+  /// plus the maximal run of forward-shipped record-at-a-time stages above
+  /// it. Assigned by AssignChainIds during physical optimization; -1 until
+  /// then.
+  int chain_id = -1;
+
   // Estimates at this node's output.
   double est_rows = 0;
   double est_bytes_per_row = 0;
@@ -103,6 +115,19 @@ struct PhysicalPlan {
 
   std::string ToString(const dataflow::DataFlow& flow) const;
 };
+
+/// True if `n` is a record-at-a-time stage that fuses onto its (single)
+/// forward-shipped input: a streaming Map or the sink's projection. Shared
+/// chain-formation predicate — the engine's fused execution and
+/// AssignChainIds both derive chain shapes from it, so the plan's chain ids
+/// always describe what the executor actually fuses.
+bool IsStreamingStage(const dataflow::Operator& op, const PhysicalNode& n);
+
+/// Assigns chain-group ids over the plan tree (root-down DFS order): a node
+/// joins its consumer's chain when the consumer is a streaming stage per
+/// IsStreamingStage, otherwise it starts a new chain. Returns the number of
+/// chains. Called by OptimizePhysical on the winning plan; idempotent.
+int AssignChainIds(const dataflow::DataFlow& flow, PhysicalNode* root);
 
 /// Optimizes one logical alternative. Returns the cheapest physical plan.
 StatusOr<PhysicalPlan> OptimizePhysical(const dataflow::AnnotatedFlow& af,

@@ -188,7 +188,8 @@ StatusOr<FlowProfile> ProfileFlow(
                         : 1.0;
       std::vector<Record> sample;
       const OpProperties& p = af->of(id);
-      for (const Record& src : full.records()) {
+      for (size_t ri = 0; ri < full.size(); ++ri) {
+        const Record& src = full.record(ri);
         if (!rng.Chance(keep)) continue;
         Record wide;
         if (width > 0) wide.SetField(width - 1, Value::Null());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "record/record_batch.h"
 
 namespace blackbox {
 
@@ -42,34 +43,74 @@ std::string Record::ToString() const {
   return "<" + Join(parts, ", ") + ">";
 }
 
+DataSet::DataSet() = default;
+DataSet::~DataSet() = default;
+DataSet::DataSet(DataSet&&) noexcept = default;
+DataSet& DataSet::operator=(DataSet&&) noexcept = default;
+DataSet::DataSet(const DataSet&) = default;
+DataSet& DataSet::operator=(const DataSet&) = default;
+
+DataSet::DataSet(std::vector<Record> records) {
+  for (Record& r : records) Add(std::move(r));
+}
+
+const Record& DataSet::record(size_t i) const {
+  // Uniform packing invariant: every batch but the last is exactly full.
+  return batches_[i / RecordBatch::kDefaultCapacity]
+      .record(i % RecordBatch::kDefaultCapacity);
+}
+
+std::vector<Record> DataSet::records() const {
+  std::vector<Record> out;
+  out.reserve(rows_);
+  for (const RecordBatch& b : batches_) {
+    for (size_t i = 0; i < b.size(); ++i) out.push_back(b.record(i));
+  }
+  return out;
+}
+
+void DataSet::Add(Record r) {
+  BatchWriter(&batches_, RecordBatch::kDefaultCapacity).Append(std::move(r));
+  ++rows_;
+}
+
+void DataSet::AddWithSize(Record r, size_t serialized_bytes) {
+  BatchWriter(&batches_, RecordBatch::kDefaultCapacity)
+      .AppendWithSize(std::move(r), serialized_bytes);
+  ++rows_;
+}
+
 void DataSet::Append(DataSet other) {
-  records_.reserve(records_.size() + other.records_.size());
-  for (Record& r : other.records_) records_.push_back(std::move(r));
+  // Record-wise so the uniform-packing invariant survives a partial tail
+  // batch in `other`.
+  BatchWriter writer(&batches_, RecordBatch::kDefaultCapacity);
+  for (RecordBatch& b : other.batches_) {
+    for (size_t i = 0; i < b.size(); ++i) {
+      writer.AppendWithSize(std::move(b.mutable_record(i)), b.record_bytes(i));
+    }
+  }
+  rows_ += other.rows_;
 }
 
 bool DataSet::BagEquals(const DataSet& other) const {
-  if (records_.size() != other.records_.size()) return false;
-  std::vector<Record> a = records_;
-  std::vector<Record> b = other.records_;
+  if (rows_ != other.rows_) return false;
+  std::vector<Record> a = records();
+  std::vector<Record> b = other.records();
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   return a == b;
 }
 
-size_t DataSet::SerializedBytes() const {
-  size_t total = 0;
-  for (const Record& r : records_) total += r.SerializedSize();
-  return total;
-}
+size_t DataSet::SerializedBytes() const { return BatchesBytes(batches_); }
 
 std::string DataSet::ToString(size_t max_records) const {
   std::string out = "[";
-  for (size_t i = 0; i < records_.size() && i < max_records; ++i) {
+  for (size_t i = 0; i < rows_ && i < max_records; ++i) {
     if (i > 0) out += ", ";
-    out += records_[i].ToString();
+    out += record(i).ToString();
   }
-  if (records_.size() > max_records) out += ", ...";
-  out += "] (" + std::to_string(records_.size()) + " records)";
+  if (rows_ > max_records) out += ", ...";
+  out += "] (" + std::to_string(rows_) + " records)";
   return out;
 }
 

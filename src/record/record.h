@@ -50,34 +50,57 @@ class Record {
   std::vector<Value> fields_;
 };
 
-/// An unordered list (bag) of records.
+class RecordBatch;
+
+/// An unordered list (bag) of records, stored as a run of fixed-capacity
+/// RecordBatches (DESIGN.md §2.2): every batch except the last holds exactly
+/// RecordBatch::kDefaultCapacity records, so record(i) is O(1) index math
+/// and SerializedBytes() reads the batches' cached size sums. DataSet itself
+/// is a thin view over the batches — the engine scans and gathers batch
+/// runs directly.
 class DataSet {
  public:
-  DataSet() = default;
-  explicit DataSet(std::vector<Record> records)
-      : records_(std::move(records)) {}
+  DataSet();
+  ~DataSet();
+  DataSet(DataSet&&) noexcept;
+  DataSet& operator=(DataSet&&) noexcept;
+  DataSet(const DataSet&);
+  DataSet& operator=(const DataSet&);
+  explicit DataSet(std::vector<Record> records);
 
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
 
-  const Record& record(size_t i) const { return records_[i]; }
-  std::vector<Record>& records() { return records_; }
-  const std::vector<Record>& records() const { return records_; }
+  const Record& record(size_t i) const;
 
-  void Add(Record r) { records_.push_back(std::move(r)); }
+  /// The underlying batch run (uniformly packed; see class comment).
+  const std::vector<RecordBatch>& batches() const { return batches_; }
+
+  /// Flattened copy of all records, in order. Compatibility accessor for
+  /// callers that need one contiguous vector (sorting, snapshots); batch
+  /// iteration is the cheap path.
+  std::vector<Record> records() const;
+
+  void Add(Record r);
+  /// Add for callers that already know the record's serialized size (the
+  /// engine's sink gather moves batch records whose sizes are cached),
+  /// skipping the payload walk Add() performs.
+  void AddWithSize(Record r, size_t serialized_bytes);
   void Append(DataSet other);
 
   /// Bag equality D1 ≡ D2 per §2.2: equal after some reordering.
   /// Implemented by sorting canonical forms — O(n log n).
   bool BagEquals(const DataSet& other) const;
 
-  /// Total serialized size; the engine's byte meters build on this.
+  /// Total serialized size from the batches' cached per-record sizes; the
+  /// engine's byte meters build on this.
   size_t SerializedBytes() const;
 
   std::string ToString(size_t max_records = 20) const;
 
  private:
-  std::vector<Record> records_;
+  std::vector<RecordBatch> batches_;
+  size_t rows_ = 0;
 };
 
 }  // namespace blackbox

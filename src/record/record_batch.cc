@@ -1,0 +1,39 @@
+#include "record/record_batch.h"
+
+namespace blackbox {
+
+size_t RecordBatch::RecomputeBytes() const {
+  size_t total = 0;
+  for (const Record& r : records_) total += r.SerializedSize();
+  return total;
+}
+
+RecordBatch BatchPool::Acquire(size_t capacity) {
+  while (!free_.empty()) {
+    RecordBatch b = std::move(free_.back());
+    free_.pop_back();
+    // A recycled batch is only reusable at the same capacity watermark; a
+    // mismatched one (callers switching capacities mid-run) is dropped.
+    if (b.capacity() == capacity) return b;
+  }
+  return RecordBatch(capacity);
+}
+
+void BatchPool::Release(RecordBatch batch) {
+  batch.Clear();
+  free_.push_back(std::move(batch));
+}
+
+size_t BatchesRows(const std::vector<RecordBatch>& batches) {
+  size_t rows = 0;
+  for (const RecordBatch& b : batches) rows += b.size();
+  return rows;
+}
+
+size_t BatchesBytes(const std::vector<RecordBatch>& batches) {
+  size_t bytes = 0;
+  for (const RecordBatch& b : batches) bytes += b.bytes();
+  return bytes;
+}
+
+}  // namespace blackbox

@@ -217,6 +217,100 @@ TEST(Interp, ConcatMergesByOwnedPositions) {
   EXPECT_EQ(out[0].field(3).AsInt(), 4);
 }
 
+TEST(Interp, RunBatchMatchesPerRecordRun) {
+  // A filter+expand UDF under a non-trivial translation: batch execution
+  // must emit exactly what record-at-a-time execution emits, with the same
+  // accumulated stats (the determinism contract for fused chains).
+  FunctionBuilder b("fe", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg v = b.GetField(ir, 0);
+  Label skip = b.NewLabel();
+  b.BranchIfTrue(b.CmpLt(v, b.ConstInt(0)), skip);
+  Reg orec = b.Copy(ir);
+  b.SetField(orec, 1, b.Add(v, b.ConstInt(1)));
+  b.Emit(orec);
+  b.Emit(orec);  // expands: two emits per surviving record
+  b.Bind(skip);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+
+  FieldTranslation t;
+  t.global_width = 4;
+  t.input_maps = {{2, 3}};
+  t.output_map = {2, 3};
+
+  std::vector<Record> in;
+  for (int64_t i = -3; i < 5; ++i) {
+    Record wide;
+    wide.SetField(3, Value::Null());
+    wide.SetField(2, Value(i));
+    in.push_back(std::move(wide));
+  }
+
+  Interpreter interp(&fn);
+  RunStats batch_stats;
+  std::vector<Record> out;
+  ASSERT_TRUE(interp.RunBatch(in, t, &out, &batch_stats).ok());
+
+  std::vector<Record> expected;
+  RunStats serial_stats;
+  for (const Record& r : in) {
+    CallInputs ci;
+    ci.groups = {{&r}};
+    ASSERT_TRUE(interp.Run(ci, t, &expected, &serial_stats).ok());
+  }
+  ASSERT_EQ(out.size(), expected.size());
+  EXPECT_EQ(out.size(), 10u);  // 5 surviving records × 2 emits
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out[i], expected[i]) << "record " << i;
+  }
+  EXPECT_EQ(batch_stats.instructions, serial_stats.instructions);
+  EXPECT_EQ(batch_stats.emits, serial_stats.emits);
+}
+
+TEST(Interp, RunBatchResetsWorkspaceBetweenRecords) {
+  // The UDF writes a register only on some records and emits a fresh output
+  // record built from it. If RunBatch leaked register or record-slot state
+  // across records, the "else" path would see the previous record's values.
+  FunctionBuilder b("leak", 1, UdfKind::kRat);
+  Reg ir = b.InputRecord(0);
+  Reg v = b.GetField(ir, 0);
+  Reg orec = b.NewRecord();
+  Label small = b.NewLabel();
+  b.BranchIfFalse(b.CmpGe(v, b.ConstInt(10)), small);
+  b.SetField(orec, 0, b.Add(v, b.ConstInt(100)));
+  b.Bind(small);
+  b.SetField(orec, 1, v);
+  b.Emit(orec);
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+
+  std::vector<Record> in;
+  in.push_back(Record({Value(int64_t{42})}));  // takes the >= 10 path
+  in.push_back(Record({Value(int64_t{1})}));   // must NOT inherit field 0
+  Interpreter interp(&fn);
+  std::vector<Record> out;
+  ASSERT_TRUE(interp.RunBatch(in, {}, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].field(0).AsInt(), 142);
+  EXPECT_TRUE(out[1].field(0).is_null())
+      << "workspace leaked across batch records: " << out[1].ToString();
+  EXPECT_EQ(out[1].field(1).AsInt(), 1);
+}
+
+TEST(Interp, RunBatchOnEmptyBatchIsNoOp) {
+  FunctionBuilder b("id", 1, UdfKind::kRat);
+  b.Emit(b.Copy(b.InputRecord(0)));
+  b.Return();
+  tac::Function fn = MustBuild(std::move(b));
+  Interpreter interp(&fn);
+  std::vector<Record> in, out;
+  RunStats rs;
+  ASSERT_TRUE(interp.RunBatch(in, {}, &out, &rs).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(rs.instructions, 0);
+}
+
 TEST(Interp, InfiniteLoopHitsStepLimit) {
   FunctionBuilder b("spin", 1, UdfKind::kRat);
   Label loop = b.NewLabel();

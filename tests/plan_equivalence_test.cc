@@ -1,9 +1,13 @@
 // Differential plan-equivalence oracle (the safety net for the widened §7.1
-// physical plan space): enumerate the full reordering closure of each seed
-// workload, execute EVERY costed alternative — whatever mix of ship
-// strategies, hash vs sort-merge joins, sort-group vs combiner Reduces the
-// physical optimizer picked for it — and assert the sorted sink output is
-// byte-identical to the original plan's, at 1 and at 8 worker threads.
+// physical plan space AND the streaming data plane): enumerate the full
+// reordering closure of each seed workload, execute EVERY costed alternative
+// — whatever mix of ship strategies, hash vs sort-merge joins, sort-group vs
+// combiner Reduces the physical optimizer picked for it — in fused-chain
+// mode and in --no-chain mode, at 1 and at 8 worker threads, and assert:
+//   * the sorted sink output is byte-identical to the original plan's in
+//     every (mode, threads) combination, and
+//   * the network / disk byte meters of each alternative are identical
+//     across all four combinations (fusion may only move peak_bytes).
 //
 // Registered under the `differential` ctest label with its own timeout (see
 // CMakeLists.txt); CI runs it in the ASan/UBSan job as well.
@@ -48,22 +52,29 @@ void CountStrategies(const PhysicalNode& n, int* merge_joins, int* combiners) {
   for (const auto& c : n.children) CountStrategies(*c, merge_joins, combiners);
 }
 
+struct AltMeters {
+  int64_t network_bytes = 0;
+  int64_t disk_bytes = 0;
+};
+
 struct ClosureStats {
   size_t alternatives = 0;
   int merge_join_plans = 0;  // executed plans containing a sort-merge join
   int combiner_plans = 0;    // executed plans containing a combiner
+  std::vector<AltMeters> meters;  // per executed rank, in ranked order
 };
 
-/// Optimizes `w` at the given worker-thread count, executes every ranked
-/// alternative, and asserts each one's sorted sink bytes equal `*reference`
-/// (filling it from the original plan on first use).
+/// Optimizes `w` at the given worker-thread count and chain mode, executes
+/// every ranked alternative, and asserts each one's sorted sink bytes equal
+/// `*reference` (filling it from the original plan on first use).
 ClosureStats RunClosure(const workloads::Workload& w,
                         const api::AnnotationProvider& provider, int threads,
-                        std::string* reference) {
+                        bool fuse_chains, std::string* reference) {
   api::OptimizeOptions options;
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = 1 << 20;
   options.exec.num_threads = threads;
+  options.exec.fuse_chains = fuse_chains;
   // Differential execution is linear in the closure size; the cap keeps the
   // oracle tractable if a workload's plan space ever explodes.
   options.enum_options.max_plans = 512;
@@ -108,20 +119,67 @@ ClosureStats RunClosure(const workloads::Workload& w,
     if (merge > 0) ++stats.merge_join_plans;
     if (comb > 0) ++stats.combiner_plans;
 
-    StatusOr<DataSet> out = program->Run(i);
+    engine::ExecStats run_stats;
+    StatusOr<DataSet> out = program->Run(i, &run_stats);
     if (!out.ok()) {
       ADD_FAILURE() << w.name << " rank " << alt.rank << ": "
                     << out.status().ToString();
       return stats;
     }
+    stats.meters.push_back(
+        {run_stats.network_bytes, run_stats.disk_bytes});
     EXPECT_EQ(SortedOutputBytes(*out), *reference)
         << w.name << " rank " << alt.rank << " at " << threads
-        << " thread(s) diverges from the original plan.\nlogical: "
+        << " thread(s), " << (fuse_chains ? "fused" : "no-chain")
+        << " diverges from the original plan.\nlogical: "
         << reorder::PlanToString(alt.logical, w.flow)
         << "physical:\n" << alt.physical.ToString(w.flow);
     if (::testing::Test::HasFailure()) break;  // one dump is enough
   }
   return stats;
+}
+
+/// Runs the closure in all four (threads, chain-mode) combinations against
+/// one shared reference output and asserts the per-alternative network/disk
+/// meters are identical in every combination — fusion and thread count may
+/// move wall time and peak_bytes, never the byte meters.
+struct ModeMatrix {
+  ClosureStats serial_fused;
+  ClosureStats parallel_fused;
+  ClosureStats serial_unfused;
+  ClosureStats parallel_unfused;
+};
+
+ModeMatrix RunAllModes(const workloads::Workload& w,
+                       const api::AnnotationProvider& provider,
+                       std::string* reference) {
+  ModeMatrix m;
+  m.serial_fused = RunClosure(w, provider, 1, /*fuse=*/true, reference);
+  if (::testing::Test::HasFailure()) return m;
+  m.parallel_fused = RunClosure(w, provider, 8, /*fuse=*/true, reference);
+  if (::testing::Test::HasFailure()) return m;
+  m.serial_unfused = RunClosure(w, provider, 1, /*fuse=*/false, reference);
+  if (::testing::Test::HasFailure()) return m;
+  m.parallel_unfused = RunClosure(w, provider, 8, /*fuse=*/false, reference);
+  if (::testing::Test::HasFailure()) return m;
+
+  EXPECT_EQ(m.serial_fused.alternatives, m.parallel_fused.alternatives);
+  EXPECT_EQ(m.serial_fused.alternatives, m.serial_unfused.alternatives);
+  EXPECT_EQ(m.serial_fused.alternatives, m.parallel_unfused.alternatives);
+  EXPECT_EQ(m.serial_fused.meters.size(), m.serial_unfused.meters.size());
+  if (::testing::Test::HasFailure()) return m;
+  for (size_t i = 0; i < m.serial_fused.meters.size(); ++i) {
+    for (const ClosureStats* other :
+         {&m.parallel_fused, &m.serial_unfused, &m.parallel_unfused}) {
+      EXPECT_EQ(m.serial_fused.meters[i].network_bytes,
+                other->meters[i].network_bytes)
+          << w.name << " rank index " << i << ": network meter diverges";
+      EXPECT_EQ(m.serial_fused.meters[i].disk_bytes,
+                other->meters[i].disk_bytes)
+          << w.name << " rank index " << i << ": disk meter diverges";
+    }
+  }
+  return m;
 }
 
 TEST(PlanEquivalence, TpchQ7ClosureIsByteIdenticalAndCoversCombiner) {
@@ -137,14 +195,13 @@ TEST(PlanEquivalence, TpchQ7ClosureIsByteIdenticalAndCoversCombiner) {
   workloads::Workload w = workloads::MakeTpchQ7(scale);
   api::ScaProvider sca;
   std::string reference;
-  ClosureStats serial = RunClosure(w, sca, /*threads=*/1, &reference);
+  ModeMatrix m = RunAllModes(w, sca, &reference);
   if (::testing::Test::HasFailure()) return;
-  ClosureStats parallel = RunClosure(w, sca, /*threads=*/8, &reference);
-  EXPECT_EQ(serial.alternatives, parallel.alternatives);
   // The widened plan space must actually exercise the combiner.
-  EXPECT_GT(serial.combiner_plans, 0)
+  EXPECT_GT(m.serial_fused.combiner_plans, 0)
       << "no enumerated Q7 alternative chose a combiner plan";
-  EXPECT_EQ(serial.combiner_plans, parallel.combiner_plans);
+  EXPECT_EQ(m.serial_fused.combiner_plans, m.parallel_fused.combiner_plans);
+  EXPECT_EQ(m.serial_fused.combiner_plans, m.serial_unfused.combiner_plans);
 }
 
 TEST(PlanEquivalence, TextMiningClosureIsByteIdentical) {
@@ -153,11 +210,9 @@ TEST(PlanEquivalence, TextMiningClosureIsByteIdentical) {
   workloads::Workload w = workloads::MakeTextMining(scale);
   api::ScaProvider sca;
   std::string reference;
-  ClosureStats serial = RunClosure(w, sca, /*threads=*/1, &reference);
+  ModeMatrix m = RunAllModes(w, sca, &reference);
   if (::testing::Test::HasFailure()) return;
-  ClosureStats parallel = RunClosure(w, sca, /*threads=*/8, &reference);
-  EXPECT_EQ(serial.alternatives, parallel.alternatives);
-  EXPECT_GT(serial.alternatives, 1u);
+  EXPECT_GT(m.serial_fused.alternatives, 1u);
 }
 
 TEST(PlanEquivalence, ClickstreamClosureIsByteIdenticalAndCoversMergeJoin) {
@@ -169,14 +224,13 @@ TEST(PlanEquivalence, ClickstreamClosureIsByteIdenticalAndCoversMergeJoin) {
   // which shrinks the clickstream plan space to the original plan only.
   api::ManualProvider manual;
   std::string reference;
-  ClosureStats serial = RunClosure(w, manual, /*threads=*/1, &reference);
+  ModeMatrix m = RunAllModes(w, manual, &reference);
   if (::testing::Test::HasFailure()) return;
-  ClosureStats parallel = RunClosure(w, manual, /*threads=*/8, &reference);
-  EXPECT_EQ(serial.alternatives, parallel.alternatives);
   // The widened plan space must actually exercise the sort-merge join.
-  EXPECT_GT(serial.merge_join_plans, 0)
+  EXPECT_GT(m.serial_fused.merge_join_plans, 0)
       << "no enumerated clickstream alternative chose a sort-merge-join plan";
-  EXPECT_EQ(serial.merge_join_plans, parallel.merge_join_plans);
+  EXPECT_EQ(m.serial_fused.merge_join_plans,
+            m.parallel_fused.merge_join_plans);
 }
 
 }  // namespace

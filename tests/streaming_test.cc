@@ -1,0 +1,228 @@
+// Engine-level contract of the streaming data plane (DESIGN.md §2.2):
+// chain-group formation on the seed workloads, byte-identity between fused
+// and --no-chain execution, the peak-memory win fusion buys, and invariance
+// of results under batch capacity and worker-thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/optimized_program.h"
+#include "api/pipeline.h"
+#include "engine/executor.h"
+#include "optimizer/physical.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+using optimizer::PhysicalNode;
+
+api::OptimizeOptions BaseOptions() {
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 1 << 20;
+  return options;
+}
+
+StatusOr<api::OptimizedProgram> Optimize(const workloads::Workload& w,
+                                         const api::AnnotationProvider& prov,
+                                         const api::OptimizeOptions& options) {
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  return api::OptimizeFlow(w.flow, prov, options, sources);
+}
+
+/// Members per chain id, asserting every node carries one.
+std::map<int, int> ChainSizes(const PhysicalNode& root) {
+  std::map<int, int> sizes;
+  std::function<void(const PhysicalNode&)> walk = [&](const PhysicalNode& n) {
+    EXPECT_GE(n.chain_id, 0) << "node " << n.op_id << " has no chain id";
+    sizes[n.chain_id]++;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(root);
+  return sizes;
+}
+
+int MaxChainSize(const PhysicalNode& root) {
+  int best = 0;
+  for (const auto& [id, n] : ChainSizes(root)) best = std::max(best, n);
+  return best;
+}
+
+std::string SortedBytes(const DataSet& ds) {
+  std::vector<Record> sorted = ds.records();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Record& r : sorted) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+workloads::Workload SmallQ7() {
+  workloads::TpchScale scale;
+  scale.lineitems = 4000;
+  scale.orders = 400;
+  scale.customers = 80;
+  scale.suppliers = 16;
+  scale.nations = 8;
+  return workloads::MakeTpchQ7(scale);
+}
+
+// Acceptance gate: chains of length >= 2 must form on all three seed
+// workloads' winning plans — the optimizer's chain ids are what the engine
+// fuses, so this pins that fusion actually happens, not just that the
+// machinery exists.
+TEST(Streaming, ChainsFormOnAllSeedWorkloads) {
+  {
+    workloads::Workload q7 = SmallQ7();
+    api::ScaProvider sca;
+    StatusOr<api::OptimizedProgram> p = Optimize(q7, sca, BaseOptions());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    // Q7's winner fuses [scan lineitem → σ filter] below the join spine and
+    // [γ reduce → nation-pair filter → sink] above it: both chains >= 2.
+    EXPECT_GE(MaxChainSize(*p->ranked()[0].physical.root), 3);
+  }
+  {
+    workloads::TextMiningScale scale;
+    scale.documents = 200;
+    workloads::Workload tm = workloads::MakeTextMining(scale);
+    api::ScaProvider sca;
+    StatusOr<api::OptimizedProgram> p = Optimize(tm, sca, BaseOptions());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    // The text-mining pipeline is one source, six Maps and a sink — with no
+    // breaker in between it must fuse into a single chain of all 8 nodes.
+    EXPECT_EQ(MaxChainSize(*p->ranked()[0].physical.root), 8);
+  }
+  {
+    workloads::ClickstreamScale scale;
+    scale.sessions = 200;
+    scale.users = 40;
+    workloads::Workload cs = workloads::MakeClickstream(scale);
+    api::ManualProvider manual;
+    StatusOr<api::OptimizedProgram> p = Optimize(cs, manual, BaseOptions());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    // Clickstream is breaker-heavy (two Reduces, two joins); the sink still
+    // fuses onto the top join's probe stream.
+    EXPECT_GE(MaxChainSize(*p->ranked()[0].physical.root), 2);
+  }
+}
+
+TEST(Streaming, FusedAndUnfusedAreByteIdenticalAndFusionCutsPeakOnQ7) {
+  workloads::Workload q7 = SmallQ7();
+  api::ScaProvider sca;
+
+  auto run = [&](bool fuse, int threads) {
+    api::OptimizeOptions options = BaseOptions();
+    options.exec.fuse_chains = fuse;
+    options.exec.num_threads = threads;
+    StatusOr<api::OptimizedProgram> p = Optimize(q7, sca, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->RunBest(&stats);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::make_pair(SortedBytes(*out), stats);
+  };
+
+  auto [fused_out, fused] = run(/*fuse=*/true, /*threads=*/1);
+  auto [unfused_out, unfused] = run(/*fuse=*/false, /*threads=*/1);
+  if (::testing::Test::HasFailure()) return;
+
+  EXPECT_EQ(fused_out, unfused_out);
+  EXPECT_EQ(fused.network_bytes, unfused.network_bytes);
+  EXPECT_EQ(fused.disk_bytes, unfused.disk_bytes);
+  EXPECT_EQ(fused.udf_calls, unfused.udf_calls);
+  EXPECT_EQ(fused.records_processed, unfused.records_processed);
+  EXPECT_EQ(fused.interp_instructions, unfused.interp_instructions);
+  EXPECT_DOUBLE_EQ(fused.simulated_seconds, unfused.simulated_seconds);
+
+  // The streaming contract: fused peak memory is bounded by breaker buffers
+  // only, so it must drop strictly below the materialize-everything plan's.
+  EXPECT_GT(unfused.peak_bytes, 0);
+  EXPECT_LT(fused.peak_bytes, unfused.peak_bytes)
+      << "fused=" << fused.peak_bytes << " unfused=" << unfused.peak_bytes;
+
+  // peak_bytes is part of the determinism contract: identical per mode at
+  // every worker-thread count.
+  auto [fused_out8, fused8] = run(/*fuse=*/true, /*threads=*/8);
+  EXPECT_EQ(fused_out8, fused_out);
+  EXPECT_EQ(fused8.peak_bytes, fused.peak_bytes);
+  auto [unfused_out8, unfused8] = run(/*fuse=*/false, /*threads=*/8);
+  EXPECT_EQ(unfused_out8, unfused_out);
+  EXPECT_EQ(unfused8.peak_bytes, unfused.peak_bytes);
+}
+
+TEST(Streaming, TextMiningFusionCollapsesIntermediatePeaks) {
+  // The 6-Map pipeline is the worst case for materialize-everything: every
+  // Map's full output is a live buffer. One fused chain should keep peak at
+  // roughly a single materialization.
+  workloads::TextMiningScale scale;
+  scale.documents = 400;
+  workloads::Workload tm = workloads::MakeTextMining(scale);
+  api::ScaProvider sca;
+
+  auto run = [&](bool fuse) {
+    api::OptimizeOptions options = BaseOptions();
+    options.exec.fuse_chains = fuse;
+    StatusOr<api::OptimizedProgram> p = Optimize(tm, sca, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->RunBest(&stats);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::make_pair(SortedBytes(*out), stats);
+  };
+  auto [fused_out, fused] = run(true);
+  auto [unfused_out, unfused] = run(false);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_EQ(fused_out, unfused_out);
+  EXPECT_EQ(fused.network_bytes, unfused.network_bytes);
+  EXPECT_EQ(fused.disk_bytes, unfused.disk_bytes);
+  // Expect a lot better than "slightly below": the unfused pipeline holds
+  // adjacent Map outputs simultaneously; the fused one only the chain's
+  // terminal sink buffer.
+  EXPECT_LT(fused.peak_bytes * 2, unfused.peak_bytes)
+      << "fused=" << fused.peak_bytes << " unfused=" << unfused.peak_bytes;
+}
+
+TEST(Streaming, BatchCapacityDoesNotChangeOutputOrMeters) {
+  workloads::TextMiningScale scale;
+  scale.documents = 64;  // 8 records per partition at dop 8
+  workloads::Workload tm = workloads::MakeTextMining(scale);
+  api::ScaProvider sca;
+
+  auto run = [&](size_t capacity) {
+    api::OptimizeOptions options = BaseOptions();
+    options.exec.batch_capacity = capacity;
+    StatusOr<api::OptimizedProgram> p = Optimize(tm, sca, options);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->RunBest(&stats);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::make_pair(SortedBytes(*out), stats);
+  };
+
+  // capacity 8 == records per partition: the end-of-partition flush sees an
+  // exactly-drained pending batch (the empty-flush edge); capacity 1
+  // degenerates to record-at-a-time; 3 leaves a partial tail batch.
+  auto [ref_out, ref] = run(256);
+  for (size_t capacity : {1u, 3u, 8u}) {
+    auto [out, stats] = run(capacity);
+    EXPECT_EQ(out, ref_out) << "capacity " << capacity;
+    EXPECT_EQ(stats.network_bytes, ref.network_bytes) << capacity;
+    EXPECT_EQ(stats.disk_bytes, ref.disk_bytes) << capacity;
+    EXPECT_EQ(stats.udf_calls, ref.udf_calls) << capacity;
+    EXPECT_EQ(stats.records_processed, ref.records_processed) << capacity;
+  }
+}
+
+}  // namespace
+}  // namespace blackbox

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Guard against silent cost-model / plan-choice drift in the bench JSONs.
+
+The bench-smoke CI step runs `fig5_tpch_q7 --smoke` and `ablation`, producing
+BENCH_fig5_tpch_q7.json and BENCH_ablation.json. Both are deterministic
+(estimated costs, byte meters, strategy-mix counters are pure functions of the
+workload and the cost model), so any difference from the committed baseline is
+a real behavior change — intended changes must regenerate the baseline in the
+same commit.
+
+Usage:
+  tools/bench_baseline.py write  [--out bench/BENCH_baseline.json] [--dir .]
+      Compose a new baseline from the two fresh bench JSONs.
+  tools/bench_baseline.py check  [--baseline bench/BENCH_baseline.json] [--dir .]
+      Diff fresh bench JSONs against the baseline; exit 1 on drift.
+
+Compared per fig5 run (matched by rank): estimated_cost (relative 1e-6),
+network/disk/peak bytes (exact). Compared per ablation row (matched by
+workload+config): plans, estimated_cost, byte meters, strategy-mix counters.
+Rows from profiler-based configs are skipped — profiled hints measure real
+per-call wall time and are not deterministic. Wall-clock fields are never
+compared.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FIG5 = "BENCH_fig5_tpch_q7.json"
+ABLATION = "BENCH_ablation.json"
+
+FIG5_TOP_KEYS = [
+    "alternatives",
+    "truncated",
+    "implemented_rank",
+    "sort_merge_plans",
+    "combiner_plans",
+    "best_uses_sort_merge",
+    "best_uses_combiner",
+]
+FIG5_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls"]
+ABLATION_EXACT = [
+    "plans",
+    "network_bytes",
+    "disk_bytes",
+    "peak_bytes",
+    "sort_merge_plans",
+    "combiner_plans",
+]
+REL_TOL = 1e-6
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rel_close(a, b):
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), 1.0)
+
+
+def nondeterministic(row):
+    return "profiled" in row.get("config", "")
+
+
+def extract(dirname):
+    fig5 = load(os.path.join(dirname, FIG5))
+    ablation = load(os.path.join(dirname, ABLATION))
+    base = {
+        "comment": "Committed bench-smoke baseline; regenerate with "
+                   "tools/bench_baseline.py write when a cost-model or "
+                   "plan-choice change is intended.",
+        "fig5_tpch_q7": {k: fig5[k] for k in FIG5_TOP_KEYS},
+        "ablation_rows": [
+            {k: row[k] for k in ["workload", "config", "estimated_cost"]
+             + ABLATION_EXACT}
+            for row in ablation["rows"] if not nondeterministic(row)
+        ],
+    }
+    base["fig5_tpch_q7"]["runs"] = [
+        {k: run[k] for k in ["rank", "estimated_cost"] + FIG5_RUN_EXACT}
+        for run in fig5["runs"]
+    ]
+    return base
+
+
+def check(baseline, fresh):
+    errors = []
+
+    def mismatch(where, key, want, got):
+        errors.append(f"{where}: {key} drifted: baseline {want} vs fresh {got}")
+
+    bf, ff = baseline["fig5_tpch_q7"], fresh["fig5_tpch_q7"]
+    for k in FIG5_TOP_KEYS:
+        if bf[k] != ff[k]:
+            mismatch("fig5", k, bf[k], ff[k])
+    fresh_runs = {r["rank"]: r for r in ff["runs"]}
+    for want in bf["runs"]:
+        got = fresh_runs.get(want["rank"])
+        if got is None:
+            mismatch("fig5", f"rank {want['rank']}", "present", "missing")
+            continue
+        if not rel_close(want["estimated_cost"], got["estimated_cost"]):
+            mismatch(f"fig5 rank {want['rank']}", "estimated_cost",
+                     want["estimated_cost"], got["estimated_cost"])
+        for k in FIG5_RUN_EXACT:
+            if want[k] != got[k]:
+                mismatch(f"fig5 rank {want['rank']}", k, want[k], got[k])
+    if len(bf["runs"]) != len(ff["runs"]):
+        mismatch("fig5", "run count", len(bf["runs"]), len(ff["runs"]))
+
+    fresh_rows = {(r["workload"], r["config"]): r
+                  for r in fresh["ablation_rows"]}
+    for want in baseline["ablation_rows"]:
+        key = (want["workload"], want["config"])
+        got = fresh_rows.get(key)
+        where = f"ablation [{key[0]} / {key[1]}]"
+        if got is None:
+            mismatch("ablation", f"row {key}", "present", "missing")
+            continue
+        if not rel_close(want["estimated_cost"], got["estimated_cost"]):
+            mismatch(where, "estimated_cost", want["estimated_cost"],
+                     got["estimated_cost"])
+        for k in ABLATION_EXACT:
+            if want[k] != got[k]:
+                mismatch(where, k, want[k], got[k])
+    if len(baseline["ablation_rows"]) != len(fresh["ablation_rows"]):
+        mismatch("ablation", "row count", len(baseline["ablation_rows"]),
+                 len(fresh["ablation_rows"]))
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode", choices=["write", "check"])
+    ap.add_argument("--dir", default=".",
+                    help="directory holding the fresh BENCH_*.json files")
+    ap.add_argument("--baseline", default="bench/BENCH_baseline.json")
+    ap.add_argument("--out", default="bench/BENCH_baseline.json")
+    args = ap.parse_args()
+
+    fresh = extract(args.dir)
+    if args.mode == "write":
+        with open(args.out, "w") as f:
+            json.dump(fresh, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+        return 0
+
+    baseline = load(args.baseline)
+    errors = check(baseline, fresh)
+    if errors:
+        print("bench baseline drift detected "
+              "(regenerate bench/BENCH_baseline.json if intended):")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"bench JSONs match {args.baseline} "
+          f"({len(baseline['ablation_rows'])} ablation rows, "
+          f"{len(baseline['fig5_tpch_q7']['runs'])} fig5 runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
