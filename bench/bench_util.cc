@@ -177,13 +177,66 @@ StatusOr<ThreadScaling> MeasureThreadScaling(const workloads::Workload& w,
   return scaling;
 }
 
+Status WriteFigureJsonWithSweep(const std::string& base_name,
+                                long long mem_budget_flag, FigureResult* fig,
+                                const ThreadScaling* scaling) {
+  StatusOr<std::vector<BudgetSweepPoint>> sweep =
+      RunBudgetSweep(fig, DefaultBudgetSweep());
+  if (!sweep.ok()) return sweep.status();
+  std::printf("budget sweep (best plan):\n");
+  for (const BudgetSweepPoint& p : *sweep) {
+    std::printf("  budget %10.0f B  disk %8.3f MB  peak %8.3f MB\n",
+                p.budget_bytes, static_cast<double>(p.disk_bytes) / (1 << 20),
+                static_cast<double>(p.peak_bytes) / (1 << 20));
+  }
+  std::printf("\n");
+  std::string name = base_name;
+  if (mem_budget_flag > 0) {
+    name += "_budget" + std::to_string(mem_budget_flag);
+  }
+  return WriteBenchJson(name, *fig, scaling, &*sweep);
+}
+
+std::vector<double> DefaultBudgetSweep() {
+  // Effectively unbounded, then tightening until even the best-ranked plan
+  // (which the optimizer chose partly for its small breakers) must spill.
+  return {static_cast<double>(1 << 30), static_cast<double>(256 << 10),
+          static_cast<double>(32 << 10), static_cast<double>(8 << 10)};
+}
+
+StatusOr<std::vector<BudgetSweepPoint>> RunBudgetSweep(
+    FigureResult* fig, const std::vector<double>& budgets) {
+  engine::ExecOptions saved = fig->program.exec_options();
+  std::vector<BudgetSweepPoint> points;
+  for (double budget : budgets) {
+    fig->program.mutable_exec_options().mem_budget_bytes = budget;
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = fig->program.RunBest(&stats);
+    if (!out.ok()) {
+      fig->program.mutable_exec_options() = saved;
+      return out.status();
+    }
+    BudgetSweepPoint p;
+    p.budget_bytes = budget;
+    p.simulated_seconds = stats.simulated_seconds;
+    p.disk_bytes = static_cast<long long>(stats.disk_bytes);
+    p.peak_bytes = static_cast<long long>(stats.peak_bytes);
+    points.push_back(p);
+  }
+  fig->program.mutable_exec_options() = saved;
+  return points;
+}
+
 Status WriteBenchJson(const std::string& name, const FigureResult& result,
-                      const ThreadScaling* scaling) {
+                      const ThreadScaling* scaling,
+                      const std::vector<BudgetSweepPoint>* sweep) {
   std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return Status::Internal("cannot open " + path + " for writing");
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"%s\",\n", name.c_str());
+  std::fprintf(f, "  \"mem_budget_bytes\": %.0f,\n",
+               result.program.exec_options().mem_budget_bytes);
   std::fprintf(f, "  \"alternatives\": %zu,\n",
                result.program.num_alternatives());
   std::fprintf(f, "  \"truncated\": %s,\n",
@@ -219,7 +272,7 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  static_cast<long long>(r.stats.udf_calls),
                  i + 1 < result.runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]%s\n", scaling ? "," : "");
+  std::fprintf(f, "  ]%s\n", (scaling || sweep) ? "," : "");
   if (scaling) {
     std::fprintf(f, "  \"thread_scaling\": {\n");
     std::fprintf(f,
@@ -234,7 +287,21 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  scaling->parallel.run_seconds,
                  scaling->parallel.total_seconds());
     std::fprintf(f, "    \"speedup\": %.3f\n", scaling->speedup);
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  }%s\n", sweep ? "," : "");
+  }
+  if (sweep) {
+    // Best plan re-executed under tightening per-instance budgets: disk and
+    // peak are measured, deterministic, and pinned by the bench baseline.
+    std::fprintf(f, "  \"budget_sweep\": [\n");
+    for (size_t i = 0; i < sweep->size(); ++i) {
+      const BudgetSweepPoint& p = (*sweep)[i];
+      std::fprintf(f,
+                   "    {\"mem_budget_bytes\": %.0f, \"simulated_seconds\": "
+                   "%.6f, \"disk_bytes\": %lld, \"peak_bytes\": %lld}%s\n",
+                   p.budget_bytes, p.simulated_seconds, p.disk_bytes,
+                   p.peak_bytes, i + 1 < sweep->size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

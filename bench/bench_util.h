@@ -96,12 +96,43 @@ StatusOr<ThreadScaling> MeasureThreadScaling(const workloads::Workload& w,
                                              const BenchConfig& config,
                                              int threads);
 
+/// One point of a memory-budget sweep: the best-ranked plan re-executed
+/// under a different per-instance budget (DESIGN.md §2.3). disk_bytes is
+/// the measured spill traffic, peak_bytes the per-instance high-water mark
+/// — both deterministic, so the bench baseline pins them against drift.
+struct BudgetSweepPoint {
+  double budget_bytes = 0;
+  double simulated_seconds = 0;
+  long long disk_bytes = 0;
+  long long peak_bytes = 0;
+};
+
+/// Runs the best-ranked plan of `fig` once per budget (restoring the
+/// original execution options afterwards).
+StatusOr<std::vector<BudgetSweepPoint>> RunBudgetSweep(
+    FigureResult* fig, const std::vector<double>& budgets);
+
+/// The default sweep the figure drivers record: effectively unbounded, then
+/// squeezing the per-instance budget to 256 KB, 32 KB, and finally 8 KB —
+/// the point at which even the best-ranked plan must spill.
+std::vector<double> DefaultBudgetSweep();
+
 /// Writes machine-readable results to BENCH_<name>.json in the working
 /// directory (plan counts, estimated vs simulated seconds per picked rank,
-/// and — when `scaling` is non-null — real wall time at 1 and N threads).
+/// disk/peak meters, the memory-budget sweep when `sweep` is non-null, and
+/// — when `scaling` is non-null — real wall time at 1 and N threads).
 /// CI runs this on every push so the perf trajectory is tracked.
 Status WriteBenchJson(const std::string& name, const FigureResult& result,
-                      const ThreadScaling* scaling = nullptr);
+                      const ThreadScaling* scaling = nullptr,
+                      const std::vector<BudgetSweepPoint>* sweep = nullptr);
+
+/// The figure drivers' shared tail: runs the default budget sweep of the
+/// best plan, prints it, and writes BENCH_<base>[_budget<N>].json — the
+/// suffix (when `mem_budget_flag` > 0, the driver's --mem-budget value)
+/// keeps CI's spill-smoke JSON next to the default one.
+Status WriteFigureJsonWithSweep(const std::string& base_name,
+                                long long mem_budget_flag, FigureResult* fig,
+                                const ThreadScaling* scaling = nullptr);
 
 }  // namespace bench
 }  // namespace blackbox

@@ -8,11 +8,18 @@
 // optimize+run wall time at 1 and 8 worker threads, and writes the whole
 // series to BENCH_fig5_tpch_q7.json for the CI perf trajectory.
 //
-// Flags: --smoke     reduced scale + fewer picks (the CI smoke config).
-//        --no-chain  disable fused operator chains (materialize-everything
-//                    execution; byte meters identical, peak_bytes higher).
+// Flags: --smoke         reduced scale + fewer picks (the CI smoke config).
+//        --no-chain      disable fused operator chains (materialize-
+//                        everything execution; byte meters identical,
+//                        peak_bytes higher — and under a tight budget, more
+//                        spilling).
+//        --mem-budget N  per-instance memory budget in bytes; breakers
+//                        exceeding it spill for real (DESIGN.md §2.3). The
+//                        JSON name gains a _budgetN suffix so CI's
+//                        spill-smoke run sits next to the default one.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_util.h"
@@ -24,9 +31,13 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   bool no_chain = false;
+  long long mem_budget = 0;  // 0: keep the BenchConfig default
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--no-chain") == 0) no_chain = true;
+    if (std::strcmp(argv[i], "--mem-budget") == 0 && i + 1 < argc) {
+      mem_budget = std::atoll(argv[++i]);
+    }
   }
 
   workloads::TpchScale scale;
@@ -47,6 +58,9 @@ int main(int argc, char** argv) {
   config.picks = smoke ? 5 : 10;
   config.reps = smoke ? 1 : 2;
   config.exec.fuse_chains = !no_chain;
+  if (mem_budget > 0) {
+    config.exec.mem_budget_bytes = static_cast<double>(mem_budget);
+  }
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
   if (!fig.ok()) {
     std::fprintf(stderr, "error: %s\n", fig.status().ToString().c_str());
@@ -72,7 +86,10 @@ int main(int argc, char** argv) {
       scaling->serial.total_seconds(), scaling->parallel.total_seconds(),
       scaling->parallel.threads, scaling->speedup);
 
-  Status json = bench::WriteBenchJson("fig5_tpch_q7", *fig, &*scaling);
+  // Memory-budget sweep of the best plan: measured disk/peak per budget,
+  // pinned by tools/bench_baseline.py against silent drift.
+  Status json = bench::WriteFigureJsonWithSweep("fig5_tpch_q7", mem_budget,
+                                                &*fig, &*scaling);
   if (!json.ok()) {
     std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
     return 1;

@@ -5,14 +5,28 @@
 // implemented flow (rank 3) by a factor of ~1.4.
 //
 // Also prints Figure 4: implemented vs. 1st-ranked data flow.
+//
+// Flags: --mem-budget N  per-instance memory budget in bytes (real spilling
+//                        below it, DESIGN.md §2.3); the JSON name gains a
+//                        _budgetN suffix for CI's spill-smoke run.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "workloads/clickstream.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace blackbox;
+
+  long long mem_budget = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mem-budget") == 0 && i + 1 < argc) {
+      mem_budget = std::atoll(argv[++i]);
+    }
+  }
 
   workloads::ClickstreamScale scale;
   scale.sessions = 20000;
@@ -25,6 +39,9 @@ int main() {
   config.provider = &manual;
   config.picks = 4;
   config.reps = 3;
+  if (mem_budget > 0) {
+    config.exec.mem_budget_bytes = static_cast<double>(mem_budget);
+  }
   StatusOr<bench::FigureResult> fig = bench::RunRankedFigure(w, config);
   if (!fig.ok()) {
     std::fprintf(stderr, "error: %s\n", fig.status().ToString().c_str());
@@ -35,7 +52,8 @@ int main() {
       "runtime (all 4 plans)",
       *fig);
 
-  Status json = bench::WriteBenchJson("fig7_clickstream", *fig);
+  Status json =
+      bench::WriteFigureJsonWithSweep("fig7_clickstream", mem_budget, &*fig);
   if (!json.ok()) {
     std::fprintf(stderr, "error: %s\n", json.ToString().c_str());
     return 1;

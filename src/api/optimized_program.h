@@ -94,6 +94,14 @@ class OptimizedProgram {
 
   const engine::ExecOptions& exec_options() const { return exec_; }
 
+  /// Mutable run options: lets a program optimized once be executed under
+  /// different cluster conditions — most usefully a memory-budget sweep
+  /// (exec_options().mem_budget_bytes) across Run() calls, the knob the
+  /// spill-equivalence harness and the bench budget sweeps turn. Note the
+  /// ranked plans keep the costs they were optimized with; changing the
+  /// budget here changes measured behavior only.
+  engine::ExecOptions& mutable_exec_options() { return exec_; }
+
  private:
   friend class Pipeline;
   friend StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow&,

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/task_pool.h"
+#include "engine/spill_manager.h"
 #include "interp/interp.h"
 #include "reorder/plan.h"
 
@@ -25,65 +26,11 @@ using optimizer::ShipStrategy;
 
 namespace {
 
-/// One partition's records, packed into batches with cached serialized
-/// sizes; a Partitions is one materialized inter-operator buffer (a pipeline
-/// breaker's input or output).
-using BatchRun = std::vector<RecordBatch>;
-using Partitions = std::vector<BatchRun>;
-
-/// Key extracted at the given global positions.
-std::vector<Value> KeyOf(const Record& r, const std::vector<AttrId>& key) {
-  std::vector<Value> k;
-  k.reserve(key.size());
-  for (AttrId a : key) {
-    k.push_back(a < static_cast<int>(r.num_fields()) ? r.field(a) : Value());
-  }
-  return k;
-}
-
-uint64_t KeyHash(const std::vector<Value>& key) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (const Value& v : key) {
-    h ^= v.Hash();
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
-  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
-}
-
-/// One partition's records paired with their extracted keys and stable-sorted
-/// by key: the per-partition input of a merge join. The stable sort keeps the
-/// arrival order within equal keys, so a stream that already carries a
-/// serving sort order passes through unchanged.
-struct SortedRun {
-  std::vector<std::pair<std::vector<Value>, const Record*>> entries;
-
-  SortedRun(const BatchRun& part, const std::vector<AttrId>& key) {
-    entries.reserve(BatchesRows(part));
-    for (const RecordBatch& b : part) {
-      for (size_t i = 0; i < b.size(); ++i) {
-        entries.emplace_back(KeyOf(b.record(i), key), &b.record(i));
-      }
-    }
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const auto& a, const auto& b) {
-                       return KeyLess(a.first, b.first);
-                     });
-  }
-
-  /// End of the equal-key run starting at `begin`.
-  size_t RunEnd(size_t begin) const {
-    size_t end = begin + 1;
-    while (end < entries.size() &&
-           !KeyLess(entries[begin].first, entries[end].first)) {
-      ++end;
-    }
-    return end;
-  }
-};
+/// One partition's materialized inter-operator buffer: a budget-aware
+/// SpillableBuffer on that instance's MemoryLedger (DESIGN.md §2.3). A
+/// Partitions is one such buffer per simulated instance — a pipeline
+/// breaker's input or output.
+using Partitions = std::vector<std::unique_ptr<SpillableBuffer>>;
 
 /// Compacts a wide (global-layout) record onto the sink schema. The single
 /// definition of sink projection: used by the fused chain's sink stage and
@@ -110,21 +57,18 @@ struct ChainStage {
 
 /// Per-partition chain executor: the producer (scan or breaker) pushes its
 /// emitted records here; full batches are pulled through every stage in one
-/// pass and the final stage's output is packed into the chain's materialized
-/// output run. In-flight records between stages are plain vectors — their
+/// pass and the final stage's output lands in the chain's materialized
+/// output buffer. In-flight records between stages are plain vectors — their
 /// serialized sizes are cached exactly once, at the terminal write into the
-/// output run (the only place byte meters ever read them). All state — the
-/// pending buffer, the ping-pong scratch buffers (cleared, never shrunk:
+/// output buffer (the only place byte meters ever read them). All state —
+/// the pending buffer, the ping-pong scratch buffers (cleared, never shrunk:
 /// arena reuse across flushes), one Interpreter per Map stage — is owned by
 /// one partition task (DESIGN.md §2.1).
 class ChainRunner {
  public:
   ChainRunner(const std::vector<ChainStage>* stages, size_t capacity,
-              BatchRun* out, ExecStats* meters)
-      : stages_(stages),
-        capacity_(capacity),
-        writer_(out, capacity),
-        meters_(meters) {
+              SpillableBuffer* out, ExecStats* meters)
+      : stages_(stages), capacity_(capacity), out_(out), meters_(meters) {
     pending_.reserve(capacity);
     if (stages_) {
       for (const ChainStage& s : *stages_) {
@@ -188,8 +132,11 @@ class ChainRunner {
       }
     }
     // Terminal write: the single point where serialized sizes are computed
-    // and cached (writer_.Append), feeding every downstream byte meter.
-    for (Record& r : *cur) writer_.Append(std::move(r));
+    // and cached (PushOwned), feeding every downstream byte meter — and
+    // where the owning instance's ledger may decide to spill.
+    for (Record& r : *cur) {
+      BLACKBOX_RETURN_NOT_OK(out_->PushOwned(std::move(r), meters_));
+    }
     return Status::OK();
   }
 
@@ -197,7 +144,7 @@ class ChainRunner {
   size_t capacity_;
   std::vector<Record> pending_;
   std::vector<Record> scratch_[2];  // ping-pong stage outputs, reused
-  BatchWriter writer_;
+  SpillableBuffer* out_;
   std::vector<std::unique_ptr<Interpreter>> interps_;
   ExecStats* meters_;
 };
@@ -211,7 +158,11 @@ class ExecContext {
         sources_(sources),
         options_(options),
         pool_(pool),
-        stats_(stats) {}
+        stats_(stats),
+        spill_(options.spill_dir, options.spill_fault_after_bytes),
+        ledgers_(static_cast<size_t>(options.dop)) {
+    for (MemoryLedger& l : ledgers_) l.Init(options.mem_budget_bytes);
+  }
 
   /// Executes the chain whose top is `top`: collects the run of streaming
   /// stages (fused mode), then dispatches on the chain's producer. Returns
@@ -257,9 +208,29 @@ class ExecContext {
   /// root chain contained the sink stage), so Execute() must not re-project.
   bool sink_projected() const { return sink_projected_; }
 
-  int64_t peak_bytes() const { return peak_bytes_; }
+  /// The peak-memory meter (DESIGN.md §2.3): the highest in-memory buffer
+  /// footprint any single instance reached. Each instance's ledger is
+  /// touched only by its own partition task or the serial shuffle, so the
+  /// maximum is a pure function of (plan, data, dop, budget, mode).
+  int64_t peak_bytes() const {
+    int64_t peak = 0;
+    for (const MemoryLedger& l : ledgers_) {
+      peak = std::max(peak, l.peak_bytes());
+    }
+    return peak;
+  }
 
  private:
+  Partitions NewPartitions() {
+    Partitions parts;
+    parts.reserve(ledgers_.size());
+    for (MemoryLedger& l : ledgers_) {
+      parts.push_back(std::make_unique<SpillableBuffer>(
+          &l, &spill_, options_.batch_capacity));
+    }
+    return parts;
+  }
+
   ChainStage MakeStage(const PhysicalNode& node) {
     const dataflow::Operator& op = af_.flow->op(node.op_id);
     ChainStage s;
@@ -273,22 +244,6 @@ class ExecContext {
       s.translation = MakeTranslation(node);
     }
     return s;
-  }
-
-  /// Peak-memory ledger (DESIGN.md §2.2). Updated only at the serial
-  /// materialization boundaries between parallel stages, so the high-water
-  /// mark is a pure function of the plan — identical for every thread
-  /// count. Retain before Release at each hand-off: a breaker's input and
-  /// output coexist while it runs.
-  void Retain(size_t bytes) {
-    live_bytes_ += static_cast<int64_t>(bytes);
-    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
-  }
-  void Release(size_t bytes) { live_bytes_ -= static_cast<int64_t>(bytes); }
-  size_t PartitionsBytes(const Partitions& parts) const {
-    size_t total = 0;
-    for (const BatchRun& part : parts) total += BatchesBytes(part);
-    return total;
   }
 
   /// Builds the redirection tables for one operator occurrence: local field
@@ -364,13 +319,14 @@ class ExecContext {
     const int width = af_.global.size();
     const DataSet& src = *it->second;
     const size_t dop = static_cast<size_t>(options_.dop);
-    Partitions parts(dop);
+    Partitions parts = NewPartitions();
     // Partition pi owns source indices pi, pi+dop, ... — the same
     // round-robin assignment as a serial scan. The widened record enters the
     // chain: with fused stages above, it streams through them batch-wise and
     // never materializes on its own.
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
-      ChainRunner runner(&stages, options_.batch_capacity, &parts[pi], meters);
+      ChainRunner runner(&stages, options_.batch_capacity, parts[pi].get(),
+                         meters);
       for (size_t i = pi; i < src.size(); i += dop) {
         const Record& rec = src.record(i);
         Record wide;
@@ -384,85 +340,89 @@ class ExecContext {
       return runner.Flush();
     });
     if (!st.ok()) return st;
-    Retain(PartitionsBytes(parts));
     return parts;
   }
 
   /// Applies a shipping strategy, metering network bytes from the batches'
   /// cached record sizes. Runs on the calling thread: shuffles move records
   /// *between* partitions, so they are the serial barrier separating
-  /// parallel per-partition stages.
-  Partitions Ship(Partitions in, ShipStrategy strategy,
-                  const std::vector<AttrId>& key) {
+  /// parallel per-partition stages. Destination buffers live on the
+  /// destination instances' ledgers and spill under their budgets.
+  StatusOr<Partitions> Ship(Partitions in, ShipStrategy strategy,
+                            const std::vector<AttrId>& key) {
     switch (strategy) {
       case ShipStrategy::kForward:
         return in;
       case ShipStrategy::kPartitionHash: {
-        size_t in_bytes = PartitionsBytes(in);
-        Partitions out(options_.dop);
-        // Drained input batches are recycled into the output through the
-        // pool, so the shuffle rewrites partitions without reallocating
-        // batch backing stores.
+        ExecStats local;  // serial-phase meters, merged below
+        Partitions out = NewPartitions();
         BatchPool pool;
-        std::vector<BatchWriter> writers;
-        writers.reserve(out.size());
-        for (BatchRun& part : out) {
-          writers.emplace_back(&part, options_.batch_capacity, &pool);
-        }
         for (size_t from = 0; from < in.size(); ++from) {
-          for (RecordBatch& b : in[from]) {
-            // The cached sizes ARE the meter; this guards the cache against
-            // ever drifting from Record::SerializedSize.
-            assert(b.bytes() == b.RecomputeBytes());
-            for (size_t i = 0; i < b.size(); ++i) {
-              Record& r = b.mutable_record(i);
-              size_t to = KeyHash(KeyOf(r, key)) % options_.dop;
-              if (to != from && stats_) {
-                stats_->network_bytes += b.record_bytes(i);
-              }
-              writers[to].AppendWithSize(std::move(r), b.record_bytes(i));
-            }
-            pool.Release(std::move(b));
-          }
-          in[from].clear();
+          Status st = in[from]->DrainBatches(
+              &local, &pool, [&](RecordBatch&& b) -> Status {
+                // The cached sizes ARE the meter; this guards the cache
+                // against ever drifting from Record::SerializedSize.
+                assert(b.bytes() == b.RecomputeBytes());
+                for (size_t i = 0; i < b.size(); ++i) {
+                  Record& r = b.mutable_record(i);
+                  size_t to = KeyHash(KeyOf(r, key)) % options_.dop;
+                  if (to != from) local.network_bytes += b.record_bytes(i);
+                  // Drained input batches cycle through the pool into the
+                  // destination buffers' tails: the shuffle rewrites
+                  // partitions without reallocating batch backing stores.
+                  BLACKBOX_RETURN_NOT_OK(out[to]->Push(
+                      std::move(r), b.record_bytes(i), &local, &pool));
+                }
+                pool.Release(std::move(b));
+                return Status::OK();
+              });
+          if (!st.ok()) return st;
         }
-        // Bytes are conserved across a hash shuffle; swap the ledger entry.
-        Retain(PartitionsBytes(out));
-        Release(in_bytes);
+        if (stats_) stats_->AddCounters(local);
         return out;
       }
       case ShipStrategy::kBroadcast: {
-        size_t in_bytes = PartitionsBytes(in);
-        BatchRun all;
+        ExecStats local;
+        Partitions out = NewPartitions();
         BatchPool pool;
-        BatchWriter writer(&all, options_.batch_capacity, &pool);
-        for (BatchRun& part : in) {
-          for (RecordBatch& b : part) {
-            for (size_t i = 0; i < b.size(); ++i) {
-              writer.AppendWithSize(std::move(b.mutable_record(i)),
-                                    b.record_bytes(i));
-            }
-            pool.Release(std::move(b));
-          }
-          part.clear();
+        // Stage the gathered stream in instance 0's buffer (in partition
+        // order, like a serial gather), then replicate it to every other
+        // instance — each copy is resident on its own instance's ledger and
+        // spills under that instance's budget.
+        for (size_t from = 0; from < in.size(); ++from) {
+          Status st = in[from]->DrainBatches(
+              &local, &pool, [&](RecordBatch&& b) -> Status {
+                for (size_t i = 0; i < b.size(); ++i) {
+                  BLACKBOX_RETURN_NOT_OK(
+                      out[0]->Push(std::move(b.mutable_record(i)),
+                                   b.record_bytes(i), &local, &pool));
+                }
+                pool.Release(std::move(b));
+                return Status::OK();
+              });
+          if (!st.ok()) return st;
         }
-        if (stats_) {
-          stats_->network_bytes += static_cast<int64_t>(BatchesBytes(all)) *
-                                   (options_.dop - 1);
+        int64_t staged = static_cast<int64_t>(out[0]->payload_bytes());
+        if (options_.dop > 1) {
+          Status st = out[0]->ForEachBatch(
+              &local, &pool, [&](const RecordBatch& b) -> Status {
+                for (size_t i = 0; i < b.size(); ++i) {
+                  for (int to = 1; to < options_.dop; ++to) {
+                    Record copy = b.record(i);
+                    BLACKBOX_RETURN_NOT_OK(out[to]->Push(
+                        std::move(copy), b.record_bytes(i), &local));
+                  }
+                }
+                return Status::OK();
+              });
+          if (!st.ok()) return st;
+          local.network_bytes += staged * (options_.dop - 1);
         }
-        Partitions out(options_.dop, all);
-        Retain(PartitionsBytes(out));
-        Release(in_bytes);
+        if (stats_) stats_->AddCounters(local);
         return out;
       }
     }
     return in;
-  }
-
-  void MeterSpill(size_t bytes, ExecStats* meters) {
-    if (static_cast<double>(bytes) > options_.mem_budget_bytes) {
-      meters->disk_bytes += static_cast<int64_t>(2 * bytes);
-    }
   }
 
   static Status CallUdf(const Interpreter& interp, const CallInputs& inputs,
@@ -483,61 +443,114 @@ class ExecContext {
                                const std::vector<ChainStage>& stages) {
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
-    Partitions in = Ship(std::move(in_or).value(), node.ships[0], {});
-    size_t in_bytes = PartitionsBytes(in);
+    StatusOr<Partitions> shipped =
+        Ship(std::move(in_or).value(), node.ships[0], {});
+    if (!shipped.ok()) return shipped.status();
+    Partitions in = std::move(shipped).value();
     FieldTranslation t = MakeTranslation(node);
-    Partitions out(options_.dop);
+    Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());  // task-local interpreter
-      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
+      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+                         meters);
+      BatchPool pool;
       std::vector<Record> emitted;
-      for (const RecordBatch& b : in[pi]) {
-        for (size_t i = 0; i < b.size(); ++i) {
-          CallInputs ci;
-          ci.groups = {{&b.record(i)}};
-          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
-          meters->records_processed++;
-          BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
-        }
-      }
+      BLACKBOX_RETURN_NOT_OK(in[pi]->DrainBatches(
+          meters, &pool, [&](RecordBatch&& b) -> Status {
+            for (size_t i = 0; i < b.size(); ++i) {
+              CallInputs ci;
+              ci.groups = {{&b.record(i)}};
+              BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+              meters->records_processed++;
+              BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+            }
+            pool.Release(std::move(b));
+            return Status::OK();
+          }));
       return runner.Flush();
     });
     if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
     return out;
+  }
+
+  /// Builds the key-ordered stream of one partition's input: the external
+  /// sorter by default, or the zero-buffering pass-through when the plan
+  /// established the input as presorted on the key — the fast path is
+  /// decided here, next to the spill machinery, not by the caller.
+  StatusOr<std::unique_ptr<KeyedStream>> MakeKeyedStream(
+      size_t pi, SpillableBuffer* in, const std::vector<AttrId>& key,
+      bool presorted, BatchPool* pool, ExecStats* m) {
+    if (presorted) {
+      return std::unique_ptr<KeyedStream>(
+          std::make_unique<PresortedStream>(in, key, pool));
+    }
+    auto sorter = std::make_unique<ExternalSorter>(&ledgers_[pi], &spill_, key,
+                                                   options_.batch_capacity);
+    BLACKBOX_RETURN_NOT_OK(
+        in->DrainBatches(m, pool, [&](RecordBatch&& b) -> Status {
+          for (size_t i = 0; i < b.size(); ++i) {
+            BLACKBOX_RETURN_NOT_OK(sorter->Push(std::move(b.mutable_record(i)),
+                                                b.record_bytes(i), m));
+          }
+          pool->Release(std::move(b));
+          return Status::OK();
+        }));
+    BLACKBOX_RETURN_NOT_OK(sorter->Finish(m));
+    return std::unique_ptr<KeyedStream>(std::move(sorter));
   }
 
   /// One sort-group pass over `in`, calling the UDF once per key group.
   /// Shared by the plain Reduce, the combiner's pre-aggregation pass, and
   /// the combiner's post-shuffle pass. Emitted records stream through the
-  /// chain `stages` (empty for the pre-aggregation pass).
-  Status SortGroupPass(const Partitions& in, const dataflow::Operator& op,
+  /// chain `stages` (empty for the pre-aggregation pass). With `presorted`
+  /// the input streams its groups directly — no sort buffer, no spill, zero
+  /// bytes registered with the ledger (asserted).
+  Status SortGroupPass(Partitions* in, const dataflow::Operator& op,
                        const std::vector<AttrId>& key,
-                       const FieldTranslation& t, bool meter_spill,
+                       const FieldTranslation& t, bool presorted,
                        const std::vector<ChainStage>& stages,
                        Partitions* out) {
     return ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, &(*out)[pi],
+      ChainRunner runner(&stages, options_.batch_capacity, (*out)[pi].get(),
                          meters);
-      if (meter_spill) MeterSpill(BatchesBytes(in[pi]), meters);
-      // Partition-local sorted groups (std::map orders keys canonically).
-      std::map<std::vector<Value>, std::vector<const Record*>> groups;
-      for (const RecordBatch& b : in[pi]) {
-        for (size_t i = 0; i < b.size(); ++i) {
-          groups[KeyOf(b.record(i), key)].push_back(&b.record(i));
-          meters->records_processed++;
-        }
-      }
+      BatchPool pool;
+      meters->records_processed +=
+          static_cast<int64_t>((*in)[pi]->rows());
+#ifndef NDEBUG
+      // The presorted fast path's contract: the input stream registers zero
+      // bytes with the ledger — every byte reserved during this pass must be
+      // an output push (checked against the output buffer's growth below).
+      const int64_t reserved_before = ledgers_[pi].lifetime_reserved();
+      const int64_t out_before =
+          static_cast<int64_t>((*out)[pi]->payload_bytes());
+#endif
+      StatusOr<std::unique_ptr<KeyedStream>> stream =
+          MakeKeyedStream(pi, (*in)[pi].get(), key, presorted, &pool, meters);
+      if (!stream.ok()) return stream.status();
+      GroupReader groups(stream->get());
+      std::vector<Value> gkey;
+      std::vector<Record> members;
       std::vector<Record> emitted;
-      for (const auto& [k, members] : groups) {
+      for (;;) {
+        StatusOr<bool> has = groups.NextGroup(meters, &gkey, &members);
+        if (!has.ok()) return has.status();
+        if (!*has) break;
         CallInputs ci;
-        ci.groups = {members};
+        ci.groups.resize(1);
+        ci.groups[0].reserve(members.size());
+        for (const Record& r : members) ci.groups[0].push_back(&r);
         BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
         BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
       }
-      return runner.Flush();
+      BLACKBOX_RETURN_NOT_OK(runner.Flush());
+#ifndef NDEBUG
+      assert(!presorted ||
+             ledgers_[pi].lifetime_reserved() - reserved_before ==
+                 static_cast<int64_t>((*out)[pi]->payload_bytes()) -
+                     out_before);
+#endif
+      return Status::OK();
     });
   }
 
@@ -556,27 +569,146 @@ class ExecContext {
       // (combinability guarantees it coincides with the input layout), so
       // the post-shuffle pass below runs the identical UDF unchanged and the
       // shuffle ships at most (distinct keys × dop) records.
-      size_t in_bytes = PartitionsBytes(in);
-      Partitions combined(options_.dop);
-      Status st = SortGroupPass(in, op, p.keys[0], t, /*meter_spill=*/true,
-                                kNoStages, &combined);
-      if (!st.ok()) return st;
-      Retain(PartitionsBytes(combined));
-      Release(in_bytes);
+      Partitions combined = NewPartitions();
+      BLACKBOX_RETURN_NOT_OK(SortGroupPass(&in, op, p.keys[0], t,
+                                           /*presorted=*/false, kNoStages,
+                                           &combined));
       in = std::move(combined);
     }
-    in = Ship(std::move(in), node.ships[0], p.keys[0]);
-    size_t in_bytes = PartitionsBytes(in);
-    Partitions out(options_.dop);
-    // A presorted forward input streams its groups: no sort buffer, no spill.
-    bool meter_spill = node.local == LocalStrategy::kPreAggregate ||
-                       node.input_presorted.empty() ||
-                       !node.input_presorted[0];
-    Status st = SortGroupPass(in, op, p.keys[0], t, meter_spill, stages, &out);
-    if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
+    StatusOr<Partitions> shipped =
+        Ship(std::move(in), node.ships[0], p.keys[0]);
+    if (!shipped.ok()) return shipped.status();
+    in = std::move(shipped).value();
+    Partitions out = NewPartitions();
+    // A presorted forward input streams its groups: no sort buffer, no
+    // spill — the stream choice (and the zero-buffering assert) live in
+    // MakeKeyedStream, next to the spill machinery.
+    bool presorted = node.local != LocalStrategy::kPreAggregate &&
+                     !node.input_presorted.empty() && node.input_presorted[0];
+    BLACKBOX_RETURN_NOT_OK(
+        SortGroupPass(&in, op, p.keys[0], t, presorted, stages, &out));
     return out;
+  }
+
+  /// Sort-merge equi-join of one partition: both sides as key-ordered
+  /// streams (external sorter, or the free pass-through for a side the plan
+  /// established as presorted — the claimed order is still verified at run
+  /// time), equal-key runs joined pairwise with the left run streamed
+  /// outermost in arrival order. The stable sorts keep arrival order within
+  /// equal keys, so a downstream operator grouping on this key sees members
+  /// in the same relative order a hash join probing a sorted stream would
+  /// deliver.
+  Status MergeJoinPartition(size_t pi, SpillableBuffer* left,
+                            SpillableBuffer* right,
+                            const std::vector<AttrId>& lkey,
+                            const std::vector<AttrId>& rkey, bool lsorted,
+                            bool rsorted, const Interpreter& interp,
+                            const FieldTranslation& t, ChainRunner* runner,
+                            ExecStats* meters) {
+    BatchPool pool;
+    meters->records_processed +=
+        static_cast<int64_t>(left->rows() + right->rows());
+    // The left sorter fills and finishes first; while it grows, the
+    // still-undrained right buffer remains an eviction candidate, so the
+    // instance never holds both sides' sort buffers un-spilled over budget.
+    StatusOr<std::unique_ptr<KeyedStream>> ls =
+        MakeKeyedStream(pi, left, lkey, lsorted, &pool, meters);
+    if (!ls.ok()) return ls.status();
+    StatusOr<std::unique_ptr<KeyedStream>> rs =
+        MakeKeyedStream(pi, right, rkey, rsorted, &pool, meters);
+    if (!rs.ok()) return rs.status();
+    GroupReader gl(ls->get());
+    GroupReader gr(rs->get());
+    std::vector<Value> lk, rk;
+    std::vector<Record> lmem, rmem;
+    std::vector<Record> emitted;
+    StatusOr<bool> lh = gl.NextGroup(meters, &lk, &lmem);
+    if (!lh.ok()) return lh.status();
+    StatusOr<bool> rh = gr.NextGroup(meters, &rk, &rmem);
+    if (!rh.ok()) return rh.status();
+    while (*lh && *rh) {
+      if (KeyLess(lk, rk)) {
+        lh = gl.NextGroup(meters, &lk, &lmem);
+        if (!lh.ok()) return lh.status();
+        continue;
+      }
+      if (KeyLess(rk, lk)) {
+        rh = gr.NextGroup(meters, &rk, &rmem);
+        if (!rh.ok()) return rh.status();
+        continue;
+      }
+      for (const Record& a : lmem) {
+        for (const Record& b : rmem) {
+          CallInputs ci;
+          ci.groups = {{&a}, {&b}};
+          BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+          BLACKBOX_RETURN_NOT_OK(runner->Consume(&emitted));
+        }
+      }
+      lh = gl.NextGroup(meters, &lk, &lmem);
+      if (!lh.ok()) return lh.status();
+      rh = gr.NextGroup(meters, &rk, &rmem);
+      if (!rh.ok()) return rh.status();
+    }
+    return Status::OK();
+  }
+
+  /// Budget-respecting hash join of one partition that preserves the exact
+  /// output sequence of the in-memory path (probe arrival order, matches in
+  /// build arrival order): the probe side is drained batch-wise, and for
+  /// each probe batch the build side is re-scanned (spilled runs re-read,
+  /// metered) one batch at a time — each build batch gets a transient
+  /// key table, matches accumulate per probe record in build-batch order
+  /// (batches are arrival-contiguous, so that IS build arrival order), and
+  /// emission is probe-record-major. A probe batch's accumulated matches
+  /// are working set, like a key group's members (DESIGN.md §2.3).
+  Status BlockHashJoinPartition(SpillableBuffer* build, SpillableBuffer* probe,
+                                const std::vector<AttrId>& build_key,
+                                const std::vector<AttrId>& probe_key,
+                                bool build_left, const Interpreter& interp,
+                                const FieldTranslation& t, ChainRunner* runner,
+                                ExecStats* meters) {
+    BatchPool pool;
+    meters->records_processed +=
+        static_cast<int64_t>(build->rows() + probe->rows());
+    std::vector<Record> emitted;
+    return probe->DrainBatches(
+        meters, &pool, [&](RecordBatch&& pb) -> Status {
+          std::vector<std::vector<Value>> probe_keys(pb.size());
+          std::vector<std::vector<Record>> matches(pb.size());
+          for (size_t i = 0; i < pb.size(); ++i) {
+            probe_keys[i] = KeyOf(pb.record(i), probe_key);
+          }
+          Status st = build->ForEachBatch(
+              meters, &pool, [&](const RecordBatch& bb) -> Status {
+                std::map<std::vector<Value>, std::vector<const Record*>> table;
+                for (size_t j = 0; j < bb.size(); ++j) {
+                  table[KeyOf(bb.record(j), build_key)].push_back(
+                      &bb.record(j));
+                }
+                for (size_t i = 0; i < pb.size(); ++i) {
+                  auto it = table.find(probe_keys[i]);
+                  if (it == table.end()) continue;
+                  for (const Record* b : it->second) {
+                    matches[i].push_back(*b);
+                  }
+                }
+                return Status::OK();
+              });
+          BLACKBOX_RETURN_NOT_OK(st);
+          for (size_t i = 0; i < pb.size(); ++i) {
+            for (const Record& b : matches[i]) {
+              CallInputs ci;
+              const Record* lrec = build_left ? &b : &pb.record(i);
+              const Record* rrec = build_left ? &pb.record(i) : &b;
+              ci.groups = {{lrec}, {rrec}};
+              BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
+              BLACKBOX_RETURN_NOT_OK(runner->Consume(&emitted));
+            }
+          }
+          pool.Release(std::move(pb));
+          return Status::OK();
+        });
   }
 
   StatusOr<Partitions> ExecMatch(const PhysicalNode& node,
@@ -587,117 +719,114 @@ class ExecContext {
     if (!l_or.ok()) return l_or.status();
     StatusOr<Partitions> r_or = Exec(*node.children[1]);
     if (!r_or.ok()) return r_or.status();
-    Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
-    Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
-    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
+    StatusOr<Partitions> ls =
+        Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
+    if (!ls.ok()) return ls.status();
+    StatusOr<Partitions> rs =
+        Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    if (!rs.ok()) return rs.status();
+    Partitions left = std::move(ls).value();
+    Partitions right = std::move(rs).value();
     FieldTranslation t = MakeTranslation(node);
     if (node.local == LocalStrategy::kSortMergeJoin) {
-      return MergeJoin(node, op, p, left, right, t, in_bytes, stages);
+      Partitions out = NewPartitions();
+      Status st =
+          ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
+            Interpreter interp(op.udf.get());
+            ChainRunner runner(&stages, options_.batch_capacity,
+                               out[pi].get(), meters);
+            bool lsorted = node.input_presorted.size() >= 2 &&
+                           node.input_presorted[0];
+            bool rsorted = node.input_presorted.size() >= 2 &&
+                           node.input_presorted[1];
+            BLACKBOX_RETURN_NOT_OK(MergeJoinPartition(
+                pi, left[pi].get(), right[pi].get(), p.keys[0], p.keys[1],
+                lsorted, rsorted, interp, t, &runner, meters));
+            return runner.Flush();
+          });
+      if (!st.ok()) return st;
+      return out;
     }
     bool build_left = node.local == LocalStrategy::kHashJoinBuildLeft;
-    Partitions out(options_.dop);
+    Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
-      const BatchRun& build = build_left ? left[pi] : right[pi];
-      const BatchRun& probe = build_left ? right[pi] : left[pi];
+      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+                         meters);
+      SpillableBuffer* build = (build_left ? left : right)[pi].get();
+      SpillableBuffer* probe = (build_left ? right : left)[pi].get();
       const std::vector<AttrId>& build_key = build_left ? p.keys[0] : p.keys[1];
       const std::vector<AttrId>& probe_key = build_left ? p.keys[1] : p.keys[0];
-      MeterSpill(BatchesBytes(build), meters);
+      // The spill manager decides the strategy: a build side that fits the
+      // instance budget is pinned in memory and probed in arrival order
+      // (the classic path below); a larger one cannot be held as a table at
+      // all. Then, when no downstream consumer can rely on this node's
+      // output order (the planner tracked none), the partition executes as
+      // an external sort-merge join — key-major output, which key-grouped
+      // consumers see identically (DESIGN.md §3.1). When the plan DOES
+      // carry an output order (the probe side's, which hash joins
+      // propagate), key-major output could break a downstream presorted
+      // claim, so the partition runs a block hash join instead — probe
+      // order preserved exactly (DESIGN.md §2.3).
+      if (static_cast<double>(build->payload_bytes()) >
+          options_.mem_budget_bytes) {
+        if (node.sort_order.empty()) {
+          BLACKBOX_RETURN_NOT_OK(MergeJoinPartition(
+              pi, left[pi].get(), right[pi].get(), p.keys[0], p.keys[1],
+              /*lsorted=*/false, /*rsorted=*/false, interp, t, &runner,
+              meters));
+        } else {
+          BLACKBOX_RETURN_NOT_OK(BlockHashJoinPartition(
+              build, probe, build_key, probe_key, build_left, interp, t,
+              &runner, meters));
+        }
+        return runner.Flush();
+      }
+      BatchPool pool;
+      meters->records_processed +=
+          static_cast<int64_t>(build->rows() + probe->rows());
+      // Materialize the build side resident (pinned: the table references
+      // its records, so it must not be evicted mid-probe; co-resident
+      // buffers are evicted to make room — it fits by the check above).
+      PinnedBytes resident(&ledgers_[pi]);
+      std::vector<RecordBatch> build_run;
+      BLACKBOX_RETURN_NOT_OK(build->DrainBatches(
+          meters, &pool, [&](RecordBatch&& b) -> Status {
+            BLACKBOX_RETURN_NOT_OK(
+                resident.Add(static_cast<int64_t>(b.bytes()), meters));
+            build_run.push_back(std::move(b));
+            return Status::OK();
+          }));
       // Partition-local build table.
       std::map<std::vector<Value>, std::vector<const Record*>> table;
-      for (const RecordBatch& b : build) {
+      for (const RecordBatch& b : build_run) {
         for (size_t i = 0; i < b.size(); ++i) {
           table[KeyOf(b.record(i), build_key)].push_back(&b.record(i));
-          meters->records_processed++;
         }
       }
       std::vector<Record> emitted;
-      for (const RecordBatch& pb : probe) {
-        for (size_t i = 0; i < pb.size(); ++i) {
-          const Record& r = pb.record(i);
-          meters->records_processed++;
-          auto it = table.find(KeyOf(r, probe_key));
-          if (it == table.end()) continue;
-          for (const Record* b : it->second) {
-            CallInputs ci;
-            const Record* lrec = build_left ? b : &r;
-            const Record* rrec = build_left ? &r : b;
-            ci.groups = {{lrec}, {rrec}};
-            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
-            BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
-          }
-        }
-      }
+      BLACKBOX_RETURN_NOT_OK(probe->DrainBatches(
+          meters, &pool, [&](RecordBatch&& pb) -> Status {
+            for (size_t i = 0; i < pb.size(); ++i) {
+              const Record& r = pb.record(i);
+              auto it = table.find(KeyOf(r, probe_key));
+              if (it == table.end()) continue;
+              for (const Record* b : it->second) {
+                CallInputs ci;
+                const Record* lrec = build_left ? b : &r;
+                const Record* rrec = build_left ? &r : b;
+                ci.groups = {{lrec}, {rrec}};
+                BLACKBOX_RETURN_NOT_OK(
+                    CallUdf(interp, ci, t, &emitted, meters));
+                BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+              }
+            }
+            pool.Release(std::move(pb));
+            return Status::OK();
+          }));
       return runner.Flush();
     });
     if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
-    return out;
-  }
-
-  /// Sort-merge equi-join of two shipped sides. Both sides are stable-sorted
-  /// by their join key per partition — a no-op reordering when the optimizer
-  /// reused an existing sort order, but always executed so correctness never
-  /// depends on the claimed order — then equal-key runs are joined pairwise.
-  /// Output order is key-major; within one key the left run is streamed
-  /// outermost in arrival order (stable), so a downstream operator grouping
-  /// on this key sees members in the same relative order a hash join
-  /// probing a sorted stream would deliver.
-  StatusOr<Partitions> MergeJoin(const PhysicalNode& node,
-                                 const dataflow::Operator& op,
-                                 const OpProperties& p, const Partitions& left,
-                                 const Partitions& right,
-                                 const FieldTranslation& t, size_t in_bytes,
-                                 const std::vector<ChainStage>& stages) {
-    Partitions out(options_.dop);
-    Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
-      Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
-      // Sort buffers spill like any other materialization — except for a
-      // side the plan established as presorted, which streams straight
-      // through the (no-op) stable sort.
-      if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
-        MeterSpill(BatchesBytes(left[pi]), meters);
-      }
-      if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
-        MeterSpill(BatchesBytes(right[pi]), meters);
-      }
-      SortedRun ls(left[pi], p.keys[0]);
-      SortedRun rs(right[pi], p.keys[1]);
-      meters->records_processed +=
-          static_cast<int64_t>(BatchesRows(left[pi]) + BatchesRows(right[pi]));
-      size_t li = 0, ri = 0;
-      std::vector<Record> emitted;
-      while (li < ls.entries.size() && ri < rs.entries.size()) {
-        const std::vector<Value>& lk = ls.entries[li].first;
-        const std::vector<Value>& rk = rs.entries[ri].first;
-        if (KeyLess(lk, rk)) {
-          li = ls.RunEnd(li);
-          continue;
-        }
-        if (KeyLess(rk, lk)) {
-          ri = rs.RunEnd(ri);
-          continue;
-        }
-        size_t lend = ls.RunEnd(li), rend = rs.RunEnd(ri);
-        for (size_t a = li; a < lend; ++a) {
-          for (size_t b = ri; b < rend; ++b) {
-            CallInputs ci;
-            ci.groups = {{ls.entries[a].second}, {rs.entries[b].second}};
-            BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
-            BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
-          }
-        }
-        li = lend;
-        ri = rend;
-      }
-      return runner.Flush();
-    });
-    if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
     return out;
   }
 
@@ -708,34 +837,82 @@ class ExecContext {
     if (!l_or.ok()) return l_or.status();
     StatusOr<Partitions> r_or = Exec(*node.children[1]);
     if (!r_or.ok()) return r_or.status();
-    Partitions left = Ship(std::move(l_or).value(), node.ships[0], {});
-    Partitions right = Ship(std::move(r_or).value(), node.ships[1], {});
-    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
+    StatusOr<Partitions> ls = Ship(std::move(l_or).value(), node.ships[0], {});
+    if (!ls.ok()) return ls.status();
+    StatusOr<Partitions> rs = Ship(std::move(r_or).value(), node.ships[1], {});
+    if (!rs.ok()) return rs.status();
+    Partitions left = std::move(ls).value();
+    Partitions right = std::move(rs).value();
     FieldTranslation t = MakeTranslation(node);
-    Partitions out(options_.dop);
+    Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
-      std::vector<Record> emitted;
-      for (const RecordBatch& lb : left[pi]) {
-        for (size_t i = 0; i < lb.size(); ++i) {
-          for (const RecordBatch& rb : right[pi]) {
-            for (size_t j = 0; j < rb.size(); ++j) {
-              CallInputs ci;
-              ci.groups = {{&lb.record(i)}, {&rb.record(j)}};
-              BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
-              BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
-            }
-          }
-        }
-      }
+      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+                         meters);
+      BatchPool pool;
+      SpillableBuffer* lbuf = left[pi].get();
+      SpillableBuffer* rbuf = right[pi].get();
       meters->records_processed +=
-          static_cast<int64_t>(BatchesRows(left[pi]) + BatchesRows(right[pi]));
+          static_cast<int64_t>(lbuf->rows() + rbuf->rows());
+      std::vector<Record> emitted;
+      if (static_cast<double>(rbuf->payload_bytes()) <=
+          options_.mem_budget_bytes) {
+        // Inner side fits: pin it resident and loop exactly like the
+        // in-memory engine (left-record-major across the whole right side).
+        PinnedBytes resident(&ledgers_[pi]);
+        std::vector<RecordBatch> right_run;
+        BLACKBOX_RETURN_NOT_OK(rbuf->DrainBatches(
+            meters, &pool, [&](RecordBatch&& b) -> Status {
+              BLACKBOX_RETURN_NOT_OK(
+                  resident.Add(static_cast<int64_t>(b.bytes()), meters));
+              right_run.push_back(std::move(b));
+              return Status::OK();
+            }));
+        BLACKBOX_RETURN_NOT_OK(lbuf->DrainBatches(
+            meters, &pool, [&](RecordBatch&& lb) -> Status {
+              for (size_t i = 0; i < lb.size(); ++i) {
+                for (const RecordBatch& rb : right_run) {
+                  for (size_t j = 0; j < rb.size(); ++j) {
+                    CallInputs ci;
+                    ci.groups = {{&lb.record(i)}, {&rb.record(j)}};
+                    BLACKBOX_RETURN_NOT_OK(
+                        CallUdf(interp, ci, t, &emitted, meters));
+                    BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+                  }
+                }
+              }
+              pool.Release(std::move(lb));
+              return Status::OK();
+            }));
+      } else {
+        // Block nested loop: the right side stays partially on disk and is
+        // re-scanned once per LEFT BATCH (each re-read metered). Pairs come
+        // out block-major — a permutation of the in-memory order, covered by
+        // the sorted-sink differential contract (the planner tracks no
+        // output order through a Cross, so no presorted claim can break).
+        BLACKBOX_RETURN_NOT_OK(lbuf->DrainBatches(
+            meters, &pool, [&](RecordBatch&& lb) -> Status {
+              Status st2 = rbuf->ForEachBatch(
+                  meters, &pool, [&](const RecordBatch& rb) -> Status {
+                    for (size_t i = 0; i < lb.size(); ++i) {
+                      for (size_t j = 0; j < rb.size(); ++j) {
+                        CallInputs ci;
+                        ci.groups = {{&lb.record(i)}, {&rb.record(j)}};
+                        BLACKBOX_RETURN_NOT_OK(
+                            CallUdf(interp, ci, t, &emitted, meters));
+                        BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+                      }
+                    }
+                    return Status::OK();
+                  });
+              BLACKBOX_RETURN_NOT_OK(st2);
+              pool.Release(std::move(lb));
+              return Status::OK();
+            }));
+      }
       return runner.Flush();
     });
     if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
     return out;
   }
 
@@ -747,49 +924,72 @@ class ExecContext {
     if (!l_or.ok()) return l_or.status();
     StatusOr<Partitions> r_or = Exec(*node.children[1]);
     if (!r_or.ok()) return r_or.status();
-    Partitions left = Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
-    Partitions right = Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
-    size_t in_bytes = PartitionsBytes(left) + PartitionsBytes(right);
+    StatusOr<Partitions> ls =
+        Ship(std::move(l_or).value(), node.ships[0], p.keys[0]);
+    if (!ls.ok()) return ls.status();
+    StatusOr<Partitions> rs =
+        Ship(std::move(r_or).value(), node.ships[1], p.keys[1]);
+    if (!rs.ok()) return rs.status();
+    Partitions left = std::move(ls).value();
+    Partitions right = std::move(rs).value();
     FieldTranslation t = MakeTranslation(node);
-    Partitions out(options_.dop);
+    Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, &out[pi], meters);
-      // Per-side sort buffers (matching the cost model); a presorted side
-      // streams its groups and never spills.
-      if (node.input_presorted.size() < 2 || !node.input_presorted[0]) {
-        MeterSpill(BatchesBytes(left[pi]), meters);
-      }
-      if (node.input_presorted.size() < 2 || !node.input_presorted[1]) {
-        MeterSpill(BatchesBytes(right[pi]), meters);
-      }
-      std::map<std::vector<Value>, CallInputs> groups;
-      for (const RecordBatch& b : left[pi]) {
-        for (size_t i = 0; i < b.size(); ++i) {
-          auto& ci = groups[KeyOf(b.record(i), p.keys[0])];
-          if (ci.groups.empty()) ci.groups.resize(2);
-          ci.groups[0].push_back(&b.record(i));
-          meters->records_processed++;
-        }
-      }
-      for (const RecordBatch& b : right[pi]) {
-        for (size_t i = 0; i < b.size(); ++i) {
-          auto& ci = groups[KeyOf(b.record(i), p.keys[1])];
-          if (ci.groups.empty()) ci.groups.resize(2);
-          ci.groups[1].push_back(&b.record(i));
-          meters->records_processed++;
-        }
-      }
+      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+                         meters);
+      BatchPool pool;
+      meters->records_processed += static_cast<int64_t>(
+          left[pi]->rows() + right[pi]->rows());
+      // Per-side key-ordered streams (a presorted side streams its groups
+      // for free and never spills); the union of keys is walked in key
+      // order, exactly the old sorted-map iteration.
+      bool lsorted =
+          node.input_presorted.size() >= 2 && node.input_presorted[0];
+      bool rsorted =
+          node.input_presorted.size() >= 2 && node.input_presorted[1];
+      StatusOr<std::unique_ptr<KeyedStream>> lstream = MakeKeyedStream(
+          pi, left[pi].get(), p.keys[0], lsorted, &pool, meters);
+      if (!lstream.ok()) return lstream.status();
+      StatusOr<std::unique_ptr<KeyedStream>> rstream = MakeKeyedStream(
+          pi, right[pi].get(), p.keys[1], rsorted, &pool, meters);
+      if (!rstream.ok()) return rstream.status();
+      GroupReader gl(lstream->get());
+      GroupReader gr(rstream->get());
+      std::vector<Value> lk, rk;
+      std::vector<Record> lmem, rmem;
       std::vector<Record> emitted;
-      for (const auto& [key, ci] : groups) {
+      StatusOr<bool> lh = gl.NextGroup(meters, &lk, &lmem);
+      if (!lh.ok()) return lh.status();
+      StatusOr<bool> rh = gr.NextGroup(meters, &rk, &rmem);
+      if (!rh.ok()) return rh.status();
+      while (*lh || *rh) {
+        bool take_left = *lh && (!*rh || !KeyLess(rk, lk));
+        bool take_right = *rh && (!*lh || !KeyLess(lk, rk));
+        CallInputs ci;
+        ci.groups.resize(2);
+        if (take_left) {
+          ci.groups[0].reserve(lmem.size());
+          for (const Record& r : lmem) ci.groups[0].push_back(&r);
+        }
+        if (take_right) {
+          ci.groups[1].reserve(rmem.size());
+          for (const Record& r : rmem) ci.groups[1].push_back(&r);
+        }
         BLACKBOX_RETURN_NOT_OK(CallUdf(interp, ci, t, &emitted, meters));
         BLACKBOX_RETURN_NOT_OK(runner.Consume(&emitted));
+        if (take_left) {
+          lh = gl.NextGroup(meters, &lk, &lmem);
+          if (!lh.ok()) return lh.status();
+        }
+        if (take_right) {
+          rh = gr.NextGroup(meters, &rk, &rmem);
+          if (!rh.ok()) return rh.status();
+        }
       }
       return runner.Flush();
     });
     if (!st.ok()) return st;
-    Retain(PartitionsBytes(out));
-    Release(in_bytes);
     return out;
   }
 
@@ -799,8 +999,10 @@ class ExecContext {
   TaskPool* pool_;
   ExecStats* stats_;
   bool sink_projected_ = false;
-  int64_t live_bytes_ = 0;
-  int64_t peak_bytes_ = 0;
+  /// Shared spill-file factory (thread-safe) and one byte ledger per
+  /// simulated instance: the spill manager layer (DESIGN.md §2.3).
+  SpillManager spill_;
+  std::vector<MemoryLedger> ledgers_;
 };
 
 }  // namespace
@@ -845,24 +1047,34 @@ StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
   // thread count. With a fused root chain the sink projection already ran
   // inside the chain; otherwise project onto the sink schema here so
   // alternative plans of the same flow produce directly comparable records.
+  // Root buffers that spilled under the budget are streamed back from disk
+  // (metered) — the gathered DataSet is the client-side result, outside the
+  // budget's scope like the bound sources.
   const OpProperties& sink = af_->of(plan.root->op_id);
+  ExecStats gather;
+  BatchPool pool;
   DataSet result;
-  for (BatchRun& part : *out) {
-    for (RecordBatch& b : part) {
-      for (size_t i = 0; i < b.size(); ++i) {
-        if (ctx.sink_projected()) {
-          // Chain output records ARE the final records: reuse their cached
-          // sizes instead of re-walking every payload.
-          result.AddWithSize(std::move(b.mutable_record(i)),
-                             b.record_bytes(i));
-          continue;
-        }
-        result.Add(ProjectToSinkSchema(b.record(i), sink.out_schema));
-      }
-    }
+  for (std::unique_ptr<SpillableBuffer>& part : *out) {
+    Status st = part->DrainBatches(
+        &gather, &pool, [&](RecordBatch&& b) -> Status {
+          for (size_t i = 0; i < b.size(); ++i) {
+            if (ctx.sink_projected()) {
+              // Chain output records ARE the final records: reuse their
+              // cached sizes instead of re-walking every payload.
+              result.AddWithSize(std::move(b.mutable_record(i)),
+                                 b.record_bytes(i));
+              continue;
+            }
+            result.Add(ProjectToSinkSchema(b.record(i), sink.out_schema));
+          }
+          pool.Release(std::move(b));
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
   }
   auto end = std::chrono::steady_clock::now();
   if (stats) {
+    stats->AddCounters(gather);
     stats->output_rows = static_cast<int64_t>(result.size());
     stats->peak_bytes = ctx.peak_bytes();
     stats->wall_seconds = std::chrono::duration<double>(end - start).count();

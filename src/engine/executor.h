@@ -42,8 +42,23 @@ namespace engine {
 
 struct ExecOptions {
   int dop = kDefaultDop;  // number of simulated parallel instances
-  double mem_budget_bytes =
-      kDefaultMemBudgetBytes;  // per-instance memory before spilling
+
+  /// Per-instance memory budget: the bytes one simulated instance may hold
+  /// in materialized inter-operator buffers before its breakers spill whole
+  /// RecordBatch runs to temp files (DESIGN.md §2.3). Enforced for real —
+  /// ExecStats::peak_bytes stays within budget plus bounded slack (the
+  /// record in flight, plus sub-quarter-budget holders the eviction floor
+  /// leaves alone) by construction, and disk_bytes measures the traffic.
+  double mem_budget_bytes = kDefaultMemBudgetBytes;
+
+  /// Directory for spill run files; "" uses the system temp directory. A
+  /// per-execution subdirectory is created on first spill and removed —
+  /// with everything in it — when the execution ends, successful or not.
+  std::string spill_dir;
+
+  /// Test-only fault injection: when > 0, spill writes fail with a clean
+  /// Status once this many payload bytes were spilled across the execution.
+  int64_t spill_fault_after_bytes = 0;
 
   /// Real worker threads executing partition tasks. Independent of `dop`
   /// (the *simulated* cluster width): any thread count produces identical
@@ -83,18 +98,26 @@ struct ExecOptions {
 /// identical across fused and unfused execution.
 struct ExecStats {
   int64_t network_bytes = 0;  // bytes crossing instance boundaries
-  int64_t disk_bytes = 0;     // spill write+read bytes
+
+  /// Measured spill traffic: file bytes actually written to and read back
+  /// from spill runs (small batch headers included). Zero iff no breaker
+  /// exceeded the memory budget anywhere in the run.
+  int64_t disk_bytes = 0;
   int64_t udf_calls = 0;
   int64_t interp_instructions = 0;  // TAC instructions executed by UDF calls
   int64_t cpu_burn_units = 0;
   int64_t records_processed = 0;
   int64_t output_rows = 0;
 
-  /// Peak of the total serialized bytes held in materialized inter-operator
-  /// buffers (pipeline-breaker inputs and outputs) at any point of the run —
-  /// the streaming data plane's memory contract (DESIGN.md §2.2). Tracked at
-  /// the serial materialization boundaries, so it is deterministic for every
-  /// num_threads; fused execution lowers it, never the other meters.
+  /// High-water mark of the serialized bytes any single simulated instance
+  /// held in materialized inter-operator buffers (pipeline-breaker inputs
+  /// and outputs) — the quantity ExecOptions::mem_budget_bytes bounds
+  /// (DESIGN.md §2.3). Each instance's ledger is touched only by that
+  /// partition's task (or the serial shuffle), so the maximum is
+  /// deterministic for every num_threads; fused execution lowers it, never
+  /// the other meters. Transient working state — in-flight chain batches,
+  /// single read-back batches, one key group's members during a UDF call —
+  /// is outside the ledger, like the bound source DataSets.
   int64_t peak_bytes = 0;
 
   double wall_seconds = 0;  // real elapsed time (varies with num_threads)

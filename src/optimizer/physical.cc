@@ -186,8 +186,13 @@ class PhysicalPlanner {
   }
 
   /// Disk cost of materializing `bytes` per instance when it exceeds the
-  /// memory budget (sort spill / hash-table spill): write + re-read.
+  /// memory budget (sort spill / hash-table spill): write + re-read. This
+  /// stays an estimate — the engine's measured disk_bytes may differ (it
+  /// spills only the overflow, and merge passes re-read runs; DESIGN.md
+  /// §2.3) — but both are zero/nonzero together at the same budget, which
+  /// the spill-equivalence oracle checks.
   double SpillCost(double total_bytes) const {
+    if (!w_.enable_spill) return 0;
     double per_instance = total_bytes / w_.dop;
     if (per_instance <= w_.mem_budget_bytes) return 0;
     return w_.disk_per_byte * 2 * total_bytes;

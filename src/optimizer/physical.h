@@ -69,6 +69,12 @@ struct CostWeights {
                                     // (DESIGN.md §2.2), so the stage pays no
                                     // per-record engine overhead
                                     // (cpu_per_record) for its input
+  bool enable_spill = true;  // charge disk cost for breakers whose estimated
+                             // per-instance input exceeds mem_budget_bytes.
+                             // Off: the optimizer prices spills at zero while
+                             // the engine still performs (and meters) them —
+                             // the ablation isolating how much plan quality
+                             // the spill term buys (DESIGN.md §2.3)
 };
 
 /// A physical operator: one logical plan node with chosen strategies.
@@ -101,7 +107,8 @@ struct PhysicalNode {
   double est_rows = 0;
   double est_bytes_per_row = 0;
 
-  // Cumulative estimated cost of the subtree.
+  // Estimated cost components charged at THIS node (input shipping, local
+  // spill, local CPU); the plan's total cost is their sum over the tree.
   double cost_network = 0;
   double cost_disk = 0;
   double cost_cpu = 0;

@@ -1,0 +1,131 @@
+// Spill file format for the engine's external (larger-than-memory) operators
+// (DESIGN.md §2.3). A spill run is one temp file holding a sequence of whole
+// RecordBatches in the engine's wire format — the same format whose sizes
+// Record::SerializedSize describes, so the bytes a run occupies on disk are
+// exactly the cached sizes the byte meters read, plus small fixed headers.
+//
+// Layout:
+//   u64  magic ("BBSPILL1")
+//   repeated batches until EOF:
+//     u32  record count
+//     per record: u32 payload size, then the encoded record
+//       (u32 field count, then per value: u8 type tag + payload)
+//
+// The per-record size prefix is the record's cached serialized size: the
+// writer verifies the encoding matches it (the cache can never silently
+// drift from what is spilled), and the reader restores it without re-walking
+// the payload (RecordBatch::AppendWithSize). Readers draw batch backing
+// stores from a BatchPool, so read-back recycles the same arenas the rest of
+// the data plane uses. Any truncated or malformed file surfaces a Corruption
+// Status — never a crash.
+
+#ifndef BLACKBOX_RECORD_SPILL_FILE_H_
+#define BLACKBOX_RECORD_SPILL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "record/record_batch.h"
+
+namespace blackbox {
+
+/// Appends the wire-format encoding of `r` to *out. The number of appended
+/// bytes always equals r.SerializedSize().
+void EncodeRecord(const Record& r, std::string* out);
+
+/// Decodes one record from exactly [data, data+size). Trailing or missing
+/// bytes are a Corruption error.
+StatusOr<Record> DecodeRecord(const char* data, size_t size);
+
+/// Writes one spill run. Create → WriteBatch* → Close; the file is removed
+/// again if the writer is destroyed without a successful Close (a failed
+/// spill never leaks a temp file).
+class BatchSpillWriter {
+ public:
+  BatchSpillWriter() = default;
+  BatchSpillWriter(BatchSpillWriter&& other) noexcept { *this = std::move(other); }
+  BatchSpillWriter& operator=(BatchSpillWriter&& other) noexcept;
+  BatchSpillWriter(const BatchSpillWriter&) = delete;
+  BatchSpillWriter& operator=(const BatchSpillWriter&) = delete;
+  ~BatchSpillWriter();
+
+  /// Creates/truncates `path` and writes the header. InvalidArgument if the
+  /// target directory is missing or unwritable.
+  static StatusOr<BatchSpillWriter> Create(std::string path);
+
+  Status WriteBatch(const RecordBatch& batch);
+
+  /// Flushes and closes; the file stays on disk. The writer is unusable
+  /// afterwards.
+  Status Close();
+
+  /// File bytes written so far, headers included — what the disk meter
+  /// charges for the write side of a spill.
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string buf_;  // per-batch staging, reused across WriteBatch calls
+  int64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+/// Reads one spill run back batch-by-batch.
+class BatchSpillReader {
+ public:
+  BatchSpillReader() = default;
+  BatchSpillReader(BatchSpillReader&& other) noexcept { *this = std::move(other); }
+  BatchSpillReader& operator=(BatchSpillReader&& other) noexcept;
+  BatchSpillReader(const BatchSpillReader&) = delete;
+  BatchSpillReader& operator=(const BatchSpillReader&) = delete;
+  ~BatchSpillReader();
+
+  static StatusOr<BatchSpillReader> Open(std::string path);
+
+  /// Reads the next batch into *out (backing store from `pool`, watermark
+  /// `capacity`). Returns false at a clean end-of-file; a partial batch or
+  /// garbage is Corruption. *file_bytes is set to the file bytes consumed by
+  /// this batch — the read side of the disk meter.
+  StatusOr<bool> ReadBatch(BatchPool* pool, size_t capacity, RecordBatch* out,
+                           int64_t* file_bytes);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string scratch_;  // payload staging, reused
+};
+
+/// A process-unique temporary directory holding spill run files. Created
+/// once, hands out unique run paths (callers serialize NewRunPath — the
+/// engine's SpillManager does), and removes itself with everything in it on
+/// destruction — the backstop that guarantees no temp files outlive an
+/// execution, even one that failed mid-spill.
+class SpillDirectory {
+ public:
+  SpillDirectory() = default;
+  SpillDirectory(SpillDirectory&& other) noexcept { *this = std::move(other); }
+  SpillDirectory& operator=(SpillDirectory&& other) noexcept;
+  SpillDirectory(const SpillDirectory&) = delete;
+  SpillDirectory& operator=(const SpillDirectory&) = delete;
+  ~SpillDirectory();
+
+  /// Creates a fresh directory under `parent` ("" = the system temp
+  /// directory). A missing or unwritable parent is an InvalidArgument error.
+  static StatusOr<SpillDirectory> Create(const std::string& parent);
+
+  /// A new unique file path inside the directory (no file is created).
+  std::string NewRunPath();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int next_run_ = 0;  // guarded by the caller (SpillManager serializes)
+};
+
+}  // namespace blackbox
+
+#endif  // BLACKBOX_RECORD_SPILL_FILE_H_

@@ -129,15 +129,43 @@ TEST(ParallelDeterminism, ClickstreamIsThreadCountInvariant) {
 }
 
 TEST(ParallelDeterminism, SpillPathIsThreadCountInvariant) {
-  // A memory budget far below the working set forces the spill accounting
-  // path in every partition task; spilled bytes must be metered identically
-  // under concurrency.
+  // A memory budget far below the working set forces real spills (external
+  // sorts, spilled breaker buffers, the hash join's merge fallback) in every
+  // partition task; the spilled bytes, the peak meter, and the output must
+  // be identical under concurrency.
   workloads::Workload w = SmallQ7();
   RunOutcome serial = OptimizeAndRun(w, 1, /*mem_budget_bytes=*/4 << 10);
   // The cheapest plan may legitimately dodge the budget (that is the point
   // of costing spills); the worst-ranked plan cannot.
   EXPECT_GT(serial.worst_stats.disk_bytes, 0) << "budget did not force spills";
   ExpectThreadCountInvariance(w, /*mem_budget_bytes=*/4 << 10);
+}
+
+TEST(ParallelDeterminism, ForcedSpillAtEightThreadsRunsTheRealSpillPath) {
+  // Since the spill-to-disk breakers landed (DESIGN.md §2.3) this exercises
+  // the real external-operator path under concurrency, not just the meter:
+  // at 8 worker threads the budgeted run must write+read actual spill runs,
+  // keep every instance under budget (plus slack), and still produce the
+  // same bag of records as an effectively unbounded run.
+  workloads::Workload w = SmallQ7();
+  const double budget = 4 << 10;
+  RunOutcome spilled = OptimizeAndRun(w, 8, budget);
+  RunOutcome unbounded = OptimizeAndRun(w, 8, /*mem_budget_bytes=*/1 << 30);
+  ASSERT_FALSE(spilled.ranked_costs.empty());
+
+  EXPECT_GT(spilled.worst_stats.disk_bytes, 0);
+  EXPECT_EQ(unbounded.worst_stats.disk_bytes, 0);
+  // peak respects the per-instance budget by construction; one default
+  // batch (256 records) of the widest Q7 records is ample slack.
+  const int64_t slack = 96 << 10;
+  EXPECT_LE(spilled.worst_stats.peak_bytes,
+            static_cast<int64_t>(budget) + slack);
+  EXPECT_LT(spilled.worst_stats.peak_bytes, unbounded.worst_stats.peak_bytes);
+
+  // Across budgets only the bag is invariant (a spilling hash join may
+  // legally execute as an external merge join, permuting record order).
+  EXPECT_TRUE(spilled.worst_output.BagEquals(unbounded.worst_output));
+  EXPECT_TRUE(spilled.best_output.BagEquals(unbounded.best_output));
 }
 
 }  // namespace

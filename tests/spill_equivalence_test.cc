@@ -1,0 +1,339 @@
+// Differential memory-budget oracle for the spill-to-disk breakers
+// (DESIGN.md §2.3): optimize each seed workload once, then execute EVERY
+// ranked closure alternative at budgets {unbounded, 256 KB, 32 KB, 4 KB} ×
+// {1, 8} worker threads, asserting
+//   * the sorted sink bytes of every run equal the original plan's
+//     unbounded-run output (spilling — including the hash-join's external
+//     sort-merge fallback — may permute record order, never the bag),
+//   * peak_bytes respects the per-instance budget (plus one batch of slack)
+//     at every finite budget — the by-construction contract,
+//   * disk_bytes == 0 on unbounded runs and > 0 whenever the workload's
+//     working set cannot fit (every alternative at the 4 KB budget), and
+//   * both meters are identical at 1 and 8 worker threads.
+//
+// Also pins the estimate/measurement coupling: the optimizer's spill cost
+// term and the engine's measured disk bytes are zero/nonzero together at
+// the same budget, and CostWeights::enable_spill ablates the term away.
+//
+// Registered under the `differential` ctest label (CMakeLists.txt); CI runs
+// it in the ASan/UBSan job as well.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/optimized_program.h"
+#include "api/pipeline.h"
+#include "engine/executor.h"
+#include "reorder/plan.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+/// Small batches so "one batch of slack" is small against the 4 KB budget.
+constexpr size_t kBatchCapacity = 16;
+/// One batch of the widest workload records, rounded up.
+constexpr int64_t kSlackBytes = 8 << 10;
+constexpr double kUnbounded = 1 << 30;
+
+std::string SortedOutputBytes(const DataSet& ds) {
+  std::vector<Record> sorted = ds.records();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Record& r : sorted) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+struct SweepCounts {
+  size_t runs = 0;
+  size_t spilled_at_4k = 0;
+};
+
+/// Sum of the estimated disk (spill) cost components over a physical tree.
+double TreeDiskCost(const optimizer::PhysicalNode& n) {
+  double total = n.cost_disk;
+  for (const auto& c : n.children) total += TreeDiskCost(*c);
+  return total;
+}
+
+/// Optimizes once, then sweeps every ranked alternative across the budget ×
+/// thread matrix against the original plan's unbounded reference output.
+SweepCounts RunBudgetSweep(const workloads::Workload& w,
+                           const api::AnnotationProvider& provider,
+                           bool fuse_chains = true) {
+  SweepCounts counts;
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.batch_capacity = kBatchCapacity;
+  options.exec.fuse_chains = fuse_chains;
+  options.enum_options.max_plans = 512;
+
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, provider, options, sources);
+  if (!program.ok()) {
+    ADD_FAILURE() << w.name
+                  << ": optimize failed: " << program.status().ToString();
+    return counts;
+  }
+  EXPECT_FALSE(program->truncated())
+      << w.name << ": closure truncated at max_plans — oracle is partial";
+
+  int original = program->ImplementedIndex();
+  if (original < 0) {
+    ADD_FAILURE() << w.name << ": original plan missing from closure";
+    return counts;
+  }
+  program->mutable_exec_options().mem_budget_bytes = kUnbounded;
+  program->mutable_exec_options().num_threads = 1;
+  StatusOr<DataSet> ref = program->Run(static_cast<size_t>(original));
+  if (!ref.ok() || ref->empty()) {
+    ADD_FAILURE() << w.name << ": reference run failed or empty: "
+                  << ref.status().ToString();
+    return counts;
+  }
+  std::string reference = SortedOutputBytes(*ref);
+
+  const double budgets[] = {kUnbounded, 256 << 10, 32 << 10, 4 << 10};
+  for (size_t i = 0; i < program->ranked().size(); ++i) {
+    const core::PlannedAlternative& alt = program->ranked()[i];
+    for (double budget : budgets) {
+      SCOPED_TRACE(w.name + " rank " + std::to_string(alt.rank) +
+                   " budget " + std::to_string(static_cast<int64_t>(budget)));
+      program->mutable_exec_options().mem_budget_bytes = budget;
+
+      program->mutable_exec_options().num_threads = 1;
+      engine::ExecStats serial;
+      StatusOr<DataSet> out1 = program->Run(i, &serial);
+      if (!out1.ok()) {
+        ADD_FAILURE() << out1.status().ToString();
+        return counts;
+      }
+      program->mutable_exec_options().num_threads = 8;
+      engine::ExecStats parallel;
+      StatusOr<DataSet> out8 = program->Run(i, &parallel);
+      if (!out8.ok()) {
+        ADD_FAILURE() << out8.status().ToString();
+        return counts;
+      }
+      ++counts.runs;
+
+      // Bag-identical sinks at every budget, vs the unbounded original.
+      EXPECT_EQ(SortedOutputBytes(*out1), reference)
+          << "serial sorted sink diverges.\nlogical: "
+          << reorder::PlanToString(alt.logical, w.flow);
+      EXPECT_EQ(SortedOutputBytes(*out8), reference)
+          << "parallel sorted sink diverges";
+
+      // Thread-count invariance of both spill meters (and the rest).
+      EXPECT_EQ(serial.disk_bytes, parallel.disk_bytes);
+      EXPECT_EQ(serial.peak_bytes, parallel.peak_bytes);
+      EXPECT_EQ(serial.network_bytes, parallel.network_bytes);
+      EXPECT_EQ(serial.output_rows, parallel.output_rows);
+
+      if (budget >= kUnbounded) {
+        EXPECT_EQ(serial.disk_bytes, 0)
+            << "an unbounded run must never touch disk";
+      } else {
+        // The by-construction contract: no instance ever held more than the
+        // budget plus the batch in flight, spill or no spill.
+        EXPECT_LE(serial.peak_bytes,
+                  static_cast<int64_t>(budget) + kSlackBytes);
+      }
+      if (budget == 4 << 10 && serial.disk_bytes > 0) ++counts.spilled_at_4k;
+      if (::testing::Test::HasFailure()) return counts;
+    }
+  }
+  return counts;
+}
+
+TEST(SpillEquivalence, TpchQ7ClosureSurvivesEveryBudget) {
+  workloads::TpchScale scale;
+  scale.lineitems = 1200;
+  scale.orders = 300;
+  scale.customers = 60;
+  scale.suppliers = 12;
+  scale.nations = 8;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  SweepCounts counts = RunBudgetSweep(w, sca);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_GT(counts.runs, 0u);
+  // At 4 KB per instance the Q7 working set cannot fit: every alternative
+  // must actually spill (disk_bytes > 0), not just meter.
+  EXPECT_EQ(counts.spilled_at_4k, counts.runs / 4)
+      << "every Q7 alternative must spill at the 4 KB budget";
+}
+
+TEST(SpillEquivalence, TextMiningClosureSurvivesEveryBudget) {
+  workloads::TextMiningScale scale;
+  scale.documents = 500;
+  workloads::Workload w = workloads::MakeTextMining(scale);
+  api::ScaProvider sca;
+
+  // Fused, the 8-node pipeline has no breaker except the (heavily filtered,
+  // tiny) sink gather: nothing to spill even at 4 KB — fusion eliminated
+  // the very buffers a budget would have forced to disk.
+  SweepCounts fused = RunBudgetSweep(w, sca, /*fuse_chains=*/true);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_GT(fused.runs, 0u);
+  EXPECT_EQ(fused.spilled_at_4k, 0u)
+      << "the fused text-mining pipeline has no buffer worth spilling";
+
+  // Unfused, every Map's full output materializes — at 4 KB per instance
+  // those buffers must really spill, exercising the chain-output spill path
+  // on the Map-heavy workload.
+  SweepCounts unfused = RunBudgetSweep(w, sca, /*fuse_chains=*/false);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_EQ(unfused.spilled_at_4k, unfused.runs / 4)
+      << "every unfused text-mining run must spill at the 4 KB budget";
+}
+
+TEST(SpillEquivalence, ClickstreamClosureSurvivesEveryBudget) {
+  workloads::ClickstreamScale scale;
+  scale.sessions = 600;
+  scale.users = 80;
+  workloads::Workload w = workloads::MakeClickstream(scale);
+  api::ManualProvider manual;  // SCA loses the rotation; manual opens it
+  SweepCounts counts = RunBudgetSweep(w, manual);
+  if (::testing::Test::HasFailure()) return;
+  EXPECT_GT(counts.runs, 0u);
+  EXPECT_EQ(counts.spilled_at_4k, counts.runs / 4)
+      << "every clickstream alternative must spill at the 4 KB budget";
+}
+
+// The optimizer's spill estimate and the engine's measurement must flip
+// together at the same budget — and CostWeights::enable_spill must ablate
+// the estimate (never the measured behavior).
+TEST(SpillEquivalence, SpillCostEstimateTracksMeasurement) {
+  workloads::TpchScale scale;
+  scale.lineitems = 1200;
+  scale.orders = 300;
+  scale.customers = 60;
+  scale.suppliers = 12;
+  scale.nations = 8;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  auto optimize = [&](double budget, bool enable_spill) {
+    api::OptimizeOptions options;
+    options.exec.dop = 8;
+    options.exec.mem_budget_bytes = budget;
+    options.weights.enable_spill = enable_spill;
+    return api::OptimizeFlow(w.flow, sca, options, sources);
+  };
+
+  {  // Tight budget: the worst plan is priced with a disk term and measures
+     // real disk traffic when run at that budget.
+    StatusOr<api::OptimizedProgram> p = optimize(4 << 10, true);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    const core::PlannedAlternative& worst = p->ranked().back();
+    EXPECT_GT(TreeDiskCost(*worst.physical.root), 0)
+        << "worst Q7 plan at 4 KB must carry an estimated spill cost";
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->Run(p->ranked().size() - 1, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_GT(stats.disk_bytes, 0);
+  }
+  {  // Unbounded: estimate and measurement are both zero.
+    StatusOr<api::OptimizedProgram> p = optimize(1 << 30, true);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    for (const core::PlannedAlternative& alt : p->ranked()) {
+      EXPECT_EQ(TreeDiskCost(*alt.physical.root), 0);
+    }
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->Run(p->ranked().size() - 1, &stats);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(stats.disk_bytes, 0);
+  }
+  {  // Ablation: enable_spill=false zeroes every estimated disk term while
+     // the engine still spills (and meters) for real.
+    StatusOr<api::OptimizedProgram> p = optimize(4 << 10, false);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    for (const core::PlannedAlternative& alt : p->ranked()) {
+      EXPECT_EQ(TreeDiskCost(*alt.physical.root), 0);
+    }
+    engine::ExecStats stats;
+    StatusOr<DataSet> out = p->Run(p->ranked().size() - 1, &stats);
+    ASSERT_TRUE(out.ok());
+    EXPECT_GT(stats.disk_bytes, 0);
+  }
+}
+
+// Satellite: a mid-spill write failure surfaces a clean Status and leaves no
+// temp files behind (ExecOptions::spill_fault_after_bytes).
+TEST(SpillEquivalence, SpillFaultSurfacesCleanStatusAndLeaksNothing) {
+  workloads::TpchScale scale;
+  scale.lineitems = 1200;
+  scale.orders = 300;
+  scale.customers = 60;
+  scale.suppliers = 12;
+  scale.nations = 8;
+  workloads::Workload w = workloads::MakeTpchQ7(scale);
+  api::ScaProvider sca;
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+
+  std::filesystem::path sandbox =
+      std::filesystem::temp_directory_path() / "blackbox-spill-fault-test";
+  std::filesystem::remove_all(sandbox);
+  ASSERT_TRUE(std::filesystem::create_directories(sandbox));
+
+  api::OptimizeOptions options;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 4 << 10;
+  options.exec.spill_dir = sandbox.string();
+  StatusOr<api::OptimizedProgram> p = api::OptimizeFlow(w.flow, sca, options,
+                                                        sources);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+  // Healthy run first: spills happen under the sandbox and are cleaned up.
+  engine::ExecStats stats;
+  StatusOr<DataSet> ok_run = p->Run(p->ranked().size() - 1, &stats);
+  ASSERT_TRUE(ok_run.ok()) << ok_run.status().ToString();
+  ASSERT_GT(stats.disk_bytes, 0) << "test needs a budget that forces spills";
+  EXPECT_TRUE(std::filesystem::is_empty(sandbox))
+      << "successful run left temp files behind";
+
+  // Now fail the spill mid-way.
+  p->mutable_exec_options().spill_fault_after_bytes = 8 << 10;
+  StatusOr<DataSet> failed = p->Run(p->ranked().size() - 1);
+  ASSERT_FALSE(failed.ok()) << "fault injection did not fire";
+  EXPECT_EQ(failed.status().code(), Status::Code::kInternal);
+  EXPECT_NE(failed.status().message().find("injected spill fault"),
+            std::string::npos)
+      << failed.status().ToString();
+  EXPECT_TRUE(std::filesystem::is_empty(sandbox))
+      << "failed run leaked temp files";
+
+  std::filesystem::remove_all(sandbox);
+
+  // An unwritable spill directory is a clean error too, not a crash. (A
+  // regular file as the "directory" fails even for a root test runner.)
+  std::filesystem::path blocker =
+      std::filesystem::temp_directory_path() / "blackbox-spill-eq-blocker";
+  std::FILE* bf = std::fopen(blocker.c_str(), "wb");
+  ASSERT_NE(bf, nullptr);
+  std::fclose(bf);
+  p->mutable_exec_options().spill_fault_after_bytes = 0;
+  p->mutable_exec_options().spill_dir = (blocker / "sub").string();
+  StatusOr<DataSet> unwritable = p->Run(p->ranked().size() - 1);
+  ASSERT_FALSE(unwritable.ok());
+  EXPECT_EQ(unwritable.status().code(), Status::Code::kInvalidArgument);
+  std::filesystem::remove(blocker);
+}
+
+}  // namespace
+}  // namespace blackbox

@@ -1,25 +1,30 @@
 #!/usr/bin/env python3
-"""Guard against silent cost-model / plan-choice drift in the bench JSONs.
+"""Guard against silent cost-model / plan-choice / spill drift in the bench
+JSONs.
 
-The bench-smoke CI step runs `fig5_tpch_q7 --smoke` and `ablation`, producing
-BENCH_fig5_tpch_q7.json and BENCH_ablation.json. Both are deterministic
-(estimated costs, byte meters, strategy-mix counters are pure functions of the
-workload and the cost model), so any difference from the committed baseline is
-a real behavior change — intended changes must regenerate the baseline in the
+CI's bench-smoke step runs `fig5_tpch_q7 --smoke` and `ablation`; the
+spill-smoke step re-runs fig5 (smoke) and fig7 under a 32 KiB per-instance
+memory budget (`--mem-budget 32768`), which makes every breaker actually
+spill (DESIGN.md §2.3). All of it is deterministic — estimated costs, byte
+meters (network / measured disk / per-instance peak), strategy-mix counters,
+and the per-budget sweep rows are pure functions of the workload, the cost
+model, and the budget — so any difference from the committed baseline is a
+real behavior change. Intended changes must regenerate the baseline in the
 same commit.
 
 Usage:
   tools/bench_baseline.py write  [--out bench/BENCH_baseline.json] [--dir .]
-      Compose a new baseline from the two fresh bench JSONs.
+      Compose a new baseline from the fresh bench JSONs.
   tools/bench_baseline.py check  [--baseline bench/BENCH_baseline.json] [--dir .]
       Diff fresh bench JSONs against the baseline; exit 1 on drift.
 
-Compared per fig5 run (matched by rank): estimated_cost (relative 1e-6),
-network/disk/peak bytes (exact). Compared per ablation row (matched by
-workload+config): plans, estimated_cost, byte meters, strategy-mix counters.
-Rows from profiler-based configs are skipped — profiled hints measure real
-per-call wall time and are not deterministic. Wall-clock fields are never
-compared.
+Compared per figure run (matched by rank): estimated_cost (relative 1e-6),
+network/disk/peak bytes and udf_calls (exact). Compared per budget-sweep row
+(matched by budget): disk/peak bytes (exact). Compared per ablation row
+(matched by workload+config): plans, estimated_cost, byte meters,
+strategy-mix counters. Rows from profiler-based configs are skipped —
+profiled hints measure real per-call wall time and are not deterministic.
+Wall-clock fields are never compared.
 """
 
 import argparse
@@ -27,10 +32,18 @@ import json
 import os
 import sys
 
-FIG5 = "BENCH_fig5_tpch_q7.json"
+# Figure-shaped JSONs: the default bench-smoke fig5 plus the spill-smoke
+# budgeted runs of fig5 and fig7.
+FIG_FILES = [
+    ("fig5_tpch_q7", "BENCH_fig5_tpch_q7.json"),
+    ("fig5_tpch_q7_budget32768", "BENCH_fig5_tpch_q7_budget32768.json"),
+    ("fig7_clickstream_budget32768",
+     "BENCH_fig7_clickstream_budget32768.json"),
+]
 ABLATION = "BENCH_ablation.json"
 
-FIG5_TOP_KEYS = [
+FIG_TOP_KEYS = [
+    "mem_budget_bytes",
     "alternatives",
     "truncated",
     "implemented_rank",
@@ -39,7 +52,8 @@ FIG5_TOP_KEYS = [
     "best_uses_sort_merge",
     "best_uses_combiner",
 ]
-FIG5_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls"]
+FIG_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls"]
+SWEEP_EXACT = ["disk_bytes", "peak_bytes"]
 ABLATION_EXACT = [
     "plans",
     "network_bytes",
@@ -64,25 +78,68 @@ def nondeterministic(row):
     return "profiled" in row.get("config", "")
 
 
+def extract_fig(fig):
+    out = {k: fig[k] for k in FIG_TOP_KEYS}
+    out["runs"] = [
+        {k: run[k] for k in ["rank", "estimated_cost"] + FIG_RUN_EXACT}
+        for run in fig["runs"]
+    ]
+    out["budget_sweep"] = [
+        {k: row[k] for k in ["mem_budget_bytes"] + SWEEP_EXACT}
+        for row in fig.get("budget_sweep", [])
+    ]
+    return out
+
+
 def extract(dirname):
-    fig5 = load(os.path.join(dirname, FIG5))
     ablation = load(os.path.join(dirname, ABLATION))
     base = {
-        "comment": "Committed bench-smoke baseline; regenerate with "
-                   "tools/bench_baseline.py write when a cost-model or "
-                   "plan-choice change is intended.",
-        "fig5_tpch_q7": {k: fig5[k] for k in FIG5_TOP_KEYS},
+        "comment": "Committed bench-smoke + spill-smoke baseline; regenerate "
+                   "with tools/bench_baseline.py write when a cost-model, "
+                   "plan-choice, or spill-behavior change is intended.",
         "ablation_rows": [
             {k: row[k] for k in ["workload", "config", "estimated_cost"]
              + ABLATION_EXACT}
             for row in ablation["rows"] if not nondeterministic(row)
         ],
     }
-    base["fig5_tpch_q7"]["runs"] = [
-        {k: run[k] for k in ["rank", "estimated_cost"] + FIG5_RUN_EXACT}
-        for run in fig5["runs"]
-    ]
+    for name, fname in FIG_FILES:
+        base[name] = extract_fig(load(os.path.join(dirname, fname)))
     return base
+
+
+def check_fig(name, bf, ff, mismatch):
+    for k in FIG_TOP_KEYS:
+        if bf[k] != ff[k]:
+            mismatch(name, k, bf[k], ff[k])
+    fresh_runs = {r["rank"]: r for r in ff["runs"]}
+    for want in bf["runs"]:
+        got = fresh_runs.get(want["rank"])
+        if got is None:
+            mismatch(name, f"rank {want['rank']}", "present", "missing")
+            continue
+        if not rel_close(want["estimated_cost"], got["estimated_cost"]):
+            mismatch(f"{name} rank {want['rank']}", "estimated_cost",
+                     want["estimated_cost"], got["estimated_cost"])
+        for k in FIG_RUN_EXACT:
+            if want[k] != got[k]:
+                mismatch(f"{name} rank {want['rank']}", k, want[k], got[k])
+    if len(bf["runs"]) != len(ff["runs"]):
+        mismatch(name, "run count", len(bf["runs"]), len(ff["runs"]))
+    fresh_sweep = {r["mem_budget_bytes"]: r for r in ff["budget_sweep"]}
+    for want in bf["budget_sweep"]:
+        got = fresh_sweep.get(want["mem_budget_bytes"])
+        where = f"{name} budget {want['mem_budget_bytes']:.0f}"
+        if got is None:
+            mismatch(name, f"sweep {want['mem_budget_bytes']:.0f}",
+                     "present", "missing")
+            continue
+        for k in SWEEP_EXACT:
+            if want[k] != got[k]:
+                mismatch(where, k, want[k], got[k])
+    if len(bf["budget_sweep"]) != len(ff["budget_sweep"]):
+        mismatch(name, "sweep row count", len(bf["budget_sweep"]),
+                 len(ff["budget_sweep"]))
 
 
 def check(baseline, fresh):
@@ -91,24 +148,8 @@ def check(baseline, fresh):
     def mismatch(where, key, want, got):
         errors.append(f"{where}: {key} drifted: baseline {want} vs fresh {got}")
 
-    bf, ff = baseline["fig5_tpch_q7"], fresh["fig5_tpch_q7"]
-    for k in FIG5_TOP_KEYS:
-        if bf[k] != ff[k]:
-            mismatch("fig5", k, bf[k], ff[k])
-    fresh_runs = {r["rank"]: r for r in ff["runs"]}
-    for want in bf["runs"]:
-        got = fresh_runs.get(want["rank"])
-        if got is None:
-            mismatch("fig5", f"rank {want['rank']}", "present", "missing")
-            continue
-        if not rel_close(want["estimated_cost"], got["estimated_cost"]):
-            mismatch(f"fig5 rank {want['rank']}", "estimated_cost",
-                     want["estimated_cost"], got["estimated_cost"])
-        for k in FIG5_RUN_EXACT:
-            if want[k] != got[k]:
-                mismatch(f"fig5 rank {want['rank']}", k, want[k], got[k])
-    if len(bf["runs"]) != len(ff["runs"]):
-        mismatch("fig5", "run count", len(bf["runs"]), len(ff["runs"]))
+    for name, _ in FIG_FILES:
+        check_fig(name, baseline[name], fresh[name], mismatch)
 
     fresh_rows = {(r["workload"], r["config"]): r
                   for r in fresh["ablation_rows"]}
@@ -158,7 +199,8 @@ def main():
         return 1
     print(f"bench JSONs match {args.baseline} "
           f"({len(baseline['ablation_rows'])} ablation rows, "
-          f"{len(baseline['fig5_tpch_q7']['runs'])} fig5 runs)")
+          + ", ".join(f"{len(baseline[n]['runs'])} {n} runs"
+                      for n, _ in FIG_FILES) + ")")
     return 0
 
 
