@@ -1,0 +1,368 @@
+// Closed-loop serving benchmark (DESIGN.md §2.4): optimizes the three seed
+// workloads once, then drives a QueryServer with concurrent closed-loop
+// clients — three tenants, one per workload class, each submitting its
+// query repeatedly and waiting for the result before submitting the next.
+// Clickstream runs as the "short" class at elevated worker-pool priority.
+//
+// The run verifies the serving invariants end to end and exits non-zero if
+// either fails:
+//   - zero ledger violations: the global BudgetPool's measured live
+//     high-water never exceeded its capacity while >= max_inflight queries
+//     ran concurrently;
+//   - byte-identical outputs: every served result equals the solo
+//     (unserved, private-pool) execution of the same plan, encoded
+//     record for record.
+//
+// Writes BENCH_serving.json: admission counters, ledger accounting,
+// per-class wall-clock latency percentiles (p50/p99 — real time, unlike the
+// engine's thread-invariant simulated_seconds, which is reported per solo
+// run next to them), and the deterministic solo meters.
+//
+// Flags: --smoke        reduced scale + fewer queries (the CI smoke config)
+//        --inflight N   max concurrently executing queries (default 4)
+//        --threads N    shared worker-pool threads (default 8)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/annotation_provider.h"
+#include "api/optimized_program.h"
+#include "record/spill_file.h"
+#include "serve/query_server.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace blackbox;
+
+struct ServedWorkload {
+  std::string name;            // workload name, for the JSON
+  std::string tenant;          // fair-share identity
+  std::string workload_class;  // metrics bucket
+  int priority = 0;            // worker-pool priority
+  workloads::Workload workload;
+  api::OptimizedProgram program;
+  std::string solo_bytes;          // encoded solo output, the oracle
+  engine::ExecStats solo_stats;    // deterministic meters for the JSON
+  double solo_wall_seconds = 0;    // solo wall time, for context only
+};
+
+// Encodes a DataSet in record order; the engine's determinism contract
+// makes this byte-comparable across runs of the same plan.
+std::string EncodeOutput(const DataSet& data) {
+  std::string bytes;
+  for (size_t i = 0; i < data.size(); ++i) EncodeRecord(data.record(i), &bytes);
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int max_inflight = 4;
+  int num_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      max_inflight = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads = std::atoi(argv[++i]);
+    }
+  }
+
+  // Per-query execution options: dop 8 at an 8 KB per-instance budget —
+  // the squeeze point of the figure benches' budget sweep, where even the
+  // best-ranked plans spill for real, so the ledger hierarchy is exercised
+  // under genuine concurrent spill traffic, not just accounted.
+  engine::ExecOptions exec;
+  exec.dop = 8;
+  exec.mem_budget_bytes = 8.0 * 1024;
+
+  serve::ServeOptions serve_options;
+  serve_options.max_inflight = max_inflight;
+  serve_options.max_queued = 64;
+  serve_options.num_threads = num_threads;
+  serve_options.per_instance_slack_bytes = 16.0 * 1024;
+  // Room for exactly max_inflight worst-case carves plus one probe's
+  // worth of headroom: admission is slot-limited, never budget-starved.
+  const double carve =
+      exec.dop * (exec.mem_budget_bytes + serve_options.per_instance_slack_bytes);
+  serve_options.global_budget_bytes = carve * (max_inflight + 1);
+
+  // --- Build and optimize the three seed workloads once ------------------
+  workloads::TpchScale tpch;
+  workloads::TextMiningScale mining;
+  workloads::ClickstreamScale click;
+  if (smoke) {
+    tpch.lineitems = 1200;
+    tpch.orders = 300;
+    tpch.customers = 60;
+    tpch.suppliers = 12;
+    tpch.nations = 8;
+    mining.documents = 500;
+    click.sessions = 600;
+    click.users = 80;
+  } else {
+    tpch.lineitems = 12000;
+    tpch.orders = 3000;
+    tpch.customers = 300;
+    tpch.suppliers = 50;
+    mining.documents = 2000;
+    click.sessions = 2000;
+    click.users = 300;
+  }
+
+  std::vector<ServedWorkload> served(3);
+  served[0].name = "tpch_q7";
+  served[0].tenant = "analytics";
+  served[0].workload_class = "scan";
+  served[0].workload = workloads::MakeTpchQ7(tpch);
+  served[1].name = "textmining";
+  served[1].tenant = "mining";
+  served[1].workload_class = "mine";
+  served[1].workload = workloads::MakeTextMining(mining);
+  served[2].name = "clickstream";
+  served[2].tenant = "web";
+  served[2].workload_class = "short";
+  served[2].priority = 1;  // short interactive class jumps the pool queue
+  served[2].workload = workloads::MakeClickstream(click);
+
+  api::ScaProvider provider;
+  for (ServedWorkload& s : served) {
+    api::OptimizeOptions options;
+    options.exec = exec;
+    options.exec.num_threads = num_threads;
+    api::SourceBindings sources;
+    for (const auto& [id, data] : s.workload.source_data) {
+      sources[id] = &data;
+    }
+    StatusOr<api::OptimizedProgram> program =
+        api::OptimizeFlow(s.workload.flow, provider, options, sources);
+    if (!program.ok()) {
+      std::fprintf(stderr, "optimize %s: %s\n", s.name.c_str(),
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    s.program = std::move(program).value();
+
+    // Solo reference: the same best plan, same per-query options, private
+    // pool, no parent ledger — the oracle every served output must match.
+    auto solo_start = std::chrono::steady_clock::now();
+    StatusOr<DataSet> solo = s.program.RunWith(0, exec, &s.solo_stats);
+    if (!solo.ok()) {
+      std::fprintf(stderr, "solo run %s: %s\n", s.name.c_str(),
+                   solo.status().ToString().c_str());
+      return 1;
+    }
+    s.solo_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      solo_start)
+            .count();
+    s.solo_bytes = EncodeOutput(*solo);
+    std::printf("%-12s  %zu ranked plans, solo output %zu rows, "
+                "disk %lld B, peak %lld B\n",
+                s.name.c_str(), s.program.ranked().size(), solo->size(),
+                static_cast<long long>(s.solo_stats.disk_bytes),
+                static_cast<long long>(s.solo_stats.peak_bytes));
+  }
+
+  // --- Closed-loop serving -----------------------------------------------
+  const int clients_per_tenant = 2;
+  const int queries_per_client = smoke ? 3 : 6;
+
+  serve::QueryServer server(serve_options);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (const ServedWorkload& s : served) {
+    for (int c = 0; c < clients_per_tenant; ++c) {
+      clients.emplace_back([&server, &s, &mismatches, &exec,
+                            queries_per_client] {
+        for (int k = 0; k < queries_per_client; ++k) {
+          serve::QueryRequest request;
+          request.program = &s.program;
+          request.plan_index = 0;
+          request.tenant = s.tenant;
+          request.workload_class = s.workload_class;
+          request.priority = s.priority;
+          request.exec = exec;
+          StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+              server.Submit(std::move(request));
+          if (!handle.ok()) {
+            std::fprintf(stderr, "submit %s: %s\n", s.name.c_str(),
+                         handle.status().ToString().c_str());
+            mismatches.fetch_add(1);
+            return;
+          }
+          const serve::QueryResult& result = (*handle)->Wait();
+          if (!result.status.ok()) {
+            std::fprintf(stderr, "query %llu (%s): %s\n",
+                         static_cast<unsigned long long>(result.query_id),
+                         s.name.c_str(),
+                         result.status.ToString().c_str());
+            mismatches.fetch_add(1);
+            continue;
+          }
+          if (EncodeOutput(result.output) != s.solo_bytes) {
+            std::fprintf(stderr,
+                         "query %llu (%s): served output differs from the "
+                         "solo run\n",
+                         static_cast<unsigned long long>(result.query_id),
+                         s.name.c_str());
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& t : clients) t.join();
+  server.Drain();
+
+  // One deliberately oversized probe after the load: its carve cannot fit
+  // the global budget, so it must be rejected cleanly — the admission-
+  // rejection path stays exercised (and counted) on every bench run.
+  {
+    serve::QueryRequest probe;
+    probe.program = &served[0].program;
+    probe.tenant = "probe";
+    probe.exec = exec;
+    probe.exec.mem_budget_bytes = serve_options.global_budget_bytes;
+    StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+        server.Submit(std::move(probe));
+    if (handle.ok()) {
+      std::fprintf(stderr, "oversized probe was admitted — admission "
+                           "control is broken\n");
+      return 1;
+    }
+  }
+
+  const serve::MetricsSnapshot metrics = server.metrics().Snapshot();
+  const engine::BudgetPool& pool = server.budget_pool();
+  const int expected =
+      static_cast<int>(served.size()) * clients_per_tenant * queries_per_client;
+
+  std::printf("\nserving: %d queries, %d clients, max_inflight %d, "
+              "%d pool threads\n",
+              expected, static_cast<int>(clients.size()), max_inflight,
+              num_threads);
+  std::printf("counters: submitted %lld admitted %lld completed %lld "
+              "failed %lld rejected %lld queue_hw %zu\n",
+              static_cast<long long>(metrics.submitted),
+              static_cast<long long>(metrics.admitted),
+              static_cast<long long>(metrics.completed),
+              static_cast<long long>(metrics.failed),
+              static_cast<long long>(metrics.rejected),
+              metrics.queue_high_water);
+  std::printf("ledger: capacity %.0f carved_hw %.0f live_hw %lld "
+              "violations %lld\n",
+              pool.capacity_bytes(), pool.carved_high_water(),
+              static_cast<long long>(pool.live_high_water()),
+              static_cast<long long>(pool.violations()));
+  for (const auto& [cls, lat] : metrics.total_latency) {
+    std::printf("class %-8s n=%zu  p50 %.3fs  p99 %.3fs  mean %.3fs  "
+                "max %.3fs\n",
+                cls.c_str(), lat.count, lat.p50, lat.p99, lat.mean, lat.max);
+  }
+
+  bool ok = mismatches.load() == 0 && pool.violations() == 0 &&
+            metrics.completed == expected && metrics.failed == 0;
+
+  // --- BENCH_serving.json --------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"clients\": %d,\n", static_cast<int>(clients.size()));
+  std::fprintf(f, "  \"queries_per_client\": %d,\n", queries_per_client);
+  std::fprintf(f, "  \"max_inflight\": %d,\n", max_inflight);
+  std::fprintf(f, "  \"pool_threads\": %d,\n", num_threads);
+  std::fprintf(f, "  \"dop\": %d,\n", exec.dop);
+  std::fprintf(f, "  \"per_query_budget_bytes\": %.0f,\n",
+               exec.mem_budget_bytes);
+  std::fprintf(f, "  \"global_budget_bytes\": %.0f,\n",
+               serve_options.global_budget_bytes);
+  std::fprintf(f, "  \"counters\": {\n");
+  std::fprintf(f, "    \"submitted\": %lld,\n",
+               static_cast<long long>(metrics.submitted));
+  std::fprintf(f, "    \"admitted\": %lld,\n",
+               static_cast<long long>(metrics.admitted));
+  std::fprintf(f, "    \"completed\": %lld,\n",
+               static_cast<long long>(metrics.completed));
+  std::fprintf(f, "    \"failed\": %lld,\n",
+               static_cast<long long>(metrics.failed));
+  std::fprintf(f, "    \"rejected\": %lld,\n",
+               static_cast<long long>(metrics.rejected));
+  std::fprintf(f, "    \"queue_high_water\": %zu\n",
+               metrics.queue_high_water);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"ledger\": {\n");
+  std::fprintf(f, "    \"capacity_bytes\": %.0f,\n", pool.capacity_bytes());
+  std::fprintf(f, "    \"carved_high_water_bytes\": %.0f,\n",
+               pool.carved_high_water());
+  std::fprintf(f, "    \"live_high_water_bytes\": %lld,\n",
+               static_cast<long long>(pool.live_high_water()));
+  std::fprintf(f, "    \"ledger_violations\": %lld\n",
+               static_cast<long long>(pool.violations()));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"outputs_match\": %s,\n",
+               mismatches.load() == 0 ? "true" : "false");
+  std::fprintf(f, "  \"classes\": [\n");
+  {
+    size_t i = 0;
+    for (const auto& [cls, lat] : metrics.total_latency) {
+      const serve::LatencySummary& ex = metrics.exec_latency.at(cls);
+      std::fprintf(f,
+                   "    {\"class\": \"%s\", \"count\": %zu, "
+                   "\"p50_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f, "
+                   "\"max_s\": %.6f, \"exec_p50_s\": %.6f, "
+                   "\"exec_p99_s\": %.6f}%s\n",
+                   cls.c_str(), lat.count, lat.p50, lat.p99, lat.mean,
+                   lat.max, ex.p50, ex.p99,
+                   ++i < metrics.total_latency.size() ? "," : "");
+    }
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"solo\": [\n");
+  for (size_t i = 0; i < served.size(); ++i) {
+    const ServedWorkload& s = served[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"class\": \"%s\", "
+                 "\"simulated_seconds\": %.6f, \"disk_bytes\": %lld, "
+                 "\"peak_bytes\": %lld, \"wall_seconds\": %.6f}%s\n",
+                 s.name.c_str(), s.workload_class.c_str(),
+                 s.solo_stats.simulated_seconds,
+                 static_cast<long long>(s.solo_stats.disk_bytes),
+                 static_cast<long long>(s.solo_stats.peak_bytes),
+                 s.solo_wall_seconds, i + 1 < served.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"ok\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  if (!ok) {
+    std::fprintf(stderr, "serving bench FAILED (mismatches=%d "
+                         "violations=%lld completed=%lld/%d failed=%lld)\n",
+                 mismatches.load(),
+                 static_cast<long long>(pool.violations()),
+                 static_cast<long long>(metrics.completed), expected,
+                 static_cast<long long>(metrics.failed));
+    return 1;
+  }
+  std::printf("serving bench OK — wrote BENCH_serving.json\n");
+  return 0;
+}

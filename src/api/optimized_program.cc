@@ -59,6 +59,12 @@ Status OptimizedProgram::BindSources(const std::map<int, DataSet>& data) {
 
 StatusOr<DataSet> OptimizedProgram::Run(size_t index,
                                         engine::ExecStats* stats) const {
+  return RunWith(index, exec_, stats);
+}
+
+StatusOr<DataSet> OptimizedProgram::RunWith(size_t index,
+                                            const engine::ExecOptions& exec,
+                                            engine::ExecStats* stats) const {
   if (!flow_) return Status::InvalidArgument("program is not optimized");
   if (index >= result_.ranked.size()) {
     return Status::OutOfRange(
@@ -72,9 +78,9 @@ StatusOr<DataSet> OptimizedProgram::Run(size_t index,
                                      "\" has no bound data");
     }
   }
-  engine::Executor exec(&result_.annotated, exec_);
-  for (const auto& [id, data] : sources_) exec.BindSource(id, data);
-  return exec.Execute(result_.ranked[index].physical, stats);
+  engine::Executor executor(&result_.annotated, exec);
+  for (const auto& [id, data] : sources_) executor.BindSource(id, data);
+  return executor.Execute(result_.ranked[index].physical, stats);
 }
 
 StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,

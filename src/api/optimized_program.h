@@ -92,6 +92,14 @@ class OptimizedProgram {
     return Run(0, stats);
   }
 
+  /// Like Run(), but with caller-supplied execution options instead of the
+  /// stored ones. Const and reentrant: concurrent RunWith calls on one
+  /// program are safe (each builds its own Executor), which is how the
+  /// serving layer runs many admitted queries of the same program at once —
+  /// each with its own spill tag, ledger parent, and shared worker pool.
+  StatusOr<DataSet> RunWith(size_t index, const engine::ExecOptions& exec,
+                            engine::ExecStats* stats = nullptr) const;
+
   const engine::ExecOptions& exec_options() const { return exec_; }
 
   /// Mutable run options: lets a program optimized once be executed under

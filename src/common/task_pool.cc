@@ -36,16 +36,28 @@ void TaskPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [&] {
+        return shutdown_ || !priority_queue_.empty() || !queue_.empty();
+      });
+      if (priority_queue_.empty() && queue_.empty()) {
+        return;  // shutdown with drained queues
+      }
+      std::deque<std::function<void()>>& q =
+          priority_queue_.empty() ? queue_ : priority_queue_;
+      task = std::move(q.front());
+      q.pop_front();
     }
     task();
   }
 }
 
-void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+void TaskPool::Enqueue(std::function<void()> task, int priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (priority > 0 ? priority_queue_ : queue_).push_back(std::move(task));
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                           int priority) {
   if (n == 0) return;
   if (num_threads_ == 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) body(i);
@@ -75,7 +87,9 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
   size_t helpers = std::min<size_t>(num_threads_ - 1, n - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < helpers; ++i) queue_.push_back(drain);
+    std::deque<std::function<void()>>& q =
+        priority > 0 ? priority_queue_ : queue_;
+    for (size_t i = 0; i < helpers; ++i) q.push_back(drain);
   }
   cv_.notify_all();
 
@@ -86,7 +100,7 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
   // wake after completion see a valid (exhausted) counter and exit.
 }
 
-std::future<void> TaskPool::Submit(std::function<void()> task) {
+std::future<void> TaskPool::Submit(std::function<void()> task, int priority) {
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
@@ -94,10 +108,7 @@ std::future<void> TaskPool::Submit(std::function<void()> task) {
     (*packaged)();
     return future;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back([packaged] { (*packaged)(); });
-  }
+  Enqueue([packaged] { (*packaged)(); }, priority);
   cv_.notify_one();
   return future;
 }

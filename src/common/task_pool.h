@@ -44,19 +44,29 @@ class TaskPool {
   /// The calling thread participates, so progress is guaranteed even when all
   /// workers are busy with unrelated tasks. Indices are claimed in ascending
   /// order but may complete out of order; body must only touch state owned by
-  /// its index.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  /// its index. `priority` > 0 puts the helper tasks ahead of normal-priority
+  /// work queued by other callers — the serving layer's lever for keeping
+  /// short interactive queries ahead of long scans on a shared pool.
+  /// Priority affects scheduling latency only, never results (the
+  /// determinism contract above).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   int priority = 0);
 
-  /// Enqueues one task for the workers. Pool-size 1 runs it inline before
-  /// returning (the future is already ready).
-  std::future<void> Submit(std::function<void()> task);
+  /// Enqueues one task for the workers; `priority` > 0 jumps the queue.
+  /// Pool-size 1 runs it inline before returning (the future is already
+  /// ready).
+  std::future<void> Submit(std::function<void()> task, int priority = 0);
 
  private:
   void WorkerLoop();
+  void Enqueue(std::function<void()> task, int priority);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
+  /// Two-level run queue: workers drain `priority_queue_` before `queue_`;
+  /// FIFO within each level, so scheduling stays deterministic per level.
   std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> priority_queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;

@@ -159,9 +159,12 @@ class ExecContext {
         options_(options),
         pool_(pool),
         stats_(stats),
-        spill_(options.spill_dir, options.spill_fault_after_bytes),
+        spill_(options.spill_dir, options.spill_tag,
+               options.spill_fault_after_bytes),
         ledgers_(static_cast<size_t>(options.dop)) {
-    for (MemoryLedger& l : ledgers_) l.Init(options.mem_budget_bytes);
+    for (MemoryLedger& l : ledgers_) {
+      l.Init(options.mem_budget_bytes, options.ledger_parent);
+    }
   }
 
   /// Executes the chain whose top is `top`: collects the run of streaming
@@ -298,7 +301,8 @@ class ExecContext {
     std::vector<Status> statuses(n);
     std::vector<ExecStats> meters(n);
     pool_->ParallelFor(
-        n, [&](size_t pi) { statuses[pi] = body(pi, &meters[pi]); });
+        n, [&](size_t pi) { statuses[pi] = body(pi, &meters[pi]); },
+        options_.task_priority);
     for (size_t pi = 0; pi < n; ++pi) {
       if (!statuses[pi].ok()) return statuses[pi];
     }
@@ -1037,9 +1041,21 @@ StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
   if (options_.batch_capacity < 1) {
     return Status::InvalidArgument("batch_capacity must be >= 1");
   }
+  // A non-positive budget is a configuration bug, not a degraded mode: with
+  // budget <= 0 every reservation is over budget and eviction degenerates
+  // into a run file per record. Surface it cleanly (DESIGN.md §2.3).
+  if (!(options_.mem_budget_bytes > 0)) {
+    return Status::InvalidArgument(
+        "mem_budget_bytes must be positive, got " +
+        std::to_string(options_.mem_budget_bytes));
+  }
   auto start = std::chrono::steady_clock::now();
-  if (!pool_) pool_ = std::make_unique<TaskPool>(options_.num_threads);
-  ExecContext ctx(*af_, sources_, options_, pool_.get(), stats);
+  TaskPool* workers = options_.worker_pool;
+  if (workers == nullptr) {
+    if (!pool_) pool_ = std::make_unique<TaskPool>(options_.num_threads);
+    workers = pool_.get();
+  }
+  ExecContext ctx(*af_, sources_, options_, workers, stats);
   StatusOr<Partitions> out = ctx.Exec(*plan.root);
   if (!out.ok()) return out.status();
 

@@ -40,6 +40,8 @@
 namespace blackbox {
 namespace engine {
 
+class BudgetPool;
+
 struct ExecOptions {
   int dop = kDefaultDop;  // number of simulated parallel instances
 
@@ -49,12 +51,46 @@ struct ExecOptions {
   /// ExecStats::peak_bytes stays within budget plus bounded slack (the
   /// record in flight, plus sub-quarter-budget holders the eviction floor
   /// leaves alone) by construction, and disk_bytes measures the traffic.
+  /// Must be positive: Execute() rejects zero and negative budgets with a
+  /// clean Status (a zero budget would degenerate into a run file per
+  /// record); a budget smaller than one batch still runs, degrading to
+  /// roughly one spill run per budget-sized slice.
   double mem_budget_bytes = kDefaultMemBudgetBytes;
 
   /// Directory for spill run files; "" uses the system temp directory. A
   /// per-execution subdirectory is created on first spill and removed —
   /// with everything in it — when the execution ends, successful or not.
+  /// The subdirectory name is process-unique (pid + a process-wide
+  /// counter), so concurrent executions sharing one spill root can never
+  /// collide on run files.
   std::string spill_dir;
+
+  /// Optional human-readable suffix for this execution's spill
+  /// subdirectory (sanitized; the serving layer tags each query's spills
+  /// with its query id so concurrent queries' disk usage is attributable).
+  std::string spill_tag;
+
+  /// Parent budget pool this execution's per-instance ledgers report their
+  /// live bytes to (borrowed; may be null). The serving layer carves a
+  /// per-query budget from the pool at admission and attaches it here, so
+  /// aggregate peak memory across concurrent queries is bounded and
+  /// measured (DESIGN.md §2.4). Accounting only — spill decisions still
+  /// compare each instance against mem_budget_bytes.
+  BudgetPool* ledger_parent = nullptr;
+
+  /// Worker pool to run partition tasks on (borrowed; may be null). When
+  /// set, Execute() submits onto it instead of creating a private pool —
+  /// the serving layer shares one pool across all concurrent queries.
+  /// Overrides num_threads. The determinism contract is unchanged: results
+  /// are byte-identical whichever pool executes the tasks.
+  TaskPool* worker_pool = nullptr;
+
+  /// Priority of this execution's partition tasks on the (shared) worker
+  /// pool: tasks with a higher class jump the queue (TaskPool::ParallelFor),
+  /// which lets the serving layer keep short interactive queries ahead of
+  /// long scans without affecting any result (scheduling order never
+  /// changes output — DESIGN.md §2.1).
+  int task_priority = 0;
 
   /// Test-only fault injection: when > 0, spill writes fail with a clean
   /// Status once this many payload bytes were spilled across the execution.

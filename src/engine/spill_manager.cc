@@ -38,7 +38,7 @@ bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
 Status SpillManager::EnsureDir() {
   if (dir_) return Status::OK();
   if (!dir_status_.ok()) return dir_status_;  // sticky: fail fast after first
-  StatusOr<SpillDirectory> dir = SpillDirectory::Create(dir_hint_);
+  StatusOr<SpillDirectory> dir = SpillDirectory::Create(dir_hint_, tag_);
   if (!dir.ok()) {
     dir_status_ = dir.status();
     return dir_status_;
@@ -91,6 +91,53 @@ void SpillManager::RemoveRun(const SpillRun& run) {
   std::remove(run.path.c_str());
 }
 
+// --- BudgetPool --------------------------------------------------------------
+
+Status BudgetPool::Carve(double bytes) {
+  if (bytes <= 0) {
+    return Status::InvalidArgument("budget carve must be positive, got " +
+                                   std::to_string(bytes));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (carved_ + bytes > capacity_) {
+    return Status::OutOfRange(
+        "budget pool exhausted: carve of " + std::to_string(bytes) +
+        " bytes over " + std::to_string(carved_) + " already carved exceeds " +
+        std::to_string(capacity_) + " capacity");
+  }
+  carved_ += bytes;
+  if (carved_ > carved_high_water_) carved_high_water_ = carved_;
+  return Status::OK();
+}
+
+void BudgetPool::Reclaim(double bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  carved_ -= bytes;
+}
+
+void BudgetPool::AddLive(int64_t delta) {
+  int64_t now = live_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  // Lock-free high-water mark; a stale maximum is retried, never lowered.
+  int64_t hw = live_high_water_.load(std::memory_order_relaxed);
+  while (now > hw &&
+         !live_high_water_.compare_exchange_weak(hw, now,
+                                                 std::memory_order_relaxed)) {
+  }
+  if (static_cast<double>(now) > capacity_) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double BudgetPool::carved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return carved_;
+}
+
+double BudgetPool::carved_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return carved_high_water_;
+}
+
 // --- MemoryLedger ------------------------------------------------------------
 
 int MemoryLedger::Register(Spillable* s) {
@@ -105,6 +152,7 @@ Status MemoryLedger::Reserve(int64_t bytes, ExecStats* m) {
   live_ += bytes;
   lifetime_ += bytes;
   if (live_ > peak_) peak_ = live_;
+  if (parent_ != nullptr) parent_->AddLive(bytes);
   return Rebalance(m);
 }
 

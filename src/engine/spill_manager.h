@@ -26,6 +26,7 @@
 #ifndef BLACKBOX_ENGINE_SPILL_MANAGER_H_
 #define BLACKBOX_ENGINE_SPILL_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -68,11 +69,16 @@ struct SpillRun {
 /// names runs, meters writes, and injects test faults. Thread-safe.
 class SpillManager {
  public:
-  /// `dir_hint` "" means the system temp directory; `fault_after_bytes` > 0
-  /// makes every spill write fail once that many bytes were written across
-  /// the whole execution (ExecOptions::spill_fault_after_bytes, test-only).
-  SpillManager(std::string dir_hint, int64_t fault_after_bytes)
-      : dir_hint_(std::move(dir_hint)), fault_after_bytes_(fault_after_bytes) {}
+  /// `dir_hint` "" means the system temp directory; `tag` is an optional
+  /// suffix for the (always process-unique) run directory name
+  /// (ExecOptions::spill_tag); `fault_after_bytes` > 0 makes every spill
+  /// write fail once that many bytes were written across the whole
+  /// execution (ExecOptions::spill_fault_after_bytes, test-only).
+  SpillManager(std::string dir_hint, std::string tag,
+               int64_t fault_after_bytes)
+      : dir_hint_(std::move(dir_hint)),
+        tag_(std::move(tag)),
+        fault_after_bytes_(fault_after_bytes) {}
 
   /// Writes `batches` as one run; charges the written file bytes to
   /// `m->disk_bytes` (when m is non-null).
@@ -98,11 +104,66 @@ class SpillManager {
   Status EnsureDir();
 
   std::string dir_hint_;
+  std::string tag_;
   int64_t fault_after_bytes_;
   std::mutex mu_;
   std::optional<SpillDirectory> dir_;   // created on first spill
   Status dir_status_;                   // sticky failure
   int64_t written_total_ = 0;           // fault-injection odometer
+};
+
+// --- hierarchical budget pool -----------------------------------------------
+
+/// Thread-safe parent budget for concurrent executions (DESIGN.md §2.4).
+/// The serving layer carves a per-query child budget from one global
+/// capacity at admission time and reclaims it on completion; each admitted
+/// query's per-instance MemoryLedgers report their live-byte deltas here, so
+/// the pool tracks the *measured* aggregate footprint across all queries in
+/// flight. Because admission never over-carves (Carve fails instead) and
+/// every per-instance ledger keeps its instance within its own budget plus
+/// bounded slack, aggregate peak memory is bounded by construction —
+/// violations() counts the observations where the measured aggregate still
+/// exceeded the capacity, the invariant the serving bench asserts is zero.
+class BudgetPool {
+ public:
+  explicit BudgetPool(double capacity_bytes) : capacity_(capacity_bytes) {}
+  BudgetPool(const BudgetPool&) = delete;
+  BudgetPool& operator=(const BudgetPool&) = delete;
+
+  /// Carves `bytes` from the capacity for one query. OutOfRange when the
+  /// remaining capacity is too small (the admission queue's signal to hold
+  /// the query), InvalidArgument for a non-positive carve.
+  Status Carve(double bytes);
+
+  /// Returns a completed query's carve to the pool.
+  void Reclaim(double bytes);
+
+  /// Live-byte delta reported by a child ledger (any thread).
+  void AddLive(int64_t delta);
+
+  double capacity_bytes() const { return capacity_; }
+  /// Currently carved (granted) bytes and their lifetime high-water mark.
+  double carved_bytes() const;
+  double carved_high_water() const;
+  /// Measured aggregate in-memory bytes across every child ledger, and the
+  /// lifetime high-water mark of that aggregate.
+  int64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  int64_t live_high_water() const {
+    return live_high_water_.load(std::memory_order_relaxed);
+  }
+  /// Number of AddLive observations where the aggregate exceeded capacity.
+  int64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double capacity_;
+  mutable std::mutex mu_;  // guards the carve accounting
+  double carved_ = 0;
+  double carved_high_water_ = 0;
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> live_high_water_{0};
+  std::atomic<int64_t> violations_{0};
 };
 
 // --- memory ledger ----------------------------------------------------------
@@ -118,10 +179,17 @@ class Spillable {
 };
 
 /// Per-instance byte ledger: the single authority on both the peak meter and
-/// the spill decision. Not thread-safe (one partition, one owner).
+/// the spill decision. Not thread-safe (one partition, one owner) — but it
+/// may report its live-byte deltas to a thread-safe parent BudgetPool, the
+/// hierarchy that lets concurrent queries share one global budget
+/// (DESIGN.md §2.4). The parent sees accounting only; spill decisions stay
+/// per-instance against this ledger's own budget.
 class MemoryLedger {
  public:
-  void Init(double budget_bytes) { budget_ = budget_bytes; }
+  void Init(double budget_bytes, BudgetPool* parent = nullptr) {
+    budget_ = budget_bytes;
+    parent_ = parent;
+  }
 
   int Register(Spillable* s);
   void Unregister(int id);
@@ -134,7 +202,10 @@ class MemoryLedger {
   /// evictable remains.
   Status Reserve(int64_t bytes, ExecStats* m);
 
-  void Release(int64_t bytes) { live_ -= bytes; }
+  void Release(int64_t bytes) {
+    live_ -= bytes;
+    if (parent_ != nullptr) parent_->AddLive(-bytes);
+  }
 
   /// Evicts without reserving — used at breaker entry so co-resident input
   /// buffers make room before a new buffer starts growing.
@@ -154,6 +225,7 @@ class MemoryLedger {
   std::map<int, Entry> entries_;
   int next_id_ = 0;
   double budget_ = 0;
+  BudgetPool* parent_ = nullptr;  // borrowed; null outside the serving layer
   int64_t live_ = 0;
   int64_t peak_ = 0;
   int64_t lifetime_ = 0;

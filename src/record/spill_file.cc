@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -294,7 +295,8 @@ SpillDirectory::~SpillDirectory() {
   }
 }
 
-StatusOr<SpillDirectory> SpillDirectory::Create(const std::string& parent) {
+StatusOr<SpillDirectory> SpillDirectory::Create(const std::string& parent,
+                                                const std::string& tag) {
   std::error_code ec;
   std::filesystem::path base =
       parent.empty() ? std::filesystem::temp_directory_path(ec)
@@ -304,11 +306,23 @@ StatusOr<SpillDirectory> SpillDirectory::Create(const std::string& parent) {
   }
   // A unique subdirectory per SpillDirectory instance; the pid plus a
   // process-wide counter keeps concurrent processes and instances apart.
+  // The optional tag only labels the directory (sanitized so a caller-
+  // supplied query name cannot escape the parent) — uniqueness never
+  // depends on it.
   static std::atomic<uint64_t> counter{0};
   uint64_t n = counter.fetch_add(1);
-  std::filesystem::path dir =
-      base / ("blackbox-spill-" + std::to_string(::getpid()) + "-" +
-              std::to_string(n));
+  std::string name = "blackbox-spill-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(n);
+  if (!tag.empty()) {
+    name += '-';
+    for (char c : tag) {
+      name += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '_')
+                  ? c
+                  : '_';
+    }
+  }
+  std::filesystem::path dir = base / name;
   if (!std::filesystem::create_directories(dir, ec) || ec) {
     return Status::InvalidArgument("cannot create spill directory " +
                                    dir.string() + ": " +

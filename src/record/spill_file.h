@@ -113,8 +113,13 @@ class SpillDirectory {
   ~SpillDirectory();
 
   /// Creates a fresh directory under `parent` ("" = the system temp
-  /// directory). A missing or unwritable parent is an InvalidArgument error.
-  static StatusOr<SpillDirectory> Create(const std::string& parent);
+  /// directory). The directory name is always process-unique (pid plus a
+  /// process-wide counter), so concurrent executions sharing one parent can
+  /// never collide; `tag` appends a sanitized human-readable suffix (the
+  /// serving layer tags each query's spill directory with its query id).
+  /// A missing or unwritable parent is an InvalidArgument error.
+  static StatusOr<SpillDirectory> Create(const std::string& parent,
+                                         const std::string& tag = "");
 
   /// A new unique file path inside the directory (no file is created).
   std::string NewRunPath();

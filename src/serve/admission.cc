@@ -1,0 +1,55 @@
+#include "serve/admission.h"
+
+#include <cassert>
+
+namespace blackbox {
+namespace serve {
+
+Status FairShareQueue::Enqueue(const std::string& tenant, uint64_t query_id) {
+  if (size_ >= max_queued_) {
+    return Status::OutOfRange("admission queue full (" +
+                              std::to_string(max_queued_) +
+                              " waiting); rejecting query for tenant \"" +
+                              tenant + "\"");
+  }
+  lanes_[tenant].waiting.push_back(query_id);
+  ++size_;
+  return Status::OK();
+}
+
+std::optional<AdmissionCandidate> FairShareQueue::Peek() const {
+  const std::string* best_tenant = nullptr;
+  const TenantLane* best = nullptr;
+  for (const auto& [tenant, lane] : lanes_) {
+    if (lane.waiting.empty()) continue;
+    // Least-served first: fewest in flight, then fewest lifetime
+    // admissions; std::map iteration order makes tenant name the final
+    // deterministic tie-break.
+    if (best == nullptr || lane.inflight < best->inflight ||
+        (lane.inflight == best->inflight &&
+         lane.admitted_total < best->admitted_total)) {
+      best_tenant = &tenant;
+      best = &lane;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return AdmissionCandidate{*best_tenant, best->waiting.front()};
+}
+
+void FairShareQueue::PopAdmitted(const std::string& tenant) {
+  auto it = lanes_.find(tenant);
+  assert(it != lanes_.end() && !it->second.waiting.empty());
+  it->second.waiting.pop_front();
+  ++it->second.inflight;
+  ++it->second.admitted_total;
+  --size_;
+}
+
+void FairShareQueue::OnComplete(const std::string& tenant) {
+  auto it = lanes_.find(tenant);
+  assert(it != lanes_.end() && it->second.inflight > 0);
+  if (it != lanes_.end()) --it->second.inflight;
+}
+
+}  // namespace serve
+}  // namespace blackbox

@@ -1,0 +1,75 @@
+// Admission control for the serving subsystem (DESIGN.md §2.4): a bounded,
+// per-tenant fair-share wait queue. Queries enter per-tenant FIFO lanes;
+// when the server has an execution slot it asks for the next candidate and
+// the queue answers with the head of the lane whose tenant currently uses
+// the least of the server — fewest queries in flight, then fewest admitted
+// overall, then tenant name as the deterministic tie-break. Within a lane
+// order is strictly FIFO, so one tenant's queries never overtake each other.
+//
+// The queue holds opaque query ids; the QueryServer owns the id → query
+// state map. Not thread-safe — the server serializes all access under its
+// own mutex, which also makes the peek-then-admit handshake (peek a
+// candidate, try to carve its budget, only then pop) race-free.
+
+#ifndef BLACKBOX_SERVE_ADMISSION_H_
+#define BLACKBOX_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace blackbox {
+namespace serve {
+
+/// The candidate Peek() proposes: which query would be admitted next, and
+/// for which tenant.
+struct AdmissionCandidate {
+  std::string tenant;
+  uint64_t query_id = 0;
+};
+
+class FairShareQueue {
+ public:
+  /// `max_queued` bounds the total waiting queries across all tenants;
+  /// 0 means no waiting room (every query must be admitted immediately or
+  /// rejected).
+  explicit FairShareQueue(size_t max_queued) : max_queued_(max_queued) {}
+
+  /// Appends a query to its tenant's lane. OutOfRange when the queue is at
+  /// capacity — the caller surfaces that as an admission rejection.
+  Status Enqueue(const std::string& tenant, uint64_t query_id);
+
+  /// The fair-share candidate: head of the least-served tenant's lane.
+  /// nullopt when nothing is waiting. Does not modify the queue.
+  std::optional<AdmissionCandidate> Peek() const;
+
+  /// Pops the current candidate after the caller secured its resources.
+  /// Must be passed exactly the tenant Peek() returned.
+  void PopAdmitted(const std::string& tenant);
+
+  /// Releases one in-flight slot for `tenant` when its query finishes.
+  void OnComplete(const std::string& tenant);
+
+  size_t size() const { return size_; }
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  struct TenantLane {
+    std::deque<uint64_t> waiting;
+    int inflight = 0;          // admitted, not yet completed
+    int64_t admitted_total = 0;  // lifetime admissions, the long-run share
+  };
+
+  std::map<std::string, TenantLane> lanes_;
+  size_t size_ = 0;
+  const size_t max_queued_;
+};
+
+}  // namespace serve
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SERVE_ADMISSION_H_

@@ -1,0 +1,101 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blackbox {
+namespace serve {
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it. Exact for the sample set, no interpolation surprises at the
+  // tails.
+  double clamped = std::min(100.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Max() const {
+  double m = 0;
+  for (double s : samples_) m = std::max(m, s);
+  return m;
+}
+
+void ServerMetrics::OnSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+}
+
+void ServerMetrics::OnRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServerMetrics::OnQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_high_water_ = std::max(queue_high_water_, depth);
+}
+
+void ServerMetrics::OnAdmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++admitted_;
+}
+
+void ServerMetrics::OnFinished(const std::string& workload_class, bool ok,
+                               double exec_seconds, double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  exec_latency_[workload_class].Record(exec_seconds);
+  total_latency_[workload_class].Record(total_seconds);
+}
+
+namespace {
+
+LatencySummary Summarize(const LatencyRecorder& r) {
+  LatencySummary s;
+  s.count = r.count();
+  s.p50 = r.Percentile(50);
+  s.p99 = r.Percentile(99);
+  s.mean = r.Mean();
+  s.max = r.Max();
+  return s;
+}
+
+}  // namespace
+
+MetricsSnapshot ServerMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.submitted = submitted_;
+  snap.rejected = rejected_;
+  snap.admitted = admitted_;
+  snap.completed = completed_;
+  snap.failed = failed_;
+  snap.queue_high_water = queue_high_water_;
+  for (const auto& [cls, rec] : total_latency_) {
+    snap.total_latency[cls] = Summarize(rec);
+  }
+  for (const auto& [cls, rec] : exec_latency_) {
+    snap.exec_latency[cls] = Summarize(rec);
+  }
+  return snap;
+}
+
+}  // namespace serve
+}  // namespace blackbox

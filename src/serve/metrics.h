@@ -1,0 +1,100 @@
+// Server-level observability for the serving subsystem (DESIGN.md §2.4).
+// Two pieces: LatencyRecorder keeps raw wall-clock samples and answers
+// percentile queries by nearest-rank over a sorted copy, and ServerMetrics
+// aggregates the admission lifecycle counters plus per-workload-class
+// latency recorders behind one mutex.
+//
+// Latencies here are deliberately wall-clock: serving latency is a property
+// of the real machine (queueing, thread scheduling, disk), unlike the
+// engine's simulated_seconds which stays thread-invariant by derivation
+// from the byte meters. The two are reported side by side in the serving
+// bench JSON and must not be conflated — see DESIGN.md §2.4.
+
+#ifndef BLACKBOX_SERVE_METRICS_H_
+#define BLACKBOX_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace blackbox {
+namespace serve {
+
+/// Raw latency samples with percentile queries. Not thread-safe; owned per
+/// workload class under ServerMetrics' mutex.
+class LatencyRecorder {
+ public:
+  void Record(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples.
+  double Percentile(double p) const;
+
+  double Mean() const;
+  double Max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Aggregated latency statistics for one workload class, one latency kind.
+struct LatencySummary {
+  size_t count = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+  double max = 0;
+};
+
+/// A point-in-time copy of everything ServerMetrics tracks — what the
+/// serving bench serializes into BENCH_serving.json.
+struct MetricsSnapshot {
+  int64_t submitted = 0;  // Submit() calls, accepted or not
+  int64_t rejected = 0;   // bounced at admission (queue full / oversized)
+  int64_t admitted = 0;   // granted a budget carve and started
+  int64_t completed = 0;  // finished with an OK status
+  int64_t failed = 0;     // finished with a non-OK status
+  size_t queue_high_water = 0;  // max queued-at-once across the run
+
+  /// Per workload class: end-to-end (submit → result) and execution-only
+  /// wall-clock latency summaries.
+  std::map<std::string, LatencySummary> total_latency;
+  std::map<std::string, LatencySummary> exec_latency;
+};
+
+/// Thread-safe lifecycle counters + per-class latency recorders for one
+/// QueryServer.
+class ServerMetrics {
+ public:
+  void OnSubmitted();
+  void OnRejected();
+  void OnQueueDepth(size_t depth);  // records the high-water mark
+  void OnAdmitted();
+
+  /// Called once per finished query. `ok` picks completed vs failed;
+  /// latencies are recorded either way (a failed query still occupied the
+  /// server for that long).
+  void OnFinished(const std::string& workload_class, bool ok,
+                  double exec_seconds, double total_seconds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t admitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  size_t queue_high_water_ = 0;
+  std::map<std::string, LatencyRecorder> total_latency_;
+  std::map<std::string, LatencyRecorder> exec_latency_;
+};
+
+}  // namespace serve
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SERVE_METRICS_H_

@@ -1,0 +1,176 @@
+#include "serve/query_server.h"
+
+#include <utility>
+
+namespace blackbox {
+namespace serve {
+
+// --- QueryHandle ------------------------------------------------------------
+
+const QueryResult& QueryHandle::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+bool QueryHandle::Done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void QueryHandle::Fulfill(QueryResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --- QueryServer ------------------------------------------------------------
+
+QueryServer::QueryServer(ServeOptions options)
+    : options_(std::move(options)),
+      budget_(options_.global_budget_bytes),
+      workers_(options_.num_threads),
+      queue_(options_.max_queued) {}
+
+QueryServer::~QueryServer() { Drain(); }
+
+double QueryServer::CarveBytes(const QueryRequest& request,
+                               const ServeOptions& options) {
+  // Worst case the query's ledgers can reach: dop instances, each within
+  // its budget plus the bounded overshoot slack (DESIGN.md §2.3).
+  return static_cast<double>(request.exec.dop) *
+         (request.exec.mem_budget_bytes + options.per_instance_slack_bytes);
+}
+
+StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
+    QueryRequest request) {
+  metrics_.OnSubmitted();
+  if (request.program == nullptr) {
+    metrics_.OnRejected();
+    return Status::InvalidArgument("query request has no program");
+  }
+  if (request.plan_index >= request.program->num_alternatives()) {
+    metrics_.OnRejected();
+    return Status::InvalidArgument(
+        "plan index " + std::to_string(request.plan_index) +
+        " out of range (" +
+        std::to_string(request.program->num_alternatives()) +
+        " alternatives)");
+  }
+  if (!(request.exec.mem_budget_bytes > 0)) {
+    metrics_.OnRejected();
+    return Status::InvalidArgument(
+        "query mem_budget_bytes must be positive, got " +
+        std::to_string(request.exec.mem_budget_bytes));
+  }
+  if (request.exec.dop < 1) {
+    metrics_.OnRejected();
+    return Status::InvalidArgument("query dop must be >= 1, got " +
+                                   std::to_string(request.exec.dop));
+  }
+  double carve = CarveBytes(request, options_);
+  if (carve > budget_.capacity_bytes()) {
+    // Could never be admitted — waiting would deadlock the queue slot.
+    metrics_.OnRejected();
+    return Status::OutOfRange(
+        "query needs a " + std::to_string(carve) +
+        "-byte carve but the server's global budget is only " +
+        std::to_string(budget_.capacity_bytes()) + " bytes");
+  }
+
+  auto state = std::make_shared<QueryState>();
+  state->request = std::move(request);
+  state->handle = std::make_shared<QueryHandle>();
+  state->carve_bytes = carve;
+  state->submit_time = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  state->id = next_id_++;
+  Status queued = queue_.Enqueue(state->request.tenant, state->id);
+  if (!queued.ok()) {
+    metrics_.OnRejected();
+    return queued;
+  }
+  waiting_[state->id] = state;
+  metrics_.OnQueueDepth(queue_.size());
+  AdmitLocked();
+  return state->handle;
+}
+
+void QueryServer::AdmitLocked() {
+  while (inflight_ < options_.max_inflight) {
+    std::optional<AdmissionCandidate> candidate = queue_.Peek();
+    if (!candidate) break;
+    auto it = waiting_.find(candidate->query_id);
+    std::shared_ptr<QueryState> query = it->second;
+    // Carve before committing the admission: on a full pool the candidate
+    // stays queued (at its lane's head) until a completion reclaims bytes
+    // and re-runs this loop.
+    if (!budget_.Carve(query->carve_bytes).ok()) break;
+    queue_.PopAdmitted(candidate->tenant);
+    waiting_.erase(it);
+    ++inflight_;
+    metrics_.OnAdmitted();
+    drivers_.emplace_back(&QueryServer::RunQuery, this, std::move(query));
+  }
+}
+
+void QueryServer::RunQuery(std::shared_ptr<QueryState> query) {
+  auto exec_start = std::chrono::steady_clock::now();
+
+  engine::ExecOptions exec = query->request.exec;
+  exec.worker_pool = &workers_;
+  exec.ledger_parent = &budget_;
+  exec.spill_dir = options_.spill_root;
+  exec.spill_tag =
+      "q" + std::to_string(query->id) + "-" + query->request.tenant;
+  exec.task_priority = query->request.priority;
+
+  QueryResult result;
+  result.query_id = query->id;
+  StatusOr<DataSet> out = query->request.program->RunWith(
+      query->request.plan_index, exec, &result.stats);
+  auto exec_end = std::chrono::steady_clock::now();
+  if (out.ok()) {
+    result.output = std::move(out).value();
+  } else {
+    result.status = out.status();
+  }
+  result.queue_seconds =
+      std::chrono::duration<double>(exec_start - query->submit_time).count();
+  result.exec_seconds =
+      std::chrono::duration<double>(exec_end - exec_start).count();
+  result.total_seconds =
+      std::chrono::duration<double>(exec_end - query->submit_time).count();
+
+  metrics_.OnFinished(query->request.workload_class, result.status.ok(),
+                      result.exec_seconds, result.total_seconds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_.Reclaim(query->carve_bytes);
+    queue_.OnComplete(query->request.tenant);
+    --inflight_;
+    AdmitLocked();
+  }
+  idle_cv_.notify_all();
+  query->handle->Fulfill(std::move(result));
+}
+
+void QueryServer::Drain() {
+  std::vector<std::thread> finished;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return queue_.size() == 0 && inflight_ == 0; });
+    finished.swap(drivers_);
+  }
+  // Join outside the lock: a driver's last steps (fulfilling its handle)
+  // happen after it released mu_, and joining under the lock could
+  // deadlock against a straggler still waiting to take it.
+  for (std::thread& t : finished) t.join();
+}
+
+}  // namespace serve
+}  // namespace blackbox

@@ -1,0 +1,191 @@
+// QueryServer — the serving subsystem's front door (DESIGN.md §2.4).
+// Admits many concurrent OptimizedPrograms onto one shared TaskPool under
+// one global memory budget:
+//
+//   Submit → bounded fair-share wait queue (admission.h)
+//          → budget carve from the global BudgetPool (dop × (per-instance
+//            budget + slack), the worst-case aggregate the query's ledgers
+//            can reach)
+//          → driver thread runs OptimizedProgram::RunWith with the server's
+//            worker pool, a per-query spill tag, and the pool as the
+//            ledger parent
+//          → completion reclaims the carve, releases the tenant's slot, and
+//            wakes the admission loop for the next candidate.
+//
+// Invariant (tested): because admission never lets Σ carves exceed the pool
+// capacity and every per-instance ledger stays within budget + bounded
+// slack (DESIGN.md §2.3), the pool's measured live high-water never exceeds
+// capacity — violations() == 0 by construction, not by luck.
+//
+// Execution results are unchanged by serving: each query's output is
+// byte-identical to running it solo, because the engine's determinism
+// contract is per-execution and shares only the (order-oblivious) worker
+// pool. Only wall-clock latency varies with load — which is exactly what
+// the metrics record.
+
+#ifndef BLACKBOX_SERVE_QUERY_SERVER_H_
+#define BLACKBOX_SERVE_QUERY_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/optimized_program.h"
+#include "common/status.h"
+#include "common/task_pool.h"
+#include "engine/executor.h"
+#include "engine/spill_manager.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+
+namespace blackbox {
+namespace serve {
+
+struct ServeOptions {
+  /// Max queries executing at once; further admissions wait in the queue.
+  int max_inflight = 4;
+
+  /// Max queries waiting for admission (across all tenants) before Submit
+  /// rejects outright.
+  size_t max_queued = 64;
+
+  /// Global memory budget all concurrent queries' carves draw from.
+  double global_budget_bytes = 64.0 * (1 << 20);
+
+  /// Per-instance slack added to each query's carve on top of its
+  /// mem_budget_bytes — covers the bounded overshoot a ledger is allowed
+  /// (the record in flight plus sub-quarter-budget holders, DESIGN.md
+  /// §2.3). Must be at least that overshoot for the no-violation invariant
+  /// to hold by construction.
+  double per_instance_slack_bytes = 16.0 * 1024;
+
+  /// Worker threads in the shared pool; <= 0 picks hardware concurrency.
+  int num_threads = 0;
+
+  /// Parent directory for all queries' spill subdirectories; "" uses the
+  /// system temp directory. Each query gets its own tagged subdirectory.
+  std::string spill_root;
+};
+
+struct QueryRequest {
+  /// Borrowed; must outlive the query (sources stay bound by the caller).
+  const api::OptimizedProgram* program = nullptr;
+
+  /// Which ranked alternative to execute (0 = cheapest).
+  size_t plan_index = 0;
+
+  /// Fair-share identity: admissions balance across tenants.
+  std::string tenant = "default";
+
+  /// Metrics bucket: latency percentiles are reported per class.
+  std::string workload_class = "default";
+
+  /// Worker-pool priority for this query's partition tasks; > 0 jumps the
+  /// shared pool's queue (for short interactive classes).
+  int priority = 0;
+
+  /// Per-query execution options (dop, per-instance budget, batch
+  /// capacity). The server overrides worker_pool, ledger_parent,
+  /// spill_dir, spill_tag, and task_priority — those belong to serving.
+  engine::ExecOptions exec;
+};
+
+struct QueryResult {
+  Status status = Status::OK();
+  DataSet output;
+  engine::ExecStats stats;
+  double queue_seconds = 0;  // submit → execution start
+  double exec_seconds = 0;   // execution start → result
+  double total_seconds = 0;  // submit → result
+  uint64_t query_id = 0;
+};
+
+/// Future-like completion handle. Wait() blocks until the server fulfilled
+/// the result; the reference stays valid as long as the handle lives.
+class QueryHandle {
+ public:
+  const QueryResult& Wait();
+
+  /// Non-blocking: true once the result is available.
+  bool Done() const;
+
+ private:
+  friend class QueryServer;
+  void Fulfill(QueryResult result);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryResult result_;
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(ServeOptions options);
+
+  /// Drains outstanding work before shutdown.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Accepts a query for execution. Returns immediately with a handle;
+  /// rejects with InvalidArgument for a malformed request and OutOfRange
+  /// when the wait queue is full or the query's carve can never fit the
+  /// global budget. Thread-safe.
+  StatusOr<std::shared_ptr<QueryHandle>> Submit(QueryRequest request);
+
+  /// Blocks until every queued and in-flight query has finished and joins
+  /// the finished driver threads. Safe to call repeatedly.
+  void Drain();
+
+  /// The bytes Submit would carve from the global pool for this request —
+  /// the worst-case aggregate memory its dop ledgers can reach. Exposed so
+  /// harnesses can size global budgets deliberately.
+  static double CarveBytes(const QueryRequest& request,
+                           const ServeOptions& options);
+
+  const engine::BudgetPool& budget_pool() const { return budget_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct QueryState {
+    QueryRequest request;
+    std::shared_ptr<QueryHandle> handle;
+    uint64_t id = 0;
+    double carve_bytes = 0;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  /// Admits fair-share candidates while slots and budget allow. Caller
+  /// holds mu_.
+  void AdmitLocked();
+
+  /// Driver-thread body: one admitted query start to finish.
+  void RunQuery(std::shared_ptr<QueryState> query);
+
+  const ServeOptions options_;
+  engine::BudgetPool budget_;
+  TaskPool workers_;
+  ServerMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;  // signaled when a query finishes
+  FairShareQueue queue_;
+  std::map<uint64_t, std::shared_ptr<QueryState>> waiting_;  // queued, by id
+  std::vector<std::thread> drivers_;  // joined by Drain()
+  int inflight_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,468 @@
+// Tests for the serving subsystem (DESIGN.md §2.4): the hierarchical
+// BudgetPool, budget edge cases at the executor boundary, fair-share
+// admission, spill-directory isolation, and the end-to-end differential
+// oracle — concurrent queries through a QueryServer must produce outputs
+// byte-identical to their solo runs while the global ledger records zero
+// violations.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/optimized_program.h"
+#include "engine/executor.h"
+#include "engine/spill_manager.h"
+#include "record/spill_file.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/query_server.h"
+#include "workloads/clickstream.h"
+#include "workloads/textmining.h"
+#include "workloads/tpch.h"
+
+namespace blackbox {
+namespace {
+
+/// Small batches keep the bounded ledger slack small (one batch of the
+/// widest workload records, rounded up) — same constants as the spill
+/// equivalence oracle.
+constexpr size_t kBatchCapacity = 16;
+constexpr double kSlackBytes = 8 << 10;
+
+std::string OutputBytes(const DataSet& ds) {
+  // Exact record order: the engine gathers in partition index order, so the
+  // same plan must produce byte-identical output served or solo.
+  std::string out;
+  for (size_t i = 0; i < ds.size(); ++i) EncodeRecord(ds.record(i), &out);
+  return out;
+}
+
+StatusOr<api::OptimizedProgram> Optimize(const workloads::Workload& w,
+                                         const engine::ExecOptions& exec) {
+  api::ScaProvider provider;
+  api::OptimizeOptions options;
+  options.exec = exec;
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  return api::OptimizeFlow(w.flow, provider, options, sources);
+}
+
+engine::ExecOptions SmallExec(double budget_bytes) {
+  engine::ExecOptions exec;
+  exec.dop = 4;
+  exec.batch_capacity = kBatchCapacity;
+  exec.mem_budget_bytes = budget_bytes;
+  return exec;
+}
+
+workloads::Workload SmallClickstream() {
+  workloads::ClickstreamScale scale;
+  scale.sessions = 600;
+  scale.users = 80;
+  return workloads::MakeClickstream(scale);
+}
+
+// --- BudgetPool -------------------------------------------------------------
+
+TEST(BudgetPoolTest, CarveReclaimAccounting) {
+  engine::BudgetPool pool(1000);
+  EXPECT_DOUBLE_EQ(pool.capacity_bytes(), 1000);
+  ASSERT_TRUE(pool.Carve(400).ok());
+  ASSERT_TRUE(pool.Carve(400).ok());
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 800);
+  EXPECT_DOUBLE_EQ(pool.carved_high_water(), 800);
+
+  // Exhausted: the third carve would exceed capacity.
+  Status rejected = pool.Carve(400);
+  EXPECT_EQ(rejected.code(), Status::Code::kOutOfRange);
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 800);
+
+  pool.Reclaim(400);
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 400);
+  // Reclaim frees room again; the high-water mark keeps the peak.
+  ASSERT_TRUE(pool.Carve(500).ok());
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 900);
+  EXPECT_DOUBLE_EQ(pool.carved_high_water(), 900);
+}
+
+TEST(BudgetPoolTest, ChildCarvesNeverExceedParentCapacity) {
+  engine::BudgetPool pool(1000);
+  ASSERT_TRUE(pool.Carve(1000).ok());  // exactly full is fine
+  EXPECT_EQ(pool.Carve(1).code(), Status::Code::kOutOfRange);
+  EXPECT_LE(pool.carved_bytes(), pool.capacity_bytes());
+}
+
+TEST(BudgetPoolTest, RejectsNonPositiveCarve) {
+  engine::BudgetPool pool(1000);
+  EXPECT_EQ(pool.Carve(0).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(pool.Carve(-5).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BudgetPoolTest, LiveTrackingAndViolations) {
+  engine::BudgetPool pool(100);
+  pool.AddLive(60);
+  pool.AddLive(30);
+  EXPECT_EQ(pool.live_bytes(), 90);
+  EXPECT_EQ(pool.live_high_water(), 90);
+  EXPECT_EQ(pool.violations(), 0);
+
+  pool.AddLive(110);  // 200 live against a capacity of 100
+  EXPECT_EQ(pool.live_high_water(), 200);
+  EXPECT_GE(pool.violations(), 1);
+
+  pool.AddLive(-200);
+  EXPECT_EQ(pool.live_bytes(), 0);
+  EXPECT_EQ(pool.live_high_water(), 200);  // high water is sticky
+}
+
+// A real spilling execution with a ledger parent attached: the pool's
+// measured live high-water must be positive (the ledgers really report) and
+// bounded by dop × (budget + slack) (the carve bound the serving layer
+// relies on), with zero violations when capacity equals that bound.
+TEST(BudgetPoolTest, HierarchicalAccountingDuringExecution) {
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  const double bound = exec.dop * (exec.mem_budget_bytes + kSlackBytes);
+  engine::BudgetPool pool(bound);
+  exec.ledger_parent = &pool;
+
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  engine::ExecStats stats;
+  StatusOr<DataSet> out = program->RunWith(0, exec, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  EXPECT_GT(stats.disk_bytes, 0) << "expected the 8 KB budget to spill";
+  EXPECT_GT(pool.live_high_water(), 0);
+  EXPECT_LE(static_cast<double>(pool.live_high_water()), bound);
+  EXPECT_EQ(pool.violations(), 0);
+  // Execution finished: every reservation was released back to the parent.
+  EXPECT_EQ(pool.live_bytes(), 0);
+}
+
+// --- Budget edge cases at the executor boundary -----------------------------
+
+TEST(BudgetEdgeCaseTest, ZeroAndNegativeBudgetsAreCleanErrors) {
+  workloads::Workload w = SmallClickstream();
+  StatusOr<api::OptimizedProgram> program = Optimize(w, SmallExec(1 << 20));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  for (double budget : {0.0, -1.0}) {
+    StatusOr<DataSet> out = program->RunWith(0, SmallExec(budget));
+    ASSERT_FALSE(out.ok()) << "budget " << budget << " must be rejected";
+    EXPECT_EQ(out.status().code(), Status::Code::kInvalidArgument);
+  }
+}
+
+TEST(BudgetEdgeCaseTest, BudgetSmallerThanOneBatchDegradesGracefully) {
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions roomy = SmallExec(1 << 26);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, roomy);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  StatusOr<DataSet> reference = program->RunWith(0, roomy);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // 256 bytes holds a handful of records — far less than one 16-record
+  // batch. The run must still complete (spilling roughly per budget-sized
+  // slice) with byte-identical output, never assert or loop.
+  engine::ExecStats stats;
+  StatusOr<DataSet> tiny = program->RunWith(0, SmallExec(256), &stats);
+  ASSERT_TRUE(tiny.ok()) << tiny.status().ToString();
+  EXPECT_GT(stats.disk_bytes, 0);
+  EXPECT_EQ(OutputBytes(*tiny), OutputBytes(*reference));
+}
+
+// --- FairShareQueue ---------------------------------------------------------
+
+TEST(FairShareQueueTest, FifoWithinOneTenant) {
+  serve::FairShareQueue q(8);
+  ASSERT_TRUE(q.Enqueue("a", 1).ok());
+  ASSERT_TRUE(q.Enqueue("a", 2).ok());
+  ASSERT_TRUE(q.Enqueue("a", 3).ok());
+  for (uint64_t expect : {1, 2, 3}) {
+    auto cand = q.Peek();
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(cand->query_id, expect);
+    q.PopAdmitted(cand->tenant);
+  }
+  EXPECT_FALSE(q.Peek().has_value());
+}
+
+TEST(FairShareQueueTest, LeastServedTenantGoesFirst) {
+  serve::FairShareQueue q(8);
+  ASSERT_TRUE(q.Enqueue("a", 1).ok());
+  ASSERT_TRUE(q.Enqueue("a", 2).ok());
+  ASSERT_TRUE(q.Enqueue("b", 3).ok());
+
+  // Tie on (inflight, admitted) breaks on tenant name: "a" first.
+  auto first = q.Peek();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tenant, "a");
+  q.PopAdmitted("a");
+
+  // "a" now has one in flight; "b" is least served.
+  auto second = q.Peek();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tenant, "b");
+  EXPECT_EQ(second->query_id, 3u);
+  q.PopAdmitted("b");
+
+  // Both have one in flight and one lifetime admission; back to "a".
+  auto third = q.Peek();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->query_id, 2u);
+
+  // A completion for "b" does not change the candidate ("a" ties on
+  // inflight 1... no: "a" has inflight 1, "b" inflight 0 after complete —
+  // but "a" is the only tenant with waiting work, so it stays the head).
+  q.OnComplete("b");
+  auto still = q.Peek();
+  ASSERT_TRUE(still.has_value());
+  EXPECT_EQ(still->query_id, 2u);
+}
+
+TEST(FairShareQueueTest, LongRunShareBalancesAcrossTenants) {
+  serve::FairShareQueue q(16);
+  // "a" got 5 lifetime admissions; a newcomer "b" must be preferred even
+  // though neither has anything in flight right now.
+  for (uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(q.Enqueue("a", id).ok());
+    auto cand = q.Peek();
+    ASSERT_TRUE(cand.has_value());
+    q.PopAdmitted(cand->tenant);
+    q.OnComplete(cand->tenant);
+  }
+  ASSERT_TRUE(q.Enqueue("a", 10).ok());
+  ASSERT_TRUE(q.Enqueue("b", 11).ok());
+  auto cand = q.Peek();
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->tenant, "b");
+}
+
+TEST(FairShareQueueTest, BoundedQueueRejects) {
+  serve::FairShareQueue q(2);
+  ASSERT_TRUE(q.Enqueue("a", 1).ok());
+  ASSERT_TRUE(q.Enqueue("b", 2).ok());
+  EXPECT_EQ(q.Enqueue("c", 3).code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(q.size(), 2u);
+  // Admission makes room again.
+  auto cand = q.Peek();
+  ASSERT_TRUE(cand.has_value());
+  q.PopAdmitted(cand->tenant);
+  EXPECT_TRUE(q.Enqueue("c", 3).ok());
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, PercentilesAndCounters) {
+  serve::LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Record(i / 100.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(50), 0.50);
+  EXPECT_DOUBLE_EQ(rec.Percentile(99), 0.99);
+  EXPECT_DOUBLE_EQ(rec.Max(), 1.0);
+
+  serve::ServerMetrics metrics;
+  metrics.OnSubmitted();
+  metrics.OnSubmitted();
+  metrics.OnRejected();
+  metrics.OnAdmitted();
+  metrics.OnQueueDepth(3);
+  metrics.OnQueueDepth(1);
+  metrics.OnFinished("scan", /*ok=*/true, 0.5, 1.0);
+  metrics.OnFinished("scan", /*ok=*/false, 0.1, 0.2);
+  serve::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.submitted, 2);
+  EXPECT_EQ(snap.rejected, 1);
+  EXPECT_EQ(snap.admitted, 1);
+  EXPECT_EQ(snap.completed, 1);
+  EXPECT_EQ(snap.failed, 1);
+  EXPECT_EQ(snap.queue_high_water, 3u);
+  ASSERT_EQ(snap.total_latency.count("scan"), 1u);
+  EXPECT_EQ(snap.total_latency.at("scan").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.total_latency.at("scan").max, 1.0);
+}
+
+// --- Spill-directory isolation ----------------------------------------------
+
+TEST(SpillDirectoryTest, SameTagStillUniqueAndSanitized) {
+  StatusOr<SpillDirectory> a = SpillDirectory::Create("", "tenant/../q1 x");
+  StatusOr<SpillDirectory> b = SpillDirectory::Create("", "tenant/../q1 x");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  // Uniqueness never depends on the tag.
+  EXPECT_NE(a->path(), b->path());
+  // The tag cannot escape the parent: no separators survive sanitization.
+  std::string name = std::filesystem::path(a->path()).filename().string();
+  EXPECT_EQ(name.find('/'), std::string::npos);
+  EXPECT_EQ(name.find(".."), std::string::npos);
+  EXPECT_EQ(name.find(' '), std::string::npos);
+  EXPECT_NE(name.find("tenant"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(a->path()));
+  EXPECT_TRUE(std::filesystem::exists(b->path()));
+}
+
+// --- QueryServer ------------------------------------------------------------
+
+TEST(QueryServerTest, RejectsMalformedAndOversizedRequests) {
+  serve::ServeOptions options;
+  options.global_budget_bytes = 1 << 20;
+  options.num_threads = 2;
+  serve::QueryServer server(options);
+
+  serve::QueryRequest no_program;
+  EXPECT_EQ(server.Submit(std::move(no_program)).status().code(),
+            Status::Code::kInvalidArgument);
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  serve::QueryRequest zero_budget;
+  zero_budget.program = &*program;
+  zero_budget.exec = SmallExec(0);
+  EXPECT_EQ(server.Submit(std::move(zero_budget)).status().code(),
+            Status::Code::kInvalidArgument);
+
+  serve::QueryRequest bad_index;
+  bad_index.program = &*program;
+  bad_index.plan_index = program->ranked().size();
+  bad_index.exec = exec;
+  EXPECT_EQ(server.Submit(std::move(bad_index)).status().code(),
+            Status::Code::kInvalidArgument);
+
+  // A carve that can never fit the global budget is rejected up front
+  // instead of waiting forever.
+  serve::QueryRequest oversized;
+  oversized.program = &*program;
+  oversized.exec = SmallExec(options.global_budget_bytes);
+  EXPECT_EQ(server.Submit(std::move(oversized)).status().code(),
+            Status::Code::kOutOfRange);
+
+  EXPECT_EQ(server.metrics().Snapshot().rejected, 4);
+}
+
+TEST(QueryServerTest, OverAdmissionRejectsWhenQueueFull) {
+  // No execution slots and no waiting room: every submission bounces.
+  serve::ServeOptions options;
+  options.max_inflight = 0;
+  options.max_queued = 0;
+  options.num_threads = 1;
+  serve::QueryServer server(options);
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  serve::QueryRequest request;
+  request.program = &*program;
+  request.exec = exec;
+  EXPECT_EQ(server.Submit(std::move(request)).status().code(),
+            Status::Code::kOutOfRange);
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.rejected, 1);
+  EXPECT_EQ(snap.admitted, 0);
+}
+
+// The end-to-end differential oracle: three workloads, two concurrent
+// submissions each, spilling budgets, one shared worker pool and global
+// ledger — every served output must be byte-identical to the solo run of
+// the same plan, all reservations must flow back, and the global pool must
+// record zero violations.
+TEST(QueryServerTest, ConcurrentExecutionMatchesSoloByteForByte) {
+  struct Entry {
+    std::string tenant;
+    workloads::Workload workload;
+    api::OptimizedProgram program;
+    std::string solo_bytes;
+  };
+  std::vector<Entry> entries(3);
+  entries[0].tenant = "analytics";
+  {
+    workloads::TpchScale scale;
+    scale.lineitems = 1200;
+    scale.orders = 300;
+    scale.customers = 60;
+    scale.suppliers = 12;
+    scale.nations = 8;
+    entries[0].workload = workloads::MakeTpchQ7(scale);
+  }
+  entries[1].tenant = "mining";
+  {
+    workloads::TextMiningScale scale;
+    scale.documents = 500;
+    entries[1].workload = workloads::MakeTextMining(scale);
+  }
+  entries[2].tenant = "web";
+  entries[2].workload = SmallClickstream();
+
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  for (Entry& e : entries) {
+    StatusOr<api::OptimizedProgram> program = Optimize(e.workload, exec);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    e.program = std::move(program).value();
+    StatusOr<DataSet> solo = e.program.RunWith(0, exec);
+    ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+    e.solo_bytes = OutputBytes(*solo);
+  }
+
+  serve::ServeOptions options;
+  options.max_inflight = 4;
+  options.num_threads = 4;
+  options.per_instance_slack_bytes = kSlackBytes;
+  const double carve =
+      exec.dop * (exec.mem_budget_bytes + options.per_instance_slack_bytes);
+  options.global_budget_bytes = carve * options.max_inflight;
+
+  constexpr int kRoundsPerEntry = 2;
+  serve::QueryServer server(options);
+  std::vector<std::shared_ptr<serve::QueryHandle>> handles;
+  std::vector<const Entry*> owners;
+  for (int round = 0; round < kRoundsPerEntry; ++round) {
+    for (const Entry& e : entries) {
+      serve::QueryRequest request;
+      request.program = &e.program;
+      request.tenant = e.tenant;
+      request.workload_class = e.tenant;
+      request.exec = exec;
+      StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+          server.Submit(std::move(request));
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      handles.push_back(std::move(handle).value());
+      owners.push_back(&e);
+    }
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const serve::QueryResult& result = handles[i]->Wait();
+    ASSERT_TRUE(result.status.ok())
+        << owners[i]->tenant << ": " << result.status.ToString();
+    EXPECT_EQ(OutputBytes(result.output), owners[i]->solo_bytes)
+        << owners[i]->tenant << " query " << result.query_id
+        << ": served output differs from the solo run";
+  }
+  server.Drain();
+
+  const engine::BudgetPool& pool = server.budget_pool();
+  EXPECT_EQ(pool.violations(), 0);
+  EXPECT_GT(pool.live_high_water(), 0);
+  EXPECT_LE(static_cast<double>(pool.live_high_water()),
+            pool.capacity_bytes());
+  // Completion reclaimed every carve and released every reservation.
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 0);
+  EXPECT_EQ(pool.live_bytes(), 0);
+  // The admission lifecycle adds up.
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  const int total = kRoundsPerEntry * static_cast<int>(entries.size());
+  EXPECT_EQ(snap.submitted, total);
+  EXPECT_EQ(snap.admitted, total);
+  EXPECT_EQ(snap.completed, total);
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_EQ(snap.rejected, 0);
+}
+
+}  // namespace
+}  // namespace blackbox

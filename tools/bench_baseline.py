@@ -25,6 +25,13 @@ network/disk/peak bytes and udf_calls (exact). Compared per budget-sweep row
 strategy-mix counters. Rows from profiler-based configs are skipped —
 profiled hints measure real per-call wall time and are not deterministic.
 Wall-clock fields are never compared.
+
+BENCH_serving.json (CI's serving-smoke step, DESIGN.md §2.4) is
+schema-checked rather than baselined: its latency percentiles are genuine
+wall-clock measurements of concurrent load and would drift on every run.
+Check mode requires the file, the presence of every admission counter,
+ledger field, and per-class latency key, and the run-invariant invariants —
+zero ledger violations, outputs_match, zero failed queries.
 """
 
 import argparse
@@ -41,6 +48,23 @@ FIG_FILES = [
      "BENCH_fig7_clickstream_budget32768.json"),
 ]
 ABLATION = "BENCH_ablation.json"
+SERVING = "BENCH_serving.json"
+
+# Schema, not values: serving latencies are wall-clock and legitimately vary
+# run to run. What CI pins is that the counters/fields exist and that the
+# run-invariant invariants held.
+SERVING_COUNTER_KEYS = [
+    "submitted", "admitted", "completed", "failed", "rejected",
+    "queue_high_water",
+]
+SERVING_LEDGER_KEYS = [
+    "capacity_bytes", "carved_high_water_bytes", "live_high_water_bytes",
+    "ledger_violations",
+]
+SERVING_CLASS_KEYS = [
+    "class", "count", "p50_s", "p99_s", "mean_s", "max_s",
+    "exec_p50_s", "exec_p99_s",
+]
 
 FIG_TOP_KEYS = [
     "mem_budget_bytes",
@@ -142,6 +166,48 @@ def check_fig(name, bf, ff, mismatch):
                  len(ff["budget_sweep"]))
 
 
+def check_serving(dirname):
+    """Schema + invariant check of BENCH_serving.json; returns error list."""
+    path = os.path.join(dirname, SERVING)
+    if not os.path.exists(path):
+        return [f"serving: {SERVING} missing (did the serving-smoke "
+                "step run?)"]
+    errors = []
+    serving = load(path)
+    for section, keys in [("counters", SERVING_COUNTER_KEYS),
+                          ("ledger", SERVING_LEDGER_KEYS)]:
+        if section not in serving:
+            errors.append(f"serving: section '{section}' missing")
+            continue
+        for k in keys:
+            if k not in serving[section]:
+                errors.append(f"serving: {section}.{k} missing")
+    for k in ["outputs_match", "classes", "ok"]:
+        if k not in serving:
+            errors.append(f"serving: key '{k}' missing")
+    for row in serving.get("classes", []):
+        for k in SERVING_CLASS_KEYS:
+            if k not in row:
+                errors.append(
+                    f"serving: class row {row.get('class', '?')} lacks {k}")
+    if errors:
+        return errors
+    # The run-invariant invariants (wall-clock values are never compared).
+    if serving["ledger"]["ledger_violations"] != 0:
+        errors.append("serving: ledger_violations = "
+                      f"{serving['ledger']['ledger_violations']} (must be 0: "
+                      "aggregate live bytes exceeded the global budget)")
+    if serving["outputs_match"] is not True:
+        errors.append("serving: outputs_match is false — a served query's "
+                      "output differed from its solo run")
+    if serving["counters"]["failed"] != 0:
+        errors.append(
+            f"serving: {serving['counters']['failed']} queries failed")
+    if not serving.get("classes"):
+        errors.append("serving: no per-class latency rows")
+    return errors
+
+
 def check(baseline, fresh):
     errors = []
 
@@ -190,7 +256,7 @@ def main():
         return 0
 
     baseline = load(args.baseline)
-    errors = check(baseline, fresh)
+    errors = check(baseline, fresh) + check_serving(args.dir)
     if errors:
         print("bench baseline drift detected "
               "(regenerate bench/BENCH_baseline.json if intended):")
@@ -200,7 +266,8 @@ def main():
     print(f"bench JSONs match {args.baseline} "
           f"({len(baseline['ablation_rows'])} ablation rows, "
           + ", ".join(f"{len(baseline[n]['runs'])} {n} runs"
-                      for n, _ in FIG_FILES) + ")")
+                      for n, _ in FIG_FILES)
+          + "); serving schema + invariants OK")
     return 0
 
 
