@@ -69,6 +69,12 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
       cfg.provider ? *cfg.provider : sca;
 
   api::OptimizeOptions options;
+  // The ablation's `plans` column and strategy-mix counters quantify over
+  // the FULL closure per feature config — use the exhaustive search, and
+  // keep every row an independent optimization (configs that share a cache
+  // key across workload repeats would alias).
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = cfg.mem_budget_bytes;
   options.exec.fuse_chains = cfg.fuse_chains;

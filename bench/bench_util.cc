@@ -40,6 +40,12 @@ StatusOr<FigureResult> RunRankedFigure(const workloads::Workload& w,
   api::OptimizeOptions options;
   options.exec = config.exec;
   options.exec.num_threads = config.num_threads;  // costing inherits this
+  // The figures sample plans at regular rank intervals across the WHOLE
+  // plan space (the paper's Figures 5-7 methodology), so they need the
+  // full closure, not a ranked top-k; and they measure optimization, so
+  // the plan cache must not short-circuit it.
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
 
   // Bind up front so hint providers that execute the flow (ProfilerProvider)
   // work through the harness; the bindings carry into the program for Run().
@@ -140,6 +146,10 @@ StatusOr<ThreadScalingPoint> MeasurePoint(const workloads::Workload& w,
   api::OptimizeOptions options;
   options.exec = config.exec;
   options.exec.num_threads = threads;  // costing inherits this
+  // Thread scaling measures the closure costing pipeline's parallelism;
+  // a cache hit (or the serial ranked search) would fake the speedup.
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
 

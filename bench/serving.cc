@@ -230,12 +230,16 @@ int main(int argc, char** argv) {
 
   // One deliberately oversized probe after the load: its carve cannot fit
   // the global budget, so it must be rejected cleanly — the admission-
-  // rejection path stays exercised (and counted) on every bench run.
+  // rejection path stays exercised (and counted) on every bench run. The
+  // probe is oversized via dop: the estimate-sized carve can shrink a
+  // query's per-instance budget, but never below the floor, so a huge dop
+  // still overflows the pool.
   {
     serve::QueryRequest probe;
     probe.program = &served[0].program;
     probe.tenant = "probe";
     probe.exec = exec;
+    probe.exec.dop = 4096;
     probe.exec.mem_budget_bytes = serve_options.global_budget_bytes;
     StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
         server.Submit(std::move(probe));
@@ -256,13 +260,15 @@ int main(int argc, char** argv) {
               expected, static_cast<int>(clients.size()), max_inflight,
               num_threads);
   std::printf("counters: submitted %lld admitted %lld completed %lld "
-              "failed %lld rejected %lld queue_hw %zu\n",
+              "failed %lld rejected %lld queue_hw %zu plan_cache %lld/%lld\n",
               static_cast<long long>(metrics.submitted),
               static_cast<long long>(metrics.admitted),
               static_cast<long long>(metrics.completed),
               static_cast<long long>(metrics.failed),
               static_cast<long long>(metrics.rejected),
-              metrics.queue_high_water);
+              metrics.queue_high_water,
+              static_cast<long long>(metrics.plan_cache_hits),
+              static_cast<long long>(metrics.plan_cache_misses));
   std::printf("ledger: capacity %.0f carved_hw %.0f live_hw %lld "
               "violations %lld\n",
               pool.capacity_bytes(), pool.carved_high_water(),
@@ -306,8 +312,12 @@ int main(int argc, char** argv) {
                static_cast<long long>(metrics.failed));
   std::fprintf(f, "    \"rejected\": %lld,\n",
                static_cast<long long>(metrics.rejected));
-  std::fprintf(f, "    \"queue_high_water\": %zu\n",
+  std::fprintf(f, "    \"queue_high_water\": %zu,\n",
                metrics.queue_high_water);
+  std::fprintf(f, "    \"plan_cache_hits\": %lld,\n",
+               static_cast<long long>(metrics.plan_cache_hits));
+  std::fprintf(f, "    \"plan_cache_misses\": %lld\n",
+               static_cast<long long>(metrics.plan_cache_misses));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"ledger\": {\n");
   std::fprintf(f, "    \"capacity_bytes\": %.0f,\n", pool.capacity_bytes());

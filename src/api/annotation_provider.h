@@ -35,6 +35,13 @@ class AnnotationProvider {
 
   virtual std::string name() const = 0;
 
+  /// True when Annotate() is a pure function of the flow — same flow, same
+  /// annotation, regardless of bound data or timing. Deterministic providers
+  /// are eligible for the plan cache (optimizer/plan_cache.h); providers
+  /// that measure bound data (the profiler) must return false or stale
+  /// data-dependent hints would be served to unrelated datasets.
+  virtual bool deterministic() const { return true; }
+
   /// Derives the UDF annotations of `flow`. The result owns a private
   /// snapshot of the flow (AnnotatedFlow::owner), so providers that refine
   /// the flow first — e.g. writing profiled hints — do so without mutating
@@ -86,6 +93,10 @@ class ProfilerProvider : public AnnotationProvider {
   explicit ProfilerProvider(Options options) : options_(options) {}
 
   std::string name() const override { return "profiler"; }
+  /// Profiled hints are measured from the bound sample data — two pipelines
+  /// with identical code but different data annotate differently, so the
+  /// plan cache must not serve one the other's plans.
+  bool deterministic() const override { return false; }
   StatusOr<dataflow::AnnotatedFlow> Annotate(
       const dataflow::DataFlow& flow,
       const SourceBindings& sources) const override;

@@ -1,25 +1,76 @@
 #include "api/optimized_program.h"
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 
 #include "api/pipeline.h"
 #include "common/defaults.h"
+#include "optimizer/plan_cache.h"
 #include "reorder/plan.h"
 
 namespace blackbox {
 namespace api {
 
+namespace {
+
+/// The plan cache's type-erased payload: the full (immutable) optimization
+/// result. Insert and lookup both live in this translation unit, so the
+/// static downcast in OptimizeFlow is always valid.
+class CachedOptimization : public optimizer::PlanCacheValue {
+ public:
+  explicit CachedOptimization(
+      std::shared_ptr<const core::OptimizationResult> result)
+      : result(std::move(result)) {}
+  std::shared_ptr<const core::OptimizationResult> result;
+};
+
+}  // namespace
+
+const core::OptimizationResult& OptimizedProgram::res() const {
+  if (result_) return *result_;
+  static const core::OptimizationResult* empty =
+      new core::OptimizationResult();
+  return *empty;
+}
+
 int OptimizedProgram::ImplementedIndex() const {
   if (!flow_) return -1;
   std::string key = reorder::CanonicalString(reorder::PlanFromFlow(*flow_));
-  for (size_t i = 0; i < result_.ranked.size(); ++i) {
-    if (reorder::CanonicalString(result_.ranked[i].logical) == key) {
+  const auto& ranked = res().ranked;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (reorder::CanonicalString(ranked[i].logical) == key) {
       return static_cast<int>(i);
     }
   }
   return -1;
+}
+
+double OptimizedProgram::EstimatedPeakBytes(size_t index, int dop_in) const {
+  const auto& ranked = res().ranked;
+  if (index >= ranked.size()) return 0;
+  const optimizer::PhysicalPlan& plan = ranked[index].physical;
+  if (dop_in <= 0) dop_in = exec_.dop;
+  double dop = dop_in > 0 ? dop_in : 1;
+  double peak = 0;
+  std::function<void(const optimizer::PhysicalNode&)> walk =
+      [&](const optimizer::PhysicalNode& n) {
+        if (n.local != optimizer::LocalStrategy::kNone) {
+          // A breaker materializes its inputs; per instance a broadcast side
+          // lands in full, a partitioned/forward side is spread across dop.
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            const optimizer::PhysicalNode& c = *n.children[i];
+            double bytes = c.est_rows * c.est_bytes_per_row;
+            bool broadcast = i < n.ships.size() &&
+                             n.ships[i] == optimizer::ShipStrategy::kBroadcast;
+            peak += broadcast ? bytes : bytes / dop;
+          }
+        }
+        for (const auto& c : n.children) walk(*c);
+      };
+  if (plan.root) walk(*plan.root);
+  return peak;
 }
 
 Status OptimizedProgram::BindSource(const Stream& source, const DataSet* data) {
@@ -66,10 +117,11 @@ StatusOr<DataSet> OptimizedProgram::RunWith(size_t index,
                                             const engine::ExecOptions& exec,
                                             engine::ExecStats* stats) const {
   if (!flow_) return Status::InvalidArgument("program is not optimized");
-  if (index >= result_.ranked.size()) {
+  const core::OptimizationResult& result = res();
+  if (index >= result.ranked.size()) {
     return Status::OutOfRange(
         "alternative index " + std::to_string(index) + " out of range (" +
-        std::to_string(result_.ranked.size()) + " ranked alternatives)");
+        std::to_string(result.ranked.size()) + " ranked alternatives)");
   }
   for (int id = 0; id < flow_->num_ops(); ++id) {
     if (flow_->op(id).kind == dataflow::OpKind::kSource &&
@@ -78,27 +130,32 @@ StatusOr<DataSet> OptimizedProgram::RunWith(size_t index,
                                      "\" has no bound data");
     }
   }
-  engine::Executor executor(&result_.annotated, exec);
+  engine::Executor executor(&result.annotated, exec);
   for (const auto& [id, data] : sources_) executor.BindSource(id, data);
-  return executor.Execute(result_.ranked[index].physical, stats);
+  return executor.Execute(result.ranked[index].physical, stats);
 }
 
 StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
                                         const AnnotationProvider& provider,
                                         const OptimizeOptions& options,
                                         const SourceBindings& sources) {
-  StatusOr<dataflow::AnnotatedFlow> af = provider.Annotate(flow, sources);
-  if (!af.ok()) return af.status();
-  if (!af->owner) {
-    return Status::Internal("provider \"" + provider.name() +
-                            "\" returned an annotation without an owned "
-                            "flow snapshot");
+  if (options.top_k <= 0) {
+    return Status::InvalidArgument("OptimizeOptions::top_k must be positive "
+                                   "(got " +
+                                   std::to_string(options.top_k) + ")");
+  }
+  if (options.cost_epsilon < 0) {
+    return Status::InvalidArgument(
+        "OptimizeOptions::cost_epsilon must be non-negative (got " +
+        std::to_string(options.cost_epsilon) + ")");
   }
 
   core::BlackBoxOptimizer::Options copts;
-  copts.mode = af->mode;
   copts.weights = options.weights;
   copts.enum_options = options.enum_options;
+  copts.search = options.search;
+  copts.top_k = options.top_k;
+  copts.cost_epsilon = options.cost_epsilon;
   copts.num_threads =
       options.num_threads > 0 ? options.num_threads : options.exec.num_threads;
   if (options.cost_model_follows_exec) {
@@ -125,21 +182,60 @@ StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
     copts.weights.dop = options.exec.dop;
     copts.weights.mem_budget_bytes = options.exec.mem_budget_bytes;
   }
+
+  // Plan-cache lookup BEFORE annotation: a hit skips UDF analysis too. The
+  // key is built from the resolved weights and search knobs, so any change
+  // that could alter a plan or a cost misses. num_threads is execution-only
+  // and deliberately absent (plans are thread-count-invariant by
+  // construction).
+  OptimizedProgram program;
+  program.sources_ = sources;
+  program.exec_ = options.exec;
+  const bool cacheable = options.use_plan_cache && provider.deterministic();
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = optimizer::PlanCacheKey(
+        flow, provider.name(), copts.weights, copts.enum_options,
+        static_cast<int>(copts.search), copts.top_k, copts.cost_epsilon);
+    if (std::shared_ptr<const optimizer::PlanCacheValue> hit =
+            optimizer::PlanCache::Global().Lookup(cache_key)) {
+      program.result_ =
+          static_cast<const CachedOptimization&>(*hit).result;
+      program.flow_ = program.result_->annotated.owner;
+      program.from_plan_cache_ = true;
+      return program;
+    }
+  } else if (options.use_plan_cache) {
+    optimizer::PlanCache::Global().RecordBypass();
+  }
+
+  StatusOr<dataflow::AnnotatedFlow> af = provider.Annotate(flow, sources);
+  if (!af.ok()) return af.status();
+  if (!af->owner) {
+    return Status::Internal("provider \"" + provider.name() +
+                            "\" returned an annotation without an owned "
+                            "flow snapshot");
+  }
+  copts.mode = af->mode;
+
   StatusOr<core::OptimizationResult> result =
       core::BlackBoxOptimizer(copts).OptimizeAnnotated(std::move(af).value());
   if (!result.ok()) return result.status();
   if (result->truncated) {
     std::fprintf(stderr,
                  "warning: plan enumeration hit max_plans=%zu; ranking "
-                 "covers a partial closure of %zu alternatives\n",
+                 "covers a partial plan space of %zu alternatives\n",
                  options.enum_options.max_plans, result->ranked.size());
   }
 
-  OptimizedProgram program;
-  program.result_ = std::move(result).value();
-  program.flow_ = program.result_.annotated.owner;
-  program.sources_ = sources;
-  program.exec_ = options.exec;
+  auto shared = std::make_shared<const core::OptimizationResult>(
+      std::move(result).value());
+  if (cacheable) {
+    optimizer::PlanCache::Global().Insert(
+        cache_key, std::make_shared<CachedOptimization>(shared));
+  }
+  program.result_ = std::move(shared);
+  program.flow_ = program.result_->annotated.owner;
   return program;
 }
 

@@ -32,6 +32,27 @@ struct OptimizeOptions {
   enumerate::EnumOptions enum_options;
   engine::ExecOptions exec;
 
+  /// Plan-space exploration (DESIGN.md §3.4). The default ranked search
+  /// costs plans best-first under an admissible bound and stops as soon as
+  /// the top_k cannot change; kClosure restores the materialize-everything
+  /// behavior (the oracle differential tests iterate it).
+  core::SearchMode search = core::SearchMode::kRanked;
+  /// Ranked alternatives to keep in kRanked mode. OptimizeFlow() rejects
+  /// top_k <= 0 with InvalidArgument.
+  int top_k = 8;
+  /// Anytime slack (absolute cost units) for the ranked stop rule; 0 keeps
+  /// the top-k exact over the discovered space. Negative values are
+  /// rejected with InvalidArgument.
+  double cost_epsilon = 0;
+
+  /// Consult the process-wide plan cache (optimizer/plan_cache.h): a
+  /// pipeline whose canonical shape, annotations, and optimizer knobs match
+  /// a previous optimization reuses its ranked plans outright — no UDF
+  /// analysis, no enumeration, no costing. Automatically bypassed for
+  /// providers whose annotations depend on bound data (the profiler).
+  /// Disable for benchmarks that measure optimization itself.
+  bool use_plan_cache = true;
+
   /// Copy exec.dop / exec.mem_budget_bytes into the cost weights. Disable to
   /// cost for a different cluster than the one Run() simulates. When set,
   /// OptimizeFlow() rejects caller-supplied weights that contradict exec.
@@ -53,22 +74,41 @@ class OptimizedProgram {
   OptimizedProgram() = default;
 
   const dataflow::DataFlow& flow() const { return *flow_; }
-  const dataflow::AnnotatedFlow& annotated() const {
-    return result_.annotated;
-  }
+  const dataflow::AnnotatedFlow& annotated() const { return res().annotated; }
 
-  /// All costed alternatives, ascending estimated cost.
+  /// The ranked alternatives, ascending (cost, chain count, canonical form).
+  /// kRanked search: the top_k best; kClosure: every costed alternative.
   const std::vector<core::PlannedAlternative>& ranked() const {
-    return result_.ranked;
+    return res().ranked;
   }
-  size_t num_alternatives() const { return result_.num_alternatives; }
+  /// Plans discovered by the search (kClosure: the closure size).
+  size_t num_alternatives() const { return res().num_alternatives; }
+  /// Plans fully costed (== num_alternatives in kClosure mode).
+  size_t plans_enumerated() const { return res().plans_enumerated; }
+  /// Ranked search only: plans discovered but pruned by the lower bound.
+  size_t plans_pruned() const { return res().plans_pruned; }
+  /// Ranked search only: the anytime stop rule fired — the fast path, not an
+  /// error (the top-k is exact over the discovered space).
+  bool stopped_early() const { return res().stopped_early; }
   /// True if enumeration hit EnumOptions::max_plans: ranked() covers only a
   /// partial closure and the true optimum may be missing. OptimizeFlow()
   /// also prints a warning to stderr when this happens.
-  bool truncated() const { return result_.truncated; }
-  double enumeration_seconds() const { return result_.enumeration_seconds; }
-  double costing_seconds() const { return result_.costing_seconds; }
-  const core::PlannedAlternative& best() const { return result_.best(); }
+  bool truncated() const { return res().truncated; }
+  /// True if this program's plans came from the process-wide plan cache
+  /// (annotation, enumeration, and costing were all skipped).
+  bool from_plan_cache() const { return from_plan_cache_; }
+  double enumeration_seconds() const { return res().enumeration_seconds; }
+  double costing_seconds() const { return res().costing_seconds; }
+  const core::PlannedAlternative& best() const { return res().best(); }
+
+  /// Optimizer estimate of the peak per-instance buffered bytes of the
+  /// alternative at `index`: the sum over its pipeline breakers of the
+  /// input volume each one materializes (a broadcast side counts in full,
+  /// a partitioned side divided by dop; dop <= 0 uses exec_options().dop).
+  /// The serving layer sizes its admission carve from this instead of the
+  /// worst-case configured budget. Returns 0 for an out-of-range index or
+  /// an unoptimized program.
+  double EstimatedPeakBytes(size_t index = 0, int dop = 0) const;
 
   /// Position of the originally authored operator order in ranked()
   /// (0-based), or -1 if it was pruned.
@@ -117,8 +157,15 @@ class OptimizedProgram {
                                                  const OptimizeOptions&,
                                                  const SourceBindings&);
 
+  /// Unoptimized-program fallback for the accessors (never mutated).
+  const core::OptimizationResult& res() const;
+
   std::shared_ptr<const dataflow::DataFlow> flow_;  // == annotated().owner
-  core::OptimizationResult result_;
+  /// Shared, immutable: a plan-cache hit aliases the cold optimization's
+  /// result rather than copying plan trees, and concurrent RunWith() calls
+  /// on programs sharing one result are safe (Executor takes it const).
+  std::shared_ptr<const core::OptimizationResult> result_;
+  bool from_plan_cache_ = false;
   SourceBindings sources_;
   engine::ExecOptions exec_;
 

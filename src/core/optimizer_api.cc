@@ -43,10 +43,67 @@ struct CostedSlot {
   bool filled = false;
 };
 
+/// kRanked: delegate to the best-first search and adapt its result. Serial
+/// and deterministic; num_threads is irrelevant here.
+StatusOr<OptimizationResult> OptimizeRankedImpl(
+    const BlackBoxOptimizer::Options& options,
+    dataflow::AnnotatedFlow annotated) {
+  OptimizationResult result;
+  result.annotated = std::move(annotated);
+
+  enumerate::RankedOptions ropts;
+  ropts.top_k = static_cast<size_t>(options.top_k);
+  ropts.cost_epsilon = options.cost_epsilon;
+  ropts.max_plans = options.enum_options.max_plans;
+  StatusOr<enumerate::RankedResult> ranked =
+      enumerate::RankedEnumerate(result.annotated, options.weights, ropts);
+  if (!ranked.ok()) return ranked.status();
+
+  result.plans_enumerated = ranked->plans_enumerated;
+  result.plans_pruned = ranked->plans_pruned;
+  result.num_alternatives = ranked->plans_enumerated + ranked->plans_pruned;
+  result.stopped_early = ranked->stopped_early;
+  result.truncated = ranked->truncated;
+  result.enumeration_seconds = ranked->search_seconds;
+  result.costing_seconds = ranked->costing_seconds;
+  result.ranked.reserve(ranked->ranked.size());
+  for (enumerate::RankedAlternative& alt : ranked->ranked) {
+    PlannedAlternative out;
+    out.logical = std::move(alt.logical);
+    out.cost = alt.physical.total_cost;
+    out.physical = std::move(alt.physical);
+    out.rank = static_cast<int>(result.ranked.size()) + 1;
+    result.ranked.push_back(std::move(out));
+  }
+  if (result.ranked.empty()) {
+    if (result.truncated) {
+      return Status::OutOfRange(
+          "optimization produced zero alternatives: EnumOptions::max_plans "
+          "pruned everything");
+    }
+    return Status::InvalidArgument("optimization produced zero alternatives");
+  }
+  return result;
+}
+
 }  // namespace
 
 StatusOr<OptimizationResult> BlackBoxOptimizer::OptimizeAnnotated(
     dataflow::AnnotatedFlow annotated) const {
+  if (options_.top_k <= 0) {
+    return Status::InvalidArgument(
+        "Options::top_k must be positive (got " +
+        std::to_string(options_.top_k) + ")");
+  }
+  if (options_.cost_epsilon < 0) {
+    return Status::InvalidArgument(
+        "Options::cost_epsilon must be non-negative (got " +
+        std::to_string(options_.cost_epsilon) + ")");
+  }
+  if (options_.search == SearchMode::kRanked) {
+    return OptimizeRankedImpl(options_, std::move(annotated));
+  }
+
   OptimizationResult result;
   result.annotated = std::move(annotated);
 
@@ -141,6 +198,7 @@ StatusOr<OptimizationResult> BlackBoxOptimizer::OptimizeAnnotated(
           ? std::max(0.0, stage_seconds - result.costing_seconds)
           : enum_wall_seconds;
   result.num_alternatives = enum_result->plans.size();
+  result.plans_enumerated = enum_result->plans.size();
   result.truncated = enum_result->truncated;
 
   // Deterministic error reporting: the lowest-index failure wins, regardless
@@ -155,11 +213,16 @@ StatusOr<OptimizationResult> BlackBoxOptimizer::OptimizeAnnotated(
     if (slot.filled) costed.push_back(std::move(slot));
   }
 
-  // Rank by cost with a stable tie-break on canonical plan form, so equal-
-  // cost alternatives order identically for every thread count.
+  // Rank by cost, then by chain count (fewer pipeline breakers win cost
+  // ties — the chain-aware tie-break shared with the ranked search), then by
+  // canonical plan form, so equal-cost alternatives order identically for
+  // every thread count AND for both search modes.
   std::sort(costed.begin(), costed.end(),
             [](const CostedSlot& a, const CostedSlot& b) {
               if (a.alt.cost != b.alt.cost) return a.alt.cost < b.alt.cost;
+              if (a.alt.physical.num_chains != b.alt.physical.num_chains) {
+                return a.alt.physical.num_chains < b.alt.physical.num_chains;
+              }
               return a.canonical < b.canonical;
             });
   result.ranked.reserve(costed.size());

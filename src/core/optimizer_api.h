@@ -23,11 +23,25 @@
 #include "dataflow/annotate.h"
 #include "dataflow/flow.h"
 #include "enumerate/enumerate.h"
+#include "enumerate/ranked.h"
 #include "optimizer/physical.h"
 #include "reorder/plan.h"
 
 namespace blackbox {
 namespace core {
+
+/// How the plan space is explored (DESIGN.md §3.4).
+enum class SearchMode {
+  /// Best-first anytime search: cost plans in lower-bound order, stop once
+  /// the top-k can no longer change (within cost_epsilon). The default —
+  /// optimize latency scales with the answer, not the closure.
+  kRanked,
+  /// Materialize the full reorder closure and cost every member (the
+  /// pre-PR 7 behavior). The oracle mode: differential tests iterate it to
+  /// validate the ranked search, and the bench figures keep using it so
+  /// "ranked list" retains its full-closure meaning there.
+  kClosure,
+};
 
 /// One costed alternative.
 struct PlannedAlternative {
@@ -39,8 +53,19 @@ struct PlannedAlternative {
 
 struct OptimizationResult {
   dataflow::AnnotatedFlow annotated;
-  std::vector<PlannedAlternative> ranked;  // ascending cost
+  std::vector<PlannedAlternative> ranked;  // ascending (cost, chains, form)
+  /// Plans DISCOVERED by the search (kClosure: the closure size; kRanked:
+  /// plans_enumerated + plans_pruned).
   size_t num_alternatives = 0;
+  /// Plans fully costed. kClosure: equals num_alternatives.
+  size_t plans_enumerated = 0;
+  /// kRanked only: plans discovered but never costed — their lower bound
+  /// could not displace the top-k.
+  size_t plans_pruned = 0;
+  /// kRanked only: the anytime stop rule fired before the frontier drained.
+  /// This is the expected fast path, NOT truncation: the top-k is exact over
+  /// the discovered space.
+  bool stopped_early = false;
   /// EnumOptions::max_plans was hit: `ranked` covers a partial closure only
   /// (the true optimum may be missing). Never silently dropped — the api
   /// layer warns when this is set.
@@ -64,10 +89,20 @@ class BlackBoxOptimizer {
     dataflow::AnnotationMode mode = dataflow::AnnotationMode::kSca;
     optimizer::CostWeights weights;
     enumerate::EnumOptions enum_options;
-    /// Worker threads for costing enumerated alternatives. Alternatives
-    /// stream from the enumerator into costing through a bounded queue (no
-    /// enumerate-then-cost barrier); the final ranking is deterministic for
-    /// every thread count (stable tie-break on canonical plan form).
+
+    /// Plan-space exploration strategy; see SearchMode.
+    SearchMode search = SearchMode::kRanked;
+    /// kRanked: ranked alternatives to return (rejected if <= 0).
+    int top_k = 8;
+    /// kRanked: anytime slack in absolute cost units (rejected if negative).
+    /// 0 keeps the top-k exact over the discovered space, cost ties included.
+    double cost_epsilon = 0;
+
+    /// Worker threads for costing enumerated alternatives in kClosure mode
+    /// (streamed through a bounded queue; no enumerate-then-cost barrier).
+    /// The ranked search is serial by construction — its pop order IS the
+    /// algorithm — so kRanked ignores this. Either way the final ranking is
+    /// deterministic for every thread count.
     int num_threads = 1;
   };
 

@@ -27,15 +27,17 @@ bool IsBinaryOp(const dataflow::DataFlow& flow, int id) {
   return k == OpKind::kMatch || k == OpKind::kCross || k == OpKind::kCoGroup;
 }
 
+}  // namespace
+
 /// Generates every subtree obtainable from `node` by applying exactly one
 /// valid rewrite somewhere inside it.
-void Neighbors(const PlanPtr& node, const dataflow::DataFlow& flow,
-               const ReorderOracle& oracle, std::vector<PlanPtr>* out,
-               size_t* rejected) {
+void PlanNeighbors(const PlanPtr& node, const dataflow::DataFlow& flow,
+                   const ReorderOracle& oracle, std::vector<PlanPtr>* out,
+                   size_t* rejected) {
   // Rewrites inside children (path copying).
   for (size_t ci = 0; ci < node->children.size(); ++ci) {
     std::vector<PlanPtr> child_alts;
-    Neighbors(node->children[ci], flow, oracle, &child_alts, rejected);
+    PlanNeighbors(node->children[ci], flow, oracle, &child_alts, rejected);
     for (PlanPtr& alt : child_alts) {
       std::vector<PlanPtr> children = node->children;
       children[ci] = std::move(alt);
@@ -123,8 +125,6 @@ void Neighbors(const PlanPtr& node, const dataflow::DataFlow& flow,
   }
 }
 
-}  // namespace
-
 StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
                                            const EnumOptions& options,
                                            const PlanSink& sink) {
@@ -148,7 +148,7 @@ StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
     PlanPtr plan = std::move(work.front());
     work.pop_front();
     std::vector<PlanPtr> neighbors;
-    Neighbors(plan, flow, oracle, &neighbors, &result.rewrites_rejected);
+    PlanNeighbors(plan, flow, oracle, &neighbors, &result.rewrites_rejected);
     for (PlanPtr& n : neighbors) {
       ++result.rewrites_applied;
       std::string key = CanonicalString(n);

@@ -57,6 +57,17 @@ StatusOr<EnumResult> EnumerateAlternatives(const dataflow::AnnotatedFlow& af,
 StatusOr<EnumResult> EnumerateChainAlgorithm1(
     const dataflow::AnnotatedFlow& af, const EnumOptions& options = {});
 
+/// The closure's edge relation: appends to `out` every plan obtainable from
+/// `plan` by applying exactly one valid rewrite (unary swap, unary/binary
+/// push, binary rotation) somewhere in the tree; `rejected` counts oracle
+/// refusals. Shared by the closure enumerator (BFS over these edges) and the
+/// ranked best-first search (ranked.h), so both walk the identical plan
+/// space.
+void PlanNeighbors(const reorder::PlanPtr& plan,
+                   const dataflow::DataFlow& flow,
+                   const reorder::ReorderOracle& oracle,
+                   std::vector<reorder::PlanPtr>* out, size_t* rejected);
+
 }  // namespace enumerate
 }  // namespace blackbox
 

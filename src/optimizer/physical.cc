@@ -130,7 +130,7 @@ class PhysicalPlanner {
     PhysicalPlan out;
     out.root = ClonePhysical(*best->node);
     out.total_cost = best->cost;
-    AssignChainIds(*af_.flow, out.root.get());
+    out.num_chains = AssignChainIds(*af_.flow, out.root.get());
     return out;
   }
 
@@ -647,6 +647,206 @@ StatusOr<PhysicalPlan> OptimizePhysical(const dataflow::AnnotatedFlow& af,
                                         const CostWeights& weights) {
   PhysicalPlanner planner(af, weights);
   return planner.Plan(plan);
+}
+
+// ---------------------------------------------------------------------------
+// LowerBoundCost — admissible one-pass bound for the ranked enumerator.
+//
+// Mirrors the candidate generation above term by term, keeping only charges
+// that EVERY candidate must pay: any edit to the cost model must keep each
+// bound term <= the corresponding minimum over the candidates, or the ranked
+// search loses its pruning guarantee (the ranked-vs-closure differential in
+// tests/enum_random_chain_test.cc is the tripwire).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bottom-up bound state: exact logical cardinalities (strategy-independent)
+/// plus an over-approximation of every partitioning some physical candidate
+/// could offer at this subtree's output. Over-approximating can only zero a
+/// shuffle charge that the bound might otherwise have made, never add one.
+struct BoundInfo {
+  double rows = 0;
+  double bytes_per_row = 0;
+  double lb = 0;                  // bound accumulated over the subtree
+  std::set<Partitioning> parts;   // possibly-available partitionings
+};
+
+bool AnyPartitioningServes(const std::set<Partitioning>& parts,
+                           const std::vector<AttrId>& key) {
+  for (const Partitioning& p : parts) {
+    if (p.empty()) continue;
+    bool subset = true;
+    for (AttrId a : p) {
+      if (std::find(key.begin(), key.end(), a) == key.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return true;
+  }
+  return false;
+}
+
+double HashShipLb(const CostWeights& w, double bytes) {
+  return w.net_per_byte * bytes * (w.dop - 1) / w.dop;
+}
+
+/// Identical formula to PhysicalPlanner::SortCpu.
+double SortCpuLb(const CostWeights& w, double rows) {
+  return w.cpu_per_record * rows *
+         std::max(1.0, std::log2(std::max(2.0, rows / w.dop)));
+}
+
+BoundInfo BoundNode(const dataflow::AnnotatedFlow& af,
+                    const reorder::PlanPtr& plan, const CostWeights& w) {
+  const dataflow::Operator& op = af.flow->op(plan->op_id);
+  const OpProperties& p = af.of(plan->op_id);
+  BoundInfo out;
+
+  switch (op.kind) {
+    case OpKind::kSource: {
+      out.rows = static_cast<double>(op.source_rows);
+      out.bytes_per_row = op.source_avg_bytes;
+      return out;
+    }
+    case OpKind::kSink: {
+      // Forward ship, no local work: the sink adds nothing to the bound.
+      return BoundNode(af, plan->children[0], w);
+    }
+    case OpKind::kMap: {
+      BoundInfo c = BoundNode(af, plan->children[0], w);
+      // Exact: a Map's input is always forward-shipped and its CPU does not
+      // depend on any strategy choice.
+      out.lb = c.lb +
+               w.cpu_per_call_unit * c.rows * op.hints.cpu_cost_per_call +
+               (w.enable_chain_fusion ? 0.0 : w.cpu_per_record * c.rows);
+      out.rows = c.rows * op.hints.selectivity;
+      out.bytes_per_row =
+          c.bytes_per_row + 9.0 * p.introduced.listed().size();
+      for (const Partitioning& part : c.parts) {
+        bool survives = true;
+        for (AttrId a : part) {
+          if (p.write.Contains(a)) {
+            survives = false;
+            break;
+          }
+        }
+        if (survives) out.parts.insert(part);
+      }
+      return out;
+    }
+    case OpKind::kReduce: {
+      BoundInfo c = BoundNode(af, plan->children[0], w);
+      const std::vector<AttrId>& key = p.keys[0];
+      double groups =
+          op.hints.distinct_keys > 0
+              ? std::min<double>(static_cast<double>(op.hints.distinct_keys),
+                                 c.rows)
+              : std::max(1.0, c.rows / 16.0);
+      out.rows = groups * op.hints.selectivity;
+      out.bytes_per_row =
+          c.bytes_per_row + 9.0 * p.introduced.listed().size();
+      double call_cpu =
+          w.cpu_per_call_unit * groups * op.hints.cpu_cost_per_call;
+      bool servable =
+          w.enable_partition_reuse && AnyPartitioningServes(c.parts, key);
+      // Cheapest case: partitioning reused AND input presorted on the key —
+      // the UDF calls alone. Without a serveable partitioning (or without
+      // sort-order tracking) every candidate pays the grouping sort.
+      double cpu = call_cpu + ((servable && w.enable_sort_merge)
+                                   ? 0.0
+                                   : SortCpuLb(w, c.rows));
+      double net = 0;
+      if (!servable) {
+        net = HashShipLb(w, c.rows * c.bytes_per_row);
+        if (w.enable_combiner && p.combinable) {
+          // A combiner ships only partition-local partials.
+          double partials = std::min(c.rows, groups * w.dop);
+          net = std::min(net, HashShipLb(w, partials * out.bytes_per_row));
+        }
+      }
+      out.lb = c.lb + cpu + net;
+      out.parts = std::move(c.parts);
+      out.parts.insert(Partitioning(key.begin(), key.end()));
+      return out;
+    }
+    case OpKind::kMatch:
+    case OpKind::kCross:
+    case OpKind::kCoGroup: {
+      BoundInfo l = BoundNode(af, plan->children[0], w);
+      BoundInfo r = BoundNode(af, plan->children[1], w);
+      double lbytes = l.rows * l.bytes_per_row;
+      double rbytes = r.rows * r.bytes_per_row;
+      out.bytes_per_row = l.bytes_per_row + r.bytes_per_row +
+                          9.0 * p.introduced.listed().size();
+
+      if (op.kind == OpKind::kCross) {
+        out.parts = std::move(l.parts);
+        out.parts.insert(r.parts.begin(), r.parts.end());
+        // Exact: one Cross strategy exists (broadcast the smaller side).
+        out.rows = l.rows * r.rows * op.hints.selectivity;
+        out.lb = l.lb + r.lb +
+                 w.cpu_per_call_unit * l.rows * r.rows *
+                     op.hints.cpu_cost_per_call +
+                 w.cpu_per_record * (l.rows + r.rows) +
+                 w.net_per_byte * std::min(lbytes, rbytes) * (w.dop - 1);
+        return out;
+      }
+
+      const std::vector<AttrId>& lkey = p.keys[0];
+      const std::vector<AttrId>& rkey = p.keys[1];
+      double domain = op.hints.distinct_keys > 0
+                          ? static_cast<double>(op.hints.distinct_keys)
+                          : std::max({l.rows, r.rows, 1.0});
+      out.rows = op.kind == OpKind::kCoGroup
+                     ? domain * op.hints.selectivity
+                     : l.rows * r.rows / domain * op.hints.selectivity;
+      double calls = op.kind == OpKind::kCoGroup ? domain : out.rows;
+      double call_cpu =
+          w.cpu_per_call_unit * calls * op.hints.cpu_cost_per_call;
+      double record_cpu = w.cpu_per_record * (l.rows + r.rows);
+      bool l_served =
+          w.enable_partition_reuse && AnyPartitioningServes(l.parts, lkey);
+      bool r_served =
+          w.enable_partition_reuse && AnyPartitioningServes(r.parts, rkey);
+      double part_net = (l_served ? 0 : HashShipLb(w, lbytes)) +
+                        (r_served ? 0 : HashShipLb(w, rbytes));
+      double cpu, net;
+      if (op.kind == OpKind::kCoGroup) {
+        // Every CoGroup candidate pays call + record CPU; sorts may be free
+        // (presorted inputs). No broadcast strategy exists.
+        cpu = call_cpu + record_cpu;
+        net = part_net;
+      } else {
+        // Match: the cheapest local strategy is a merge join of two
+        // presorted inputs (call + half the record overhead); hash joins pay
+        // the full record term plus lookup depth.
+        cpu = call_cpu +
+              (w.enable_sort_merge ? 0.5 : 1.0) * record_cpu;
+        net = part_net;
+        if (w.enable_broadcast) {
+          net = std::min({net, w.net_per_byte * lbytes * (w.dop - 1),
+                          w.net_per_byte * rbytes * (w.dop - 1)});
+        }
+      }
+      out.lb = l.lb + r.lb + cpu + net;
+      out.parts = std::move(l.parts);
+      out.parts.insert(r.parts.begin(), r.parts.end());
+      out.parts.insert(Partitioning(lkey.begin(), lkey.end()));
+      out.parts.insert(Partitioning(rkey.begin(), rkey.end()));
+      return out;
+    }
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+double LowerBoundCost(const dataflow::AnnotatedFlow& af,
+                      const reorder::PlanPtr& plan,
+                      const CostWeights& weights) {
+  return BoundNode(af, plan, weights).lb;
 }
 
 }  // namespace optimizer

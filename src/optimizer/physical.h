@@ -120,6 +120,11 @@ struct PhysicalPlan {
   std::unique_ptr<PhysicalNode> root;
   double total_cost = 0;
 
+  /// Number of operator chains (= pipeline breakers + scans) in this plan,
+  /// as counted by AssignChainIds. The ranked enumerator uses it to break
+  /// cost ties toward plans with fewer breakers.
+  int num_chains = 0;
+
   std::string ToString(const dataflow::DataFlow& flow) const;
 };
 
@@ -140,6 +145,23 @@ int AssignChainIds(const dataflow::DataFlow& flow, PhysicalNode* root);
 StatusOr<PhysicalPlan> OptimizePhysical(const dataflow::AnnotatedFlow& af,
                                         const reorder::PlanPtr& plan,
                                         const CostWeights& weights = {});
+
+/// Admissible lower bound on OptimizePhysical(af, plan, weights).total_cost,
+/// computed in one O(n) bottom-up pass without enumerating strategies.
+/// Logical cardinalities are strategy-independent, so the bound charges, per
+/// operator: the exact UDF-call CPU, the cheapest local strategy's residual
+/// CPU (e.g. a merge join on two presorted inputs), and a shuffle term only
+/// when NO physical candidate could possibly serve the operator's key from
+/// an already-established partitioning (tracked as an over-approximated set
+/// of partitionings each subtree might offer). Over-approximating the
+/// serveable partitionings can only drop charges, never add them, so
+/// LowerBoundCost(P) <= cost(any feasible physical plan of P). Disk (spill)
+/// terms are bounded by zero. Used by the ranked enumerator to order its
+/// best-first frontier and to prune plans that cannot enter the top-k
+/// (DESIGN.md §3.4).
+double LowerBoundCost(const dataflow::AnnotatedFlow& af,
+                      const reorder::PlanPtr& plan,
+                      const CostWeights& weights = {});
 
 }  // namespace optimizer
 }  // namespace blackbox

@@ -53,6 +53,15 @@ void ServerMetrics::OnAdmitted() {
   ++admitted_;
 }
 
+void ServerMetrics::OnPlanCache(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++plan_cache_hits_;
+  } else {
+    ++plan_cache_misses_;
+  }
+}
+
 void ServerMetrics::OnFinished(const std::string& workload_class, bool ok,
                                double exec_seconds, double total_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -88,6 +97,8 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.completed = completed_;
   snap.failed = failed_;
   snap.queue_high_water = queue_high_water_;
+  snap.plan_cache_hits = plan_cache_hits_;
+  snap.plan_cache_misses = plan_cache_misses_;
   for (const auto& [cls, rec] : total_latency_) {
     snap.total_latency[cls] = Summarize(rec);
   }

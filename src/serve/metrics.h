@@ -59,6 +59,14 @@ struct MetricsSnapshot {
   int64_t failed = 0;     // finished with a non-OK status
   size_t queue_high_water = 0;  // max queued-at-once across the run
 
+  /// Plan-cache provenance of accepted queries: whether the submitted
+  /// program's plans came from the process-wide plan cache
+  /// (optimizer/plan_cache.h) or from a cold optimization. A hit here means
+  /// the server never paid for UDF analysis, enumeration, or costing on
+  /// that program's behalf.
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+
   /// Per workload class: end-to-end (submit → result) and execution-only
   /// wall-clock latency summaries.
   std::map<std::string, LatencySummary> total_latency;
@@ -73,6 +81,10 @@ class ServerMetrics {
   void OnRejected();
   void OnQueueDepth(size_t depth);  // records the high-water mark
   void OnAdmitted();
+
+  /// Called once per accepted query with the program's plan-cache
+  /// provenance (OptimizedProgram::from_plan_cache()).
+  void OnPlanCache(bool hit);
 
   /// Called once per finished query. `ok` picks completed vs failed;
   /// latencies are recorded either way (a failed query still occupied the
@@ -90,6 +102,8 @@ class ServerMetrics {
   int64_t completed_ = 0;
   int64_t failed_ = 0;
   size_t queue_high_water_ = 0;
+  int64_t plan_cache_hits_ = 0;
+  int64_t plan_cache_misses_ = 0;
   std::map<std::string, LatencyRecorder> total_latency_;
   std::map<std::string, LatencyRecorder> exec_latency_;
 };

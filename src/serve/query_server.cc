@@ -1,5 +1,6 @@
 #include "serve/query_server.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace blackbox {
@@ -37,12 +38,27 @@ QueryServer::QueryServer(ServeOptions options)
 
 QueryServer::~QueryServer() { Drain(); }
 
+double QueryServer::EffectiveBudgetBytes(const QueryRequest& request,
+                                         const ServeOptions& options) {
+  double budget = request.exec.mem_budget_bytes;
+  if (options.carve_from_estimate && request.program != nullptr) {
+    double est = request.program->EstimatedPeakBytes(request.plan_index,
+                                                     request.exec.dop);
+    budget = std::min(budget,
+                      std::max(est, options.min_estimated_budget_bytes));
+  }
+  return budget;
+}
+
 double QueryServer::CarveBytes(const QueryRequest& request,
                                const ServeOptions& options) {
   // Worst case the query's ledgers can reach: dop instances, each within
-  // its budget plus the bounded overshoot slack (DESIGN.md §2.3).
+  // its (effective) budget plus the bounded overshoot slack (DESIGN.md
+  // §2.3). Shrinking the budget to the optimizer's estimate keeps the
+  // invariant: the ledgers enforce whatever budget the query runs with.
   return static_cast<double>(request.exec.dop) *
-         (request.exec.mem_budget_bytes + options.per_instance_slack_bytes);
+         (EffectiveBudgetBytes(request, options) +
+          options.per_instance_slack_bytes);
 }
 
 StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
@@ -52,13 +68,12 @@ StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
     metrics_.OnRejected();
     return Status::InvalidArgument("query request has no program");
   }
-  if (request.plan_index >= request.program->num_alternatives()) {
+  if (request.plan_index >= request.program->ranked().size()) {
     metrics_.OnRejected();
     return Status::InvalidArgument(
         "plan index " + std::to_string(request.plan_index) +
-        " out of range (" +
-        std::to_string(request.program->num_alternatives()) +
-        " alternatives)");
+        " out of range (" + std::to_string(request.program->ranked().size()) +
+        " ranked alternatives)");
   }
   if (!(request.exec.mem_budget_bytes > 0)) {
     metrics_.OnRejected();
@@ -71,6 +86,9 @@ StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
     return Status::InvalidArgument("query dop must be >= 1, got " +
                                    std::to_string(request.exec.dop));
   }
+  // Run with the effective (possibly estimate-shrunk) budget the carve was
+  // sized for — carve and ledger enforcement must describe the same bytes.
+  request.exec.mem_budget_bytes = EffectiveBudgetBytes(request, options_);
   double carve = CarveBytes(request, options_);
   if (carve > budget_.capacity_bytes()) {
     // Could never be admitted — waiting would deadlock the queue slot.
@@ -80,6 +98,7 @@ StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
         "-byte carve but the server's global budget is only " +
         std::to_string(budget_.capacity_bytes()) + " bytes");
   }
+  metrics_.OnPlanCache(request.program->from_plan_cache());
 
   auto state = std::make_shared<QueryState>();
   state->request = std::move(request);

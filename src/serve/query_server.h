@@ -5,7 +5,9 @@
 //   Submit → bounded fair-share wait queue (admission.h)
 //          → budget carve from the global BudgetPool (dop × (per-instance
 //            budget + slack), the worst-case aggregate the query's ledgers
-//            can reach)
+//            can reach; by default the per-instance budget is first shrunk
+//            to the optimizer's estimated peak for the chosen plan, so
+//            conservatively-budgeted queries pack tighter)
 //          → driver thread runs OptimizedProgram::RunWith with the server's
 //            worker pool, a per-query spill tag, and the pool as the
 //            ledger parent
@@ -64,6 +66,19 @@ struct ServeOptions {
   /// §2.3). Must be at least that overshoot for the no-violation invariant
   /// to hold by construction.
   double per_instance_slack_bytes = 16.0 * 1024;
+
+  /// Size each query's carve from the optimizer's estimated peak
+  /// (OptimizedProgram::EstimatedPeakBytes) instead of the caller's
+  /// worst-case mem_budget_bytes, whenever the estimate is smaller. The
+  /// per-instance ledger budget shrinks with the carve, so the no-violation
+  /// invariant holds unchanged — an under-estimate only costs extra
+  /// spilling, never extra memory, and outputs stay byte-identical. Lets
+  /// many conservatively-budgeted queries pack into one global budget.
+  bool carve_from_estimate = true;
+
+  /// Floor for the estimate-derived per-instance budget: a plan with no
+  /// (or tiny) pipeline breakers still needs working room for batches.
+  double min_estimated_budget_bytes = 4096;
 
   /// Worker threads in the shared pool; <= 0 picks hardware concurrency.
   int num_threads = 0;
@@ -147,9 +162,19 @@ class QueryServer {
 
   /// The bytes Submit would carve from the global pool for this request —
   /// the worst-case aggregate memory its dop ledgers can reach. Exposed so
-  /// harnesses can size global budgets deliberately.
+  /// harnesses can size global budgets deliberately. With
+  /// carve_from_estimate set this consults the program's
+  /// EstimatedPeakBytes, so the result can be smaller than
+  /// dop × (mem_budget_bytes + slack).
   static double CarveBytes(const QueryRequest& request,
                            const ServeOptions& options);
+
+  /// The per-instance memory budget Submit would actually run this request
+  /// with: the requested exec.mem_budget_bytes, shrunk to the optimizer's
+  /// estimated peak (floored at min_estimated_budget_bytes) when
+  /// carve_from_estimate is set. CarveBytes is dop × (this + slack).
+  static double EffectiveBudgetBytes(const QueryRequest& request,
+                                     const ServeOptions& options);
 
   const engine::BudgetPool& budget_pool() const { return budget_; }
   const ServerMetrics& metrics() const { return metrics_; }

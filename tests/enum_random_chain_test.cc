@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "core/optimizer_api.h"
 #include "dataflow/annotate.h"
 #include "enumerate/enumerate.h"
 #include "tests/test_flows.h"
@@ -81,6 +82,32 @@ std::set<std::string> Canon(const EnumResult& r) {
   return out;
 }
 
+/// The seed-derived random chain shared by both differentials.
+void BuildRandomChain(Rng* rng, dataflow::DataFlow* flow, int* chain_len_out,
+                      int* reduce_at_out) {
+  int prev = flow->AddSource("I", kArity, 1000, kArity * 9);
+  int chain_len = static_cast<int>(rng->Uniform(3, 6));
+  bool with_reduce = rng->Chance(0.5);
+  int reduce_at = with_reduce
+                      ? static_cast<int>(rng->Uniform(0, chain_len - 1))
+                      : -1;
+  for (int i = 0; i < chain_len; ++i) {
+    std::string name = "op" + std::to_string(i);
+    if (i == reduce_at) {
+      int key_field = 0;
+      auto udf = RandomChainReduce(rng, name, &key_field);
+      dataflow::Hints hints;
+      hints.distinct_keys = 50;
+      prev = flow->AddReduce(name, prev, {key_field}, udf, hints);
+    } else {
+      prev = flow->AddMap(name, prev, RandomChainMap(rng, name));
+    }
+  }
+  flow->SetSink("O", prev);
+  *chain_len_out = chain_len;
+  *reduce_at_out = reduce_at;
+}
+
 class RandomChainTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomChainTest, Algorithm1MatchesClosureEnumerator) {
@@ -88,25 +115,8 @@ TEST_P(RandomChainTest, Algorithm1MatchesClosureEnumerator) {
   Rng rng(seed * 131 + 17);
 
   dataflow::DataFlow flow;
-  int prev = flow.AddSource("I", kArity, 1000, kArity * 9);
-  int chain_len = static_cast<int>(rng.Uniform(3, 6));
-  bool with_reduce = rng.Chance(0.5);
-  int reduce_at = with_reduce
-                      ? static_cast<int>(rng.Uniform(0, chain_len - 1))
-                      : -1;
-  for (int i = 0; i < chain_len; ++i) {
-    std::string name = "op" + std::to_string(i);
-    if (i == reduce_at) {
-      int key_field = 0;
-      auto udf = RandomChainReduce(&rng, name, &key_field);
-      dataflow::Hints hints;
-      hints.distinct_keys = 50;
-      prev = flow.AddReduce(name, prev, {key_field}, udf, hints);
-    } else {
-      prev = flow.AddMap(name, prev, RandomChainMap(&rng, name));
-    }
-  }
-  flow.SetSink("O", prev);
+  int chain_len = 0, reduce_at = -1;
+  BuildRandomChain(&rng, &flow, &chain_len, &reduce_at);
 
   StatusOr<dataflow::AnnotatedFlow> af =
       dataflow::Annotate(flow, dataflow::AnnotationMode::kSca);
@@ -129,6 +139,51 @@ TEST_P(RandomChainTest, Algorithm1MatchesClosureEnumerator) {
   std::string original =
       reorder::CanonicalString(reorder::PlanFromFlow(flow));
   EXPECT_EQ(closure_set.count(original), 1u);
+}
+
+// The ranked anytime search against the exhaustive closure on the same
+// random chains: the top-1 must agree in cost AND in canonical logical and
+// physical (strategy) form. This is the empirical validation of the
+// admissible lower bound (DESIGN.md §3.4) — any bound term that overshoots
+// a real plan's cost shows up here as a pruned optimum.
+TEST_P(RandomChainTest, RankedSearchMatchesClosureTopPlan) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 131 + 17);  // same stream → same chain as the test above
+
+  dataflow::DataFlow flow;
+  int chain_len = 0, reduce_at = -1;
+  BuildRandomChain(&rng, &flow, &chain_len, &reduce_at);
+
+  core::BlackBoxOptimizer::Options closure_opts;
+  closure_opts.search = core::SearchMode::kClosure;
+  StatusOr<core::OptimizationResult> closure =
+      core::BlackBoxOptimizer(closure_opts).Optimize(flow);
+  ASSERT_TRUE(closure.ok()) << closure.status().ToString();
+
+  core::BlackBoxOptimizer::Options ranked_opts;
+  ranked_opts.search = core::SearchMode::kRanked;
+  StatusOr<core::OptimizationResult> ranked =
+      core::BlackBoxOptimizer(ranked_opts).Optimize(flow);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+
+  const std::string context = "seed " + std::to_string(seed) +
+                              ", chain length " + std::to_string(chain_len) +
+                              ", reduce at " + std::to_string(reduce_at);
+  EXPECT_DOUBLE_EQ(ranked->best().cost, closure->best().cost)
+      << context << ": ranked top-1 missed the closure best cost\n"
+      << flow.ToString();
+  EXPECT_EQ(reorder::CanonicalString(ranked->best().logical),
+            reorder::CanonicalString(closure->best().logical))
+      << context << ": ranked top-1 is a different logical plan";
+  EXPECT_EQ(ranked->best().physical.ToString(flow),
+            closure->best().physical.ToString(flow))
+      << context << ": ranked top-1 chose different physical strategies";
+  // The ranked search must never cost more plans than the closure holds.
+  EXPECT_LE(ranked->plans_enumerated, closure->plans_enumerated) << context;
+  // Counter bookkeeping: discovered = costed + pruned.
+  EXPECT_EQ(ranked->num_alternatives,
+            ranked->plans_enumerated + ranked->plans_pruned)
+      << context;
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomChains, RandomChainTest,

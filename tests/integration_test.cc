@@ -93,7 +93,9 @@ TEST(Integration, MixedRelationalFlowWithSixOperatorsOptimizesAndRuns) {
   int keyf = f.AddMap("even_cust", agg, testing::Built(std::move(kb)));
   f.SetSink("O", keyf);
 
-  BlackBoxOptimizer optimizer;
+  core::BlackBoxOptimizer::Options count_opts;
+  count_opts.search = core::SearchMode::kClosure;  // count the full closure
+  BlackBoxOptimizer optimizer(count_opts);
   StatusOr<core::OptimizationResult> result = optimizer.Optimize(f);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // The key filter can sit above the Reduce, below it, below the Match (on
@@ -188,7 +190,9 @@ TEST(Integration, EndToEndProfiledOptimizationOnQ7) {
   ASSERT_TRUE(profile.ok()) << profile.status().ToString();
   optimizer::ApplyProfile(*profile, &w.flow);
 
-  BlackBoxOptimizer optimizer;
+  core::BlackBoxOptimizer::Options opts;
+  opts.search = core::SearchMode::kClosure;  // the >100 pin is a closure count
+  BlackBoxOptimizer optimizer(opts);
   StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
   ASSERT_TRUE(result.ok());
   engine::Executor exec(&result->annotated);

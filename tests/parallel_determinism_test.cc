@@ -34,6 +34,13 @@ RunOutcome OptimizeAndRun(const workloads::Workload& w, int num_threads,
   api::OptimizeOptions options;
   options.exec.num_threads = num_threads;  // costing inherits this
   options.exec.mem_budget_bytes = mem_budget_bytes;
+  // The contract under test is that the PARALLEL closure-costing pipeline
+  // ranks identically to the serial one — so use the closure search (the
+  // ranked search is serial by construction) and force each call to be an
+  // independent optimization rather than a plan-cache alias (thread count
+  // is deliberately not part of the cache key).
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;

@@ -78,6 +78,10 @@ ClosureStats RunClosure(const workloads::Workload& w,
   // Differential execution is linear in the closure size; the cap keeps the
   // oracle tractable if a workload's plan space ever explodes.
   options.enum_options.max_plans = 512;
+  // The oracle quantifies over the FULL closure, and each (threads, chain)
+  // combination must be an independent optimization, not a cache alias.
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
@@ -180,6 +184,44 @@ ModeMatrix RunAllModes(const workloads::Workload& w,
     }
   }
   return m;
+}
+
+// The anytime ranked search must land on the same best-plan cost as the
+// exhaustive closure for every seed workload — the cheap, execution-free
+// half of the ranked-search acceptance bar (the randomized differential in
+// enum_random_chain_test covers arbitrary chains).
+TEST(PlanEquivalence, RankedSearchMatchesClosureBestCost) {
+  api::ScaProvider sca;
+  for (const workloads::Workload& w :
+       {workloads::MakeTpchQ7({.suppliers = 20,
+                               .customers = 80,
+                               .orders = 400,
+                               .lineitems = 2000}),
+        workloads::MakeTextMining({.documents = 200}),
+        workloads::MakeClickstream({.sessions = 200})}) {
+    api::OptimizeOptions closure_opts;
+    closure_opts.search = core::SearchMode::kClosure;
+    closure_opts.use_plan_cache = false;
+    StatusOr<api::OptimizedProgram> closure =
+        api::OptimizeFlow(w.flow, sca, closure_opts);
+    ASSERT_TRUE(closure.ok()) << w.name << ": "
+                              << closure.status().ToString();
+
+    api::OptimizeOptions ranked_opts;
+    ranked_opts.search = core::SearchMode::kRanked;
+    ranked_opts.use_plan_cache = false;
+    StatusOr<api::OptimizedProgram> ranked =
+        api::OptimizeFlow(w.flow, sca, ranked_opts);
+    ASSERT_TRUE(ranked.ok()) << w.name << ": " << ranked.status().ToString();
+
+    EXPECT_DOUBLE_EQ(closure->best().cost, ranked->best().cost)
+        << w.name << ": ranked top-1 missed the closure best cost";
+    EXPECT_EQ(reorder::CanonicalString(closure->best().logical),
+              reorder::CanonicalString(ranked->best().logical))
+        << w.name << ": ranked top-1 picked a different logical plan";
+    EXPECT_LE(ranked->plans_enumerated(), closure->plans_enumerated())
+        << w.name << ": ranked search costed more plans than the closure";
+  }
 }
 
 TEST(PlanEquivalence, TpchQ7ClosureIsByteIdenticalAndCoversCombiner) {

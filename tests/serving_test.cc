@@ -15,6 +15,7 @@
 #include "api/optimized_program.h"
 #include "engine/executor.h"
 #include "engine/spill_manager.h"
+#include "optimizer/plan_cache.h"
 #include "record/spill_file.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
@@ -335,11 +336,25 @@ TEST(QueryServerTest, RejectsMalformedAndOversizedRequests) {
             Status::Code::kInvalidArgument);
 
   // A carve that can never fit the global budget is rejected up front
-  // instead of waiting forever.
+  // instead of waiting forever. Oversized via dop: the estimate-sized carve
+  // can shrink a huge per-instance budget down to the plan's estimated
+  // peak, but never below the floor, so a huge dop still overflows.
   serve::QueryRequest oversized;
   oversized.program = &*program;
   oversized.exec = SmallExec(options.global_budget_bytes);
+  oversized.exec.dop = 4096;
   EXPECT_EQ(server.Submit(std::move(oversized)).status().code(),
+            Status::Code::kOutOfRange);
+
+  // With estimate-sizing disabled, a huge per-instance budget alone is
+  // enough to overflow the pool — the pre-estimate admission behavior.
+  serve::ServeOptions worst_case = options;
+  worst_case.carve_from_estimate = false;
+  serve::QueryServer worst_case_server(worst_case);
+  serve::QueryRequest big_budget;
+  big_budget.program = &*program;
+  big_budget.exec = SmallExec(worst_case.global_budget_bytes);
+  EXPECT_EQ(worst_case_server.Submit(std::move(big_budget)).status().code(),
             Status::Code::kOutOfRange);
 
   EXPECT_EQ(server.metrics().Snapshot().rejected, 4);
@@ -377,9 +392,11 @@ TEST(QueryServerTest, ConcurrentExecutionMatchesSoloByteForByte) {
   struct Entry {
     std::string tenant;
     workloads::Workload workload;
-    api::OptimizedProgram program;
+    api::OptimizedProgram program;         // cold optimization
+    api::OptimizedProgram cached_program;  // plan-cache hit of the same key
     std::string solo_bytes;
   };
+  optimizer::PlanCache::Global().Clear();
   std::vector<Entry> entries(3);
   entries[0].tenant = "analytics";
   {
@@ -405,6 +422,15 @@ TEST(QueryServerTest, ConcurrentExecutionMatchesSoloByteForByte) {
     StatusOr<api::OptimizedProgram> program = Optimize(e.workload, exec);
     ASSERT_TRUE(program.ok()) << program.status().ToString();
     e.program = std::move(program).value();
+    EXPECT_FALSE(e.program.from_plan_cache());
+    // Re-optimizing the identical pipeline must be a pure cache hit: no
+    // annotation, no enumeration, no costing — just the shared plans.
+    const uint64_t hits_before = optimizer::PlanCache::Global().stats().hits;
+    StatusOr<api::OptimizedProgram> cached = Optimize(e.workload, exec);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    e.cached_program = std::move(cached).value();
+    EXPECT_TRUE(e.cached_program.from_plan_cache());
+    EXPECT_EQ(optimizer::PlanCache::Global().stats().hits, hits_before + 1);
     StatusOr<DataSet> solo = e.program.RunWith(0, exec);
     ASSERT_TRUE(solo.ok()) << solo.status().ToString();
     e.solo_bytes = OutputBytes(*solo);
@@ -425,7 +451,9 @@ TEST(QueryServerTest, ConcurrentExecutionMatchesSoloByteForByte) {
   for (int round = 0; round < kRoundsPerEntry; ++round) {
     for (const Entry& e : entries) {
       serve::QueryRequest request;
-      request.program = &e.program;
+      // Odd rounds serve the cache-hit program: its output must be
+      // byte-identical to the cold program's under the same concurrency.
+      request.program = round % 2 == 0 ? &e.program : &e.cached_program;
       request.tenant = e.tenant;
       request.workload_class = e.tenant;
       request.exec = exec;
@@ -462,6 +490,10 @@ TEST(QueryServerTest, ConcurrentExecutionMatchesSoloByteForByte) {
   EXPECT_EQ(snap.completed, total);
   EXPECT_EQ(snap.failed, 0);
   EXPECT_EQ(snap.rejected, 0);
+  // Plan-cache provenance counters: one round of cold programs, one round
+  // of cache-hit programs per entry.
+  EXPECT_EQ(snap.plan_cache_hits, static_cast<int>(entries.size()));
+  EXPECT_EQ(snap.plan_cache_misses, static_cast<int>(entries.size()));
 }
 
 }  // namespace

@@ -76,6 +76,10 @@ SweepCounts RunBudgetSweep(const workloads::Workload& w,
   options.exec.batch_capacity = kBatchCapacity;
   options.exec.fuse_chains = fuse_chains;
   options.enum_options.max_plans = 512;
+  // The oracle quantifies over the FULL closure and needs the implemented
+  // plan in it; the ranked default keeps only a top-k.
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
@@ -232,6 +236,9 @@ TEST(SpillEquivalence, SpillCostEstimateTracksMeasurement) {
     options.exec.dop = 8;
     options.exec.mem_budget_bytes = budget;
     options.weights.enable_spill = enable_spill;
+    // "Worst plan" below means worst of the FULL closure.
+    options.search = core::SearchMode::kClosure;
+    options.use_plan_cache = false;
     return api::OptimizeFlow(w.flow, sca, options, sources);
   };
 
@@ -295,6 +302,10 @@ TEST(SpillEquivalence, SpillFaultSurfacesCleanStatusAndLeaksNothing) {
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = 4 << 10;
   options.exec.spill_dir = sandbox.string();
+  // The fault is injected into the closure's WORST plan — the one sure to
+  // spill at this budget; a ranked top-k might hold only non-spilling plans.
+  options.search = core::SearchMode::kClosure;
+  options.use_plan_cache = false;
   StatusOr<api::OptimizedProgram> p = api::OptimizeFlow(w.flow, sca, options,
                                                         sources);
   ASSERT_TRUE(p.ok()) << p.status().ToString();

@@ -22,6 +22,8 @@ using workloads::Workload;
 size_t CountAlternatives(const Workload& w, AnnotationMode mode) {
   BlackBoxOptimizer::Options opts;
   opts.mode = mode;
+  // Table 1 counts the FULL closure; the default ranked search stops early.
+  opts.search = core::SearchMode::kClosure;
   BlackBoxOptimizer optimizer(opts);
   StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
@@ -35,6 +37,8 @@ void CheckAllPlansEquivalent(const Workload& w, AnnotationMode mode,
                              size_t max_checked = 64) {
   BlackBoxOptimizer::Options opts;
   opts.mode = mode;
+  // The safety contract quantifies over EVERY valid reordering.
+  opts.search = core::SearchMode::kClosure;
   BlackBoxOptimizer optimizer(opts);
   StatusOr<core::OptimizationResult> result = optimizer.Optimize(w.flow);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -154,6 +158,8 @@ TEST(Conservatism, ScaPlanSetIsSubsetOfManual) {
     auto plans = [&](AnnotationMode mode) {
       BlackBoxOptimizer::Options opts;
       opts.mode = mode;
+      // Subset inclusion must compare full closures, not ranked top-k's.
+      opts.search = core::SearchMode::kClosure;
       StatusOr<core::OptimizationResult> r =
           BlackBoxOptimizer(opts).Optimize(w.flow);
       EXPECT_TRUE(r.ok());

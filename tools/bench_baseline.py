@@ -32,6 +32,16 @@ wall-clock measurements of concurrent load and would drift on every run.
 Check mode requires the file, the presence of every admission counter,
 ledger field, and per-class latency key, and the run-invariant invariants —
 zero ledger violations, outputs_match, zero failed queries.
+
+BENCH_enum_time.json (CI's enum-smoke step, DESIGN.md §3.4) is split the
+same way: the search counters (closure alternatives, ranked plans
+enumerated / pruned / stopped_early at the default top_k budget) and best
+costs are deterministic and pinned against the baseline; the wall-clock
+fields are not compared, except the one wall-clock acceptance bar this
+repo's ranked search carries — the TPC-H Q7 ranked-vs-closure optimize
+speedup must stay >= 10x (closure costs ~17x more plans there, so the bar
+has real slack). Check mode also re-asserts the binary's own invariants:
+ok, every best_cost_equal, and every cache warm_hit.
 """
 
 import argparse
@@ -49,13 +59,14 @@ FIG_FILES = [
 ]
 ABLATION = "BENCH_ablation.json"
 SERVING = "BENCH_serving.json"
+ENUM = "BENCH_enum_time.json"
 
 # Schema, not values: serving latencies are wall-clock and legitimately vary
 # run to run. What CI pins is that the counters/fields exist and that the
 # run-invariant invariants held.
 SERVING_COUNTER_KEYS = [
     "submitted", "admitted", "completed", "failed", "rejected",
-    "queue_high_water",
+    "queue_high_water", "plan_cache_hits", "plan_cache_misses",
 ]
 SERVING_LEDGER_KEYS = [
     "capacity_bytes", "carved_high_water_bytes", "live_high_water_bytes",
@@ -86,6 +97,13 @@ ABLATION_EXACT = [
     "sort_merge_plans",
     "combiner_plans",
 ]
+# Deterministic per-workload search counters at the default enumeration /
+# top_k budget — the ranked-search equivalent of the figure byte meters.
+ENUM_CLOSURE_EXACT = ["alternatives", "plans_enumerated"]
+ENUM_RANKED_EXACT = ["plans_enumerated", "plans_pruned", "stopped_early"]
+# Wall-clock acceptance bar: ranked anytime search must keep TPC-H Q7's
+# optimize wall >= 10x below the enumerate-all-then-cost closure.
+ENUM_Q7_MIN_SPEEDUP = 10.0
 REL_TOL = 1e-6
 
 
@@ -129,6 +147,21 @@ def extract(dirname):
     }
     for name, fname in FIG_FILES:
         base[name] = extract_fig(load(os.path.join(dirname, fname)))
+    enum = load(os.path.join(dirname, ENUM))
+    base["enum_time"] = {
+        "top_k": enum["top_k"],
+        "workloads": [
+            {
+                "workload": w["workload"],
+                "closure": {k: w["closure"][k]
+                            for k in ENUM_CLOSURE_EXACT + ["best_cost"]},
+                "ranked": {k: w["ranked"][k]
+                           for k in ENUM_RANKED_EXACT + ["best_cost"]},
+                "best_cost_equal": w["best_cost_equal"],
+            }
+            for w in enum["workloads"]
+        ],
+    }
     return base
 
 
@@ -164,6 +197,67 @@ def check_fig(name, bf, ff, mismatch):
     if len(bf["budget_sweep"]) != len(ff["budget_sweep"]):
         mismatch(name, "sweep row count", len(bf["budget_sweep"]),
                  len(ff["budget_sweep"]))
+
+
+def check_enum(baseline_enum, fresh_enum, mismatch):
+    """Pins the deterministic search counters and best costs per workload."""
+    if baseline_enum["top_k"] != fresh_enum["top_k"]:
+        mismatch("enum_time", "top_k", baseline_enum["top_k"],
+                 fresh_enum["top_k"])
+    fresh_rows = {w["workload"]: w for w in fresh_enum["workloads"]}
+    for want in baseline_enum["workloads"]:
+        got = fresh_rows.get(want["workload"])
+        where = f"enum_time [{want['workload']}]"
+        if got is None:
+            mismatch("enum_time", f"workload {want['workload']}", "present",
+                     "missing")
+            continue
+        for mode, exact in [("closure", ENUM_CLOSURE_EXACT),
+                            ("ranked", ENUM_RANKED_EXACT)]:
+            for k in exact:
+                if want[mode][k] != got[mode][k]:
+                    mismatch(where, f"{mode}.{k}", want[mode][k], got[mode][k])
+            if not rel_close(want[mode]["best_cost"], got[mode]["best_cost"]):
+                mismatch(where, f"{mode}.best_cost", want[mode]["best_cost"],
+                         got[mode]["best_cost"])
+        if want["best_cost_equal"] != got["best_cost_equal"]:
+            mismatch(where, "best_cost_equal", want["best_cost_equal"],
+                     got["best_cost_equal"])
+    if len(baseline_enum["workloads"]) != len(fresh_enum["workloads"]):
+        mismatch("enum_time", "workload count",
+                 len(baseline_enum["workloads"]),
+                 len(fresh_enum["workloads"]))
+
+
+def check_enum_invariants(dirname):
+    """Re-asserts enum_time's run-invariant bars; returns error list."""
+    path = os.path.join(dirname, ENUM)
+    if not os.path.exists(path):
+        return [f"enum_time: {ENUM} missing (did the enum-smoke step run?)"]
+    errors = []
+    enum = load(path)
+    if enum.get("ok") is not True:
+        errors.append("enum_time: ok is false — ranked top-1 missed the "
+                      "closure best cost or a warm cache lookup missed")
+    for w in enum.get("workloads", []):
+        name = w.get("workload", "?")
+        if w.get("best_cost_equal") is not True:
+            errors.append(f"enum_time: {name} ranked top-1 cost != closure "
+                          "best cost")
+        if enum.get("cache_warm"):
+            cache = w.get("cache")
+            if cache is None:
+                errors.append(f"enum_time: {name} lacks the cache section "
+                              "despite --cache-warm")
+            elif cache.get("warm_hit") is not True:
+                errors.append(f"enum_time: {name} warm optimize missed the "
+                              "plan cache")
+        if (name == "tpch_q7"
+                and w.get("ranked_speedup", 0) < ENUM_Q7_MIN_SPEEDUP):
+            errors.append(
+                f"enum_time: tpch_q7 ranked speedup {w.get('ranked_speedup')}"
+                f"x fell below the {ENUM_Q7_MIN_SPEEDUP:.0f}x acceptance bar")
+    return errors
 
 
 def check_serving(dirname):
@@ -216,6 +310,7 @@ def check(baseline, fresh):
 
     for name, _ in FIG_FILES:
         check_fig(name, baseline[name], fresh[name], mismatch)
+    check_enum(baseline["enum_time"], fresh["enum_time"], mismatch)
 
     fresh_rows = {(r["workload"], r["config"]): r
                   for r in fresh["ablation_rows"]}
@@ -256,7 +351,8 @@ def main():
         return 0
 
     baseline = load(args.baseline)
-    errors = check(baseline, fresh) + check_serving(args.dir)
+    errors = (check(baseline, fresh) + check_serving(args.dir)
+              + check_enum_invariants(args.dir))
     if errors:
         print("bench baseline drift detected "
               "(regenerate bench/BENCH_baseline.json if intended):")
@@ -267,7 +363,8 @@ def main():
           f"({len(baseline['ablation_rows'])} ablation rows, "
           + ", ".join(f"{len(baseline[n]['runs'])} {n} runs"
                       for n, _ in FIG_FILES)
-          + "); serving schema + invariants OK")
+          + f", {len(baseline['enum_time']['workloads'])} enum_time "
+          "workloads); serving + enum_time schema and invariants OK")
     return 0
 
 
