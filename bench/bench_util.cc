@@ -195,9 +195,12 @@ Status WriteFigureJsonWithSweep(const std::string& base_name,
   if (!sweep.ok()) return sweep.status();
   std::printf("budget sweep (best plan):\n");
   for (const BudgetSweepPoint& p : *sweep) {
-    std::printf("  budget %10.0f B  disk %8.3f MB  peak %8.3f MB\n",
-                p.budget_bytes, static_cast<double>(p.disk_bytes) / (1 << 20),
-                static_cast<double>(p.peak_bytes) / (1 << 20));
+    std::printf(
+        "  budget %10.0f B  disk %8.3f MB  peak %8.3f MB  "
+        "skipped %4lld batches / %8.3f MB spill\n",
+        p.budget_bytes, static_cast<double>(p.disk_bytes) / (1 << 20),
+        static_cast<double>(p.peak_bytes) / (1 << 20), p.skipped_batches,
+        static_cast<double>(p.skipped_spill_bytes) / (1 << 20));
   }
   std::printf("\n");
   std::string name = base_name;
@@ -231,6 +234,9 @@ StatusOr<std::vector<BudgetSweepPoint>> RunBudgetSweep(
     p.simulated_seconds = stats.simulated_seconds;
     p.disk_bytes = static_cast<long long>(stats.disk_bytes);
     p.peak_bytes = static_cast<long long>(stats.peak_bytes);
+    p.skipped_batches = static_cast<long long>(stats.skipped_batches);
+    p.skipped_spill_bytes =
+        static_cast<long long>(stats.skipped_spill_bytes);
     points.push_back(p);
   }
   fig->program.mutable_exec_options() = saved;
@@ -273,13 +279,17 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  "\"norm_cost\": %.4f, \"simulated_seconds\": %.6f, "
                  "\"norm_runtime\": %.4f, \"wall_seconds\": %.6f, "
                  "\"network_bytes\": %lld, \"disk_bytes\": %lld, "
-                 "\"peak_bytes\": %lld, \"udf_calls\": %lld}%s\n",
+                 "\"peak_bytes\": %lld, \"udf_calls\": %lld, "
+                 "\"skipped_batches\": %lld, "
+                 "\"skipped_spill_bytes\": %lld}%s\n",
                  r.rank, r.est_cost, r.norm_cost, r.runtime_seconds,
                  r.norm_runtime, r.stats.wall_seconds,
                  static_cast<long long>(r.stats.network_bytes),
                  static_cast<long long>(r.stats.disk_bytes),
                  static_cast<long long>(r.stats.peak_bytes),
                  static_cast<long long>(r.stats.udf_calls),
+                 static_cast<long long>(r.stats.skipped_batches),
+                 static_cast<long long>(r.stats.skipped_spill_bytes),
                  i + 1 < result.runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]%s\n", (scaling || sweep) ? "," : "");
@@ -307,9 +317,12 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
       const BudgetSweepPoint& p = (*sweep)[i];
       std::fprintf(f,
                    "    {\"mem_budget_bytes\": %.0f, \"simulated_seconds\": "
-                   "%.6f, \"disk_bytes\": %lld, \"peak_bytes\": %lld}%s\n",
+                   "%.6f, \"disk_bytes\": %lld, \"peak_bytes\": %lld, "
+                   "\"skipped_batches\": %lld, "
+                   "\"skipped_spill_bytes\": %lld}%s\n",
                    p.budget_bytes, p.simulated_seconds, p.disk_bytes,
-                   p.peak_bytes, i + 1 < sweep->size() ? "," : "");
+                   p.peak_bytes, p.skipped_batches, p.skipped_spill_bytes,
+                   i + 1 < sweep->size() ? "," : "");
     }
     std::fprintf(f, "  ]\n");
   }

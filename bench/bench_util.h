@@ -105,6 +105,11 @@ struct BudgetSweepPoint {
   double simulated_seconds = 0;
   long long disk_bytes = 0;
   long long peak_bytes = 0;
+  // Data skipping (DESIGN.md §2.5): refuted batches and elided spill-run
+  // re-reads. disk_bytes + skipped_spill_bytes is invariant under the
+  // skipping switch, so the baseline pins both.
+  long long skipped_batches = 0;
+  long long skipped_spill_bytes = 0;
 };
 
 /// Runs the best-ranked plan of `fig` once per budget (restoring the

@@ -40,18 +40,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Smoke keeps the full data scale and economizes on picks/reps instead:
+  // the spill-smoke acceptance point (32 KiB per instance) needs the l⋈o
+  // build side genuinely over budget so run-level data skipping has spilled
+  // runs to refute — a scaled-down orders table never spills there and the
+  // skipping meters would pin zeros.
   workloads::TpchScale scale;
-  if (smoke) {
-    scale.lineitems = 6000;
-    scale.orders = 1500;
-    scale.customers = 150;
-    scale.suppliers = 25;
-  } else {
-    scale.lineitems = 60000;
-    scale.orders = 15000;
-    scale.customers = 1500;
-    scale.suppliers = 100;
-  }
+  scale.lineitems = 60000;
+  scale.orders = 15000;
+  scale.customers = 1500;
+  scale.suppliers = 100;
   workloads::Workload w = workloads::MakeTpchQ7(scale);
 
   bench::BenchConfig config;

@@ -191,6 +191,10 @@ StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
   OptimizedProgram program;
   program.sources_ = sources;
   program.exec_ = options.exec;
+  // The ablation switch lives on the weights (one flag per optimizer
+  // feature); skipping runs only when neither side disabled it.
+  program.exec_.enable_data_skipping =
+      options.exec.enable_data_skipping && options.weights.enable_data_skipping;
   const bool cacheable = options.use_plan_cache && provider.deterministic();
   std::string cache_key;
   if (cacheable) {

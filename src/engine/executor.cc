@@ -9,7 +9,9 @@
 #include "common/task_pool.h"
 #include "engine/spill_manager.h"
 #include "interp/interp.h"
+#include "record/zone_map.h"
 #include "reorder/plan.h"
+#include "sca/refute.h"
 
 namespace blackbox {
 namespace engine {
@@ -53,7 +55,22 @@ struct ChainStage {
   const dataflow::Operator* op = nullptr;  // null: sink projection stage
   FieldTranslation translation;            // Map only
   std::vector<AttrId> sink_schema;         // sink only
+  /// Batch refuter for data skipping (nullopt: the UDF cannot be soundly
+  /// analyzed, or skipping is disabled). Built only after the stage vector
+  /// reaches its final storage — the refuter points into `translation`.
+  std::optional<sca::BatchRefuter> refuter;
 };
+
+/// The per-global-position ranges a batch sketch admits, in the layout
+/// BatchRefuter::RefutesEmit consumes.
+std::vector<ValueRange> SketchRanges(const ZoneMapSketch& sketch) {
+  std::vector<ValueRange> cols;
+  cols.reserve(sketch.num_columns());
+  for (size_t c = 0; c < sketch.num_columns(); ++c) {
+    cols.push_back(sketch.ColumnRange(c));
+  }
+  return cols;
+}
 
 /// Per-partition chain executor: the producer (scan or breaker) pushes its
 /// emitted records here; full batches are pulled through every stage in one
@@ -110,6 +127,20 @@ class ChainRunner {
       size_t flip = 0;
       for (size_t si = 0; si < stages_->size(); ++si) {
         const ChainStage& s = (*stages_)[si];
+        if (s.refuter) {
+          // Data skipping (DESIGN.md §2.5): summarize the in-flight batch
+          // and try to refute this stage against it. A refuted stage
+          // provably emits nothing for every record here, so the whole
+          // batch — and everything downstream of it — is dropped without an
+          // interpreter call. Verdicts depend only on batch content, so
+          // meters stay deterministic for every thread count.
+          ZoneMapSketch sk;
+          for (const Record& r : *cur) sk.Observe(r);
+          if (s.refuter->RefutesEmit(SketchRanges(sk))) {
+            ++meters_->skipped_batches;
+            return Status::OK();
+          }
+        }
         std::vector<Record>* next = &scratch_[flip];
         next->clear();
         if (s.op != nullptr) {
@@ -181,6 +212,15 @@ class ExecContext {
       }
       // Stages apply bottom-up from the producer.
       std::reverse(stages.begin(), stages.end());
+      if (options_.enable_data_skipping) {
+        // Built only now: the refuter borrows the stage's own translation,
+        // so the vector must not grow (or be copied) afterwards.
+        for (ChainStage& s : stages) {
+          if (s.op != nullptr && s.op->udf != nullptr) {
+            s.refuter = sca::BatchRefuter::Make(*s.op->udf, s.translation);
+          }
+        }
+      }
     }
     const dataflow::Operator& op = af_.flow->op(n->op_id);
     switch (op.kind) {
@@ -324,14 +364,21 @@ class ExecContext {
     const DataSet& src = *it->second;
     const size_t dop = static_cast<size_t>(options_.dop);
     Partitions parts = NewPartitions();
-    // Partition pi owns source indices pi, pi+dop, ... — the same
-    // round-robin assignment as a serial scan. The widened record enters the
-    // chain: with fused stages above, it streams through them batch-wise and
-    // never materializes on its own.
+    // Partition pi scans the contiguous split [pi·N/dop, (pi+1)·N/dop) —
+    // the byte-range split assignment of a distributed file scan. Contiguous
+    // splits preserve any physical clustering of the input (e.g. TPC-H
+    // lineitem's orderkey order), which downstream batch and run-header
+    // sketches inherit (DESIGN.md §2.5); a round-robin assignment would
+    // interleave the whole table into every partition and make every sketch
+    // full-range. The widened record enters the chain: with fused stages
+    // above, it streams through them batch-wise and never materializes on
+    // its own.
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       ChainRunner runner(&stages, options_.batch_capacity, parts[pi].get(),
                          meters);
-      for (size_t i = pi; i < src.size(); i += dop) {
+      const size_t lo = pi * src.size() / dop;
+      const size_t hi = (pi + 1) * src.size() / dop;
+      for (size_t i = lo; i < hi; ++i) {
         const Record& rec = src.record(i);
         Record wide;
         if (width > 0) wide.SetField(width - 1, Value::Null());
@@ -452,6 +499,12 @@ class ExecContext {
     if (!shipped.ok()) return shipped.status();
     Partitions in = std::move(shipped).value();
     FieldTranslation t = MakeTranslation(node);
+    // Unfused batch skipping: the materialized input batches carry their
+    // sketches from the append path, so refutation here reads them for free.
+    std::optional<sca::BatchRefuter> refuter;
+    if (options_.enable_data_skipping && op.udf != nullptr) {
+      refuter = sca::BatchRefuter::Make(*op.udf, t);
+    }
     Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());  // task-local interpreter
@@ -461,6 +514,11 @@ class ExecContext {
       std::vector<Record> emitted;
       BLACKBOX_RETURN_NOT_OK(in[pi]->DrainBatches(
           meters, &pool, [&](RecordBatch&& b) -> Status {
+            if (refuter && refuter->RefutesEmit(SketchRanges(b.sketch()))) {
+              ++meters->skipped_batches;
+              pool.Release(std::move(b));
+              return Status::OK();
+            }
             for (size_t i = 0; i < b.size(); ++i) {
               CallInputs ci;
               ci.groups = {{&b.record(i)}};
@@ -664,9 +722,13 @@ class ExecContext {
   /// metered) one batch at a time — each build batch gets a transient
   /// key table, matches accumulate per probe record in build-batch order
   /// (batches are arrival-contiguous, so that IS build arrival order), and
-  /// emission is probe-record-major. A probe batch's accumulated matches
-  /// are working set, like a key group's members (DESIGN.md §2.3).
-  Status BlockHashJoinPartition(SpillableBuffer* build, SpillableBuffer* probe,
+  /// emission is probe-record-major. A probe batch's accumulated matches are
+  /// pinned working set on the partition's ledger — the table holds record
+  /// copies that cannot be evicted mid-probe, so they must count against the
+  /// instance like the resident build side of the in-memory path
+  /// (DESIGN.md §2.3).
+  Status BlockHashJoinPartition(size_t pi, SpillableBuffer* build,
+                                SpillableBuffer* probe,
                                 const std::vector<AttrId>& build_key,
                                 const std::vector<AttrId>& probe_key,
                                 bool build_left, const Interpreter& interp,
@@ -683,22 +745,54 @@ class ExecContext {
           for (size_t i = 0; i < pb.size(); ++i) {
             probe_keys[i] = KeyOf(pb.record(i), probe_key);
           }
+          // Run skipping (DESIGN.md §2.5): a build run (or in-memory batch)
+          // whose key-column ranges cannot intersect this probe batch's
+          // cannot contribute a match — its re-read is elided entirely.
+          // Value equality is exact-type, so each key column is refuted
+          // per-type by RangesMayIntersect.
+          SpillableBuffer::SkipFn skip_fn;
+          const SpillableBuffer::SkipFn* skip = nullptr;
+          if (options_.enable_data_skipping) {
+            std::vector<ValueRange> probe_ranges(build_key.size());
+            for (size_t k = 0; k < build_key.size(); ++k) {
+              probe_ranges[k] =
+                  pb.sketch().ColumnRange(static_cast<size_t>(probe_key[k]));
+            }
+            // By value: the ranges must outlive this block (the predicate
+            // runs inside ForEachBatch below).
+            skip_fn = [probe_ranges = std::move(probe_ranges),
+                       &build_key](const ZoneMapSketch& s) -> bool {
+              for (size_t k = 0; k < build_key.size(); ++k) {
+                if (!RangesMayIntersect(
+                        probe_ranges[k],
+                        s.ColumnRange(static_cast<size_t>(build_key[k])))) {
+                  return true;
+                }
+              }
+              return false;
+            };
+            skip = &skip_fn;
+          }
+          PinnedBytes resident(&ledgers_[pi]);
           Status st = build->ForEachBatch(
-              meters, &pool, [&](const RecordBatch& bb) -> Status {
-                std::map<std::vector<Value>, std::vector<const Record*>> table;
+              meters, &pool,
+              [&](const RecordBatch& bb) -> Status {
+                std::map<std::vector<Value>, std::vector<size_t>> table;
                 for (size_t j = 0; j < bb.size(); ++j) {
-                  table[KeyOf(bb.record(j), build_key)].push_back(
-                      &bb.record(j));
+                  table[KeyOf(bb.record(j), build_key)].push_back(j);
                 }
                 for (size_t i = 0; i < pb.size(); ++i) {
                   auto it = table.find(probe_keys[i]);
                   if (it == table.end()) continue;
-                  for (const Record* b : it->second) {
-                    matches[i].push_back(*b);
+                  for (size_t j : it->second) {
+                    BLACKBOX_RETURN_NOT_OK(resident.Add(
+                        static_cast<int64_t>(bb.record_bytes(j)), meters));
+                    matches[i].push_back(bb.record(j));
                   }
                 }
                 return Status::OK();
-              });
+              },
+              skip);
           BLACKBOX_RETURN_NOT_OK(st);
           for (size_t i = 0; i < pb.size(); ++i) {
             for (const Record& b : matches[i]) {
@@ -771,17 +865,25 @@ class ExecContext {
       // carry an output order (the probe side's, which hash joins
       // propagate), key-major output could break a downstream presorted
       // claim, so the partition runs a block hash join instead — probe
-      // order preserved exactly (DESIGN.md §2.3).
+      // order preserved exactly (DESIGN.md §2.3). A build side whose
+      // spilled runs show key clustering (detected from the run-header
+      // sketches alone) also takes the block join: the per-probe-batch
+      // re-scan can then refute narrow runs (DESIGN.md §2.5), where the
+      // merge join would pay a full external sort of both sides. That test
+      // reads sketches, never the skipping switch, so the chosen strategy —
+      // and with it the disk + skipped_spill_bytes sum — is identical with
+      // skipping on and off.
       if (static_cast<double>(build->payload_bytes()) >
           options_.mem_budget_bytes) {
-        if (node.sort_order.empty()) {
+        if (node.sort_order.empty() &&
+            !build->SpilledRunsAreKeyClustered(build_key)) {
           BLACKBOX_RETURN_NOT_OK(MergeJoinPartition(
               pi, left[pi].get(), right[pi].get(), p.keys[0], p.keys[1],
               /*lsorted=*/false, /*rsorted=*/false, interp, t, &runner,
               meters));
         } else {
           BLACKBOX_RETURN_NOT_OK(BlockHashJoinPartition(
-              build, probe, build_key, probe_key, build_left, interp, t,
+              pi, build, probe, build_key, probe_key, build_left, interp, t,
               &runner, meters));
         }
         return runner.Flush();
@@ -1018,6 +1120,8 @@ void ExecStats::AddCounters(const ExecStats& other) {
   interp_instructions += other.interp_instructions;
   cpu_burn_units += other.cpu_burn_units;
   records_processed += other.records_processed;
+  skipped_batches += other.skipped_batches;
+  skipped_spill_bytes += other.skipped_spill_bytes;
 }
 
 std::string ExecStats::ToString() const {
@@ -1029,6 +1133,8 @@ std::string ExecStats::ToString() const {
   out += " instrs=" + std::to_string(interp_instructions);
   out += " cpu_burn=" + std::to_string(cpu_burn_units);
   out += " records=" + std::to_string(records_processed);
+  out += " skipped_batches=" + std::to_string(skipped_batches);
+  out += " skipped_spill=" + std::to_string(skipped_spill_bytes) + "B";
   out += " out_rows=" + std::to_string(output_rows);
   out += " wall=" + std::to_string(wall_seconds) + "s";
   out += " simulated=" + std::to_string(simulated_seconds) + "s";

@@ -114,6 +114,15 @@ struct ExecOptions {
   /// amortization against buffer footprint.
   size_t batch_capacity = RecordBatch::kDefaultCapacity;
 
+  /// Zone-map data skipping (DESIGN.md §2.5): refute whole batches against
+  /// filter chains and skip spilled build runs whose key ranges cannot
+  /// intersect a probe batch. Sink output and the byte meters
+  /// (network/disk/output) are identical either way — skipping only elides
+  /// work that provably produces nothing; CPU-side meters (udf_calls,
+  /// interp_instructions, records_processed, cpu_burn_units) shrink. Off
+  /// reproduces the pre-skipping execution exactly (the ablation baseline).
+  bool enable_data_skipping = true;
+
   // Machine model for simulated time. Metered network/disk bytes are charged
   // against these bandwidths; metered compute (UDF calls, records, calibrated
   // CPU burn) is charged against the throughputs below. The defaults are
@@ -129,9 +138,13 @@ struct ExecOptions {
 
 /// Metered resources of one plan execution. The same quantities the cost
 /// model estimates, but measured. Every field except wall_seconds is a pure
-/// function of (plan, data, dop, mem_budget, fuse_chains) — identical for
-/// every num_threads; all fields except peak_bytes and wall_seconds are also
-/// identical across fused and unfused execution.
+/// function of (plan, data, dop, mem_budget, fuse_chains,
+/// enable_data_skipping) — identical for every num_threads. Across fused and
+/// unfused execution, network_bytes, disk_bytes, output_rows, and
+/// simulated byte traffic are identical; with data skipping enabled the
+/// CPU-side meters (udf_calls, interp_instructions, records_processed,
+/// cpu_burn_units, skipped_batches) may legitimately differ between modes,
+/// because fusion changes which batch boundaries a refutation sees.
 struct ExecStats {
   int64_t network_bytes = 0;  // bytes crossing instance boundaries
 
@@ -144,6 +157,18 @@ struct ExecStats {
   int64_t cpu_burn_units = 0;
   int64_t records_processed = 0;
   int64_t output_rows = 0;
+
+  /// Whole batches refuted by a zone-map sketch and skipped without
+  /// interpreting a record (fused chain stages, unfused Map inputs, and
+  /// in-memory build batches a probe batch's key range cannot match).
+  int64_t skipped_batches = 0;
+
+  /// File bytes of spilled build-side runs NOT read back because the run
+  /// header's key-column sketch cannot intersect the probe batch's. These
+  /// bytes are charged here instead of disk_bytes, so
+  /// disk_bytes(skipping on) + skipped_spill_bytes accounts for the same
+  /// traffic disk_bytes alone measures with skipping off on re-scan paths.
+  int64_t skipped_spill_bytes = 0;
 
   /// High-water mark of the serialized bytes any single simulated instance
   /// held in materialized inter-operator buffers (pipeline-breaker inputs

@@ -71,10 +71,16 @@ StatusOr<SpillRun> SpillManager::WriteRun(
     const std::vector<RecordBatch>& batches, ExecStats* m) {
   StatusOr<std::string> path = NewRunPath();
   if (!path.ok()) return path.status();
-  StatusOr<BatchSpillWriter> writer = BatchSpillWriter::Create(*path);
+  // All batches are in memory here, so the run-level sketch is just the
+  // merge of the per-batch sketches maintained on the append path — cheap,
+  // and written into the header before any batch payload.
+  ZoneMapSketch sketch;
+  for (const RecordBatch& b : batches) sketch.Merge(b.sketch());
+  StatusOr<BatchSpillWriter> writer = BatchSpillWriter::Create(*path, &sketch);
   if (!writer.ok()) return writer.status();
   SpillRun run;
   run.path = *path;
+  run.sketch = std::move(sketch);
   for (const RecordBatch& b : batches) {
     BLACKBOX_RETURN_NOT_OK(CheckFault(static_cast<int64_t>(b.bytes())));
     BLACKBOX_RETURN_NOT_OK(writer->WriteBatch(b));
@@ -227,29 +233,85 @@ Status SpillableBuffer::Push(Record r, size_t serialized_bytes, ExecStats* m,
 Status SpillableBuffer::SpillMem(ExecStats* m) {
   if (mem_.empty()) return Status::OK();
   assert(!draining_ && "evicting a buffer that is being drained");
-  StatusOr<SpillRun> run = spill_->WriteRun(mem_, m);
-  if (!run.ok()) return run.status();
-  runs_.push_back(std::move(run).value());
+  // Cut the eviction into runs of at most a quarter budget each instead of
+  // one monolithic dump. Each run then covers a narrow arrival window, so
+  // its header sketch covers a narrow key range whenever the stream is
+  // key-clustered — the granularity zone-map run skipping needs to refute
+  // anything (DESIGN.md §2.5). The cut points depend only on batch sizes,
+  // never on the skipping switch or thread count.
+  const double run_target = ledger_->budget_bytes() / 4;
+  std::vector<RecordBatch> chunk;
+  size_t chunk_bytes = 0;
+  auto flush_chunk = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    StatusOr<SpillRun> run = spill_->WriteRun(chunk, m);
+    if (!run.ok()) return run.status();
+    runs_.push_back(std::move(run).value());
+    // Spilled batches keep their backing stores in the arena for the next
+    // in-memory run.
+    for (RecordBatch& b : chunk) arena_.Release(std::move(b));
+    chunk.clear();
+    chunk_bytes = 0;
+    return Status::OK();
+  };
+  for (RecordBatch& b : mem_) {
+    if (!chunk.empty() &&
+        static_cast<double>(chunk_bytes + b.bytes()) > run_target) {
+      BLACKBOX_RETURN_NOT_OK(flush_chunk());
+    }
+    chunk_bytes += b.bytes();
+    chunk.push_back(std::move(b));
+  }
+  BLACKBOX_RETURN_NOT_OK(flush_chunk());
   ledger_->Release(static_cast<int64_t>(mem_bytes_));
-  // Spilled batches keep their backing stores in the arena for the next
-  // in-memory run.
-  for (RecordBatch& b : mem_) arena_.Release(std::move(b));
   mem_.clear();
   mem_bytes_ = 0;
   return Status::OK();
 }
 
+bool SpillableBuffer::SpilledRunsAreKeyClustered(
+    const std::vector<dataflow::AttrId>& key) const {
+  if (runs_.size() < 2 || key.empty()) return false;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (!runs_[i].sketch.has_value()) continue;
+    for (size_t j = i + 1; j < runs_.size(); ++j) {
+      if (!runs_[j].sketch.has_value()) continue;
+      for (dataflow::AttrId k : key) {
+        if (!RangesMayIntersect(
+                runs_[i].sketch->ColumnRange(static_cast<size_t>(k)),
+                runs_[j].sketch->ColumnRange(static_cast<size_t>(k)))) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
 Status SpillableBuffer::ForEachBatch(
     ExecStats* m, BatchPool* pool,
-    const std::function<Status(const RecordBatch&)>& fn) {
+    const std::function<Status(const RecordBatch&)>& fn, const SkipFn* skip) {
   // A scan cannot resume a drain's position (a mid-run drain cursor would
   // make it re-deliver consumed batches), and its unpin-on-exit would strip
   // the drain's pin — mixing the two is a caller bug.
   assert(!draining_ && "ForEachBatch after drain started");
   PinGuard pin(ledger_, id_);
   for (size_t ri = 0; ri < runs_.size(); ++ri) {
+    if (skip != nullptr && runs_[ri].sketch.has_value() &&
+        (*skip)(*runs_[ri].sketch)) {
+      // Refuted against the run-header sketch: the whole run is skipped
+      // without opening the file — the read that never happened is metered
+      // as skipped_spill_bytes instead of disk_bytes.
+      if (m) m->skipped_spill_bytes += runs_[ri].file_bytes;
+      continue;
+    }
     StatusOr<BatchSpillReader> reader = BatchSpillReader::Open(runs_[ri].path);
     if (!reader.ok()) return reader.status();
+    // Meter the header read too: a run read to the end then costs exactly
+    // its file_bytes — the same number a refuted run credits to
+    // skipped_spill_bytes, keeping disk + skipped invariant across the
+    // skipping switch.
+    if (m) m->disk_bytes += reader->header_bytes();
     for (;;) {
       RecordBatch b;
       int64_t fb = 0;
@@ -262,6 +324,10 @@ Status SpillableBuffer::ForEachBatch(
     }
   }
   for (size_t i = 0; i < mem_.size(); ++i) {
+    if (skip != nullptr && (*skip)(mem_[i].sketch())) {
+      if (m) ++m->skipped_batches;
+      continue;
+    }
     BLACKBOX_RETURN_NOT_OK(fn(mem_[i]));
   }
   return Status::OK();

@@ -63,6 +63,10 @@ struct SpillRun {
   int64_t file_bytes = 0;   // headers included; what the write meter charged
   size_t rows = 0;
   size_t payload_bytes = 0;  // sum of cached record sizes
+  /// Zone-map sketch over every record in the run, kept in memory so skip
+  /// decisions never open the file (the same sketch is embedded in the run
+  /// header). nullopt for streamed runs (sort merges) — never skippable.
+  std::optional<ZoneMapSketch> sketch;
 };
 
 /// Shared spill-file factory: owns the (lazily created) temp run directory,
@@ -213,6 +217,7 @@ class MemoryLedger {
 
   int64_t live_bytes() const { return live_; }
   int64_t peak_bytes() const { return peak_; }
+  double budget_bytes() const { return budget_; }
   /// Lifetime sum of reserved bytes; lets callers assert a code path
   /// buffered nothing (the presorted fast-path contract).
   int64_t lifetime_reserved() const { return lifetime_; }
@@ -304,12 +309,35 @@ class SpillableBuffer : public Spillable {
   size_t spillable_mem_bytes() const override { return mem_bytes_; }
   Status SpillMem(ExecStats* m) override;
 
+  /// Decides whether a run or batch may be skipped given its zone-map
+  /// sketch; true = skip. Soundness is the caller's: returning true asserts
+  /// that no value the sketch admits can matter to the consumer.
+  using SkipFn = std::function<bool(const ZoneMapSketch&)>;
+
   /// Non-destructive scan in append order; spilled runs are read back
   /// transiently through `pool` (each read metered). Restartable, but not
   /// legal once draining started (asserted): a scan cannot see what a drain
   /// already consumed, and its pin bookkeeping would fight the drain's.
+  /// A non-null `skip` is consulted per spilled run (runs without a sketch
+  /// are never skipped; a skipped run charges skipped_spill_bytes instead of
+  /// disk_bytes) and per in-memory batch (charging skipped_batches).
   Status ForEachBatch(ExecStats* m, BatchPool* pool,
-                      const std::function<Status(const RecordBatch&)>& fn);
+                      const std::function<Status(const RecordBatch&)>& fn,
+                      const SkipFn* skip = nullptr);
+
+  /// True when some pair of sketched spilled runs is disjoint on a column of
+  /// `key` — evidence that the stream arrived key-clustered, so a consumer
+  /// that re-scans runs per probe batch (the block hash join) will be able
+  /// to refute runs. Full pairwise disjointness is deliberately NOT required:
+  /// a hash shuffle interleaves producers whose slices each span the whole
+  /// key range, so runs cut mid-stream overlap across producers even when
+  /// the underlying table is perfectly clustered; one disjoint pair already
+  /// proves narrow runs exist. Reads only the in-memory run sketches, never
+  /// the files, and is independent of ExecOptions::enable_data_skipping — a
+  /// strategy decision must not depend on the skipping switch, or the
+  /// disk + skipped_spill_bytes invariant across that switch breaks.
+  bool SpilledRunsAreKeyClustered(
+      const std::vector<dataflow::AttrId>& key) const;
 
   /// Destructive pull-cursor in append order: each call hands out the next
   /// batch (ownership moves to the caller), releasing its ledger bytes /

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "record/record.h"
+#include "record/zone_map.h"
 
 namespace blackbox {
 
@@ -45,6 +46,7 @@ class RecordBatch {
   /// records between batches carries the cached size instead of re-deriving
   /// it).
   void AppendWithSize(Record r, size_t serialized_bytes) {
+    sketch_.Observe(r);
     records_.push_back(std::move(r));
     sizes_.push_back(serialized_bytes);
     bytes_ += serialized_bytes;
@@ -63,12 +65,18 @@ class RecordBatch {
   /// meters match the old per-record computation.
   size_t RecomputeBytes() const;
 
+  /// The zone-map sketch over every record appended since the last Clear —
+  /// maintained incrementally on the append path (DESIGN.md §2.5). Consumers
+  /// must treat it as an over-approximation of the batch's contents.
+  const ZoneMapSketch& sketch() const { return sketch_; }
+
   /// Empties the batch but keeps the backing vectors' capacity (arena
   /// reuse); the capacity() watermark is preserved.
   void Clear() {
     records_.clear();
     sizes_.clear();
     bytes_ = 0;
+    sketch_.Clear();
   }
 
  private:
@@ -76,6 +84,7 @@ class RecordBatch {
   std::vector<size_t> sizes_;  // sizes_[i] == records_[i].SerializedSize()
   size_t bytes_ = 0;
   size_t capacity_ = kDefaultCapacity;
+  ZoneMapSketch sketch_;
 };
 
 /// A freelist of cleared batches. Not thread-safe by design: every

@@ -13,7 +13,11 @@ namespace blackbox {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x314C4C4950534242ULL;  // "BBSPILL1" little-endian
+constexpr uint64_t kMagic = 0x324C4C4950534242ULL;  // "BBSPILL2" little-endian
+
+// A cap on the header sketch block: a batch run's sketch is a few dozen bytes
+// per column, so anything past this is a garbled length prefix, not a sketch.
+constexpr uint32_t kMaxSketchBytes = 1u << 24;
 
 template <typename T>
 void AppendPod(const T& v, std::string* out) {
@@ -135,7 +139,8 @@ BatchSpillWriter::~BatchSpillWriter() {
   }
 }
 
-StatusOr<BatchSpillWriter> BatchSpillWriter::Create(std::string path) {
+StatusOr<BatchSpillWriter> BatchSpillWriter::Create(std::string path,
+                                                    const ZoneMapSketch* sketch) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) {
     return Status::InvalidArgument("cannot create spill file " + path + ": " +
@@ -146,6 +151,10 @@ StatusOr<BatchSpillWriter> BatchSpillWriter::Create(std::string path) {
   w.path_ = std::move(path);
   w.buf_.clear();
   AppendPod<uint64_t>(kMagic, &w.buf_);
+  std::string sketch_block;
+  if (sketch != nullptr) sketch->EncodeTo(&sketch_block);
+  AppendPod<uint32_t>(static_cast<uint32_t>(sketch_block.size()), &w.buf_);
+  w.buf_.append(sketch_block);
   if (std::fwrite(w.buf_.data(), 1, w.buf_.size(), f) != w.buf_.size()) {
     return Status::Internal("short write on spill file header");
   }
@@ -194,6 +203,8 @@ BatchSpillReader& BatchSpillReader::operator=(BatchSpillReader&& other) noexcept
     file_ = other.file_;
     path_ = std::move(other.path_);
     scratch_ = std::move(other.scratch_);
+    sketch_ = std::move(other.sketch_);
+    header_bytes_ = other.header_bytes_;
     other.file_ = nullptr;
   }
   return *this;
@@ -215,9 +226,33 @@ StatusOr<BatchSpillReader> BatchSpillReader::Open(std::string path) {
     std::fclose(f);
     return Status::Corruption("spill file " + path + " has a bad header");
   }
+  uint32_t sketch_len = 0;
+  if (std::fread(&sketch_len, 1, sizeof(sketch_len), f) != sizeof(sketch_len) ||
+      sketch_len > kMaxSketchBytes) {
+    std::fclose(f);
+    return Status::Corruption("spill file " + path + " has a bad sketch block");
+  }
   BatchSpillReader r;
   r.file_ = f;
   r.path_ = std::move(path);
+  r.header_bytes_ = static_cast<int64_t>(sizeof(magic) + sizeof(sketch_len)) +
+                    sketch_len;
+  if (sketch_len > 0) {
+    r.scratch_.resize(sketch_len);
+    if (std::fread(r.scratch_.data(), 1, sketch_len, f) != sketch_len) {
+      return Status::Corruption("spill file " + r.path_ +
+                                " truncated in sketch block");
+    }
+    size_t pos = 0;
+    StatusOr<ZoneMapSketch> sketch =
+        ZoneMapSketch::Decode(r.scratch_.data(), sketch_len, &pos);
+    if (!sketch.ok()) return sketch.status();
+    if (pos != sketch_len) {
+      return Status::Corruption("spill file " + r.path_ +
+                                " has trailing bytes in sketch block");
+    }
+    r.sketch_ = std::move(sketch).value();
+  }
   return r;
 }
 

@@ -5,11 +5,20 @@
 // exactly the cached sizes the byte meters read, plus small fixed headers.
 //
 // Layout:
-//   u64  magic ("BBSPILL1")
+//   u64  magic ("BBSPILL2")
+//   u32  sketch block length in bytes (0 = no sketch)
+//   the encoded ZoneMapSketch over every record in the run (zone_map.h) —
+//     written by batch-run spillers whose batches all exist up front;
+//     streaming writers (external-sort merges) write length 0, which
+//     consumers must treat as "cannot skip"
 //   repeated batches until EOF:
 //     u32  record count
 //     per record: u32 payload size, then the encoded record
 //       (u32 field count, then per value: u8 type tag + payload)
+//
+// The magic was bumped from BBSPILL1 when the sketch block was added (spill
+// files never outlive a process, so there is no migration path — an old
+// magic is simply Corruption).
 //
 // The per-record size prefix is the record's cached serialized size: the
 // writer verifies the encoding matches it (the cache can never silently
@@ -24,10 +33,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "record/record_batch.h"
+#include "record/zone_map.h"
 
 namespace blackbox {
 
@@ -51,9 +62,13 @@ class BatchSpillWriter {
   BatchSpillWriter& operator=(const BatchSpillWriter&) = delete;
   ~BatchSpillWriter();
 
-  /// Creates/truncates `path` and writes the header. InvalidArgument if the
-  /// target directory is missing or unwritable.
-  static StatusOr<BatchSpillWriter> Create(std::string path);
+  /// Creates/truncates `path` and writes the header, embedding `sketch` (a
+  /// zone map over every record the run will hold) when one is given.
+  /// Writers that stream records without knowing the whole run up front pass
+  /// nullptr — readers then see a run that can never be skipped.
+  /// InvalidArgument if the target directory is missing or unwritable.
+  static StatusOr<BatchSpillWriter> Create(
+      std::string path, const ZoneMapSketch* sketch = nullptr);
 
   Status WriteBatch(const RecordBatch& batch);
 
@@ -85,6 +100,17 @@ class BatchSpillReader {
 
   static StatusOr<BatchSpillReader> Open(std::string path);
 
+  /// The run-level zone-map sketch from the header, when the writer embedded
+  /// one. nullopt means the run cannot be skipped.
+  const std::optional<ZoneMapSketch>& run_sketch() const { return sketch_; }
+
+  /// File bytes consumed by the header (magic + sketch block), set by
+  /// Open(). Together with the per-batch file bytes from ReadBatch this
+  /// accounts for every byte of the file, so a scan that reads a run to the
+  /// end meters exactly the run's file_bytes — the same number a skipped
+  /// run credits to skipped_spill_bytes.
+  int64_t header_bytes() const { return header_bytes_; }
+
   /// Reads the next batch into *out (backing store from `pool`, watermark
   /// `capacity`). Returns false at a clean end-of-file; a partial batch or
   /// garbage is Corruption. *file_bytes is set to the file bytes consumed by
@@ -96,6 +122,8 @@ class BatchSpillReader {
   std::FILE* file_ = nullptr;
   std::string path_;
   std::string scratch_;  // payload staging, reused
+  std::optional<ZoneMapSketch> sketch_;
+  int64_t header_bytes_ = 0;
 };
 
 /// A process-unique temporary directory holding spill run files. Created

@@ -1,0 +1,613 @@
+#include "sca/refute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace blackbox {
+namespace sca {
+
+namespace {
+
+using tac::Opcode;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Ints beyond this magnitude get unbounded treatment: double bounds stop
+// being exact past 2^53, and int64 arithmetic can wrap near 2^63 — both
+// would make a "bounded" abstract interval exclude concrete results.
+constexpr double kIntSafe = 4.0e18;
+constexpr int64_t kExactInt = int64_t{1} << 53;
+
+/// Abstract value: per-type possibility flags plus bounds. The numeric
+/// bounds are shared by the int and double possibilities (over-approximate
+/// but sound — Value's exact equality is still tested per type flag).
+struct AV {
+  bool null_ = false;
+  bool int_ = false;
+  bool dbl_ = false;
+  double nlo = kInf, nhi = -kInf;  // valid when int_ || dbl_
+  bool str_ = false;
+  std::string slo, shi;
+  bool shi_open = false;
+
+  bool IsNothing() const { return !null_ && !int_ && !dbl_ && !str_; }
+  bool OnlyInt() const { return int_ && !null_ && !dbl_ && !str_; }
+};
+
+AV NullAV() {
+  AV a;
+  a.null_ = true;
+  return a;
+}
+
+AV IntConstAV(int64_t v) {
+  AV a;
+  a.int_ = true;
+  if (v >= -kExactInt && v <= kExactInt) {
+    a.nlo = a.nhi = static_cast<double>(v);
+  } else {
+    a.nlo = -kInf;
+    a.nhi = kInf;
+  }
+  return a;
+}
+
+AV DblConstAV(double v) {
+  AV a;
+  a.dbl_ = true;
+  if (std::isnan(v)) {
+    a.nlo = -kInf;
+    a.nhi = kInf;
+  } else {
+    a.nlo = a.nhi = v;
+  }
+  return a;
+}
+
+AV StrConstAV(const std::string& s) {
+  AV a;
+  a.str_ = true;
+  a.slo = s;
+  a.shi = s;
+  return a;
+}
+
+AV TopAV() {
+  AV a;
+  a.null_ = a.int_ = a.dbl_ = a.str_ = true;
+  a.nlo = -kInf;
+  a.nhi = kInf;
+  a.shi_open = true;
+  return a;
+}
+
+/// may0/may1 -> the int {0,1} subset a comparison or logic op can produce.
+AV BoolAV(bool may0, bool may1) {
+  AV a;
+  if (!may0 && !may1) return a;  // bottom: no concrete execution reaches
+  a.int_ = true;
+  a.nlo = may0 ? 0 : 1;
+  a.nhi = may1 ? 1 : 0;
+  return a;
+}
+
+AV FromRange(const ValueRange& r) {
+  AV a;
+  a.null_ = r.may_null;
+  if (r.may_int) {
+    a.int_ = true;
+    double lo = (r.int_lo >= -kExactInt && r.int_lo <= kExactInt)
+                    ? static_cast<double>(r.int_lo)
+                    : -kInf;
+    double hi = (r.int_hi >= -kExactInt && r.int_hi <= kExactInt)
+                    ? static_cast<double>(r.int_hi)
+                    : kInf;
+    a.nlo = std::min(a.nlo, lo);
+    a.nhi = std::max(a.nhi, hi);
+  }
+  if (r.may_double) {
+    a.dbl_ = true;
+    a.nlo = std::min(a.nlo, r.dbl_lo);
+    a.nhi = std::max(a.nhi, r.dbl_hi);
+  }
+  if (r.may_str) {
+    a.str_ = true;
+    a.slo = r.str_lo;
+    a.shi = r.str_hi;
+    a.shi_open = r.str_hi_open;
+  }
+  return a;
+}
+
+void JoinAV(AV* a, const AV& b) {
+  a->null_ |= b.null_;
+  if (b.int_ || b.dbl_) {
+    a->nlo = std::min(a->nlo, b.nlo);
+    a->nhi = std::max(a->nhi, b.nhi);
+  }
+  a->int_ |= b.int_;
+  a->dbl_ |= b.dbl_;
+  if (b.str_) {
+    if (!a->str_) {
+      a->str_ = true;
+      a->slo = b.slo;
+      a->shi = b.shi;
+      a->shi_open = b.shi_open;
+    } else {
+      if (b.slo < a->slo) a->slo = b.slo;
+      if (b.shi_open) {
+        a->shi_open = true;
+        a->shi.clear();
+      } else if (!a->shi_open && b.shi > a->shi) {
+        a->shi = b.shi;
+      }
+    }
+  }
+}
+
+/// The image of an AV under Value::ToDouble (null and string map to 0.0).
+struct Interval {
+  double lo = kInf, hi = -kInf;
+  bool has = false;
+};
+
+Interval NumImage(const AV& a) {
+  Interval v;
+  if (a.int_ || a.dbl_) {
+    v.lo = a.nlo;
+    v.hi = a.nhi;
+    v.has = true;
+  }
+  if (a.null_ || a.str_) {
+    v.lo = std::min(v.lo, 0.0);
+    v.hi = std::max(v.hi, 0.0);
+    v.has = true;
+  }
+  return v;
+}
+
+/// Outward-widens an arithmetic result interval: absorbs double rounding in
+/// the bound computation itself (concrete int64 math is exact where doubles
+/// round past 2^53).
+void Widen(double* lo, double* hi) {
+  if (std::isfinite(*lo)) *lo -= std::fabs(*lo) * 1e-9 + 1e-9;
+  if (std::isfinite(*hi)) *hi += std::fabs(*hi) * 1e-9 + 1e-9;
+}
+
+AV ArithAV(Opcode op, const AV& a, const AV& b) {
+  if (a.IsNothing() || b.IsNothing()) return AV();
+  AV r;
+  r.int_ = a.int_ && b.int_;              // the int/int fast path
+  r.dbl_ = !(a.OnlyInt() && b.OnlyInt());  // any other operand pair
+  Interval x = NumImage(a), y = NumImage(b);
+  double lo = -kInf, hi = kInf;
+  bool finite_in = std::isfinite(x.lo) && std::isfinite(x.hi) &&
+                   std::isfinite(y.lo) && std::isfinite(y.hi);
+  if (finite_in) {
+    switch (op) {
+      case Opcode::kAdd:
+        lo = x.lo + y.lo;
+        hi = x.hi + y.hi;
+        break;
+      case Opcode::kSub:
+        lo = x.lo - y.hi;
+        hi = x.hi - y.lo;
+        break;
+      case Opcode::kMul: {
+        double p1 = x.lo * y.lo, p2 = x.lo * y.hi, p3 = x.hi * y.lo,
+               p4 = x.hi * y.hi;
+        lo = std::min(std::min(p1, p2), std::min(p3, p4));
+        hi = std::max(std::max(p1, p2), std::max(p3, p4));
+        break;
+      }
+      default:
+        // kDiv / kMod: division by a zero-spanning divisor and truncation
+        // semantics make tight bounds fiddly; unbounded is always sound.
+        lo = -kInf;
+        hi = kInf;
+        break;
+    }
+  }
+  if (std::isnan(lo) || std::isnan(hi)) {
+    lo = -kInf;
+    hi = kInf;
+  }
+  Widen(&lo, &hi);
+  // Concrete int64 arithmetic can wrap near 2^63; once bounds approach that
+  // region the interval no longer contains the wrapped result.
+  if (r.int_ && (lo < -kIntSafe || hi > kIntSafe)) {
+    lo = -kInf;
+    hi = kInf;
+  }
+  r.nlo = lo;
+  r.nhi = hi;
+  return r;
+}
+
+struct Truth {
+  bool may_true = false, may_false = false;
+};
+
+Truth TruthOf(const AV& a) {
+  Truth t;
+  if (a.null_) t.may_false = true;
+  if (a.int_ || a.dbl_) {
+    if (a.nlo <= 0 && 0 <= a.nhi) t.may_false = true;
+    if (a.nlo < 0 || a.nhi > 0) t.may_true = true;
+  }
+  if (a.str_) {
+    if (a.slo.empty()) t.may_false = true;  // "" admitted
+    if (a.shi_open || !a.shi.empty()) t.may_true = true;
+  }
+  return t;
+}
+
+struct Signs {
+  bool neg = false, zero = false, pos = false;
+};
+
+/// Possible results of interp's Compare(a, b): lexicographic when both are
+/// strings, ToDouble comparison otherwise.
+Signs CompareAV(const AV& a, const AV& b) {
+  Signs s;
+  if (a.IsNothing() || b.IsNothing()) return s;
+  if (a.str_ && b.str_) {
+    if (b.shi_open || a.slo < b.shi) s.neg = true;
+    if (a.shi_open || b.slo < a.shi) s.pos = true;
+    bool a_below_b = !a.shi_open && a.shi < b.slo;
+    bool b_below_a = !b.shi_open && b.shi < a.slo;
+    if (!a_below_b && !b_below_a) s.zero = true;
+  }
+  bool a_nonstr = a.null_ || a.int_ || a.dbl_;
+  bool b_nonstr = b.null_ || b.int_ || b.dbl_;
+  if (a_nonstr || b_nonstr) {  // some operand pair takes the numeric path
+    Interval x = NumImage(a), y = NumImage(b);
+    if (x.has && y.has) {
+      if (x.lo < y.hi) s.neg = true;
+      if (x.hi > y.lo) s.pos = true;
+      if (x.lo <= y.hi && y.lo <= x.hi) s.zero = true;
+    }
+  }
+  return s;
+}
+
+/// Could values admitted by `a` and `b` be exactly equal (Value::operator==)?
+bool EqPossible(const AV& a, const AV& b) {
+  if (a.null_ && b.null_) return true;
+  if ((a.int_ && b.int_) || (a.dbl_ && b.dbl_)) {
+    if (a.nlo <= b.nhi && b.nlo <= a.nhi) return true;
+  }
+  if (a.str_ && b.str_) {
+    bool a_below_b = !a.shi_open && a.shi < b.slo;
+    bool b_below_a = !b.shi_open && b.shi < a.slo;
+    if (!a_below_b && !b_below_a) return true;
+  }
+  return false;
+}
+
+/// Abstract record register: which translation map field indices resolve
+/// through, and whether static getFields still see the raw input columns.
+struct RecAV {
+  bool maybe_input = false;
+  bool maybe_output = true;  // covers fresh (-2) and constructed (-1) records
+  bool fields_known = false;  // unmodified input record: reads hit `cols`
+};
+
+void JoinRec(RecAV* a, const RecAV& b) {
+  a->maybe_input |= b.maybe_input;
+  a->maybe_output |= b.maybe_output;
+  a->fields_known = a->fields_known && b.fields_known;
+}
+
+struct State {
+  std::vector<AV> vals;
+  std::vector<RecAV> recs;
+};
+
+void JoinState(State* a, const State& b) {
+  for (size_t i = 0; i < a->vals.size(); ++i) JoinAV(&a->vals[i], b.vals[i]);
+  for (size_t i = 0; i < a->recs.size(); ++i) JoinRec(&a->recs[i], b.recs[i]);
+}
+
+}  // namespace
+
+std::optional<BatchRefuter> BatchRefuter::Make(
+    const tac::Function& fn, const interp::FieldTranslation& translation) {
+  if (fn.kind() != tac::UdfKind::kRat || fn.num_inputs() != 1) {
+    return std::nullopt;
+  }
+  auto input_pos = [&](int local) -> int {
+    if (translation.input_maps.empty()) return local;
+    const auto& map = translation.input_maps[0];
+    if (local < 0 || local >= static_cast<int>(map.size())) return -1;
+    return map[local];
+  };
+  auto output_pos = [&](int local) -> int {
+    if (translation.output_map.empty()) return local;
+    if (local < 0 || local >= static_cast<int>(translation.output_map.size())) {
+      return -1;
+    }
+    return translation.output_map[local];
+  };
+
+  BatchRefuter r(&fn, &translation);
+  const auto& instrs = fn.instrs();
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const tac::Instr& ins = instrs[i];
+    switch (ins.op) {
+      case Opcode::kGoto:
+      case Opcode::kBranchIfTrue:
+      case Opcode::kBranchIfFalse:
+        // Only forward control flow: a backward edge means loops, whose
+        // step-limit error the abstraction cannot rule out.
+        if (ins.target <= static_cast<int>(i)) return std::nullopt;
+        break;
+      case Opcode::kInputCount:
+      case Opcode::kInputAt:
+        return std::nullopt;  // KAT access; groups are not modeled
+      case Opcode::kInputRecord:
+        if (ins.imm_int != 0) return std::nullopt;
+        break;
+      case Opcode::kSetField: {
+        // A setField whose translated position resolves negative is a
+        // runtime error (interp returns OutOfRange) — skipping would
+        // swallow it. Require both possible resolutions to be in range.
+        if (ins.index_is_reg) return std::nullopt;
+        int local = static_cast<int>(ins.imm_int);
+        if (input_pos(local) < 0 || output_pos(local) < 0) return std::nullopt;
+        break;
+      }
+      case Opcode::kGetField:
+        if (!ins.index_is_reg) {
+          int pos = input_pos(static_cast<int>(ins.imm_int));
+          if (pos >= 0) r.read_positions_.push_back(pos);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(r.read_positions_.begin(), r.read_positions_.end());
+  r.read_positions_.erase(
+      std::unique(r.read_positions_.begin(), r.read_positions_.end()),
+      r.read_positions_.end());
+  return r;
+}
+
+bool BatchRefuter::RefutesEmit(const std::vector<ValueRange>& cols) const {
+  const auto& instrs = fn_->instrs();
+  const int n = static_cast<int>(instrs.size());
+  auto input_pos = [&](int local) -> int {
+    if (translation_->input_maps.empty()) return local;
+    const auto& map = translation_->input_maps[0];
+    if (local < 0 || local >= static_cast<int>(map.size())) return -1;
+    return map[local];
+  };
+
+  const int nregs = fn_->num_registers();
+  std::vector<std::optional<State>> in(n);
+  if (n == 0) return true;  // no instructions: nothing emits, nothing errors
+  State init;
+  init.vals.assign(nregs, NullAV());  // registers start value-initialized
+  init.recs.assign(nregs, RecAV());
+  in[0] = std::move(init);
+
+  auto merge_into = [&](int t, const State& s) {
+    if (t >= n) return;  // falling off the end is a clean return
+    if (!in[t]) {
+      in[t] = s;
+    } else {
+      JoinState(&*in[t], s);
+    }
+  };
+
+  for (int pc = 0; pc < n; ++pc) {
+    if (!in[pc]) continue;  // unreachable under every admitted record
+    State st = std::move(*in[pc]);
+    const tac::Instr& i = instrs[pc];
+    switch (i.op) {
+      case Opcode::kEmit:
+        return false;  // an emit is reachable: cannot refute
+      case Opcode::kConstInt:
+        st.vals[i.dst] = IntConstAV(i.imm_int);
+        break;
+      case Opcode::kConstDouble:
+        st.vals[i.dst] = DblConstAV(i.imm_double);
+        break;
+      case Opcode::kConstStr:
+        st.vals[i.dst] = StrConstAV(i.imm_str);
+        break;
+      case Opcode::kConstNull:
+        st.vals[i.dst] = NullAV();
+        break;
+      case Opcode::kMove:
+        st.vals[i.dst] = st.vals[i.src0];
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+        st.vals[i.dst] = ArithAV(i.op, st.vals[i.src0], st.vals[i.src1]);
+        break;
+      case Opcode::kNeg: {
+        const AV& a = st.vals[i.src0];
+        if (a.IsNothing()) {
+          st.vals[i.dst] = AV();
+          break;
+        }
+        AV r;
+        r.int_ = a.int_;
+        r.dbl_ = a.dbl_ || a.null_ || a.str_;
+        Interval x = NumImage(a);
+        double lo = -x.hi, hi = -x.lo;
+        Widen(&lo, &hi);
+        if (r.int_ && (lo < -kIntSafe || hi > kIntSafe)) {
+          lo = -kInf;
+          hi = kInf;
+        }
+        r.nlo = lo;
+        r.nhi = hi;
+        st.vals[i.dst] = r;
+        break;
+      }
+      case Opcode::kCmpLt: {
+        Signs s = CompareAV(st.vals[i.src0], st.vals[i.src1]);
+        st.vals[i.dst] = BoolAV(s.zero || s.pos, s.neg);
+        break;
+      }
+      case Opcode::kCmpLe: {
+        Signs s = CompareAV(st.vals[i.src0], st.vals[i.src1]);
+        st.vals[i.dst] = BoolAV(s.pos, s.neg || s.zero);
+        break;
+      }
+      case Opcode::kCmpGt: {
+        Signs s = CompareAV(st.vals[i.src0], st.vals[i.src1]);
+        st.vals[i.dst] = BoolAV(s.neg || s.zero, s.pos);
+        break;
+      }
+      case Opcode::kCmpGe: {
+        Signs s = CompareAV(st.vals[i.src0], st.vals[i.src1]);
+        st.vals[i.dst] = BoolAV(s.neg, s.zero || s.pos);
+        break;
+      }
+      case Opcode::kCmpEq: {
+        bool none = st.vals[i.src0].IsNothing() || st.vals[i.src1].IsNothing();
+        st.vals[i.dst] =
+            none ? AV()
+                 : BoolAV(true, EqPossible(st.vals[i.src0], st.vals[i.src1]));
+        break;
+      }
+      case Opcode::kCmpNe: {
+        bool none = st.vals[i.src0].IsNothing() || st.vals[i.src1].IsNothing();
+        st.vals[i.dst] =
+            none ? AV()
+                 : BoolAV(EqPossible(st.vals[i.src0], st.vals[i.src1]), true);
+        break;
+      }
+      case Opcode::kAnd: {
+        Truth a = TruthOf(st.vals[i.src0]), b = TruthOf(st.vals[i.src1]);
+        st.vals[i.dst] = BoolAV(a.may_false || b.may_false,
+                                a.may_true && b.may_true);
+        break;
+      }
+      case Opcode::kOr: {
+        Truth a = TruthOf(st.vals[i.src0]), b = TruthOf(st.vals[i.src1]);
+        st.vals[i.dst] =
+            BoolAV(a.may_false && b.may_false, a.may_true || b.may_true);
+        break;
+      }
+      case Opcode::kNot: {
+        Truth a = TruthOf(st.vals[i.src0]);
+        st.vals[i.dst] = BoolAV(a.may_true, a.may_false);
+        break;
+      }
+      case Opcode::kStrLen: {
+        AV r;
+        if (!st.vals[i.src0].IsNothing()) {
+          r.int_ = true;
+          r.nlo = 0;
+          r.nhi = kInf;
+        }
+        st.vals[i.dst] = r;
+        break;
+      }
+      case Opcode::kStrConcat: {
+        AV r;
+        if (!st.vals[i.src0].IsNothing() && !st.vals[i.src1].IsNothing()) {
+          r.str_ = true;
+          r.shi_open = true;
+        }
+        st.vals[i.dst] = r;
+        break;
+      }
+      case Opcode::kStrContains: {
+        const AV& a = st.vals[i.src0];
+        const AV& b = st.vals[i.src1];
+        st.vals[i.dst] = (a.IsNothing() || b.IsNothing())
+                             ? AV()
+                             : BoolAV(true, a.str_ && b.str_);
+        break;
+      }
+      case Opcode::kStrHashMod: {
+        AV r;
+        if (!st.vals[i.src0].IsNothing()) {
+          int64_t mod = i.imm_int <= 0 ? 1 : i.imm_int;
+          r.int_ = true;
+          r.nlo = 0;
+          r.nhi = static_cast<double>(mod - 1);
+        }
+        st.vals[i.dst] = r;
+        break;
+      }
+      case Opcode::kGoto:
+        merge_into(i.target, st);
+        continue;  // no fall-through
+      case Opcode::kBranchIfTrue: {
+        Truth t = TruthOf(st.vals[i.src0]);
+        if (t.may_true) merge_into(i.target, st);
+        if (!t.may_false) continue;  // fall-through impossible
+        break;
+      }
+      case Opcode::kBranchIfFalse: {
+        Truth t = TruthOf(st.vals[i.src0]);
+        if (t.may_false) merge_into(i.target, st);
+        if (!t.may_true) continue;  // fall-through impossible
+        break;
+      }
+      case Opcode::kReturn:
+        continue;  // clean end of invocation
+      case Opcode::kGetField: {
+        const RecAV& rec = st.recs[i.src0];
+        if (i.index_is_reg || !rec.fields_known) {
+          st.vals[i.dst] = TopAV();
+          break;
+        }
+        int pos = input_pos(static_cast<int>(i.imm_int));
+        if (pos < 0) {
+          st.vals[i.dst] = NullAV();  // untranslated position reads null
+        } else if (pos < static_cast<int>(cols.size())) {
+          st.vals[i.dst] = FromRange(cols[pos]);
+        } else {
+          // Past every admitted record's width: getField yields null
+          // (ColumnRange's convention for absent columns).
+          st.vals[i.dst] = NullAV();
+        }
+        break;
+      }
+      case Opcode::kSetField:
+        // Resolutions were verified non-negative in Make, so no error;
+        // the record's raw input columns are no longer readable though.
+        st.recs[i.dst].fields_known = false;
+        break;
+      case Opcode::kCopyRecord:
+        st.recs[i.dst] = st.recs[i.src0];
+        break;
+      case Opcode::kNewRecord:
+      case Opcode::kConcatRecords: {
+        RecAV r;
+        r.maybe_output = true;
+        st.recs[i.dst] = r;
+        break;
+      }
+      case Opcode::kInputRecord: {
+        RecAV r;
+        r.maybe_input = true;
+        r.maybe_output = false;
+        r.fields_known = true;
+        st.recs[i.dst] = r;
+        break;
+      }
+      case Opcode::kInputCount:
+      case Opcode::kInputAt:
+        return false;  // unreachable (Make rejects these); stay safe
+      case Opcode::kCpuBurn:
+        break;  // no data effect (the elided burn is the point of skipping)
+    }
+    merge_into(pc + 1, st);
+  }
+  return true;  // no emit was reachable, and no error path exists
+}
+
+}  // namespace sca
+}  // namespace blackbox

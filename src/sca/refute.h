@@ -1,0 +1,66 @@
+// Batch refutation for data skipping (DESIGN.md §2.5). Given a RAT Map UDF,
+// its field translation, and a zone-map summary of a batch (per-global-
+// position ValueRanges), BatchRefuter decides whether ANY record the summary
+// admits could make the UDF emit. If provably none can — and provably no
+// invocation can error — the engine may skip the whole batch without
+// interpreting a record, and the skipped work is unobservable downstream.
+//
+// Soundness contract: RefutesEmit(cols) == true asserts that for EVERY
+// record r whose field values are admitted by `cols`, running the UDF on r
+// (a) emits nothing and (b) returns OK. The analysis is a forward abstract
+// interpretation over the TAC that mirrors interp.cc's concrete semantics
+// exactly (ToDouble coercions, exact-type equality, truthiness, null
+// out-of-range getField) and over-approximates at every join point. Anything
+// it cannot model soundly — loops (step-limit errors), KAT input access,
+// dynamic setField, a setField whose translated position could be negative —
+// makes construction fail instead: "cannot analyze" degrades to "cannot
+// skip", never the reverse.
+
+#ifndef BLACKBOX_SCA_REFUTE_H_
+#define BLACKBOX_SCA_REFUTE_H_
+
+#include <optional>
+#include <vector>
+
+#include "interp/interp.h"
+#include "record/zone_map.h"
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace sca {
+
+class BatchRefuter {
+ public:
+  /// Builds a refuter for one UDF invocation site. nullopt when the function
+  /// cannot be soundly analyzed (see header comment) — the caller simply
+  /// never skips for that operator. `fn` and `translation` must outlive the
+  /// refuter.
+  static std::optional<BatchRefuter> Make(
+      const tac::Function& fn, const interp::FieldTranslation& translation);
+
+  /// Global record positions the analysis reads through static getFields on
+  /// input records. A caller building ranges by hand only needs to supply
+  /// real information at these positions; everything else may be Top.
+  const std::vector<int>& read_positions() const { return read_positions_; }
+
+  /// True iff no record admitted by `cols` (indexed by global position;
+  /// positions at or past cols.size() are null-only, matching
+  /// ZoneMapSketch::ColumnRange) can reach an emit or an error. False means
+  /// "might emit" — including every case the abstraction is too coarse to
+  /// decide.
+  bool RefutesEmit(const std::vector<ValueRange>& cols) const;
+
+ private:
+  BatchRefuter(const tac::Function* fn,
+               const interp::FieldTranslation* translation)
+      : fn_(fn), translation_(translation) {}
+
+  const tac::Function* fn_;
+  const interp::FieldTranslation* translation_;
+  std::vector<int> read_positions_;
+};
+
+}  // namespace sca
+}  // namespace blackbox
+
+#endif  // BLACKBOX_SCA_REFUTE_H_

@@ -1,7 +1,5 @@
 #include "serve/admission.h"
 
-#include <cassert>
-
 namespace blackbox {
 namespace serve {
 
@@ -36,19 +34,24 @@ std::optional<AdmissionCandidate> FairShareQueue::Peek() const {
   return AdmissionCandidate{*best_tenant, best->waiting.front()};
 }
 
-void FairShareQueue::PopAdmitted(const std::string& tenant) {
+bool FairShareQueue::PopAdmitted(const std::string& tenant) {
+  // Real guards, not assert: a mismatched pop in a Release build must be a
+  // rejected no-op, never an end() dereference or a size_ underflow that
+  // poisons fair-share ordering for the rest of the server's life.
   auto it = lanes_.find(tenant);
-  assert(it != lanes_.end() && !it->second.waiting.empty());
+  if (it == lanes_.end() || it->second.waiting.empty()) return false;
   it->second.waiting.pop_front();
   ++it->second.inflight;
   ++it->second.admitted_total;
-  --size_;
+  if (size_ > 0) --size_;
+  return true;
 }
 
-void FairShareQueue::OnComplete(const std::string& tenant) {
+bool FairShareQueue::OnComplete(const std::string& tenant) {
   auto it = lanes_.find(tenant);
-  assert(it != lanes_.end() && it->second.inflight > 0);
-  if (it != lanes_.end()) --it->second.inflight;
+  if (it == lanes_.end() || it->second.inflight <= 0) return false;
+  --it->second.inflight;
+  return true;
 }
 
 }  // namespace serve

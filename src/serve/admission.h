@@ -48,11 +48,15 @@ class FairShareQueue {
   std::optional<AdmissionCandidate> Peek() const;
 
   /// Pops the current candidate after the caller secured its resources.
-  /// Must be passed exactly the tenant Peek() returned.
-  void PopAdmitted(const std::string& tenant);
+  /// Must be passed exactly the tenant Peek() returned. A tenant with no
+  /// waiting query is rejected (returns false, queue unchanged) rather than
+  /// corrupting the lane state — the guard holds in Release builds too.
+  bool PopAdmitted(const std::string& tenant);
 
   /// Releases one in-flight slot for `tenant` when its query finishes.
-  void OnComplete(const std::string& tenant);
+  /// Returns false (and changes nothing) when the tenant has no query in
+  /// flight — a double-complete must not underflow the fair-share counters.
+  bool OnComplete(const std::string& tenant);
 
   size_t size() const { return size_; }
   size_t max_queued() const { return max_queued_; }

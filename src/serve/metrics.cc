@@ -6,18 +6,41 @@
 namespace blackbox {
 namespace serve {
 
-double LatencyRecorder::Percentile(double p) const {
-  if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  // Nearest-rank: the smallest sample with at least p% of the mass at or
-  // below it. Exact for the sample set, no interpolation surprises at the
-  // tails.
+namespace {
+
+// Nearest-rank: the smallest sample with at least p% of the mass at or
+// below it. Exact for the sample set, no interpolation surprises at the
+// tails.
+double NearestRank(const std::vector<double>& sorted, double p) {
   double clamped = std::min(100.0, std::max(0.0, p));
   size_t rank = static_cast<size_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
   if (rank == 0) rank = 1;
   return sorted[rank - 1];
+}
+
+}  // namespace
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return NearestRank(sorted, p);
+}
+
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = NearestRank(sorted, 50);
+  s.p99 = NearestRank(sorted, 99);
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.max = sorted.back();
+  return s;
 }
 
 double LatencyRecorder::Mean() const {
@@ -74,20 +97,6 @@ void ServerMetrics::OnFinished(const std::string& workload_class, bool ok,
   total_latency_[workload_class].Record(total_seconds);
 }
 
-namespace {
-
-LatencySummary Summarize(const LatencyRecorder& r) {
-  LatencySummary s;
-  s.count = r.count();
-  s.p50 = r.Percentile(50);
-  s.p99 = r.Percentile(99);
-  s.mean = r.Mean();
-  s.max = r.Max();
-  return s;
-}
-
-}  // namespace
-
 MetricsSnapshot ServerMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -100,10 +109,10 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.plan_cache_hits = plan_cache_hits_;
   snap.plan_cache_misses = plan_cache_misses_;
   for (const auto& [cls, rec] : total_latency_) {
-    snap.total_latency[cls] = Summarize(rec);
+    snap.total_latency[cls] = rec.Summarize();
   }
   for (const auto& [cls, rec] : exec_latency_) {
-    snap.exec_latency[cls] = Summarize(rec);
+    snap.exec_latency[cls] = rec.Summarize();
   }
   return snap;
 }

@@ -22,6 +22,15 @@
 namespace blackbox {
 namespace serve {
 
+/// Aggregated latency statistics for one workload class, one latency kind.
+struct LatencySummary {
+  size_t count = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+  double max = 0;
+};
+
 /// Raw latency samples with percentile queries. Not thread-safe; owned per
 /// workload class under ServerMetrics' mutex.
 class LatencyRecorder {
@@ -30,23 +39,22 @@ class LatencyRecorder {
 
   size_t count() const { return samples_.size(); }
 
-  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples.
+  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples. Copies and
+  /// sorts the samples on every call — fine for a one-off query; snapshot
+  /// paths use Summarize(), which sorts once for all of its statistics.
   double Percentile(double p) const;
 
   double Mean() const;
   double Max() const;
 
+  /// All summary statistics from a single sorted pass: one copy + sort
+  /// yields p50 and p99 by nearest rank, the mean by accumulation, and the
+  /// max as the last sorted element. Snapshot() calls this per recorder —
+  /// previously it sorted the sample vector twice per recorder per snapshot.
+  LatencySummary Summarize() const;
+
  private:
   std::vector<double> samples_;
-};
-
-/// Aggregated latency statistics for one workload class, one latency kind.
-struct LatencySummary {
-  size_t count = 0;
-  double p50 = 0;
-  double p99 = 0;
-  double mean = 0;
-  double max = 0;
 };
 
 /// A point-in-time copy of everything ServerMetrics tracks — what the

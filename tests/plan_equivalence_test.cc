@@ -3,11 +3,14 @@
 // reordering closure of each seed workload, execute EVERY costed alternative
 // — whatever mix of ship strategies, hash vs sort-merge joins, sort-group vs
 // combiner Reduces the physical optimizer picked for it — in fused-chain
-// mode and in --no-chain mode, at 1 and at 8 worker threads, and assert:
+// mode and in --no-chain mode, at 1 and at 8 worker threads, plus a
+// data-skipping-off pass, and assert:
 //   * the sorted sink output is byte-identical to the original plan's in
-//     every (mode, threads) combination, and
-//   * the network / disk byte meters of each alternative are identical
-//     across all four combinations (fusion may only move peak_bytes).
+//     every (mode, threads, skipping) combination, and
+//   * the network meter and the accounted disk traffic
+//     (disk_bytes + skipped_spill_bytes) of each alternative are identical
+//     across all combinations (fusion may only move peak_bytes; skipping
+//     may only move read-back bytes into the skipped meter).
 //
 // Registered under the `differential` ctest label with its own timeout (see
 // CMakeLists.txt); CI runs it in the ASan/UBSan job as well.
@@ -55,6 +58,7 @@ void CountStrategies(const PhysicalNode& n, int* merge_joins, int* combiners) {
 struct AltMeters {
   int64_t network_bytes = 0;
   int64_t disk_bytes = 0;
+  int64_t skipped_spill_bytes = 0;
 };
 
 struct ClosureStats {
@@ -69,12 +73,14 @@ struct ClosureStats {
 /// `*reference` (filling it from the original plan on first use).
 ClosureStats RunClosure(const workloads::Workload& w,
                         const api::AnnotationProvider& provider, int threads,
-                        bool fuse_chains, std::string* reference) {
+                        bool fuse_chains, std::string* reference,
+                        bool data_skipping = true) {
   api::OptimizeOptions options;
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = 1 << 20;
   options.exec.num_threads = threads;
   options.exec.fuse_chains = fuse_chains;
+  options.exec.enable_data_skipping = data_skipping;
   // Differential execution is linear in the closure size; the cap keeps the
   // oracle tractable if a workload's plan space ever explodes.
   options.enum_options.max_plans = 512;
@@ -130,8 +136,8 @@ ClosureStats RunClosure(const workloads::Workload& w,
                     << out.status().ToString();
       return stats;
     }
-    stats.meters.push_back(
-        {run_stats.network_bytes, run_stats.disk_bytes});
+    stats.meters.push_back({run_stats.network_bytes, run_stats.disk_bytes,
+                            run_stats.skipped_spill_bytes});
     EXPECT_EQ(SortedOutputBytes(*out), *reference)
         << w.name << " rank " << alt.rank << " at " << threads
         << " thread(s), " << (fuse_chains ? "fused" : "no-chain")
@@ -143,15 +149,21 @@ ClosureStats RunClosure(const workloads::Workload& w,
   return stats;
 }
 
-/// Runs the closure in all four (threads, chain-mode) combinations against
-/// one shared reference output and asserts the per-alternative network/disk
-/// meters are identical in every combination — fusion and thread count may
-/// move wall time and peak_bytes, never the byte meters.
+/// Runs the closure in all four (threads, chain-mode) combinations plus a
+/// data-skipping-off pass against one shared reference output and asserts
+/// the per-alternative network/disk meters are identical in every
+/// combination — fusion and thread count may move wall time and peak_bytes,
+/// never the byte meters. The disk invariant across chain modes is
+/// disk_bytes + skipped_spill_bytes: fusion changes which batch boundaries
+/// a join's run-skipping predicate sees, so the split between "read back"
+/// and "provably skippable" may shift, while their sum (the traffic a
+/// skipping-off run measures as disk_bytes alone) cannot.
 struct ModeMatrix {
   ClosureStats serial_fused;
   ClosureStats parallel_fused;
   ClosureStats serial_unfused;
   ClosureStats parallel_unfused;
+  ClosureStats serial_noskip;
 };
 
 ModeMatrix RunAllModes(const workloads::Workload& w,
@@ -166,22 +178,34 @@ ModeMatrix RunAllModes(const workloads::Workload& w,
   if (::testing::Test::HasFailure()) return m;
   m.parallel_unfused = RunClosure(w, provider, 8, /*fuse=*/false, reference);
   if (::testing::Test::HasFailure()) return m;
+  m.serial_noskip = RunClosure(w, provider, 1, /*fuse=*/true, reference,
+                               /*data_skipping=*/false);
+  if (::testing::Test::HasFailure()) return m;
 
   EXPECT_EQ(m.serial_fused.alternatives, m.parallel_fused.alternatives);
   EXPECT_EQ(m.serial_fused.alternatives, m.serial_unfused.alternatives);
   EXPECT_EQ(m.serial_fused.alternatives, m.parallel_unfused.alternatives);
+  EXPECT_EQ(m.serial_fused.alternatives, m.serial_noskip.alternatives);
   EXPECT_EQ(m.serial_fused.meters.size(), m.serial_unfused.meters.size());
+  EXPECT_EQ(m.serial_fused.meters.size(), m.serial_noskip.meters.size());
   if (::testing::Test::HasFailure()) return m;
   for (size_t i = 0; i < m.serial_fused.meters.size(); ++i) {
+    const AltMeters& base = m.serial_fused.meters[i];
     for (const ClosureStats* other :
-         {&m.parallel_fused, &m.serial_unfused, &m.parallel_unfused}) {
-      EXPECT_EQ(m.serial_fused.meters[i].network_bytes,
-                other->meters[i].network_bytes)
+         {&m.parallel_fused, &m.serial_unfused, &m.parallel_unfused,
+          &m.serial_noskip}) {
+      EXPECT_EQ(base.network_bytes, other->meters[i].network_bytes)
           << w.name << " rank index " << i << ": network meter diverges";
-      EXPECT_EQ(m.serial_fused.meters[i].disk_bytes,
-                other->meters[i].disk_bytes)
-          << w.name << " rank index " << i << ": disk meter diverges";
+      EXPECT_EQ(base.disk_bytes + base.skipped_spill_bytes,
+                other->meters[i].disk_bytes +
+                    other->meters[i].skipped_spill_bytes)
+          << w.name << " rank index " << i
+          << ": accounted disk traffic diverges";
     }
+    // Skipping off must meter zero skipped bytes — its disk_bytes alone IS
+    // the accounted traffic every skipping-on mode must reproduce.
+    EXPECT_EQ(m.serial_noskip.meters[i].skipped_spill_bytes, 0)
+        << w.name << " rank index " << i;
   }
   return m;
 }

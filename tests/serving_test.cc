@@ -256,7 +256,55 @@ TEST(FairShareQueueTest, BoundedQueueRejects) {
   EXPECT_TRUE(q.Enqueue("c", 3).ok());
 }
 
+TEST(FairShareQueueTest, MismatchedPopAndCompleteAreRejectedNoOps) {
+  serve::FairShareQueue q(4);
+  ASSERT_TRUE(q.Enqueue("a", 1).ok());
+
+  // Popping a tenant with nothing waiting (unknown or drained) must refuse
+  // without touching the queue — these used to be assert-only guards that
+  // compiled out in Release and corrupted size_/inflight forever.
+  EXPECT_FALSE(q.PopAdmitted("ghost"));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.PopAdmitted("a"));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.PopAdmitted("a")) << "lane is drained; a second pop must fail";
+  EXPECT_EQ(q.size(), 0u);
+
+  // One completion succeeds; a double-complete (and a completion for a
+  // tenant that never ran) must not underflow the in-flight counter...
+  EXPECT_TRUE(q.OnComplete("a"));
+  EXPECT_FALSE(q.OnComplete("a"));
+  EXPECT_FALSE(q.OnComplete("ghost"));
+
+  // ...which fair-share ordering would feel immediately: an underflowed
+  // lane would win Peek() forever. After the failed double-complete, "a"
+  // (admitted once) must NOT beat a fresh tenant.
+  ASSERT_TRUE(q.Enqueue("a", 2).ok());
+  ASSERT_TRUE(q.Enqueue("b", 3).ok());
+  auto cand = q.Peek();
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->tenant, "b");
+}
+
 // --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, SummarizeMatchesIndividualQueries) {
+  serve::LatencyRecorder rec;
+  serve::LatencySummary empty = rec.Summarize();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  // Deliberately unsorted input; Summarize's single sorted pass must agree
+  // with the one-off query methods on every statistic.
+  for (double v : {0.9, 0.1, 0.5, 0.3, 0.7}) rec.Record(v);
+  serve::LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.p50, rec.Percentile(50));
+  EXPECT_DOUBLE_EQ(s.p99, rec.Percentile(99));
+  EXPECT_DOUBLE_EQ(s.mean, rec.Mean());
+  EXPECT_DOUBLE_EQ(s.max, rec.Max());
+  EXPECT_DOUBLE_EQ(s.p50, 0.5);
+  EXPECT_DOUBLE_EQ(s.p99, 0.9);
+}
 
 TEST(MetricsTest, PercentilesAndCounters) {
   serve::LatencyRecorder rec;

@@ -144,6 +144,30 @@ SweepCounts RunBudgetSweep(const workloads::Workload& w,
       EXPECT_EQ(serial.peak_bytes, parallel.peak_bytes);
       EXPECT_EQ(serial.network_bytes, parallel.network_bytes);
       EXPECT_EQ(serial.output_rows, parallel.output_rows);
+      EXPECT_EQ(serial.skipped_batches, parallel.skipped_batches);
+      EXPECT_EQ(serial.skipped_spill_bytes, parallel.skipped_spill_bytes);
+
+      // Data-skipping differential (DESIGN.md §2.5): the same alternative
+      // with skipping off must produce the identical sink at this budget,
+      // and every file byte skipping elided from a run re-scan must be
+      // accounted for: disk(on) + skipped_spill(on) == disk(off).
+      program->mutable_exec_options().enable_data_skipping = false;
+      engine::ExecStats noskip;
+      StatusOr<DataSet> out_ns = program->Run(i, &noskip);
+      program->mutable_exec_options().enable_data_skipping = true;
+      if (!out_ns.ok()) {
+        ADD_FAILURE() << out_ns.status().ToString();
+        return counts;
+      }
+      EXPECT_EQ(SortedOutputBytes(*out_ns), reference)
+          << "skipping-off sorted sink diverges";
+      EXPECT_EQ(noskip.skipped_batches, 0);
+      EXPECT_EQ(noskip.skipped_spill_bytes, 0);
+      EXPECT_EQ(serial.disk_bytes + serial.skipped_spill_bytes,
+                noskip.disk_bytes)
+          << "skipped run bytes must exactly cover the disk traffic delta";
+      EXPECT_EQ(serial.network_bytes, noskip.network_bytes);
+      EXPECT_EQ(serial.output_rows, noskip.output_rows);
 
       if (budget >= kUnbounded) {
         EXPECT_EQ(serial.disk_bytes, 0)

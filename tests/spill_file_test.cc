@@ -108,7 +108,8 @@ TEST(SpillFile, RoundTripUniformAndShortBatches) {
   StatusOr<bool> has = reader->ReadBatch(&pool, 4, &extra, &fb);
   ASSERT_TRUE(has.ok());
   EXPECT_FALSE(*has) << "expected clean EOF after the last batch";
-  EXPECT_EQ(total_read, writer->bytes_written() - 8)  // minus the magic
+  // Minus the header: 8-byte magic + 4-byte (empty) sketch-block length.
+  EXPECT_EQ(total_read, writer->bytes_written() - 12)
       << "read meter must cover every written payload byte";
 }
 
@@ -168,6 +169,72 @@ TEST(SpillFile, TruncatedFileIsCorruptionNotCrash) {
     if (!*has) break;
   }
   EXPECT_EQ(last.code(), Status::Code::kCorruption) << last.ToString();
+}
+
+TEST(SpillFile, RunSketchRoundTrips) {
+  StatusOr<SpillDirectory> dir = SpillDirectory::Create("");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewRunPath();
+  std::vector<RecordBatch> batches = MakeBatches(10, 4);
+  ZoneMapSketch sketch;
+  for (const RecordBatch& b : batches) sketch.Merge(b.sketch());
+  ASSERT_EQ(sketch.rows(), 10u);
+
+  StatusOr<BatchSpillWriter> writer = BatchSpillWriter::Create(path, &sketch);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const RecordBatch& b : batches) ASSERT_TRUE(writer->WriteBatch(b).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  StatusOr<BatchSpillReader> reader = BatchSpillReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_TRUE(reader->run_sketch().has_value());
+  const ZoneMapSketch& back = *reader->run_sketch();
+  EXPECT_EQ(back.rows(), sketch.rows());
+  EXPECT_EQ(back.num_columns(), sketch.num_columns());
+  // Column 0 held ints 0..9; the decoded range must admit exactly that.
+  ValueRange c0 = back.ColumnRange(0);
+  EXPECT_TRUE(c0.may_int);
+  EXPECT_EQ(c0.int_lo, 0);
+  EXPECT_EQ(c0.int_hi, 9);
+  EXPECT_FALSE(c0.may_str);
+  // Column 3 was present only on every third record → may_null.
+  EXPECT_TRUE(back.ColumnRange(3).may_null);
+  // Batches read back rebuild their own sketches from the decoded records.
+  BatchPool pool;
+  RecordBatch got;
+  int64_t fb = 0;
+  StatusOr<bool> has = reader->ReadBatch(&pool, 4, &got, &fb);
+  ASSERT_TRUE(has.ok() && *has);
+  EXPECT_EQ(got.sketch().rows(), got.size());
+}
+
+TEST(SpillFile, SketchlessRunHasNoSketch) {
+  StatusOr<SpillDirectory> dir = SpillDirectory::Create("");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewRunPath();
+  StatusOr<BatchSpillWriter> writer = BatchSpillWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteBatch(MakeBatches(4, 4)[0]).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  StatusOr<BatchSpillReader> reader = BatchSpillReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->run_sketch().has_value())
+      << "a streamed run must read back as unskippable";
+}
+
+TEST(SpillFile, OldFormatMagicIsCorruption) {
+  // Spill files never outlive a process; the pre-sketch BBSPILL1 magic must
+  // be rejected outright rather than misparsed.
+  StatusOr<SpillDirectory> dir = SpillDirectory::Create("");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->NewRunPath();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char magic[8] = {'B', 'B', 'S', 'P', 'I', 'L', 'L', '1'};
+  std::fwrite(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  EXPECT_EQ(BatchSpillReader::Open(path).status().code(),
+            Status::Code::kCorruption);
 }
 
 TEST(SpillFile, BadMagicIsCorruption) {

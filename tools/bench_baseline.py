@@ -87,8 +87,10 @@ FIG_TOP_KEYS = [
     "best_uses_sort_merge",
     "best_uses_combiner",
 ]
-FIG_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls"]
-SWEEP_EXACT = ["disk_bytes", "peak_bytes"]
+FIG_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls",
+                 "skipped_batches", "skipped_spill_bytes"]
+SWEEP_EXACT = ["disk_bytes", "peak_bytes", "skipped_batches",
+               "skipped_spill_bytes"]
 ABLATION_EXACT = [
     "plans",
     "network_bytes",
@@ -96,6 +98,8 @@ ABLATION_EXACT = [
     "peak_bytes",
     "sort_merge_plans",
     "combiner_plans",
+    "skipped_batches",
+    "skipped_spill_bytes",
 ]
 # Deterministic per-workload search counters at the default enumeration /
 # top_k budget — the ranked-search equivalent of the figure byte meters.
@@ -302,6 +306,50 @@ def check_serving(dirname):
     return errors
 
 
+def check_skipping_invariants(fresh):
+    """Asserts zone-map data skipping is alive and sound (DESIGN.md §2.5).
+
+    Two run-invariant bars, checked on the fresh JSONs so a regenerated
+    baseline cannot silently wash them away: (1) the spill-smoke Q7 run at
+    the 32 KiB budget must actually skip spilled build runs — a refactor
+    that quietly stops skipping shows up as skipped_spill_bytes == 0 here;
+    (2) the ablation's on/off pair must satisfy the conservation law
+    disk(on) + skipped(on) == disk(off) with a real saving, which is what
+    makes the skipped meter a true elided-read count rather than a free
+    counter.
+    """
+    errors = []
+    sweep = {r["mem_budget_bytes"]: r
+             for r in fresh["fig5_tpch_q7_budget32768"]["budget_sweep"]}
+    row = sweep.get(32768.0) or sweep.get(32768)
+    if row is None:
+        errors.append("skipping: fig5 budget sweep lacks the 32768 row")
+    elif row["skipped_spill_bytes"] <= 0:
+        errors.append("skipping: Q7 at the 32768 budget skipped no spill "
+                      "bytes — zone-map run skipping is dead")
+    rows = {r["config"]: r for r in fresh["ablation_rows"]
+            if r["workload"] == "tpch_q7"}
+    on, off = rows.get("data skipping"), rows.get("no data skipping")
+    if on is None or off is None:
+        errors.append("skipping: ablation F on/off rows missing")
+        return errors
+    if on["skipped_spill_bytes"] <= 0:
+        errors.append("skipping: ablation F 'data skipping' row skipped no "
+                      "spill bytes")
+    if off["skipped_spill_bytes"] != 0 or off["skipped_batches"] != 0:
+        errors.append("skipping: ablation F 'no data skipping' row has "
+                      "nonzero skipped meters — the switch is not honored")
+    if on["disk_bytes"] + on["skipped_spill_bytes"] != off["disk_bytes"]:
+        errors.append(
+            "skipping: disk(on) + skipped(on) != disk(off) "
+            f"({on['disk_bytes']} + {on['skipped_spill_bytes']} vs "
+            f"{off['disk_bytes']}) — a strategy decision leaked the "
+            "skipping switch")
+    if on["disk_bytes"] >= off["disk_bytes"]:
+        errors.append("skipping: data skipping did not reduce disk_bytes")
+    return errors
+
+
 def check(baseline, fresh):
     errors = []
 
@@ -344,6 +392,13 @@ def main():
 
     fresh = extract(args.dir)
     if args.mode == "write":
+        errors = check_skipping_invariants(fresh)
+        if errors:
+            print("refusing to write a baseline that fails the skipping "
+                  "invariants:")
+            for e in errors:
+                print("  " + e)
+            return 1
         with open(args.out, "w") as f:
             json.dump(fresh, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -352,7 +407,8 @@ def main():
 
     baseline = load(args.baseline)
     errors = (check(baseline, fresh) + check_serving(args.dir)
-              + check_enum_invariants(args.dir))
+              + check_enum_invariants(args.dir)
+              + check_skipping_invariants(fresh))
     if errors:
         print("bench baseline drift detected "
               "(regenerate bench/BENCH_baseline.json if intended):")
