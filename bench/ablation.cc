@@ -45,6 +45,8 @@ struct Config {
   bool spill_costing = true;  // price breaker spills in the cost model; the
                               // engine spills (and meters) regardless
   bool data_skipping = true;  // zone-map refutation of batches / spill runs
+  bool specialize = true;     // fused-chain TAC specialization (§2.6): Map
+                              // chains execute as one constant-folded program
   double mem_budget_bytes = 1 << 20;  // per-instance budget (real spilling)
 };
 
@@ -61,6 +63,8 @@ struct Row {
   int combiner_plans = 0;
   long long skipped_batches = 0;
   long long skipped_spill_bytes = 0;
+  long long interp_instructions = 0;
+  long long fused_chains = 0;
 };
 
 /// Returns false if the configuration failed to optimize or execute, so
@@ -88,6 +92,8 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   options.weights.enable_chain_fusion = cfg.chain_costing;
   options.weights.enable_spill = cfg.spill_costing;
   options.weights.enable_data_skipping = cfg.data_skipping;
+  options.weights.enable_chain_specialization = cfg.specialize;
+  options.exec.enable_chain_specialization = cfg.specialize;
 
   api::SourceBindings sources;
   for (const auto& [id, data] : w.source_data) sources[id] = &data;
@@ -110,13 +116,15 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   bench::StrategyMix mix = bench::CountStrategyMix(*program);
   std::printf(
       "  %-28s %8zu plans   best est. cost %12.3g   runtime %7.3fs   "
-      "shuffle %8.3f MB   disk %8.3f MB   peak %8.3f MB   skipped %8.3f MB\n",
+      "shuffle %8.3f MB   disk %8.3f MB   peak %8.3f MB   skipped %8.3f MB   "
+      "instrs %10lld\n",
       cfg.name, program->num_alternatives(), program->best().cost,
       stats.simulated_seconds,
       static_cast<double>(stats.network_bytes) / (1 << 20),
       static_cast<double>(stats.disk_bytes) / (1 << 20),
       static_cast<double>(stats.peak_bytes) / (1 << 20),
-      static_cast<double>(stats.skipped_spill_bytes) / (1 << 20));
+      static_cast<double>(stats.skipped_spill_bytes) / (1 << 20),
+      static_cast<long long>(stats.interp_instructions));
   Row row;
   row.workload = w.name;
   row.config = cfg.name;
@@ -131,6 +139,8 @@ bool RunConfig(const workloads::Workload& w, const Config& cfg,
   row.skipped_batches = static_cast<long long>(stats.skipped_batches);
   row.skipped_spill_bytes =
       static_cast<long long>(stats.skipped_spill_bytes);
+  row.interp_instructions = static_cast<long long>(stats.interp_instructions);
+  row.fused_chains = static_cast<long long>(stats.fused_chains);
   rows->push_back(std::move(row));
   return true;
 }
@@ -149,11 +159,14 @@ Status WriteAblationJson(const std::vector<Row>& rows) {
                  "\"disk_bytes\": %lld, \"peak_bytes\": %lld, "
                  "\"sort_merge_plans\": %d, \"combiner_plans\": %d, "
                  "\"skipped_batches\": %lld, "
-                 "\"skipped_spill_bytes\": %lld}%s\n",
+                 "\"skipped_spill_bytes\": %lld, "
+                 "\"interp_instructions\": %lld, "
+                 "\"fused_chains\": %lld}%s\n",
                  r.workload.c_str(), r.config.c_str(), r.plans, r.est_cost,
                  r.simulated_seconds, r.network_bytes, r.disk_bytes,
                  r.peak_bytes, r.sort_merge_plans, r.combiner_plans,
                  r.skipped_batches, r.skipped_spill_bytes,
+                 r.interp_instructions, r.fused_chains,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -266,6 +279,16 @@ int main() {
                   {.name = "no data skipping", .data_skipping = false,
                    .mem_budget_bytes = 32 << 10},
                   &rows);
+
+  std::printf(
+      "\nAblation G — fused-chain TAC specialization (interp instructions "
+      "and runtime; outputs are byte-identical by the differential "
+      "contract):\n");
+  ok &= RunConfig(text, {.name = "textmining specialized (default)"}, &rows);
+  ok &= RunConfig(
+      text, {.name = "textmining interpreted", .specialize = false}, &rows);
+  ok &= RunConfig(q7, {.name = "q7 specialized (default)"}, &rows);
+  ok &= RunConfig(q7, {.name = "q7 interpreted", .specialize = false}, &rows);
 
   Status json = WriteAblationJson(rows);
   if (!json.ok()) {

@@ -281,7 +281,10 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  "\"network_bytes\": %lld, \"disk_bytes\": %lld, "
                  "\"peak_bytes\": %lld, \"udf_calls\": %lld, "
                  "\"skipped_batches\": %lld, "
-                 "\"skipped_spill_bytes\": %lld}%s\n",
+                 "\"skipped_spill_bytes\": %lld, "
+                 "\"fused_chains\": %lld, "
+                 "\"specialized_instructions_saved\": %lld, "
+                 "\"projected_fields_skipped\": %lld}%s\n",
                  r.rank, r.est_cost, r.norm_cost, r.runtime_seconds,
                  r.norm_runtime, r.stats.wall_seconds,
                  static_cast<long long>(r.stats.network_bytes),
@@ -290,6 +293,9 @@ Status WriteBenchJson(const std::string& name, const FigureResult& result,
                  static_cast<long long>(r.stats.udf_calls),
                  static_cast<long long>(r.stats.skipped_batches),
                  static_cast<long long>(r.stats.skipped_spill_bytes),
+                 static_cast<long long>(r.stats.fused_chains),
+                 static_cast<long long>(r.stats.specialized_instructions_saved),
+                 static_cast<long long>(r.stats.projected_fields_skipped),
                  i + 1 < result.runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]%s\n", (scaling || sweep) ? "," : "");

@@ -1,0 +1,126 @@
+// Specialization smoke (DESIGN.md §2.6): optimize the text-mining workload
+// (the 8-node Map-heavy chain), execute its best plan with fused-chain TAC
+// specialization on and off, and hold the tentpole acceptance bar:
+//
+//   - the sink outputs must be byte-identical in both modes, and
+//   - specialization must cut interp_instructions by at least 2x.
+//
+// Exits non-zero if either fails, so CI's specialization-smoke step catches
+// a fuser regression (silently bailing to the staged path shows up here as
+// a ratio of 1). BENCH_spec_smoke.json records the deterministic counters;
+// tools/bench_baseline.py re-asserts the invariants on every check. Pass
+// --no-specialize to print the interpreted-mode stats only (manual A/B).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/annotation_provider.h"
+#include "api/optimized_program.h"
+#include "workloads/textmining.h"
+
+int main(int argc, char** argv) {
+  using namespace blackbox;
+
+  bool specialize_only_off = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-specialize") == 0) {
+      specialize_only_off = true;
+    }
+  }
+
+  workloads::TextMiningScale scale;
+  scale.documents = 20000;
+  workloads::Workload w = workloads::MakeTextMining(scale);
+
+  api::ScaProvider sca;
+  api::OptimizeOptions options;
+  options.use_plan_cache = false;
+  options.exec.dop = 8;
+  options.exec.mem_budget_bytes = 1 << 20;
+
+  api::SourceBindings sources;
+  for (const auto& [id, data] : w.source_data) sources[id] = &data;
+  StatusOr<api::OptimizedProgram> program =
+      api::OptimizeFlow(w.flow, sca, options, sources);
+  if (!program.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  program->mutable_exec_options().enable_chain_specialization = false;
+  engine::ExecStats off;
+  StatusOr<DataSet> out_off = program->RunBest(&off);
+  if (!out_off.ok()) {
+    std::fprintf(stderr, "interpreted run failed: %s\n",
+                 out_off.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("interpreted:  %s\n", off.ToString().c_str());
+  if (specialize_only_off) return 0;
+
+  program->mutable_exec_options().enable_chain_specialization = true;
+  engine::ExecStats on;
+  StatusOr<DataSet> out_on = program->RunBest(&on);
+  if (!out_on.ok()) {
+    std::fprintf(stderr, "specialized run failed: %s\n",
+                 out_on.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("specialized:  %s\n", on.ToString().c_str());
+
+  bool outputs_match = out_on->size() == out_off->size();
+  for (size_t i = 0; outputs_match && i < out_on->size(); ++i) {
+    outputs_match =
+        out_on->record(i).ToString() == out_off->record(i).ToString();
+  }
+  double ratio = on.interp_instructions > 0
+                     ? static_cast<double>(off.interp_instructions) /
+                           static_cast<double>(on.interp_instructions)
+                     : 0.0;
+  bool ok = outputs_match && ratio >= 2.0 && on.fused_chains > 0;
+  std::printf(
+      "fused_chains=%lld  instr ratio=%.3f (need >= 2.0)  outputs_match=%s\n",
+      static_cast<long long>(on.fused_chains), ratio,
+      outputs_match ? "true" : "false");
+
+  const char* path = "BENCH_spec_smoke.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"spec_smoke\",\n"
+               "  \"workload\": \"%s\",\n"
+               "  \"interp_instructions_specialized\": %lld,\n"
+               "  \"interp_instructions_interpreted\": %lld,\n"
+               "  \"instruction_ratio\": %.6f,\n"
+               "  \"fused_chains\": %lld,\n"
+               "  \"specialized_instructions_saved\": %lld,\n"
+               "  \"projected_fields_skipped\": %lld,\n"
+               "  \"output_rows\": %zu,\n"
+               "  \"outputs_match\": %s,\n"
+               "  \"ok\": %s\n}\n",
+               w.name.c_str(),
+               static_cast<long long>(on.interp_instructions),
+               static_cast<long long>(off.interp_instructions), ratio,
+               static_cast<long long>(on.fused_chains),
+               static_cast<long long>(on.specialized_instructions_saved),
+               static_cast<long long>(on.projected_fields_skipped),
+               out_on->size(), outputs_match ? "true" : "false",
+               ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "specialization smoke FAILED: ratio %.3f, outputs_match %d, "
+                 "fused_chains %lld\n",
+                 ratio, outputs_match ? 1 : 0,
+                 static_cast<long long>(on.fused_chains));
+    return 1;
+  }
+  return 0;
+}

@@ -195,6 +195,9 @@ StatusOr<OptimizedProgram> OptimizeFlow(const dataflow::DataFlow& flow,
   // feature); skipping runs only when neither side disabled it.
   program.exec_.enable_data_skipping =
       options.exec.enable_data_skipping && options.weights.enable_data_skipping;
+  program.exec_.enable_chain_specialization =
+      options.exec.enable_chain_specialization &&
+      options.weights.enable_chain_specialization;
   const bool cacheable = options.use_plan_cache && provider.deterministic();
   std::string cache_key;
   if (cacheable) {

@@ -9,9 +9,11 @@
 #include "common/task_pool.h"
 #include "engine/spill_manager.h"
 #include "interp/interp.h"
+#include "record/column_view.h"
 #include "record/zone_map.h"
 #include "reorder/plan.h"
 #include "sca/refute.h"
+#include "tac/fuse.h"
 
 namespace blackbox {
 namespace engine {
@@ -61,6 +63,34 @@ struct ChainStage {
   std::optional<sca::BatchRefuter> refuter;
 };
 
+/// Everything one chain executes per input record, decided once at chain
+/// assignment: the collected stages, and — when specialization succeeded —
+/// the single fused TAC program that replaces them (DESIGN.md §2.6). The
+/// fused members are immovable once built: the fused refuter points into
+/// `fused->fn` and `fused_translation`.
+struct ChainPlan {
+  std::vector<ChainStage> stages;  // bottom-up; staged fallback path
+  /// Fused specialization of `stages` (nullopt: specialization off, no Map
+  /// stage in the chain, or the fuser bailed — staged path runs instead).
+  std::optional<tac::FusedChainProgram> fused;
+  /// Identity translation for RunFusedChain: empty maps, global_width = the
+  /// emitted width (sink schema size for a sink-terminated chain, else the
+  /// in-flight width).
+  interp::FieldTranslation fused_translation;
+  /// In-flight (chain input) record width: the ColumnView's column count.
+  int input_width = 0;
+  /// Refuter over the fused program (data skipping on fused chains). Reads
+  /// are at global positions already, so it consumes chain-input ranges
+  /// directly.
+  std::optional<sca::BatchRefuter> fused_refuter;
+};
+
+/// Target in-memory footprint of one pending fused-chain batch: the adaptive
+/// capacity divides this by the observed bytes per row (DESIGN.md §2.6), so
+/// wide-record chains flush smaller batches and narrow-record chains
+/// amortize the per-flush work over more rows.
+constexpr size_t kAdaptiveBatchBytes = 32 * 1024;
+
 /// The per-global-position ranges a batch sketch admits, in the layout
 /// BatchRefuter::RefutesEmit consumes.
 std::vector<ValueRange> SketchRanges(const ZoneMapSketch& sketch) {
@@ -83,12 +113,15 @@ std::vector<ValueRange> SketchRanges(const ZoneMapSketch& sketch) {
 /// one partition task (DESIGN.md §2.1).
 class ChainRunner {
  public:
-  ChainRunner(const std::vector<ChainStage>* stages, size_t capacity,
-              SpillableBuffer* out, ExecStats* meters)
-      : stages_(stages), capacity_(capacity), out_(out), meters_(meters) {
+  ChainRunner(const ChainPlan* plan, size_t capacity, SpillableBuffer* out,
+              ExecStats* meters)
+      : plan_(plan), capacity_(capacity), out_(out), meters_(meters) {
     pending_.reserve(capacity);
-    if (stages_) {
-      for (const ChainStage& s : *stages_) {
+    if (plan_ == nullptr) return;
+    if (plan_->fused) {
+      fused_interp_ = std::make_unique<Interpreter>(&plan_->fused->fn);
+    } else {
+      for (const ChainStage& s : plan_->stages) {
         interps_.push_back(s.op ? std::make_unique<Interpreter>(s.op->udf.get())
                                 : nullptr);
       }
@@ -122,11 +155,18 @@ class ChainRunner {
 
  private:
   Status ProcessBatch(std::vector<Record>* batch) {
+    // Adapt from the first flushed batch in EVERY mode, fused or staged:
+    // the flush cadence decides when the terminal buffer's ledger sees
+    // reserves, and under a tight budget that interleaving steers eviction —
+    // so it must be a property of the chain, never of the specialization
+    // switch (the §2.6 oracles compare byte meters across modes exactly).
+    AdaptCapacity(*batch);
+    if (plan_ != nullptr && plan_->fused) return ProcessFusedBatch(batch);
     std::vector<Record>* cur = batch;
-    if (stages_) {
+    if (plan_ != nullptr) {
       size_t flip = 0;
-      for (size_t si = 0; si < stages_->size(); ++si) {
-        const ChainStage& s = (*stages_)[si];
+      for (size_t si = 0; si < plan_->stages.size(); ++si) {
+        const ChainStage& s = plan_->stages[si];
         if (s.refuter) {
           // Data skipping (DESIGN.md §2.5): summarize the in-flight batch
           // and try to refute this stage against it. A refuted stage
@@ -171,12 +211,78 @@ class ChainRunner {
     return Status::OK();
   }
 
-  const std::vector<ChainStage>* stages_;  // bottom-up; may be null/empty
+  /// Specialized path (DESIGN.md §2.6): the whole stage pipeline is one TAC
+  /// program executed per input row over a lazy ColumnView of the batch. The
+  /// terminal write is the same PushOwned as the staged path, so every byte
+  /// meter (network/disk/peak/skipped_spill) is identical in both modes; the
+  /// CPU meters (udf_calls, interp_instructions) legitimately differ and the
+  /// differential oracles never compare them across modes.
+  Status ProcessFusedBatch(std::vector<Record>* batch) {
+    const size_t width = static_cast<size_t>(plan_->input_width);
+    ColumnView view(batch->data(), batch->size(), width);
+    if (plan_->fused_refuter) {
+      // One refutation per flush, with ranges computed only for the global
+      // positions the fused body actually reads (everything else is Top, a
+      // sound over-approximation the refuter cannot lean on). Range() folds
+      // straight off the rows without materializing any column.
+      std::vector<ValueRange> cols(width, ValueRange::Top());
+      for (int p : plan_->fused->input_reads) {
+        if (p >= 0 && static_cast<size_t>(p) < width) {
+          cols[static_cast<size_t>(p)] = view.Range(static_cast<size_t>(p));
+        }
+      }
+      if (plan_->fused_refuter->RefutesEmit(cols)) {
+        ++meters_->skipped_batches;
+        return Status::OK();
+      }
+    }
+    std::vector<Record>* next = &scratch_[0];
+    next->clear();
+    interp::RunStats rs;
+    Status st = fused_interp_->RunFusedChain(
+        *batch, view, plan_->fused_translation, plan_->fused->body_start, next,
+        &rs, &chain_state_);
+    const int64_t n = static_cast<int64_t>(batch->size());
+    meters_->udf_calls += n;  // one fused invocation per input row
+    meters_->records_processed += n;
+    meters_->interp_instructions += rs.instructions;
+    meters_->cpu_burn_units += rs.cpu_burn_units;
+    meters_->specialized_instructions_saved +=
+        plan_->fused->static_saved_per_record * n;
+    meters_->projected_fields_skipped +=
+        static_cast<int64_t>(width - view.materialized_columns());
+    BLACKBOX_RETURN_NOT_OK(st);
+    for (Record& r : *next) {
+      BLACKBOX_RETURN_NOT_OK(out_->PushOwned(std::move(r), meters_));
+    }
+    return Status::OK();
+  }
+
+  /// Adaptive pending capacity, set once from the first flushed batch's
+  /// observed bytes per row — identical in fused and staged mode (the first
+  /// flush happens at the configured capacity either way, so both modes
+  /// measure the same rows and adapt to the same threshold). Affects only
+  /// the pending flush threshold — the terminal SpillableBuffer keeps the
+  /// configured batch_capacity, so batch layouts downstream are untouched.
+  /// A pure function of (plan, data, dop), never of thread count.
+  void AdaptCapacity(const std::vector<Record>& batch) {
+    if (capacity_adapted_ || batch.empty()) return;
+    capacity_adapted_ = true;
+    size_t total = 0;
+    for (const Record& r : batch) total += r.SerializedSize();
+    size_t bpr = std::max<size_t>(1, total / batch.size());
+    capacity_ = std::clamp<size_t>(kAdaptiveBatchBytes / bpr, 16, 4096);
+  }
+
+  const ChainPlan* plan_;  // may be null (no chain)
   size_t capacity_;
   std::vector<Record> pending_;
   std::vector<Record> scratch_[2];  // ping-pong stage outputs, reused
   SpillableBuffer* out_;
   std::vector<std::unique_ptr<Interpreter>> interps_;
+  std::unique_ptr<Interpreter> fused_interp_;  // set iff plan_->fused
+  Interpreter::ChainState chain_state_;
+  bool capacity_adapted_ = false;
   ExecStats* meters_;
 };
 
@@ -203,7 +309,8 @@ class ExecContext {
   /// the chain's materialized output — the only materialization between this
   /// producer and the next breaker above.
   StatusOr<Partitions> Exec(const PhysicalNode& top) {
-    std::vector<ChainStage> stages;  // collected top-down
+    ChainPlan plan;
+    std::vector<ChainStage>& stages = plan.stages;  // collected top-down
     const PhysicalNode* n = &top;
     if (options_.fuse_chains) {
       while (optimizer::IsStreamingStage(af_.flow->op(n->op_id), *n)) {
@@ -212,12 +319,20 @@ class ExecContext {
       }
       // Stages apply bottom-up from the producer.
       std::reverse(stages.begin(), stages.end());
+      if (options_.enable_chain_specialization) TryFuse(&plan);
       if (options_.enable_data_skipping) {
-        // Built only now: the refuter borrows the stage's own translation,
-        // so the vector must not grow (or be copied) afterwards.
-        for (ChainStage& s : stages) {
-          if (s.op != nullptr && s.op->udf != nullptr) {
-            s.refuter = sca::BatchRefuter::Make(*s.op->udf, s.translation);
+        if (plan.fused) {
+          // One refuter over the whole fused program; its reads are global
+          // positions, so the identity translation is the right frame.
+          plan.fused_refuter = sca::BatchRefuter::Make(plan.fused->fn,
+                                                       plan.fused_translation);
+        } else {
+          // Built only now: the refuter borrows the stage's own translation,
+          // so the vector must not grow (or be copied) afterwards.
+          for (ChainStage& s : stages) {
+            if (s.op != nullptr && s.op->udf != nullptr) {
+              s.refuter = sca::BatchRefuter::Make(*s.op->udf, s.translation);
+            }
           }
         }
       }
@@ -225,7 +340,7 @@ class ExecContext {
     const dataflow::Operator& op = af_.flow->op(n->op_id);
     switch (op.kind) {
       case OpKind::kSource:
-        return Scan(*n, stages);
+        return Scan(*n, plan);
       case OpKind::kSink: {
         // Unfused mode only (a forward-shipped sink is always a stage when
         // fusing): projection to the sink schema happens in Execute().
@@ -234,17 +349,61 @@ class ExecContext {
         return in;
       }
       case OpKind::kMap:
-        return ExecMap(*n, op, stages);
+        return ExecMap(*n, op, plan);
       case OpKind::kReduce:
-        return ExecReduce(*n, op, stages);
+        return ExecReduce(*n, op, plan);
       case OpKind::kMatch:
-        return ExecMatch(*n, op, stages);
+        return ExecMatch(*n, op, plan);
       case OpKind::kCross:
-        return ExecCross(*n, op, stages);
+        return ExecCross(*n, op, plan);
       case OpKind::kCoGroup:
-        return ExecCoGroup(*n, op, stages);
+        return ExecCoGroup(*n, op, plan);
     }
     return Status::Internal("unreachable operator kind");
+  }
+
+  /// Chain specialization (DESIGN.md §2.6): constant-folds the chain's
+  /// stages into one fused program. Only chains with at least one Map stage
+  /// are fused — fusing a bare sink projection would move an unmetered copy
+  /// loop into metered interpreter instructions for zero saved work. A sink
+  /// stage, when present, is always last (chains are collected top-down from
+  /// the plan root); anything unexpected just leaves the staged path in
+  /// place, as does a fuser bail.
+  void TryFuse(ChainPlan* plan) {
+    bool has_map = false;
+    for (const ChainStage& s : plan->stages) has_map |= (s.op != nullptr);
+    if (!has_map) return;
+    std::vector<tac::FuseStage> fs;
+    const std::vector<int>* sink_positions = nullptr;
+    for (size_t i = 0; i < plan->stages.size(); ++i) {
+      const ChainStage& s = plan->stages[i];
+      if (s.op == nullptr) {
+        if (i + 1 != plan->stages.size()) return;  // sink must be terminal
+        sink_positions = &s.sink_schema;
+        break;
+      }
+      if (s.op->udf == nullptr) return;
+      tac::FuseStage f;
+      f.fn = s.op->udf.get();
+      f.input_map = s.translation.input_maps.empty()
+                        ? nullptr
+                        : &s.translation.input_maps[0];
+      f.output_map = s.translation.output_map.empty()
+                         ? nullptr
+                         : &s.translation.output_map;
+      fs.push_back(f);
+    }
+    const int width = static_cast<int>(af_.global.size());
+    std::optional<tac::FusedChainProgram> fused =
+        tac::FuseMapChain(fs, width, sink_positions);
+    if (!fused) return;
+    plan->fused = std::move(fused);
+    plan->input_width = width;
+    plan->fused_translation.global_width =
+        sink_positions ? static_cast<int>(sink_positions->size()) : width;
+    // Exec recursion is serial (producers run their subtree to completion
+    // before partition tasks start), so this is an unsynchronized counter.
+    if (stats_) stats_->fused_chains++;
   }
 
   /// True if the executed chains already projected the sink output (the
@@ -352,8 +511,7 @@ class ExecContext {
     return Status::OK();
   }
 
-  StatusOr<Partitions> Scan(const PhysicalNode& node,
-                            const std::vector<ChainStage>& stages) {
+  StatusOr<Partitions> Scan(const PhysicalNode& node, const ChainPlan& chain) {
     auto it = sources_.find(node.op_id);
     if (it == sources_.end()) {
       return Status::InvalidArgument("no data bound for source " +
@@ -374,7 +532,7 @@ class ExecContext {
     // above, it streams through them batch-wise and never materializes on
     // its own.
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
-      ChainRunner runner(&stages, options_.batch_capacity, parts[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, parts[pi].get(),
                          meters);
       const size_t lo = pi * src.size() / dop;
       const size_t hi = (pi + 1) * src.size() / dop;
@@ -491,7 +649,7 @@ class ExecContext {
   /// materialized pass, the pre-streaming behavior.
   StatusOr<Partitions> ExecMap(const PhysicalNode& node,
                                const dataflow::Operator& op,
-                               const std::vector<ChainStage>& stages) {
+                               const ChainPlan& chain) {
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
     StatusOr<Partitions> shipped =
@@ -508,7 +666,7 @@ class ExecContext {
     Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());  // task-local interpreter
-      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
                          meters);
       BatchPool pool;
       std::vector<Record> emitted;
@@ -570,11 +728,10 @@ class ExecContext {
   Status SortGroupPass(Partitions* in, const dataflow::Operator& op,
                        const std::vector<AttrId>& key,
                        const FieldTranslation& t, bool presorted,
-                       const std::vector<ChainStage>& stages,
-                       Partitions* out) {
+                       const ChainPlan& chain, Partitions* out) {
     return ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, (*out)[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, (*out)[pi].get(),
                          meters);
       BatchPool pool;
       meters->records_processed +=
@@ -618,13 +775,13 @@ class ExecContext {
 
   StatusOr<Partitions> ExecReduce(const PhysicalNode& node,
                                   const dataflow::Operator& op,
-                                  const std::vector<ChainStage>& stages) {
+                                  const ChainPlan& chain) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> in_or = Exec(*node.children[0]);
     if (!in_or.ok()) return in_or.status();
     Partitions in = std::move(in_or).value();
     FieldTranslation t = MakeTranslation(node);
-    static const std::vector<ChainStage> kNoStages;
+    static const ChainPlan kNoChain;
     if (node.local == LocalStrategy::kPreAggregate) {
       // Combiner: aggregate each producer partition's local groups *before*
       // the shuffle. The partial records use the Reduce's own output layout
@@ -633,7 +790,7 @@ class ExecContext {
       // shuffle ships at most (distinct keys × dop) records.
       Partitions combined = NewPartitions();
       BLACKBOX_RETURN_NOT_OK(SortGroupPass(&in, op, p.keys[0], t,
-                                           /*presorted=*/false, kNoStages,
+                                           /*presorted=*/false, kNoChain,
                                            &combined));
       in = std::move(combined);
     }
@@ -648,7 +805,7 @@ class ExecContext {
     bool presorted = node.local != LocalStrategy::kPreAggregate &&
                      !node.input_presorted.empty() && node.input_presorted[0];
     BLACKBOX_RETURN_NOT_OK(
-        SortGroupPass(&in, op, p.keys[0], t, presorted, stages, &out));
+        SortGroupPass(&in, op, p.keys[0], t, presorted, chain, &out));
     return out;
   }
 
@@ -811,7 +968,7 @@ class ExecContext {
 
   StatusOr<Partitions> ExecMatch(const PhysicalNode& node,
                                  const dataflow::Operator& op,
-                                 const std::vector<ChainStage>& stages) {
+                                 const ChainPlan& chain) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
@@ -831,7 +988,7 @@ class ExecContext {
       Status st =
           ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
             Interpreter interp(op.udf.get());
-            ChainRunner runner(&stages, options_.batch_capacity,
+            ChainRunner runner(&chain, options_.batch_capacity,
                                out[pi].get(), meters);
             bool lsorted = node.input_presorted.size() >= 2 &&
                            node.input_presorted[0];
@@ -849,7 +1006,7 @@ class ExecContext {
     Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
                          meters);
       SpillableBuffer* build = (build_left ? left : right)[pi].get();
       SpillableBuffer* probe = (build_left ? right : left)[pi].get();
@@ -938,7 +1095,7 @@ class ExecContext {
 
   StatusOr<Partitions> ExecCross(const PhysicalNode& node,
                                  const dataflow::Operator& op,
-                                 const std::vector<ChainStage>& stages) {
+                                 const ChainPlan& chain) {
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
     StatusOr<Partitions> r_or = Exec(*node.children[1]);
@@ -953,7 +1110,7 @@ class ExecContext {
     Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
                          meters);
       BatchPool pool;
       SpillableBuffer* lbuf = left[pi].get();
@@ -1024,7 +1181,7 @@ class ExecContext {
 
   StatusOr<Partitions> ExecCoGroup(const PhysicalNode& node,
                                    const dataflow::Operator& op,
-                                   const std::vector<ChainStage>& stages) {
+                                   const ChainPlan& chain) {
     const OpProperties& p = af_.of(node.op_id);
     StatusOr<Partitions> l_or = Exec(*node.children[0]);
     if (!l_or.ok()) return l_or.status();
@@ -1042,7 +1199,7 @@ class ExecContext {
     Partitions out = NewPartitions();
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
-      ChainRunner runner(&stages, options_.batch_capacity, out[pi].get(),
+      ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
                          meters);
       BatchPool pool;
       meters->records_processed += static_cast<int64_t>(
@@ -1122,6 +1279,9 @@ void ExecStats::AddCounters(const ExecStats& other) {
   records_processed += other.records_processed;
   skipped_batches += other.skipped_batches;
   skipped_spill_bytes += other.skipped_spill_bytes;
+  fused_chains += other.fused_chains;
+  specialized_instructions_saved += other.specialized_instructions_saved;
+  projected_fields_skipped += other.projected_fields_skipped;
 }
 
 std::string ExecStats::ToString() const {
@@ -1135,6 +1295,9 @@ std::string ExecStats::ToString() const {
   out += " records=" + std::to_string(records_processed);
   out += " skipped_batches=" + std::to_string(skipped_batches);
   out += " skipped_spill=" + std::to_string(skipped_spill_bytes) + "B";
+  out += " fused_chains=" + std::to_string(fused_chains);
+  out += " spec_saved=" + std::to_string(specialized_instructions_saved);
+  out += " proj_skipped=" + std::to_string(projected_fields_skipped);
   out += " out_rows=" + std::to_string(output_rows);
   out += " wall=" + std::to_string(wall_seconds) + "s";
   out += " simulated=" + std::to_string(simulated_seconds) + "s";

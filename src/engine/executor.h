@@ -123,6 +123,21 @@ struct ExecOptions {
   /// reproduces the pre-skipping execution exactly (the ablation baseline).
   bool enable_data_skipping = true;
 
+  /// Fused-chain TAC specialization (DESIGN.md §2.6, the default): at chain
+  /// assignment, the TAC programs of a chain's record-at-a-time stages are
+  /// constant-folded into one fused program per chain (tac::FuseMapChain),
+  /// executed by Interpreter::RunFusedChain with chain-input reads served by
+  /// a lazy ColumnView and a per-chain adaptive batch capacity derived from
+  /// observed bytes-per-row. Sink output and the byte meters (network, disk,
+  /// peak, skipped_spill) are identical either way — specialization never
+  /// changes what records reach a breaker or the sink, only how many
+  /// interpreter instructions produce them; CPU-side meters (udf_calls,
+  /// interp_instructions, records_processed, skipped_batches) legitimately
+  /// differ, because one fused call replaces a call per stage and batch
+  /// refutation happens once per chain instead of once per stage. Chains the
+  /// fuser cannot prove byte-identical fall back to staged interpretation.
+  bool enable_chain_specialization = true;
+
   // Machine model for simulated time. Metered network/disk bytes are charged
   // against these bandwidths; metered compute (UDF calls, records, calibrated
   // CPU burn) is charged against the throughputs below. The defaults are
@@ -139,12 +154,14 @@ struct ExecOptions {
 /// Metered resources of one plan execution. The same quantities the cost
 /// model estimates, but measured. Every field except wall_seconds is a pure
 /// function of (plan, data, dop, mem_budget, fuse_chains,
-/// enable_data_skipping) — identical for every num_threads. Across fused and
-/// unfused execution, network_bytes, disk_bytes, output_rows, and
-/// simulated byte traffic are identical; with data skipping enabled the
-/// CPU-side meters (udf_calls, interp_instructions, records_processed,
-/// cpu_burn_units, skipped_batches) may legitimately differ between modes,
-/// because fusion changes which batch boundaries a refutation sees.
+/// enable_data_skipping, enable_chain_specialization) — identical for every
+/// num_threads. Across fused and unfused execution — and across chain
+/// specialization on/off — network_bytes, disk_bytes, output_rows, and
+/// simulated byte traffic are identical; the CPU-side meters (udf_calls,
+/// interp_instructions, records_processed, cpu_burn_units, skipped_batches)
+/// may legitimately differ between modes, because fusion/specialization
+/// change which batch boundaries a refutation sees and how many interpreter
+/// calls produce the same records.
 struct ExecStats {
   int64_t network_bytes = 0;  // bytes crossing instance boundaries
 
@@ -169,6 +186,22 @@ struct ExecStats {
   /// disk_bytes(skipping on) + skipped_spill_bytes accounts for the same
   /// traffic disk_bytes alone measures with skipping off on re-scan paths.
   int64_t skipped_spill_bytes = 0;
+
+  /// Chains executed through a fused specialized program (counted once per
+  /// chain per partitioned execution pass). Zero when
+  /// enable_chain_specialization is off or every chain fell back to staged
+  /// interpretation.
+  int64_t fused_chains = 0;
+
+  /// Estimated interpreter instructions the fused programs avoided: the
+  /// fuser's static per-record saving (stage program sizes minus fused body
+  /// size) times the input records run through each fused chain.
+  int64_t specialized_instructions_saved = 0;
+
+  /// Chain-input columns never materialized by fused runs: per processed
+  /// batch, the record width minus the columns the fused program actually
+  /// touched through its ColumnView (the SCA-read-set projection win).
+  int64_t projected_fields_skipped = 0;
 
   /// High-water mark of the serialized bytes any single simulated instance
   /// held in materialized inter-operator buffers (pipeline-breaker inputs

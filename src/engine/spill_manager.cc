@@ -364,6 +364,9 @@ StatusOr<bool> SpillableBuffer::NextDrained(RecordBatch* out, BatchPool* pool,
   if (drain_mem_ < mem_.size()) {
     RecordBatch b = std::move(mem_[drain_mem_]);
     ++drain_mem_;
+    // The cached sizes released here ARE the meter (and the ledger refund);
+    // verify the double-tracked sizes never drifted from the records.
+    b.DebugCheckSizes();
     ledger_->Release(static_cast<int64_t>(b.bytes()));
     mem_bytes_ -= b.bytes();
     *out = std::move(b);

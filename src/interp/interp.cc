@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "record/column_view.h"
+
 namespace blackbox {
 namespace interp {
 
@@ -72,7 +74,8 @@ Status Interpreter::Run(const CallInputs& inputs,
                         std::vector<Record>* out, RunStats* stats) const {
   Workspace ws;
   ws.Resize(fn_->num_registers());
-  return RunInternal(inputs, translation, out, stats, &ws);
+  const int n = static_cast<int>(fn_->instrs().size());
+  return RunInternal(inputs, translation, out, stats, &ws, 0, n, nullptr);
 }
 
 Status Interpreter::RunBatch(const std::vector<Record>& in,
@@ -84,13 +87,48 @@ Status Interpreter::RunBatch(const std::vector<Record>& in,
   CallInputs ci;
   ci.groups.resize(1);
   ci.groups[0].resize(1);
+  const int n = static_cast<int>(fn_->instrs().size());
   for (size_t i = 0; i < in.size(); ++i) {
     ci.groups[0][0] = &in[i];
     ws.emitted.clear();
     BLACKBOX_RETURN_NOT_OK(
-        RunInternal(ci, translation, &ws.emitted, stats, &ws));
+        RunInternal(ci, translation, &ws.emitted, stats, &ws, 0, n, nullptr));
     for (Record& r : ws.emitted) out->push_back(std::move(r));
     if (i + 1 < in.size()) ws.Reset();
+  }
+  return Status::OK();
+}
+
+Status Interpreter::RunFusedChain(const std::vector<Record>& in,
+                                  const ColumnView& cols,
+                                  const FieldTranslation& translation,
+                                  int body_start, std::vector<Record>* out,
+                                  RunStats* stats, ChainState* state) const {
+  Workspace& ws = state->ws_;
+  if (ws.vals.size() != static_cast<size_t>(fn_->num_registers())) {
+    ws.Resize(fn_->num_registers());
+  }
+  CallInputs ci;
+  ci.groups.resize(1);
+  ci.groups[0].resize(1);
+  const int n = static_cast<int>(fn_->instrs().size());
+  if (!state->preamble_done_) {
+    // Constant preamble: once per chain-runner lifetime. It touches no
+    // input, but RunInternal wants a non-null input slot.
+    Record empty;
+    ci.groups[0][0] = &empty;
+    BLACKBOX_RETURN_NOT_OK(RunInternal(ci, translation, out, stats, &ws, 0,
+                                       body_start, nullptr));
+    state->preamble_done_ = true;
+  }
+  // No ws.Reset() between rows: fused bodies write every register before
+  // reading it on the path that reads it (tac/fuse.h), and preamble
+  // constants must persist.
+  for (size_t r = 0; r < in.size(); ++r) {
+    ci.groups[0][0] = &in[r];
+    FusedInput fi{&cols, r};
+    BLACKBOX_RETURN_NOT_OK(RunInternal(ci, translation, out, stats, &ws,
+                                       body_start, n, &fi));
   }
   return Status::OK();
 }
@@ -98,7 +136,8 @@ Status Interpreter::RunBatch(const std::vector<Record>& in,
 Status Interpreter::RunInternal(const CallInputs& inputs,
                                 const FieldTranslation& translation,
                                 std::vector<Record>* out, RunStats* stats,
-                                Workspace* ws) const {
+                                Workspace* ws, int start_pc, int end_pc,
+                                const FusedInput* fused) const {
   const auto& instrs = fn_->instrs();
   std::vector<Value>& vals = ws->vals;
   std::vector<Record>& recs = ws->recs;
@@ -124,9 +163,8 @@ Status Interpreter::RunInternal(const CallInputs& inputs,
   std::vector<int>& rec_input = ws->rec_input;
 
   int64_t steps = 0;
-  const int n = static_cast<int>(instrs.size());
-  int pc = 0;
-  while (pc < n) {
+  int pc = start_pc;
+  while (pc < end_pc) {
     if (++steps > kDefaultStepLimit) {
       return Status::Internal("UDF " + fn_->name() + " exceeded step limit");
     }
@@ -324,6 +362,14 @@ Status Interpreter::RunInternal(const CallInputs& inputs,
         rec_input[i.dst] = static_cast<int>(i.imm_int);
         break;
       }
+      case Opcode::kGetInputField:
+        if (fused == nullptr) {
+          return Status::Internal("get_input_field outside a fused chain in " +
+                                  fn_->name());
+        }
+        vals[i.dst] = fused->cols->ValueAt(static_cast<size_t>(i.imm_int),
+                                           fused->row);
+        break;
       case Opcode::kInputCount:
         vals[i.dst] = Value(
             static_cast<int64_t>(inputs.groups[i.imm_int].size()));

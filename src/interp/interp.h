@@ -22,6 +22,9 @@
 #include "tac/tac.h"
 
 namespace blackbox {
+
+class ColumnView;
+
 namespace interp {
 
 /// Redirection configuration for one UDF invocation site (one operator
@@ -58,12 +61,52 @@ struct CallInputs {
 };
 
 class Interpreter {
+ private:
+  /// Reusable per-invocation state. Sized to the function's register count
+  /// once; Reset() restores the fresh-call contents without reallocating.
+  struct Workspace {
+    std::vector<Value> vals;
+    std::vector<Record> recs;
+    std::vector<int> rec_input;
+    std::vector<Record> emitted;  // RunBatch's per-call emit buffer
+
+    /// First-use sizing on a fresh workspace: resize value-initializes vals
+    /// and recs, so only rec_input's "no provenance" sentinel needs filling.
+    /// The emit buffer's capacity is reserved here once — per-call use only
+    /// clears it, so steady-state batch runs never reallocate it.
+    void Resize(size_t num_registers) {
+      vals.resize(num_registers);
+      recs.resize(num_registers);
+      rec_input.assign(num_registers, -2);
+      emitted.reserve(8);
+    }
+    /// Between-record reuse (RunBatch): restore the fresh-call contents
+    /// without reallocating.
+    void Reset() {
+      std::fill(vals.begin(), vals.end(), Value());
+      std::fill(recs.begin(), recs.end(), Record());
+      std::fill(rec_input.begin(), rec_input.end(), -2);
+    }
+  };
+
  public:
   /// Upper bound on executed instructions per invocation; guards against
   /// accidental infinite loops in hand-written UDFs.
   static constexpr int64_t kDefaultStepLimit = 50'000'000;
 
   explicit Interpreter(const tac::Function* fn) : fn_(fn) {}
+
+  /// Persistent state for RunFusedChain, owned by one chain runner and
+  /// reused across all its batches: the register workspace (sized once, and
+  /// NOT reset between records — every fused-body register is written before
+  /// read on the path that reads it, see src/tac/fuse.h) plus whether the
+  /// constant preamble has run.
+  class ChainState {
+   private:
+    friend class Interpreter;
+    Workspace ws_;
+    bool preamble_done_ = false;
+  };
 
   /// Runs the UDF on the given inputs, appending emitted records to *out.
   ///
@@ -84,35 +127,30 @@ class Interpreter {
                   const FieldTranslation& translation,
                   std::vector<Record>* out, RunStats* stats = nullptr) const;
 
- private:
-  /// Reusable per-invocation state. Sized to the function's register count
-  /// once; Reset() restores the fresh-call contents without reallocating.
-  struct Workspace {
-    std::vector<Value> vals;
-    std::vector<Record> recs;
-    std::vector<int> rec_input;
-    std::vector<Record> emitted;  // RunBatch's per-call emit buffer
+  /// Fused-chain entry point (DESIGN.md §2.6): runs a program produced by
+  /// tac::FuseMapChain over a batch of chain-input rows. The constant
+  /// preamble [0, body_start) executes once per ChainState lifetime; the
+  /// body runs once per row with kGetInputField reads served by `cols`
+  /// (which must view exactly `in`). `translation` must be the identity
+  /// translation of the emitted width (empty maps + global_width). Emitted
+  /// records are appended to *out in row order.
+  Status RunFusedChain(const std::vector<Record>& in, const ColumnView& cols,
+                       const FieldTranslation& translation, int body_start,
+                       std::vector<Record>* out, RunStats* stats,
+                       ChainState* state) const;
 
-    /// First-use sizing on a fresh workspace: resize value-initializes vals
-    /// and recs, so only rec_input's "no provenance" sentinel needs filling.
-    void Resize(size_t num_registers) {
-      vals.resize(num_registers);
-      recs.resize(num_registers);
-      rec_input.assign(num_registers, -2);
-    }
-    /// Between-record reuse (RunBatch): restore the fresh-call contents
-    /// without reallocating.
-    void Reset() {
-      std::fill(vals.begin(), vals.end(), Value());
-      std::fill(recs.begin(), recs.end(), Record());
-      std::fill(rec_input.begin(), rec_input.end(), -2);
-    }
+ private:
+  /// Chain-input access for one fused body execution: the batch's lazy
+  /// column view plus the current row index.
+  struct FusedInput {
+    const ColumnView* cols;
+    size_t row;
   };
 
   Status RunInternal(const CallInputs& inputs,
                      const FieldTranslation& translation,
-                     std::vector<Record>* out, RunStats* stats,
-                     Workspace* ws) const;
+                     std::vector<Record>* out, RunStats* stats, Workspace* ws,
+                     int start_pc, int end_pc, const FusedInput* fused) const;
 
   const tac::Function* fn_;
 };

@@ -316,8 +316,14 @@ class PhysicalPlanner {
           // without a per-record materialize/dispatch step, and the engine
           // overhead term (cpu_per_record) is not charged (DESIGN.md §2.2).
           // The UDF's own cost is unchanged.
-          double cpu = w_.cpu_per_call_unit * c.est_rows *
-                           op.hints.cpu_cost_per_call +
+          // With specialization the Map runs inside the chain's fused TAC
+          // program — no inter-stage handoff, dead stores folded away — so
+          // its per-call term is discounted (DESIGN.md §2.6).
+          double call_unit =
+              w_.enable_chain_fusion && w_.enable_chain_specialization
+                  ? w_.cpu_per_call_unit * optimizer::kSpecializationCpuDiscount
+                  : w_.cpu_per_call_unit;
+          double cpu = call_unit * c.est_rows * op.hints.cpu_cost_per_call +
                        (w_.enable_chain_fusion ? 0.0
                                                : w_.cpu_per_record * c.est_rows);
           // A Map invalidates a partitioning if it rewrites partition attrs;
@@ -718,8 +724,12 @@ BoundInfo BoundNode(const dataflow::AnnotatedFlow& af,
       BoundInfo c = BoundNode(af, plan->children[0], w);
       // Exact: a Map's input is always forward-shipped and its CPU does not
       // depend on any strategy choice.
-      out.lb = c.lb +
-               w.cpu_per_call_unit * c.rows * op.hints.cpu_cost_per_call +
+      // Same specialization discount as the candidate cost above — the bound
+      // must price Maps identically to stay admissible.
+      double call_unit = w.enable_chain_fusion && w.enable_chain_specialization
+                             ? w.cpu_per_call_unit * kSpecializationCpuDiscount
+                             : w.cpu_per_call_unit;
+      out.lb = c.lb + call_unit * c.rows * op.hints.cpu_cost_per_call +
                (w.enable_chain_fusion ? 0.0 : w.cpu_per_record * c.rows);
       out.rows = c.rows * op.hints.selectivity;
       out.bytes_per_row =

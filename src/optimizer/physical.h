@@ -84,7 +84,27 @@ struct CostWeights {
                                      // No cost term reads it — skipping never
                                      // changes the byte meters the model
                                      // prices, only elided CPU work.
+  bool enable_chain_specialization = true;  // fused-chain TAC specialization
+                                            // (DESIGN.md §2.6): Map stages in
+                                            // a fused chain execute as one
+                                            // constant-folded program, so
+                                            // their per-call CPU term is
+                                            // discounted (see
+                                            // kSpecializationCpuDiscount). The
+                                            // API propagates it into
+                                            // ExecOptions, so one flag flips
+                                            // both estimate and run. Byte
+                                            // meters are unchanged by
+                                            // construction.
 };
+
+/// Fraction of a fused Map stage's per-call CPU cost the model keeps under
+/// chain specialization: the fused program eliminates inter-stage record
+/// handoff and dead stores, roughly halving executed instructions on the
+/// measured workloads (BENCH_baseline.json pins the realized ratio). Applied
+/// identically when costing candidates and when bounding partial plans, so
+/// the bound stays admissible.
+inline constexpr double kSpecializationCpuDiscount = 0.5;
 
 /// A physical operator: one logical plan node with chosen strategies.
 struct PhysicalNode {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "tac/fuse.h"
 #include "tac/tac.h"
 
 namespace blackbox {
@@ -143,6 +144,11 @@ std::string PlanCacheKey(const dataflow::DataFlow& flow,
   AppendInt(&key, weights.enable_combiner);
   AppendInt(&key, weights.enable_chain_fusion);
   AppendInt(&key, weights.enable_spill);
+  AppendInt(&key, weights.enable_chain_specialization);
+  // Cached plans execute through fused chain programs, so a change in the
+  // fused-program compilation scheme must miss even when the logical plan
+  // and every weight are unchanged (DESIGN.md §2.6).
+  AppendInt(&key, tac::kFusedProgramFormatVersion);
   key += "|e=";
   AppendInt(&key, static_cast<int64_t>(enum_options.max_plans));
   key += "|s=";

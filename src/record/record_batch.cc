@@ -1,11 +1,21 @@
 #include "record/record_batch.h"
 
+#include <cassert>
+
 namespace blackbox {
 
 size_t RecordBatch::RecomputeBytes() const {
   size_t total = 0;
   for (const Record& r : records_) total += r.SerializedSize();
   return total;
+}
+
+void RecordBatch::DebugCheckSizes() const {
+#ifndef NDEBUG
+  for (size_t i = 0; i < records_.size(); ++i) {
+    assert(sizes_[i] == records_[i].SerializedSize());
+  }
+#endif
 }
 
 RecordBatch BatchPool::Acquire(size_t capacity) {

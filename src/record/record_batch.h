@@ -65,6 +65,14 @@ class RecordBatch {
   /// meters match the old per-record computation.
   size_t RecomputeBytes() const;
 
+  /// Debug-build check of the double-tracking invariant: every cached size
+  /// still equals its record's SerializedSize. The append path caches sizes
+  /// and never revisits them, so a consumer that mutated a record in place
+  /// (or a caller that passed a stale size to AppendWithSize) silently skews
+  /// every downstream byte meter — this catches it at drain time, where the
+  /// cached sizes are about to feed the meters. No-op in Release builds.
+  void DebugCheckSizes() const;
+
   /// The zone-map sketch over every record appended since the last Clear —
   /// maintained incrementally on the append path (DESIGN.md §2.5). Consumers
   /// must treat it as an over-approximation of the batch's contents.

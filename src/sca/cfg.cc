@@ -21,6 +21,7 @@ DefUseInfo GetDefUse(const Instr& i) {
     case Opcode::kNewRecord:
     case Opcode::kInputRecord:
     case Opcode::kInputCount:
+    case Opcode::kGetInputField:
       info.def = i.dst;
       break;
     case Opcode::kInputAt:

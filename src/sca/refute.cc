@@ -363,6 +363,11 @@ std::optional<BatchRefuter> BatchRefuter::Make(
           if (pos >= 0) r.read_positions_.push_back(pos);
         }
         break;
+      case Opcode::kGetInputField:
+        // Fused chain-input read (tac/fuse.h): imm_int is already a global
+        // position, no translation applies.
+        r.read_positions_.push_back(static_cast<int>(ins.imm_int));
+        break;
       default:
         break;
     }
@@ -601,6 +606,14 @@ bool BatchRefuter::RefutesEmit(const std::vector<ValueRange>& cols) const {
       case Opcode::kInputCount:
       case Opcode::kInputAt:
         return false;  // unreachable (Make rejects these); stay safe
+      case Opcode::kGetInputField: {
+        // Untranslated read of a global chain-input position (fused chains).
+        int pos = static_cast<int>(i.imm_int);
+        st.vals[i.dst] = pos < static_cast<int>(cols.size())
+                             ? FromRange(cols[pos])
+                             : NullAV();
+        break;
+      }
       case Opcode::kCpuBurn:
         break;  // no data effect (the elided burn is the point of skipping)
     }

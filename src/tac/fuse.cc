@@ -1,0 +1,432 @@
+#include "tac/fuse.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "record/value.h"
+
+namespace blackbox {
+namespace tac {
+namespace {
+
+/// Mirrors the interpreter's truthiness (interp.cc ValueAsBool) so branches
+/// on pooled constants fold to exactly the side the interpreter would take.
+bool ConstTruth(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return v.AsInt() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kNull:
+      return false;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+/// Bound on the fused body: tail duplication is exponential in the worst
+/// case, so past this point fusion gives up and the chain runs staged.
+constexpr int kMaxFusedBodyInstrs = 4096;
+
+/// A record value known symbolically: a base (the chain-input row, or an
+/// empty output record — both read as Null where not overridden, the input
+/// row additionally serving real fields) plus per-global-position overrides
+/// holding the fused register that computed the stored value.
+struct SymRec {
+  bool from_chain_input = false;
+  std::map<int, int> overrides;  // global position -> fused value register
+};
+
+/// One stage record slot: the symbolic record plus which of the stage's two
+/// field maps translates local indices for it (kInputRecord-loaded slots use
+/// the input map, constructed records the output map; copies inherit).
+struct SlotRec {
+  bool input_prov = false;
+  SymRec sym;
+};
+
+/// Per-stage symbolic environment: stage register -> fused register (values,
+/// -1 = never written, which reads as Null) / symbolic record (records,
+/// nullopt = never written, which makes fusion bail).
+struct Env {
+  std::vector<int> vals;
+  std::vector<std::optional<SlotRec>> recs;
+};
+
+/// One stage activation on the in-flight path: an emit at stage s pushes a
+/// frame for stage s+1 and resumes s after the emit when s+1's program
+/// returns — the inlined analogue of the staged handoff.
+struct Frame {
+  int stage = 0;
+  int pc = 0;
+  SymRec input;  // what this stage's kInputRecord loads
+  Env env;
+};
+
+/// The full state of one control-flow path being compiled. Copied at every
+/// non-folded branch (tail duplication). input_field_regs caches
+/// kGetInputField results per path — it must NOT be shared across paths,
+/// because a register materialized on one path is never written on another,
+/// and the workspace is not reset between records.
+struct PathState {
+  std::vector<Frame> frames;
+  std::map<int, int> input_field_regs;  // global position -> fused register
+};
+
+class Fuser {
+ public:
+  Fuser(const std::vector<FuseStage>& stages, int global_width,
+        const std::vector<int>* sink_positions)
+      : stages_(stages),
+        width_(global_width),
+        sink_(sink_positions),
+        b_("fused_chain", /*num_inputs=*/1, UdfKind::kRat) {}
+
+  std::optional<FusedChainProgram> Fuse() {
+    if (stages_.empty() || width_ <= 0) return std::nullopt;
+    int64_t staged_instrs = 0;
+    for (const FuseStage& s : stages_) {
+      if (s.fn == nullptr || s.fn->kind() != UdfKind::kRat ||
+          s.fn->num_inputs() != 1) {
+        return std::nullopt;
+      }
+      staged_instrs += static_cast<int64_t>(s.fn->instrs().size());
+    }
+    BuildPreamble();
+    body_start_ = b_.num_instrs();
+    end_ = b_.NewLabel();
+
+    PathState p;
+    p.frames.push_back(MakeFrame(0, SymRec{/*from_chain_input=*/true, {}}));
+    if (!CompilePath(std::move(p))) return std::nullopt;
+    b_.Bind(end_);
+
+    StatusOr<Function> fn = b_.Build();
+    if (!fn.ok()) return std::nullopt;
+    FusedChainProgram out;
+    int body = static_cast<int>(fn->instrs().size()) - body_start_;
+    out.fn = std::move(*fn);
+    out.body_start = body_start_;
+    out.input_reads.assign(input_reads_.begin(), input_reads_.end());
+    out.static_saved_per_record =
+        staged_instrs > body ? staged_instrs - body : 0;
+    return out;
+  }
+
+ private:
+  using Op = Opcode;
+
+  /// Pools every constant any stage mentions (plus one Null) into a preamble
+  /// executed once per chain runner. Pooling up front keeps all constant
+  /// definitions ahead of the body regardless of which path first uses them.
+  void BuildPreamble() {
+    null_reg_ = b_.ConstNull().id;
+    const_vals_.emplace(null_reg_, Value::Null());
+    for (const FuseStage& s : stages_) {
+      for (const Instr& i : s.fn->instrs()) {
+        switch (i.op) {
+          case Op::kConstInt:
+            if (!int_pool_.count(i.imm_int)) {
+              int r = b_.ConstInt(i.imm_int).id;
+              int_pool_.emplace(i.imm_int, r);
+              const_vals_.emplace(r, Value(i.imm_int));
+            }
+            break;
+          case Op::kConstDouble: {
+            uint64_t bits = 0;
+            std::memcpy(&bits, &i.imm_double, sizeof(bits));
+            if (!dbl_pool_.count(bits)) {
+              int r = b_.ConstDouble(i.imm_double).id;
+              dbl_pool_.emplace(bits, r);
+              const_vals_.emplace(r, Value(i.imm_double));
+            }
+            break;
+          }
+          case Op::kConstStr:
+            if (!str_pool_.count(i.imm_str)) {
+              int r = b_.ConstStr(i.imm_str).id;
+              str_pool_.emplace(i.imm_str, r);
+              const_vals_.emplace(r, Value(i.imm_str));
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  Frame MakeFrame(int stage, SymRec input) const {
+    Frame f;
+    f.stage = stage;
+    f.input = std::move(input);
+    size_t n = static_cast<size_t>(stages_[stage].fn->num_registers());
+    f.env.vals.assign(n, -1);
+    f.env.recs.assign(n, std::nullopt);
+    return f;
+  }
+
+  /// Fused register holding stage value register `reg` on this path; a
+  /// never-written register reads as Null, exactly like the interpreter's
+  /// value-initialized workspace.
+  int ValReg(const Env& env, int reg) const {
+    int v = env.vals[reg];
+    return v < 0 ? null_reg_ : v;
+  }
+
+  /// Applies one of the stage's field maps exactly as the interpreter's
+  /// input_pos/output_pos would: nullptr = identity, otherwise a strict
+  /// range-checked lookup (-1 when out of range).
+  static int TranslateLocal(const std::vector<int>* map, int local) {
+    if (map == nullptr) return local;
+    if (local < 0 || local >= static_cast<int>(map->size())) return -1;
+    return (*map)[local];
+  }
+
+  int MapLocal(int stage, bool input_prov, int local) const {
+    const FuseStage& s = stages_[stage];
+    return TranslateLocal(input_prov ? s.input_map : s.output_map, local);
+  }
+
+  /// The fused register for global position `g` of a symbolic record.
+  int FieldValue(PathState* p, const SymRec& sym, int g) {
+    if (g < 0) return null_reg_;
+    auto ov = sym.overrides.find(g);
+    if (ov != sym.overrides.end()) return ov->second;
+    if (!sym.from_chain_input) return null_reg_;
+    auto it = p->input_field_regs.find(g);
+    if (it != p->input_field_regs.end()) return it->second;
+    int r = b_.GetInputField(g).id;
+    p->input_field_regs.emplace(g, r);
+    input_reads_.insert(g);
+    return r;
+  }
+
+  int EmitBinOp(Op op, int a, int c) {
+    Reg x{a}, y{c};
+    switch (op) {
+      case Op::kAdd: return b_.Add(x, y).id;
+      case Op::kSub: return b_.Sub(x, y).id;
+      case Op::kMul: return b_.Mul(x, y).id;
+      case Op::kDiv: return b_.Div(x, y).id;
+      case Op::kMod: return b_.Mod(x, y).id;
+      case Op::kCmpLt: return b_.CmpLt(x, y).id;
+      case Op::kCmpLe: return b_.CmpLe(x, y).id;
+      case Op::kCmpGt: return b_.CmpGt(x, y).id;
+      case Op::kCmpGe: return b_.CmpGe(x, y).id;
+      case Op::kCmpEq: return b_.CmpEq(x, y).id;
+      case Op::kCmpNe: return b_.CmpNe(x, y).id;
+      case Op::kAnd: return b_.And(x, y).id;
+      case Op::kOr: return b_.Or(x, y).id;
+      case Op::kStrConcat: return b_.StrConcat(x, y).id;
+      case Op::kStrContains: return b_.StrContains(x, y).id;
+      default: return -1;
+    }
+  }
+
+  /// Materializes one emitted record at the chain boundary. Sink chains
+  /// project straight into the sink layout (byte-identical to the engine's
+  /// ProjectToSinkSchema, which SetFields every position of a fresh record);
+  /// statically-null stores are elided because kNewRecord pre-sizes the
+  /// record with nulls. Non-sink chains rebuild the full-width row; there
+  /// every override must be stored — a null store can both overwrite a real
+  /// input value and grow the record, which the staged path also does.
+  void EmitBoundary(PathState* p, const SymRec& sym) {
+    if (sink_ != nullptr) {
+      Reg out = b_.NewRecord();
+      for (size_t j = 0; j < sink_->size(); ++j) {
+        int r = FieldValue(p, sym, (*sink_)[j]);
+        if (r != null_reg_) b_.SetField(out, static_cast<int>(j), Reg{r});
+      }
+      b_.Emit(out);
+      return;
+    }
+    Reg out = sym.from_chain_input ? b_.InputRecord(0) : b_.NewRecord();
+    for (const auto& [g, r] : sym.overrides) b_.SetField(out, g, Reg{r});
+    b_.Emit(out);
+  }
+
+  /// Compiles every control-flow suffix reachable from `p`, emitting one
+  /// linear run per path and recursing at each unfolded branch. Returns
+  /// false to abandon fusion (unsupported construct or body too large).
+  bool CompilePath(PathState p) {
+    while (!p.frames.empty()) {
+      if (b_.num_instrs() - body_start_ > kMaxFusedBodyInstrs) return false;
+      Frame& f = p.frames.back();
+      const std::vector<Instr>& instrs = stages_[f.stage].fn->instrs();
+      if (f.pc >= static_cast<int>(instrs.size())) {
+        p.frames.pop_back();
+        continue;
+      }
+      const Instr& i = instrs[f.pc];
+      int pc = f.pc;
+      f.pc = pc + 1;
+      switch (i.op) {
+        case Op::kConstInt:
+          f.env.vals[i.dst] = int_pool_.at(i.imm_int);
+          break;
+        case Op::kConstDouble: {
+          uint64_t bits = 0;
+          std::memcpy(&bits, &i.imm_double, sizeof(bits));
+          f.env.vals[i.dst] = dbl_pool_.at(bits);
+          break;
+        }
+        case Op::kConstStr:
+          f.env.vals[i.dst] = str_pool_.at(i.imm_str);
+          break;
+        case Op::kConstNull:
+          f.env.vals[i.dst] = null_reg_;
+          break;
+        case Op::kMove:
+          // Pure register aliasing: no fused instruction, and constant-ness
+          // propagates through const_vals_ keyed by the fused register.
+          f.env.vals[i.dst] = ValReg(f.env, i.src0);
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kMod:
+        case Op::kCmpLt:
+        case Op::kCmpLe:
+        case Op::kCmpGt:
+        case Op::kCmpGe:
+        case Op::kCmpEq:
+        case Op::kCmpNe:
+        case Op::kAnd:
+        case Op::kOr:
+        case Op::kStrConcat:
+        case Op::kStrContains:
+          f.env.vals[i.dst] =
+              EmitBinOp(i.op, ValReg(f.env, i.src0), ValReg(f.env, i.src1));
+          break;
+        case Op::kNeg:
+          f.env.vals[i.dst] = b_.Neg(Reg{ValReg(f.env, i.src0)}).id;
+          break;
+        case Op::kNot:
+          f.env.vals[i.dst] = b_.Not(Reg{ValReg(f.env, i.src0)}).id;
+          break;
+        case Op::kStrLen:
+          f.env.vals[i.dst] = b_.StrLen(Reg{ValReg(f.env, i.src0)}).id;
+          break;
+        case Op::kStrHashMod:
+          f.env.vals[i.dst] =
+              b_.StrHashMod(Reg{ValReg(f.env, i.src0)}, i.imm_int).id;
+          break;
+        case Op::kCpuBurn:
+          b_.CpuBurn(i.imm_int);
+          break;
+        case Op::kGoto:
+          if (i.target <= pc) return false;  // forward flow only
+          f.pc = i.target;
+          break;
+        case Op::kBranchIfTrue:
+        case Op::kBranchIfFalse: {
+          if (i.target <= pc) return false;
+          int c = ValReg(f.env, i.src0);
+          auto cv = const_vals_.find(c);
+          if (cv != const_vals_.end()) {
+            bool truth = ConstTruth(cv->second);
+            bool jump = i.op == Op::kBranchIfTrue ? truth : !truth;
+            if (jump) f.pc = i.target;
+            break;
+          }
+          Label other = b_.NewLabel();
+          if (i.op == Op::kBranchIfTrue) {
+            b_.BranchIfTrue(Reg{c}, other);
+          } else {
+            b_.BranchIfFalse(Reg{c}, other);
+          }
+          PathState taken = p;  // deep copy: tail duplication
+          taken.frames.back().pc = i.target;
+          if (!CompilePath(std::move(p))) return false;
+          b_.Bind(other);
+          return CompilePath(std::move(taken));
+        }
+        case Op::kReturn:
+          p.frames.pop_back();
+          break;
+        case Op::kGetField: {
+          if (i.index_is_reg) return false;  // SCA-opaque, stay staged
+          const std::optional<SlotRec>& slot = f.env.recs[i.src0];
+          if (!slot.has_value()) return false;
+          int g = MapLocal(f.stage, slot->input_prov,
+                           static_cast<int>(i.imm_int));
+          f.env.vals[i.dst] = FieldValue(&p, slot->sym, g);
+          break;
+        }
+        case Op::kSetField: {
+          if (i.index_is_reg) return false;
+          std::optional<SlotRec>& slot = f.env.recs[i.dst];
+          if (!slot.has_value()) return false;
+          int g = MapLocal(f.stage, slot->input_prov,
+                           static_cast<int>(i.imm_int));
+          // The staged path would surface OutOfRange here; keep it.
+          if (g < 0) return false;
+          slot->sym.overrides[g] = ValReg(f.env, i.src0);
+          break;
+        }
+        case Op::kCopyRecord: {
+          const std::optional<SlotRec>& src = f.env.recs[i.src0];
+          if (!src.has_value()) return false;
+          f.env.recs[i.dst] = *src;
+          break;
+        }
+        case Op::kNewRecord:
+          f.env.recs[i.dst] = SlotRec{/*input_prov=*/false, SymRec{}};
+          break;
+        case Op::kInputRecord: {
+          if (i.imm_int != 0) return false;
+          f.env.recs[i.dst] = SlotRec{/*input_prov=*/true, f.input};
+          break;
+        }
+        case Op::kEmit: {
+          const std::optional<SlotRec>& slot = f.env.recs[i.src0];
+          if (!slot.has_value()) return false;
+          if (f.stage + 1 < static_cast<int>(stages_.size())) {
+            SymRec handoff = slot->sym;
+            p.frames.push_back(MakeFrame(f.stage + 1, std::move(handoff)));
+          } else {
+            EmitBoundary(&p, slot->sym);
+          }
+          break;
+        }
+        default:
+          // KAT opcodes, record concat, or anything introduced later: the
+          // staged interpreter defines the behavior; fusion stays out.
+          return false;
+      }
+    }
+    b_.Goto(end_);
+    return true;
+  }
+
+  const std::vector<FuseStage>& stages_;
+  int width_;
+  const std::vector<int>* sink_;
+  FunctionBuilder b_;
+  Label end_;
+  int null_reg_ = -1;
+  int body_start_ = 0;
+  std::map<int64_t, int> int_pool_;
+  std::map<uint64_t, int> dbl_pool_;   // keyed by bit pattern
+  std::map<std::string, int> str_pool_;
+  std::map<int, Value> const_vals_;    // fused register -> known constant
+  std::set<int> input_reads_;
+};
+
+}  // namespace
+
+std::optional<FusedChainProgram> FuseMapChain(
+    const std::vector<FuseStage>& stages, int global_width,
+    const std::vector<int>* sink_positions) {
+  Fuser fuser(stages, global_width, sink_positions);
+  return fuser.Fuse();
+}
+
+}  // namespace tac
+}  // namespace blackbox

@@ -1,0 +1,89 @@
+// Fused-chain TAC specialization (DESIGN.md §2.6). At chain-assignment time
+// the engine constant-folds the TAC programs of a fused chain's
+// record-at-a-time stages (Maps, plus the sink projection when the chain
+// ends at the sink) into ONE fused program per chain:
+//
+//   - inter-stage record handoff (emit -> input_record) is inlined away: a
+//     downstream stage's reads resolve symbolically to the registers the
+//     upstream stage computed, so no intermediate record is ever built;
+//   - stores to fields no downstream read resolves are dead and emit no
+//     code (the symbolic override map simply drops them);
+//   - non-emitting paths short-circuit straight to the end of the program;
+//   - constants of all stages are pooled into a preamble executed once per
+//     chain runner, not once per record;
+//   - chain-input reads compile to kGetInputField on *global* attribute
+//     positions, served by a lazy ColumnView so only named columns are
+//     touched.
+//
+// The compiler is a path interpreter with tail duplication: it walks every
+// control-flow path through the whole stage pipeline, emitting straight-line
+// code per path and a forward branch at each conditional. Anything it cannot
+// prove it handles byte-identically — dynamic field indices, KAT opcodes,
+// record concats, backward branches, reads of unset record registers, a
+// setField that would raise OutOfRange, or a body exceeding the size cap —
+// makes FuseMapChain return nullopt and the engine falls back to the staged
+// interpreter, so fusion is a pure optimization with no behavior surface.
+
+#ifndef BLACKBOX_TAC_FUSE_H_
+#define BLACKBOX_TAC_FUSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tac/tac.h"
+
+namespace blackbox {
+namespace tac {
+
+/// Version of the fused-program format / compilation scheme. Plan-cache keys
+/// fold it in: cached plans are executed through fused programs, so a change
+/// in how chains are specialized must invalidate cached entries even though
+/// the logical plan is unchanged (DESIGN.md §2.6).
+inline constexpr int kFusedProgramFormatVersion = 1;
+
+/// One record-at-a-time stage of a chain, with the field maps its
+/// FieldTranslation would apply. nullptr means identity; a non-null map is a
+/// strict range-checked lookup (out-of-range local -> no position), matching
+/// the interpreter's input_pos/output_pos. Callers translate the
+/// FieldTranslation emptiness conventions into these pointers.
+struct FuseStage {
+  const Function* fn = nullptr;
+  /// Local field index -> global position for records loaded from the input.
+  const std::vector<int>* input_map = nullptr;
+  /// Local field index -> global position for constructed output records.
+  const std::vector<int>* output_map = nullptr;
+};
+
+struct FusedChainProgram {
+  Function fn;
+  /// Instructions [0, body_start) are the constant preamble, executed once
+  /// per chain runner; [body_start, n) is the per-record body.
+  int body_start = 0;
+  /// Global attribute positions the fused body reads from the chain input
+  /// (sorted, unique) — the chain's SCA-derived projection set.
+  std::vector<int> input_reads;
+  /// Static estimate of interpreter instructions saved per input record:
+  /// the stage programs' total size minus the fused body size (>= 0).
+  int64_t static_saved_per_record = 0;
+};
+
+/// Fuses a chain of RAT Map stages (plus an optional terminal sink
+/// projection) into one program. `global_width` is the in-flight record
+/// width (> 0 required). If `sink_positions` is non-null the chain ends at
+/// the sink and emitted records are that projection (width = size of the
+/// vector, position j taken from global attribute sink_positions[j]);
+/// otherwise emitted records are full-width in-flight rows.
+///
+/// The fused program must be executed with an identity FieldTranslation of
+/// the emitted width (see Interpreter::RunFusedChain) and satisfies
+/// sca::BatchRefuter's legality rules by construction (forward branches
+/// only, static field indices, input 0 only).
+std::optional<FusedChainProgram> FuseMapChain(
+    const std::vector<FuseStage>& stages, int global_width,
+    const std::vector<int>* sink_positions);
+
+}  // namespace tac
+}  // namespace blackbox
+
+#endif  // BLACKBOX_TAC_FUSE_H_

@@ -44,6 +44,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kInputRecord: return "input_record";
     case Opcode::kInputCount: return "input_count";
     case Opcode::kInputAt: return "input_at";
+    case Opcode::kGetInputField: return "get_input_field";
     case Opcode::kCpuBurn: return "cpu_burn";
   }
   return "?";
@@ -68,6 +69,7 @@ std::string Instr::ToString(int label) const {
     case Opcode::kInputRecord:
     case Opcode::kInputCount:
     case Opcode::kInputAt:
+    case Opcode::kGetInputField:
     case Opcode::kStrHashMod:
     case Opcode::kCpuBurn:
       out << " #" << imm_int;
@@ -274,6 +276,16 @@ Reg FunctionBuilder::GetField(Reg rec, int index) {
   return r;
 }
 
+Reg FunctionBuilder::GetInputField(int pos) {
+  Reg r = NewReg(RegType::kValue);
+  Instr i;
+  i.op = Opcode::kGetInputField;
+  i.dst = r.id;
+  i.imm_int = pos;
+  Push(std::move(i));
+  return r;
+}
+
 Reg FunctionBuilder::GetFieldDyn(Reg rec, Reg index) {
   Reg r = NewReg(RegType::kValue);
   Instr i;
@@ -442,6 +454,12 @@ Status FunctionBuilder::Verify() const {
         if (i.imm_int < 0 || i.imm_int >= fn_.num_inputs_) {
           return Status::InvalidArgument("input index out of range in " +
                                          fn_.name_);
+        }
+        break;
+      case Opcode::kGetInputField:
+        if (i.imm_int < 0) {
+          return Status::InvalidArgument(
+              "negative get_input_field position in " + fn_.name_);
         }
         break;
       default:

@@ -77,6 +77,16 @@ enum class Opcode {
   kInputCount,   // dst := |group of input imm_int|              (KAT)
   kInputAt,      // rec dst := group(input imm_int)[src0]        (KAT)
 
+  // Specialized chain-input access (DESIGN.md §2.6). Only emitted by the
+  // chain fuser (src/tac/fuse): dst := field imm_int of the chain's current
+  // input row, where imm_int is a *global* attribute position (already
+  // translated — no FieldTranslation is applied). Reads go through the
+  // batch's lazy ColumnView, so only the fields a fused program actually
+  // names are ever materialized. Out-of-range positions yield Null, exactly
+  // like kGetField. Executing it outside Interpreter::RunFusedChain is an
+  // internal error.
+  kGetInputField,
+
   // Simulated CPU work (calibrated cost of e.g. an NLP component). The
   // interpreter spins imm_int work units; SCA ignores it (no data effect).
   kCpuBurn,
@@ -200,6 +210,9 @@ class FunctionBuilder {
 
   // --- Record API ---
   Reg GetField(Reg rec, int index);
+  /// Fused-chain input access: dst := field `pos` (a global attribute
+  /// position) of the current chain-input row. Fuser-only; see kGetInputField.
+  Reg GetInputField(int pos);
   Reg GetFieldDyn(Reg rec, Reg index);  // computed index (SCA-opaque)
   void SetField(Reg rec, int index, Reg value);
   void SetFieldDyn(Reg rec, Reg index, Reg value);
@@ -216,6 +229,11 @@ class FunctionBuilder {
   void BranchIfFalse(Reg cond, Label label);
   void Return();
   void CpuBurn(int64_t units);
+
+  /// Number of instructions pushed so far. The chain fuser uses it to bound
+  /// the size of a fused body (tail duplication can blow up) and to place
+  /// labels relative to the preamble.
+  int num_instrs() const { return static_cast<int>(fn_.instrs_.size()); }
 
   /// Finalizes and verifies the function: all labels bound, branch targets in
   /// range, register types consistent, final instruction path returns.

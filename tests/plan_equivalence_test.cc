@@ -4,13 +4,15 @@
 // — whatever mix of ship strategies, hash vs sort-merge joins, sort-group vs
 // combiner Reduces the physical optimizer picked for it — in fused-chain
 // mode and in --no-chain mode, at 1 and at 8 worker threads, plus a
-// data-skipping-off pass, and assert:
+// data-skipping-off pass and a chain-specialization-off pass, and assert:
 //   * the sorted sink output is byte-identical to the original plan's in
-//     every (mode, threads, skipping) combination, and
+//     every (mode, threads, skipping, specialization) combination, and
 //   * the network meter and the accounted disk traffic
 //     (disk_bytes + skipped_spill_bytes) of each alternative are identical
 //     across all combinations (fusion may only move peak_bytes; skipping
-//     may only move read-back bytes into the skipped meter).
+//     may only move read-back bytes into the skipped meter; specialization
+//     may only drop interp_instructions — on the Map-chain-dominated
+//     text-mining closure it must drop them by >= 2x on every rank).
 //
 // Registered under the `differential` ctest label with its own timeout (see
 // CMakeLists.txt); CI runs it in the ASan/UBSan job as well.
@@ -59,6 +61,7 @@ struct AltMeters {
   int64_t network_bytes = 0;
   int64_t disk_bytes = 0;
   int64_t skipped_spill_bytes = 0;
+  int64_t interp_instructions = 0;
 };
 
 struct ClosureStats {
@@ -74,13 +77,16 @@ struct ClosureStats {
 ClosureStats RunClosure(const workloads::Workload& w,
                         const api::AnnotationProvider& provider, int threads,
                         bool fuse_chains, std::string* reference,
-                        bool data_skipping = true) {
+                        bool data_skipping = true, bool specialize = true) {
   api::OptimizeOptions options;
   options.exec.dop = 8;
   options.exec.mem_budget_bytes = 1 << 20;
   options.exec.num_threads = threads;
   options.exec.fuse_chains = fuse_chains;
   options.exec.enable_data_skipping = data_skipping;
+  // Exec-level toggle only: the cost weights keep their defaults so every
+  // combination optimizes over the identical ranked plan set.
+  options.exec.enable_chain_specialization = specialize;
   // Differential execution is linear in the closure size; the cap keeps the
   // oracle tractable if a workload's plan space ever explodes.
   options.enum_options.max_plans = 512;
@@ -137,7 +143,8 @@ ClosureStats RunClosure(const workloads::Workload& w,
       return stats;
     }
     stats.meters.push_back({run_stats.network_bytes, run_stats.disk_bytes,
-                            run_stats.skipped_spill_bytes});
+                            run_stats.skipped_spill_bytes,
+                            run_stats.interp_instructions});
     EXPECT_EQ(SortedOutputBytes(*out), *reference)
         << w.name << " rank " << alt.rank << " at " << threads
         << " thread(s), " << (fuse_chains ? "fused" : "no-chain")
@@ -164,11 +171,17 @@ struct ModeMatrix {
   ClosureStats serial_unfused;
   ClosureStats parallel_unfused;
   ClosureStats serial_noskip;
+  ClosureStats serial_nospec;
 };
 
+/// `min_instr_ratio` > 0 additionally asserts, per rank, that disabling
+/// chain specialization multiplies interp_instructions by at least that
+/// factor — the tentpole acceptance bar (2x) on the text-mining closure,
+/// where every alternative is dominated by the fusable Map chain.
 ModeMatrix RunAllModes(const workloads::Workload& w,
                        const api::AnnotationProvider& provider,
-                       std::string* reference) {
+                       std::string* reference,
+                       double min_instr_ratio = 0.0) {
   ModeMatrix m;
   m.serial_fused = RunClosure(w, provider, 1, /*fuse=*/true, reference);
   if (::testing::Test::HasFailure()) return m;
@@ -181,19 +194,24 @@ ModeMatrix RunAllModes(const workloads::Workload& w,
   m.serial_noskip = RunClosure(w, provider, 1, /*fuse=*/true, reference,
                                /*data_skipping=*/false);
   if (::testing::Test::HasFailure()) return m;
+  m.serial_nospec = RunClosure(w, provider, 1, /*fuse=*/true, reference,
+                               /*data_skipping=*/true, /*specialize=*/false);
+  if (::testing::Test::HasFailure()) return m;
 
   EXPECT_EQ(m.serial_fused.alternatives, m.parallel_fused.alternatives);
   EXPECT_EQ(m.serial_fused.alternatives, m.serial_unfused.alternatives);
   EXPECT_EQ(m.serial_fused.alternatives, m.parallel_unfused.alternatives);
   EXPECT_EQ(m.serial_fused.alternatives, m.serial_noskip.alternatives);
+  EXPECT_EQ(m.serial_fused.alternatives, m.serial_nospec.alternatives);
   EXPECT_EQ(m.serial_fused.meters.size(), m.serial_unfused.meters.size());
   EXPECT_EQ(m.serial_fused.meters.size(), m.serial_noskip.meters.size());
+  EXPECT_EQ(m.serial_fused.meters.size(), m.serial_nospec.meters.size());
   if (::testing::Test::HasFailure()) return m;
   for (size_t i = 0; i < m.serial_fused.meters.size(); ++i) {
     const AltMeters& base = m.serial_fused.meters[i];
     for (const ClosureStats* other :
          {&m.parallel_fused, &m.serial_unfused, &m.parallel_unfused,
-          &m.serial_noskip}) {
+          &m.serial_noskip, &m.serial_nospec}) {
       EXPECT_EQ(base.network_bytes, other->meters[i].network_bytes)
           << w.name << " rank index " << i << ": network meter diverges";
       EXPECT_EQ(base.disk_bytes + base.skipped_spill_bytes,
@@ -206,6 +224,14 @@ ModeMatrix RunAllModes(const workloads::Workload& w,
     // the accounted traffic every skipping-on mode must reproduce.
     EXPECT_EQ(m.serial_noskip.meters[i].skipped_spill_bytes, 0)
         << w.name << " rank index " << i;
+    if (min_instr_ratio > 0.0) {
+      EXPECT_GE(static_cast<double>(m.serial_nospec.meters[i].interp_instructions),
+                min_instr_ratio *
+                    static_cast<double>(base.interp_instructions))
+          << w.name << " rank index " << i
+          << ": specialization fell below the " << min_instr_ratio
+          << "x instruction-reduction bar";
+    }
   }
   return m;
 }
@@ -276,7 +302,9 @@ TEST(PlanEquivalence, TextMiningClosureIsByteIdentical) {
   workloads::Workload w = workloads::MakeTextMining(scale);
   api::ScaProvider sca;
   std::string reference;
-  ModeMatrix m = RunAllModes(w, sca, &reference);
+  // The Map-chain-dominated workload carries the specialization bar: every
+  // ranked alternative must run >= 2x fewer interp instructions specialized.
+  ModeMatrix m = RunAllModes(w, sca, &reference, /*min_instr_ratio=*/2.0);
   if (::testing::Test::HasFailure()) return;
   EXPECT_GT(m.serial_fused.alternatives, 1u);
 }

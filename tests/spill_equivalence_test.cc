@@ -8,8 +8,13 @@
 //   * peak_bytes respects the per-instance budget (plus one batch of slack)
 //     at every finite budget — the by-construction contract,
 //   * disk_bytes == 0 on unbounded runs and > 0 whenever the workload's
-//     working set cannot fit (every alternative at the 4 KB budget), and
-//   * both meters are identical at 1 and 8 worker threads.
+//     working set cannot fit (every alternative at the 4 KB budget),
+//   * both meters are identical at 1 and 8 worker threads, and
+//   * re-running with fused-chain TAC specialization off (DESIGN.md §2.6)
+//     reproduces the identical sorted sink and the EXACT same
+//     network/disk/peak/skipped-spill meters at every budget — on the
+//     Map-chain text-mining workload specialization must also cut
+//     interp_instructions >= 2x at every budget point.
 //
 // Also pins the estimate/measurement coupling: the optimizer's spill cost
 // term and the engine's measured disk bytes are zero/nonzero together at
@@ -67,9 +72,13 @@ double TreeDiskCost(const optimizer::PhysicalNode& n) {
 
 /// Optimizes once, then sweeps every ranked alternative across the budget ×
 /// thread matrix against the original plan's unbounded reference output.
+/// `min_instr_ratio` > 0 additionally requires every serial run to execute
+/// at least that many times fewer interp instructions specialized than
+/// interpreted (the §2.6 bar, held at EVERY budget point).
 SweepCounts RunBudgetSweep(const workloads::Workload& w,
                            const api::AnnotationProvider& provider,
-                           bool fuse_chains = true) {
+                           bool fuse_chains = true,
+                           double min_instr_ratio = 0.0) {
   SweepCounts counts;
   api::OptimizeOptions options;
   options.exec.dop = 8;
@@ -169,6 +178,36 @@ SweepCounts RunBudgetSweep(const workloads::Workload& w,
       EXPECT_EQ(serial.network_bytes, noskip.network_bytes);
       EXPECT_EQ(serial.output_rows, noskip.output_rows);
 
+      // Chain-specialization differential (DESIGN.md §2.6): the fused TAC
+      // program is a pure CPU-side rewrite, so turning it off must leave
+      // every byte meter EXACTLY equal — not just the sink bag — at this
+      // budget. (udf_calls and skipped_batches legitimately differ: the
+      // fused path meters one call per record and refutes at an adapted
+      // batch granularity.)
+      program->mutable_exec_options().num_threads = 1;
+      program->mutable_exec_options().enable_chain_specialization = false;
+      engine::ExecStats nospec;
+      StatusOr<DataSet> out_np = program->Run(i, &nospec);
+      program->mutable_exec_options().enable_chain_specialization = true;
+      if (!out_np.ok()) {
+        ADD_FAILURE() << out_np.status().ToString();
+        return counts;
+      }
+      EXPECT_EQ(SortedOutputBytes(*out_np), reference)
+          << "specialization-off sorted sink diverges";
+      EXPECT_EQ(serial.network_bytes, nospec.network_bytes);
+      EXPECT_EQ(serial.disk_bytes, nospec.disk_bytes);
+      EXPECT_EQ(serial.peak_bytes, nospec.peak_bytes);
+      EXPECT_EQ(serial.skipped_spill_bytes, nospec.skipped_spill_bytes);
+      EXPECT_EQ(serial.output_rows, nospec.output_rows);
+      if (min_instr_ratio > 0.0) {
+        EXPECT_GE(static_cast<double>(nospec.interp_instructions),
+                  min_instr_ratio *
+                      static_cast<double>(serial.interp_instructions))
+            << "specialization fell below the " << min_instr_ratio
+            << "x instruction bar at this budget";
+      }
+
       if (budget >= kUnbounded) {
         EXPECT_EQ(serial.disk_bytes, 0)
             << "an unbounded run must never touch disk";
@@ -211,8 +250,10 @@ TEST(SpillEquivalence, TextMiningClosureSurvivesEveryBudget) {
 
   // Fused, the 8-node pipeline has no breaker except the (heavily filtered,
   // tiny) sink gather: nothing to spill even at 4 KB — fusion eliminated
-  // the very buffers a budget would have forced to disk.
-  SweepCounts fused = RunBudgetSweep(w, sca, /*fuse_chains=*/true);
+  // the very buffers a budget would have forced to disk. The Map-dominated
+  // chain also carries the §2.6 specialization bar at every budget point.
+  SweepCounts fused = RunBudgetSweep(w, sca, /*fuse_chains=*/true,
+                                     /*min_instr_ratio=*/2.0);
   if (::testing::Test::HasFailure()) return;
   EXPECT_GT(fused.runs, 0u);
   EXPECT_EQ(fused.spilled_at_4k, 0u)

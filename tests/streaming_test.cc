@@ -125,6 +125,11 @@ TEST(Streaming, FusedAndUnfusedAreByteIdenticalAndFusionCutsPeakOnQ7) {
     api::OptimizeOptions options = BaseOptions();
     options.exec.fuse_chains = fuse;
     options.exec.num_threads = threads;
+    // Pin the fusion contract in isolation: chain specialization (§2.6)
+    // legitimately cuts interp_instructions (and with it simulated_seconds)
+    // in fused mode only; its own differential lives in fused_chain_test
+    // and the two oracles.
+    options.exec.enable_chain_specialization = false;
     StatusOr<api::OptimizedProgram> p = Optimize(q7, sca, options);
     EXPECT_TRUE(p.ok()) << p.status().ToString();
     engine::ExecStats stats;

@@ -42,6 +42,12 @@ repo's ranked search carries — the TPC-H Q7 ranked-vs-closure optimize
 speedup must stay >= 10x (closure costs ~17x more plans there, so the bar
 has real slack). Check mode also re-asserts the binary's own invariants:
 ok, every best_cost_equal, and every cache warm_hit.
+
+BENCH_spec_smoke.json (CI's specialization-smoke step, DESIGN.md §2.6) is
+fully deterministic: both modes, check and write re-assert byte-identical
+outputs, the >= 2x interp_instructions reduction on the text-mining chain,
+and fused_chains > 0, and the ablation G on/off rows must show the
+specialized run saving instructions without moving any byte meter.
 """
 
 import argparse
@@ -60,6 +66,7 @@ FIG_FILES = [
 ABLATION = "BENCH_ablation.json"
 SERVING = "BENCH_serving.json"
 ENUM = "BENCH_enum_time.json"
+SPEC = "BENCH_spec_smoke.json"
 
 # Schema, not values: serving latencies are wall-clock and legitimately vary
 # run to run. What CI pins is that the counters/fields exist and that the
@@ -88,7 +95,8 @@ FIG_TOP_KEYS = [
     "best_uses_combiner",
 ]
 FIG_RUN_EXACT = ["network_bytes", "disk_bytes", "peak_bytes", "udf_calls",
-                 "skipped_batches", "skipped_spill_bytes"]
+                 "skipped_batches", "skipped_spill_bytes", "fused_chains",
+                 "specialized_instructions_saved", "projected_fields_skipped"]
 SWEEP_EXACT = ["disk_bytes", "peak_bytes", "skipped_batches",
                "skipped_spill_bytes"]
 ABLATION_EXACT = [
@@ -100,6 +108,8 @@ ABLATION_EXACT = [
     "combiner_plans",
     "skipped_batches",
     "skipped_spill_bytes",
+    "interp_instructions",
+    "fused_chains",
 ]
 # Deterministic per-workload search counters at the default enumeration /
 # top_k budget — the ranked-search equivalent of the figure byte meters.
@@ -350,6 +360,53 @@ def check_skipping_invariants(fresh):
     return errors
 
 
+def check_specialization_invariants(dirname, fresh):
+    """Asserts fused-chain specialization is alive and sound (§2.6).
+
+    Checked on the fresh outputs so a regenerated baseline cannot wash them
+    away: (1) the spec-smoke run must report byte-identical outputs and a
+    >= 2x interp_instructions reduction on the text-mining chain; (2) the
+    ablation G on/off pair must show the specialized run fusing at least
+    one chain and saving instructions. Byte-meter equality across modes is
+    NOT asserted here: ablation G ablates the cost-model weight too, so the
+    interpreted run may legitimately execute a different winning plan — the
+    exact-equality contract lives where the toggle is exec-only (spec_smoke
+    and both differential oracles).
+    """
+    path = os.path.join(dirname, SPEC)
+    if not os.path.exists(path):
+        return [f"specialization: {SPEC} missing (did the "
+                "specialization-smoke step run?)"]
+    errors = []
+    spec = load(path)
+    if spec.get("outputs_match") is not True:
+        errors.append("specialization: spec_smoke outputs differ between "
+                      "specialized and interpreted runs")
+    if spec.get("instruction_ratio", 0) < 2.0:
+        errors.append("specialization: spec_smoke instruction ratio "
+                      f"{spec.get('instruction_ratio')} fell below 2x")
+    if spec.get("fused_chains", 0) <= 0:
+        errors.append("specialization: spec_smoke fused no chains")
+    for wl in ("textmining", "tpch_q7"):
+        rows = {r["config"]: r for r in fresh["ablation_rows"]
+                if r["workload"] == wl}
+        on = rows.get(f"{wl.replace('tpch_q7', 'q7')} specialized (default)")
+        off = rows.get(f"{wl.replace('tpch_q7', 'q7')} interpreted")
+        if on is None or off is None:
+            errors.append(f"specialization: ablation G rows missing for {wl}")
+            continue
+        if on["fused_chains"] <= 0:
+            errors.append(f"specialization: ablation G {wl} specialized row "
+                          "fused no chains")
+        if off["fused_chains"] != 0:
+            errors.append(f"specialization: ablation G {wl} interpreted row "
+                          "fused chains — the switch is not honored")
+        if on["interp_instructions"] >= off["interp_instructions"]:
+            errors.append(f"specialization: ablation G {wl} saved no "
+                          "instructions")
+    return errors
+
+
 def check(baseline, fresh):
     errors = []
 
@@ -392,10 +449,11 @@ def main():
 
     fresh = extract(args.dir)
     if args.mode == "write":
-        errors = check_skipping_invariants(fresh)
+        errors = (check_skipping_invariants(fresh)
+                  + check_specialization_invariants(args.dir, fresh))
         if errors:
-            print("refusing to write a baseline that fails the skipping "
-                  "invariants:")
+            print("refusing to write a baseline that fails the skipping / "
+                  "specialization invariants:")
             for e in errors:
                 print("  " + e)
             return 1
@@ -408,7 +466,8 @@ def main():
     baseline = load(args.baseline)
     errors = (check(baseline, fresh) + check_serving(args.dir)
               + check_enum_invariants(args.dir)
-              + check_skipping_invariants(fresh))
+              + check_skipping_invariants(fresh)
+              + check_specialization_invariants(args.dir, fresh))
     if errors:
         print("bench baseline drift detected "
               "(regenerate bench/BENCH_baseline.json if intended):")
