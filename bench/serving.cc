@@ -1,22 +1,34 @@
-// Closed-loop serving benchmark (DESIGN.md §2.4): optimizes the three seed
-// workloads once, then drives a QueryServer with concurrent closed-loop
-// clients — three tenants, one per workload class, each submitting its
-// query repeatedly and waiting for the result before submitting the next.
-// Clickstream runs as the "short" class at elevated worker-pool priority.
+// Open-loop serving benchmark (DESIGN.md §2.4): optimizes the three seed
+// workloads once, then drives a QueryServer with arrival-rate-driven
+// clients — one submitter per workload class that submits on a fixed
+// schedule WITHOUT waiting for results, the way real load arrives. Because
+// arrivals do not slow down when the server does, queueing genuinely builds
+// and the per-class latency percentiles separate: clickstream runs as the
+// "short" class at elevated worker-pool priority and the fastest arrival
+// rate, tpch_q7 as the heavy "scan" class at the slowest.
+//
+// Every request carries a per-class deadline (generous enough never to fire
+// under healthy CI timing), and two deterministic probes exercise the
+// cancellation machinery on every run:
+//   - a cancel probe that fires its token inside its first spill write
+//     (ExecOptions::cancel_after_spill_bytes), unwinding mid-execution;
+//   - a deadline probe submitted with an already-expired deadline, culled
+//     at admission before it carves budget.
 //
 // The run verifies the serving invariants end to end and exits non-zero if
-// either fails:
+// any fails:
 //   - zero ledger violations: the global BudgetPool's measured live
-//     high-water never exceeded its capacity while >= max_inflight queries
-//     ran concurrently;
-//   - byte-identical outputs: every served result equals the solo
-//     (unserved, private-pool) execution of the same plan, encoded
-//     record for record.
+//     high-water never exceeded its capacity under concurrent spill load;
+//   - byte-identical outputs: every completed result equals the solo
+//     (unserved, private-pool) execution of the same plan;
+//   - exact lifecycle accounting: all non-probe queries complete, the
+//     cancel probe is counted cancelled, the deadline probe counted
+//     deadline_exceeded, the oversized probe rejected, none failed.
 //
-// Writes BENCH_serving.json: admission counters, ledger accounting,
-// per-class wall-clock latency percentiles (p50/p99 — real time, unlike the
-// engine's thread-invariant simulated_seconds, which is reported per solo
-// run next to them), and the deterministic solo meters.
+// Writes BENCH_serving.json: admission + cancellation counters, ledger
+// accounting, per-class wall-clock latency percentiles (p50/p99 — real
+// time, unlike the engine's thread-invariant simulated_seconds, reported
+// per solo run next to them), and the deterministic solo meters.
 //
 // Flags: --smoke        reduced scale + fewer queries (the CI smoke config)
 //        --inflight N   max concurrently executing queries (default 4)
@@ -28,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +63,8 @@ struct ServedWorkload {
   std::string tenant;          // fair-share identity
   std::string workload_class;  // metrics bucket
   int priority = 0;            // worker-pool priority
+  std::chrono::milliseconds interarrival{0};  // open-loop submit gap
+  std::chrono::seconds deadline{0};           // per-class deadline budget
   workloads::Workload workload;
   api::OptimizedProgram program;
   std::string solo_bytes;          // encoded solo output, the oracle
@@ -123,19 +138,30 @@ int main(int argc, char** argv) {
     click.users = 300;
   }
 
+  // Open-loop arrival schedule: the short class arrives fastest (so its
+  // queue pressure is real), the heavy scan class slowest. The deadlines
+  // are per-class budgets generous enough never to fire under healthy
+  // timing — they exercise the deadline plumbing on every request, while
+  // the probes below exercise the firing paths deterministically.
   std::vector<ServedWorkload> served(3);
   served[0].name = "tpch_q7";
   served[0].tenant = "analytics";
   served[0].workload_class = "scan";
+  served[0].interarrival = std::chrono::milliseconds(50);
+  served[0].deadline = std::chrono::seconds(300);
   served[0].workload = workloads::MakeTpchQ7(tpch);
   served[1].name = "textmining";
   served[1].tenant = "mining";
   served[1].workload_class = "mine";
+  served[1].interarrival = std::chrono::milliseconds(25);
+  served[1].deadline = std::chrono::seconds(300);
   served[1].workload = workloads::MakeTextMining(mining);
   served[2].name = "clickstream";
   served[2].tenant = "web";
   served[2].workload_class = "short";
   served[2].priority = 1;  // short interactive class jumps the pool queue
+  served[2].interarrival = std::chrono::milliseconds(10);
+  served[2].deadline = std::chrono::seconds(120);
   served[2].workload = workloads::MakeClickstream(click);
 
   api::ScaProvider provider;
@@ -177,55 +203,101 @@ int main(int argc, char** argv) {
                 static_cast<long long>(s.solo_stats.peak_bytes));
   }
 
-  // --- Closed-loop serving -----------------------------------------------
-  const int clients_per_tenant = 2;
-  const int queries_per_client = smoke ? 3 : 6;
+  // --- Open-loop serving ---------------------------------------------------
+  const int queries_per_class = smoke ? 6 : 12;
 
   serve::QueryServer server(serve_options);
   std::atomic<int> mismatches{0};
-  std::vector<std::thread> clients;
+
+  // One submitter thread per class: submit on the arrival schedule without
+  // waiting (open loop), collect handles, then wait and byte-check at the
+  // end. Submission never blocks on execution, so a slow server means a
+  // deep queue — exactly the regime where per-class p99 separates.
+  std::vector<std::thread> submitters;
   for (const ServedWorkload& s : served) {
-    for (int c = 0; c < clients_per_tenant; ++c) {
-      clients.emplace_back([&server, &s, &mismatches, &exec,
-                            queries_per_client] {
-        for (int k = 0; k < queries_per_client; ++k) {
-          serve::QueryRequest request;
-          request.program = &s.program;
-          request.plan_index = 0;
-          request.tenant = s.tenant;
-          request.workload_class = s.workload_class;
-          request.priority = s.priority;
-          request.exec = exec;
-          StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
-              server.Submit(std::move(request));
-          if (!handle.ok()) {
-            std::fprintf(stderr, "submit %s: %s\n", s.name.c_str(),
-                         handle.status().ToString().c_str());
-            mismatches.fetch_add(1);
-            return;
-          }
-          const serve::QueryResult& result = (*handle)->Wait();
-          if (!result.status.ok()) {
-            std::fprintf(stderr, "query %llu (%s): %s\n",
-                         static_cast<unsigned long long>(result.query_id),
-                         s.name.c_str(),
-                         result.status.ToString().c_str());
-            mismatches.fetch_add(1);
-            continue;
-          }
-          if (EncodeOutput(result.output) != s.solo_bytes) {
-            std::fprintf(stderr,
-                         "query %llu (%s): served output differs from the "
-                         "solo run\n",
-                         static_cast<unsigned long long>(result.query_id),
-                         s.name.c_str());
-            mismatches.fetch_add(1);
-          }
+    submitters.emplace_back([&server, &s, &mismatches, &exec,
+                             queries_per_class] {
+      std::vector<std::shared_ptr<serve::QueryHandle>> handles;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int k = 0; k < queries_per_class; ++k) {
+        std::this_thread::sleep_until(t0 + k * s.interarrival);
+        serve::QueryRequest request;
+        request.program = &s.program;
+        request.plan_index = 0;
+        request.tenant = s.tenant;
+        request.workload_class = s.workload_class;
+        request.priority = s.priority;
+        request.deadline = std::chrono::steady_clock::now() + s.deadline;
+        request.exec = exec;
+        StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+            server.Submit(std::move(request));
+        if (!handle.ok()) {
+          std::fprintf(stderr, "submit %s: %s\n", s.name.c_str(),
+                       handle.status().ToString().c_str());
+          mismatches.fetch_add(1);
+          continue;
         }
-      });
-    }
+        handles.push_back(std::move(handle).value());
+      }
+      for (const std::shared_ptr<serve::QueryHandle>& h : handles) {
+        const serve::QueryResult& result = h->Wait();
+        if (!result.status.ok()) {
+          std::fprintf(stderr, "query %llu (%s): %s\n",
+                       static_cast<unsigned long long>(result.query_id),
+                       s.name.c_str(), result.status.ToString().c_str());
+          mismatches.fetch_add(1);
+          continue;
+        }
+        if (EncodeOutput(result.output) != s.solo_bytes) {
+          std::fprintf(stderr,
+                       "query %llu (%s): served output differs from the "
+                       "solo run\n",
+                       static_cast<unsigned long long>(result.query_id),
+                       s.name.c_str());
+          mismatches.fetch_add(1);
+        }
+      }
+    });
   }
-  for (std::thread& t : clients) t.join();
+
+  // Deterministic cancellation probes, submitted while the open-loop load
+  // is in flight so the unwind happens next to healthy neighbors.
+  // Probe 1: cancelled mid-spill — the token fires inside the first spill
+  // write, so this query always unwinds from deep in execution.
+  serve::QueryRequest cancel_probe;
+  cancel_probe.program = &served[2].program;
+  cancel_probe.tenant = "probe";
+  cancel_probe.workload_class = "probe";
+  cancel_probe.exec = exec;
+  cancel_probe.exec.cancel_after_spill_bytes = 1;
+  StatusOr<std::shared_ptr<serve::QueryHandle>> cancel_handle =
+      server.Submit(std::move(cancel_probe));
+  // Probe 2: deadline already expired at submit — culled at admission,
+  // never carves budget.
+  serve::QueryRequest deadline_probe;
+  deadline_probe.program = &served[2].program;
+  deadline_probe.tenant = "probe";
+  deadline_probe.workload_class = "probe";
+  deadline_probe.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  deadline_probe.exec = exec;
+  StatusOr<std::shared_ptr<serve::QueryHandle>> deadline_handle =
+      server.Submit(std::move(deadline_probe));
+
+  bool probes_ok = true;
+  if (!cancel_handle.ok() ||
+      (*cancel_handle)->Wait().status.code() != Status::Code::kCancelled) {
+    std::fprintf(stderr, "cancel probe did not return Cancelled\n");
+    probes_ok = false;
+  }
+  if (!deadline_handle.ok() ||
+      (*deadline_handle)->Wait().status.code() !=
+          Status::Code::kDeadlineExceeded) {
+    std::fprintf(stderr, "deadline probe did not return DeadlineExceeded\n");
+    probes_ok = false;
+  }
+
+  for (std::thread& t : submitters) t.join();
   server.Drain();
 
   // One deliberately oversized probe after the load: its carve cannot fit
@@ -253,18 +325,20 @@ int main(int argc, char** argv) {
   const serve::MetricsSnapshot metrics = server.metrics().Snapshot();
   const engine::BudgetPool& pool = server.budget_pool();
   const int expected =
-      static_cast<int>(served.size()) * clients_per_tenant * queries_per_client;
+      static_cast<int>(served.size()) * queries_per_class;
 
-  std::printf("\nserving: %d queries, %d clients, max_inflight %d, "
-              "%d pool threads\n",
-              expected, static_cast<int>(clients.size()), max_inflight,
-              num_threads);
+  std::printf("\nserving (open loop): %d queries + 3 probes, max_inflight "
+              "%d, %d pool threads\n",
+              expected, max_inflight, num_threads);
   std::printf("counters: submitted %lld admitted %lld completed %lld "
-              "failed %lld rejected %lld queue_hw %zu plan_cache %lld/%lld\n",
+              "failed %lld cancelled %lld deadline_exceeded %lld "
+              "rejected %lld queue_hw %zu plan_cache %lld/%lld\n",
               static_cast<long long>(metrics.submitted),
               static_cast<long long>(metrics.admitted),
               static_cast<long long>(metrics.completed),
               static_cast<long long>(metrics.failed),
+              static_cast<long long>(metrics.cancelled),
+              static_cast<long long>(metrics.deadline_exceeded),
               static_cast<long long>(metrics.rejected),
               metrics.queue_high_water,
               static_cast<long long>(metrics.plan_cache_hits),
@@ -281,7 +355,9 @@ int main(int argc, char** argv) {
   }
 
   bool ok = mismatches.load() == 0 && pool.violations() == 0 &&
-            metrics.completed == expected && metrics.failed == 0;
+            metrics.completed == expected && metrics.failed == 0 &&
+            metrics.cancelled == 1 && metrics.deadline_exceeded == 1 &&
+            probes_ok;
 
   // --- BENCH_serving.json --------------------------------------------------
   std::FILE* f = std::fopen("BENCH_serving.json", "w");
@@ -292,8 +368,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serving\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f, "  \"clients\": %d,\n", static_cast<int>(clients.size()));
-  std::fprintf(f, "  \"queries_per_client\": %d,\n", queries_per_client);
+  std::fprintf(f, "  \"open_loop\": true,\n");
+  std::fprintf(f, "  \"queries_per_class\": %d,\n", queries_per_class);
   std::fprintf(f, "  \"max_inflight\": %d,\n", max_inflight);
   std::fprintf(f, "  \"pool_threads\": %d,\n", num_threads);
   std::fprintf(f, "  \"dop\": %d,\n", exec.dop);
@@ -310,6 +386,10 @@ int main(int argc, char** argv) {
                static_cast<long long>(metrics.completed));
   std::fprintf(f, "    \"failed\": %lld,\n",
                static_cast<long long>(metrics.failed));
+  std::fprintf(f, "    \"cancelled\": %lld,\n",
+               static_cast<long long>(metrics.cancelled));
+  std::fprintf(f, "    \"deadline_exceeded\": %lld,\n",
+               static_cast<long long>(metrics.deadline_exceeded));
   std::fprintf(f, "    \"rejected\": %lld,\n",
                static_cast<long long>(metrics.rejected));
   std::fprintf(f, "    \"queue_high_water\": %zu,\n",
@@ -366,11 +446,14 @@ int main(int argc, char** argv) {
 
   if (!ok) {
     std::fprintf(stderr, "serving bench FAILED (mismatches=%d "
-                         "violations=%lld completed=%lld/%d failed=%lld)\n",
+                         "violations=%lld completed=%lld/%d failed=%lld "
+                         "cancelled=%lld deadline_exceeded=%lld)\n",
                  mismatches.load(),
                  static_cast<long long>(pool.violations()),
                  static_cast<long long>(metrics.completed), expected,
-                 static_cast<long long>(metrics.failed));
+                 static_cast<long long>(metrics.failed),
+                 static_cast<long long>(metrics.cancelled),
+                 static_cast<long long>(metrics.deadline_exceeded));
     return 1;
   }
   std::printf("serving bench OK — wrote BENCH_serving.json\n");

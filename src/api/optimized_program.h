@@ -137,6 +137,14 @@ class OptimizedProgram {
   /// program are safe (each builds its own Executor), which is how the
   /// serving layer runs many admitted queries of the same program at once —
   /// each with its own spill tag, ledger parent, and shared worker pool.
+  ///
+  /// Cancellation: when exec.cancel is set, the engine polls it at batch
+  /// boundaries, spill writes/reads, and merge passes; a fired token makes
+  /// this return Status::Cancelled or DeadlineExceeded within about one
+  /// batch of work, with all execution-owned memory and spill files already
+  /// released by the unwind (RAII). The token is execution-only state — it
+  /// never affects plan choice or the plan cache, and a token that never
+  /// fires leaves the output byte-identical to running without one.
   StatusOr<DataSet> RunWith(size_t index, const engine::ExecOptions& exec,
                             engine::ExecStats* stats = nullptr) const;
 

@@ -1,0 +1,78 @@
+// CancelToken — the shared interrupt signal threaded through an execution
+// (DESIGN.md §2.4). One token is shared by everything that may want a query
+// to stop (the serving layer's QueryHandle::Cancel, a deadline armed at
+// submit) and everything that must notice (the executor's chain batch
+// boundaries, the spill manager's evictions and reads, the external sort's
+// merge passes, the interpreter's batch loops). The engine only ever *polls*
+// — Check() at batch-granular points — so a cancelled execution unwinds
+// through the ordinary Status propagation path within one batch of work,
+// running every destructor on the way out: ledgers release their bytes,
+// spill directories remove themselves, carves are reclaimed by the caller.
+//
+// Check() is designed for hot loops: one relaxed atomic load when no
+// deadline is armed, plus a steady_clock read when one is. Callers inside
+// per-record loops amortize it (e.g. every 64 records); per-batch callers
+// call it directly.
+
+#ifndef BLACKBOX_COMMON_CANCEL_H_
+#define BLACKBOX_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace blackbox {
+
+/// Shared cancel flag plus an optional steady-clock deadline. Thread-safe:
+/// any thread may Cancel() or arm the deadline while others poll Check().
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; visible to every subsequent Check().
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) the deadline. Checks fail with DeadlineExceeded once
+  /// steady_clock::now() passes it.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline is armed and already in the past. Does not
+  /// consult the cancel flag.
+  bool deadline_expired() const {
+    int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != kNoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// The poll: OK while the execution may proceed, Cancelled after
+  /// Cancel(), DeadlineExceeded once the armed deadline passed. An explicit
+  /// cancel wins over an expired deadline (the caller asked first).
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MIN;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace blackbox
+
+#endif  // BLACKBOX_COMMON_CANCEL_H_

@@ -19,6 +19,10 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

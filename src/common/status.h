@@ -22,6 +22,8 @@ class Status {
     kNotSupported,
     kOutOfRange,
     kInternal,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -44,6 +46,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

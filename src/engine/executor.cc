@@ -114,16 +114,22 @@ std::vector<ValueRange> SketchRanges(const ZoneMapSketch& sketch) {
 class ChainRunner {
  public:
   ChainRunner(const ChainPlan* plan, size_t capacity, SpillableBuffer* out,
-              ExecStats* meters)
-      : plan_(plan), capacity_(capacity), out_(out), meters_(meters) {
+              ExecStats* meters, const CancelToken* cancel = nullptr)
+      : plan_(plan),
+        capacity_(capacity),
+        out_(out),
+        cancel_(cancel),
+        meters_(meters) {
     pending_.reserve(capacity);
     if (plan_ == nullptr) return;
     if (plan_->fused) {
       fused_interp_ = std::make_unique<Interpreter>(&plan_->fused->fn);
+      fused_interp_->set_cancel(cancel_);
     } else {
       for (const ChainStage& s : plan_->stages) {
         interps_.push_back(s.op ? std::make_unique<Interpreter>(s.op->udf.get())
                                 : nullptr);
+        if (interps_.back()) interps_.back()->set_cancel(cancel_);
       }
     }
   }
@@ -155,6 +161,11 @@ class ChainRunner {
 
  private:
   Status ProcessBatch(std::vector<Record>* batch) {
+    // Batch-boundary cancellation point: a cancelled or past-deadline query
+    // stops before the next batch enters the chain, so unwind latency is
+    // bounded by one batch of work. The poll is read-only — a token that
+    // never fires changes no output or meter.
+    if (cancel_ != nullptr) BLACKBOX_RETURN_NOT_OK(cancel_->Check());
     // Adapt from the first flushed batch in EVERY mode, fused or staged:
     // the flush cadence decides when the terminal buffer's ledger sees
     // reserves, and under a tight budget that interleaving steers eviction —
@@ -279,6 +290,7 @@ class ChainRunner {
   std::vector<Record> pending_;
   std::vector<Record> scratch_[2];  // ping-pong stage outputs, reused
   SpillableBuffer* out_;
+  const CancelToken* cancel_;  // borrowed; null when not cancellable
   std::vector<std::unique_ptr<Interpreter>> interps_;
   std::unique_ptr<Interpreter> fused_interp_;  // set iff plan_->fused
   Interpreter::ChainState chain_state_;
@@ -297,7 +309,8 @@ class ExecContext {
         pool_(pool),
         stats_(stats),
         spill_(options.spill_dir, options.spill_tag,
-               options.spill_fault_after_bytes),
+               options.spill_fault_after_bytes, options.cancel,
+               options.cancel_after_spill_bytes),
         ledgers_(static_cast<size_t>(options.dop)) {
     for (MemoryLedger& l : ledgers_) {
       l.Init(options.mem_budget_bytes, options.ledger_parent);
@@ -500,7 +513,17 @@ class ExecContext {
     std::vector<Status> statuses(n);
     std::vector<ExecStats> meters(n);
     pool_->ParallelFor(
-        n, [&](size_t pi) { statuses[pi] = body(pi, &meters[pi]); },
+        n,
+        [&](size_t pi) {
+          // Per-task cancellation point: a partition task that starts after
+          // the token fired returns immediately instead of running its whole
+          // body, so wide fan-outs unwind without finishing every split.
+          if (options_.cancel != nullptr) {
+            statuses[pi] = options_.cancel->Check();
+            if (!statuses[pi].ok()) return;
+          }
+          statuses[pi] = body(pi, &meters[pi]);
+        },
         options_.task_priority);
     for (size_t pi = 0; pi < n; ++pi) {
       if (!statuses[pi].ok()) return statuses[pi];
@@ -533,7 +556,7 @@ class ExecContext {
     // its own.
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       ChainRunner runner(&chain, options_.batch_capacity, parts[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       const size_t lo = pi * src.size() / dop;
       const size_t hi = (pi + 1) * src.size() / dop;
       for (size_t i = lo; i < hi; ++i) {
@@ -667,7 +690,7 @@ class ExecContext {
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());  // task-local interpreter
       ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       BatchPool pool;
       std::vector<Record> emitted;
       BLACKBOX_RETURN_NOT_OK(in[pi]->DrainBatches(
@@ -732,7 +755,7 @@ class ExecContext {
     return ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
       ChainRunner runner(&chain, options_.batch_capacity, (*out)[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       BatchPool pool;
       meters->records_processed +=
           static_cast<int64_t>((*in)[pi]->rows());
@@ -989,7 +1012,7 @@ class ExecContext {
           ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
             Interpreter interp(op.udf.get());
             ChainRunner runner(&chain, options_.batch_capacity,
-                               out[pi].get(), meters);
+                               out[pi].get(), meters, options_.cancel);
             bool lsorted = node.input_presorted.size() >= 2 &&
                            node.input_presorted[0];
             bool rsorted = node.input_presorted.size() >= 2 &&
@@ -1007,7 +1030,7 @@ class ExecContext {
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
       ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       SpillableBuffer* build = (build_left ? left : right)[pi].get();
       SpillableBuffer* probe = (build_left ? right : left)[pi].get();
       const std::vector<AttrId>& build_key = build_left ? p.keys[0] : p.keys[1];
@@ -1111,7 +1134,7 @@ class ExecContext {
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
       ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       BatchPool pool;
       SpillableBuffer* lbuf = left[pi].get();
       SpillableBuffer* rbuf = right[pi].get();
@@ -1200,7 +1223,7 @@ class ExecContext {
     Status st = ForEachPartition([&](size_t pi, ExecStats* meters) -> Status {
       Interpreter interp(op.udf.get());
       ChainRunner runner(&chain, options_.batch_capacity, out[pi].get(),
-                         meters);
+                         meters, options_.cancel);
       BatchPool pool;
       meters->records_processed += static_cast<int64_t>(
           left[pi]->rows() + right[pi]->rows());
@@ -1317,6 +1340,11 @@ StatusOr<DataSet> Executor::Execute(const optimizer::PhysicalPlan& plan,
     return Status::InvalidArgument(
         "mem_budget_bytes must be positive, got " +
         std::to_string(options_.mem_budget_bytes));
+  }
+  // Entry cancellation point: a query cancelled while queued — or submitted
+  // with an already-expired deadline — never touches a source batch.
+  if (options_.cancel != nullptr) {
+    BLACKBOX_RETURN_NOT_OK(options_.cancel->Check());
   }
   auto start = std::chrono::steady_clock::now();
   TaskPool* workers = options_.worker_pool;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/defaults.h"
 #include "common/status.h"
 #include "common/task_pool.h"
@@ -92,9 +93,27 @@ struct ExecOptions {
   /// changes output — DESIGN.md §2.1).
   int task_priority = 0;
 
+  /// Cancellation / deadline token for this execution (borrowed; may be
+  /// null). Polled at chain batch boundaries, spill-manager evictions and
+  /// reads, external-sort merge passes, and (amortized) inside the
+  /// interpreter's batch loops, so a cancelled or past-deadline execution
+  /// unwinds within roughly one batch of work, returning Cancelled /
+  /// DeadlineExceeded through the ordinary Status path. Cleanup is pure
+  /// RAII — ledgers release their bytes and the spill directory removes
+  /// itself — so early unwind leaves nothing behind. Polling is read-only:
+  /// a token that never fires changes no output and no meter (the
+  /// determinism contract is untouched). Execution-only, like worker_pool:
+  /// never part of any plan-cache key.
+  CancelToken* cancel = nullptr;
+
   /// Test-only fault injection: when > 0, spill writes fail with a clean
   /// Status once this many payload bytes were spilled across the execution.
   int64_t spill_fault_after_bytes = 0;
+
+  /// Test-only: when > 0 (and `cancel` is set), the token is cancelled as
+  /// soon as this many payload bytes were spilled — a deterministic way to
+  /// cancel an execution *mid-spill*, independent of wall-clock timing.
+  int64_t cancel_after_spill_bytes = 0;
 
   /// Real worker threads executing partition tasks. Independent of `dop`
   /// (the *simulated* cluster width): any thread count produces identical

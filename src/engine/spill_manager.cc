@@ -54,17 +54,26 @@ StatusOr<std::string> SpillManager::NewRunPath() {
 }
 
 Status SpillManager::CheckFault(int64_t about_to_write_bytes) {
-  // Fault injection (test-only): fail once the execution has attempted to
-  // spill more than the configured byte budget. The caller's writer
-  // destructor removes its partial file.
-  std::lock_guard<std::mutex> lock(mu_);
-  written_total_ += about_to_write_bytes;
-  if (fault_after_bytes_ > 0 && written_total_ > fault_after_bytes_) {
-    return Status::Internal(
-        "injected spill fault after " + std::to_string(written_total_) +
-        " bytes (ExecOptions::spill_fault_after_bytes)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    written_total_ += about_to_write_bytes;
+    // Test-only mid-spill cancellation: fire the shared token once the
+    // execution has spilled past the trigger, so tests hit the cancel path
+    // at a deterministic point inside an eviction or merge pass.
+    if (cancel_ != nullptr && cancel_after_bytes_ > 0 &&
+        written_total_ > cancel_after_bytes_) {
+      cancel_->Cancel();
+    }
+    // Fault injection (test-only): fail once the execution has attempted to
+    // spill more than the configured byte budget. The caller's writer
+    // destructor removes its partial file.
+    if (fault_after_bytes_ > 0 && written_total_ > fault_after_bytes_) {
+      return Status::Internal(
+          "injected spill fault after " + std::to_string(written_total_) +
+          " bytes (ExecOptions::spill_fault_after_bytes)");
+    }
   }
-  return Status::OK();
+  return CheckCancel();
 }
 
 StatusOr<SpillRun> SpillManager::WriteRun(
@@ -216,8 +225,15 @@ Status SpillableBuffer::Push(Record r, size_t serialized_bytes, ExecStats* m,
   assert(!draining_ && "Push after drain started");
   // Reserve first: the eviction this may trigger spills the current
   // in-memory run, and the new record then starts the next one.
-  BLACKBOX_RETURN_NOT_OK(
-      ledger_->Reserve(static_cast<int64_t>(serialized_bytes), m));
+  Status reserved = ledger_->Reserve(static_cast<int64_t>(serialized_bytes), m);
+  if (!reserved.ok()) {
+    // Reserve accounts the bytes before rebalancing, so a failure mid-
+    // eviction (cancellation, injected fault) leaves them counted live.
+    // The record is never appended on this path — refund the reservation,
+    // or the unwinding query would leak it into the parent pool forever.
+    ledger_->Release(static_cast<int64_t>(serialized_bytes));
+    return reserved;
+  }
   if (mem_.empty() || mem_.back().size() >= capacity_) {
     mem_.push_back(pool != nullptr && pool->free_count() > 0
                        ? pool->Acquire(capacity_)
@@ -297,6 +313,7 @@ Status SpillableBuffer::ForEachBatch(
   assert(!draining_ && "ForEachBatch after drain started");
   PinGuard pin(ledger_, id_);
   for (size_t ri = 0; ri < runs_.size(); ++ri) {
+    BLACKBOX_RETURN_NOT_OK(spill_->CheckCancel());
     if (skip != nullptr && runs_[ri].sketch.has_value() &&
         (*skip)(*runs_[ri].sketch)) {
       // Refuted against the run-header sketch: the whole run is skipped
@@ -313,6 +330,7 @@ Status SpillableBuffer::ForEachBatch(
     // skipping switch.
     if (m) m->disk_bytes += reader->header_bytes();
     for (;;) {
+      BLACKBOX_RETURN_NOT_OK(spill_->CheckCancel());
       RecordBatch b;
       int64_t fb = 0;
       StatusOr<bool> has = reader->ReadBatch(pool, capacity_, &b, &fb);
@@ -324,6 +342,7 @@ Status SpillableBuffer::ForEachBatch(
     }
   }
   for (size_t i = 0; i < mem_.size(); ++i) {
+    BLACKBOX_RETURN_NOT_OK(spill_->CheckCancel());
     if (skip != nullptr && (*skip)(mem_[i].sketch())) {
       if (m) ++m->skipped_batches;
       continue;
@@ -335,6 +354,7 @@ Status SpillableBuffer::ForEachBatch(
 
 StatusOr<bool> SpillableBuffer::NextDrained(RecordBatch* out, BatchPool* pool,
                                             ExecStats* m) {
+  BLACKBOX_RETURN_NOT_OK(spill_->CheckCancel());
   if (!draining_) {
     draining_ = true;
     // References into the in-memory tail may be live in the caller; the
@@ -411,8 +431,14 @@ ExternalSorter::~ExternalSorter() {
 
 Status ExternalSorter::Push(Record r, size_t serialized_bytes, ExecStats* m) {
   assert(!finished_ && "Push after Finish");
-  BLACKBOX_RETURN_NOT_OK(
-      ledger_->Reserve(static_cast<int64_t>(serialized_bytes), m));
+  Status reserved = ledger_->Reserve(static_cast<int64_t>(serialized_bytes), m);
+  if (!reserved.ok()) {
+    // Same refund as SpillableBuffer::Push: the failed reservation is
+    // already counted but the entry below is never added, so mem_bytes_
+    // (and the destructor's release) would miss it.
+    ledger_->Release(static_cast<int64_t>(serialized_bytes));
+    return reserved;
+  }
   Entry e;
   e.key = KeyOf(r, key_);
   e.rec = std::move(r);
@@ -460,6 +486,7 @@ Status ExternalSorter::AdvanceSource(Source* src, ExecStats* m) {
     return Status::OK();
   }
   while (!src->have_batch || src->idx >= src->batch.size()) {
+    BLACKBOX_RETURN_NOT_OK(spill_->CheckCancel());
     if (src->have_batch) {
       pool_.Release(std::move(src->batch));
       src->have_batch = false;

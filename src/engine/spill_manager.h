@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "dataflow/attr_set.h"
 #include "record/record.h"
@@ -78,11 +79,25 @@ class SpillManager {
   /// (ExecOptions::spill_tag); `fault_after_bytes` > 0 makes every spill
   /// write fail once that many bytes were written across the whole
   /// execution (ExecOptions::spill_fault_after_bytes, test-only).
+  /// `cancel` (borrowed, may be null) is the execution's CancelToken,
+  /// polled on every spill write and read-back so evictions, run re-scans,
+  /// drains, and merge passes unwind promptly; `cancel_after_bytes` > 0
+  /// fires the token once that many payload bytes were spilled
+  /// (ExecOptions::cancel_after_spill_bytes, test-only).
   SpillManager(std::string dir_hint, std::string tag,
-               int64_t fault_after_bytes)
+               int64_t fault_after_bytes, CancelToken* cancel = nullptr,
+               int64_t cancel_after_bytes = 0)
       : dir_hint_(std::move(dir_hint)),
         tag_(std::move(tag)),
-        fault_after_bytes_(fault_after_bytes) {}
+        fault_after_bytes_(fault_after_bytes),
+        cancel_(cancel),
+        cancel_after_bytes_(cancel_after_bytes) {}
+
+  /// The cancellation poll every spill-layer loop goes through: OK without
+  /// a token, the token's verdict with one. Cheap enough to call per batch.
+  Status CheckCancel() const {
+    return cancel_ != nullptr ? cancel_->Check() : Status::OK();
+  }
 
   /// Writes `batches` as one run; charges the written file bytes to
   /// `m->disk_bytes` (when m is non-null).
@@ -110,6 +125,8 @@ class SpillManager {
   std::string dir_hint_;
   std::string tag_;
   int64_t fault_after_bytes_;
+  CancelToken* cancel_;            // borrowed; null outside cancellable runs
+  int64_t cancel_after_bytes_;     // test-only mid-spill cancel trigger
   std::mutex mu_;
   std::optional<SpillDirectory> dir_;   // created on first spill
   Status dir_status_;                   // sticky failure

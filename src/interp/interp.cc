@@ -89,6 +89,9 @@ Status Interpreter::RunBatch(const std::vector<Record>& in,
   ci.groups[0].resize(1);
   const int n = static_cast<int>(fn_->instrs().size());
   for (size_t i = 0; i < in.size(); ++i) {
+    if (cancel_ != nullptr && i % kCancelCheckStride == 0) {
+      BLACKBOX_RETURN_NOT_OK(cancel_->Check());
+    }
     ci.groups[0][0] = &in[i];
     ws.emitted.clear();
     BLACKBOX_RETURN_NOT_OK(
@@ -125,6 +128,9 @@ Status Interpreter::RunFusedChain(const std::vector<Record>& in,
   // reading it on the path that reads it (tac/fuse.h), and preamble
   // constants must persist.
   for (size_t r = 0; r < in.size(); ++r) {
+    if (cancel_ != nullptr && r % kCancelCheckStride == 0) {
+      BLACKBOX_RETURN_NOT_OK(cancel_->Check());
+    }
     ci.groups[0][0] = &in[r];
     FusedInput fi{&cols, r};
     BLACKBOX_RETURN_NOT_OK(RunInternal(ci, translation, out, stats, &ws,

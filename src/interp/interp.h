@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "record/record.h"
 #include "tac/tac.h"
@@ -94,7 +95,19 @@ class Interpreter {
   /// accidental infinite loops in hand-written UDFs.
   static constexpr int64_t kDefaultStepLimit = 50'000'000;
 
+  /// Records between two cancellation polls inside a batch loop: frequent
+  /// enough that a chain stuck in a long batch of expensive UDF calls still
+  /// unwinds promptly, rare enough that the relaxed load never shows up in
+  /// profiles.
+  static constexpr size_t kCancelCheckStride = 64;
+
   explicit Interpreter(const tac::Function* fn) : fn_(fn) {}
+
+  /// Arms the batch loops' amortized cancellation poll (every
+  /// kCancelCheckStride records). Null (the default) disables it. The token
+  /// is borrowed and only ever read — a token that never fires leaves
+  /// output and RunStats byte-identical to no token at all.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
 
   /// Persistent state for RunFusedChain, owned by one chain runner and
   /// reused across all its batches: the register workspace (sized once, and
@@ -153,6 +166,7 @@ class Interpreter {
                      int start_pc, int end_pc, const FusedInput* fused) const;
 
   const tac::Function* fn_;
+  const CancelToken* cancel_ = nullptr;  // borrowed; null disables polling
 };
 
 }  // namespace interp

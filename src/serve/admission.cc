@@ -1,5 +1,7 @@
 #include "serve/admission.h"
 
+#include <algorithm>
+
 namespace blackbox {
 namespace serve {
 
@@ -10,7 +12,12 @@ Status FairShareQueue::Enqueue(const std::string& tenant, uint64_t query_id) {
                               " waiting); rejecting query for tenant \"" +
                               tenant + "\"");
   }
-  lanes_[tenant].waiting.push_back(query_id);
+  auto [it, inserted] = lanes_.try_emplace(tenant);
+  // A tenant whose lane was garbage-collected (or that was never seen)
+  // starts at the floor, not at zero: erased history must not turn into a
+  // fairness advantage on return.
+  if (inserted) it->second.admitted_total = admitted_floor_;
+  it->second.waiting.push_back(query_id);
   ++size_;
   return Status::OK();
 }
@@ -51,7 +58,30 @@ bool FairShareQueue::OnComplete(const std::string& tenant) {
   auto it = lanes_.find(tenant);
   if (it == lanes_.end() || it->second.inflight <= 0) return false;
   --it->second.inflight;
+  EraseIfIdle(it);
   return true;
+}
+
+bool FairShareQueue::Remove(const std::string& tenant, uint64_t query_id) {
+  auto it = lanes_.find(tenant);
+  if (it == lanes_.end()) return false;
+  std::deque<uint64_t>& waiting = it->second.waiting;
+  for (auto wi = waiting.begin(); wi != waiting.end(); ++wi) {
+    if (*wi == query_id) {
+      waiting.erase(wi);
+      if (size_ > 0) --size_;
+      EraseIfIdle(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FairShareQueue::EraseIfIdle(
+    std::map<std::string, TenantLane>::iterator it) {
+  if (!it->second.waiting.empty() || it->second.inflight > 0) return;
+  admitted_floor_ = std::max(admitted_floor_, it->second.admitted_total);
+  lanes_.erase(it);
 }
 
 }  // namespace serve

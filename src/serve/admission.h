@@ -56,10 +56,22 @@ class FairShareQueue {
   /// Releases one in-flight slot for `tenant` when its query finishes.
   /// Returns false (and changes nothing) when the tenant has no query in
   /// flight — a double-complete must not underflow the fair-share counters.
+  /// A lane left with nothing waiting and nothing in flight is erased (see
+  /// EraseIfIdle) so a churn of one-shot tenants cannot grow lanes_ forever.
   bool OnComplete(const std::string& tenant);
+
+  /// Removes one waiting entry (a cancelled query) from its tenant's lane,
+  /// wherever it sits in the FIFO. Returns false when the id is not waiting
+  /// under that tenant — already admitted, already removed, or never
+  /// enqueued. Idle lanes are erased just like in OnComplete.
+  bool Remove(const std::string& tenant, uint64_t query_id);
 
   size_t size() const { return size_; }
   size_t max_queued() const { return max_queued_; }
+
+  /// Lanes currently tracked (waiting or in flight) — the quantity the idle
+  /// GC bounds; exposed for tests.
+  size_t num_lanes() const { return lanes_.size(); }
 
  private:
   struct TenantLane {
@@ -68,9 +80,20 @@ class FairShareQueue {
     int64_t admitted_total = 0;  // lifetime admissions, the long-run share
   };
 
+  /// Erases `it`'s lane once it has nothing waiting and nothing in flight,
+  /// first folding its admitted_total into admitted_floor_ so the fair-share
+  /// history survives the erasure: a returning tenant re-enters at the floor
+  /// instead of looking brand new and jumping the least-served order.
+  void EraseIfIdle(std::map<std::string, TenantLane>::iterator it);
+
   std::map<std::string, TenantLane> lanes_;
   size_t size_ = 0;
   const size_t max_queued_;
+
+  /// Ratchet over every erased lane's admitted_total; new lanes start here.
+  /// Keeps the least-served tie-break meaningful across lane GC without
+  /// remembering per-tenant history for tenants that may never return.
+  int64_t admitted_floor_ = 0;
 };
 
 }  // namespace serve

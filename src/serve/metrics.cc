@@ -21,19 +21,25 @@ double NearestRank(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+const std::vector<double>& LatencyRecorder::Sorted() const {
+  if (dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  return sorted_;
+}
+
 double LatencyRecorder::Percentile(double p) const {
   if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  return NearestRank(sorted, p);
+  return NearestRank(Sorted(), p);
 }
 
 LatencySummary LatencyRecorder::Summarize() const {
   LatencySummary s;
   s.count = samples_.size();
   if (samples_.empty()) return s;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = Sorted();
   s.p50 = NearestRank(sorted, 50);
   s.p99 = NearestRank(sorted, 99);
   double sum = 0;
@@ -51,9 +57,10 @@ double LatencyRecorder::Mean() const {
 }
 
 double LatencyRecorder::Max() const {
-  double m = 0;
-  for (double s : samples_) m = std::max(m, s);
-  return m;
+  // The back of the sorted cache, NOT a fold from 0 — an all-negative
+  // sample set must return its true (negative) maximum.
+  if (samples_.empty()) return 0;
+  return Sorted().back();
 }
 
 void ServerMetrics::OnSubmitted() {
@@ -85,16 +92,35 @@ void ServerMetrics::OnPlanCache(bool hit) {
   }
 }
 
-void ServerMetrics::OnFinished(const std::string& workload_class, bool ok,
-                               double exec_seconds, double total_seconds) {
+void ServerMetrics::OnFinished(const std::string& workload_class,
+                               Status::Code code, double exec_seconds,
+                               double total_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (ok) {
-    ++completed_;
-  } else {
-    ++failed_;
+  switch (code) {
+    case Status::Code::kOk:
+      ++completed_;
+      break;
+    case Status::Code::kCancelled:
+      ++cancelled_;
+      break;
+    case Status::Code::kDeadlineExceeded:
+      ++deadline_exceeded_;
+      break;
+    default:
+      ++failed_;
+      break;
   }
   exec_latency_[workload_class].Record(exec_seconds);
   total_latency_[workload_class].Record(total_seconds);
+}
+
+void ServerMetrics::OnCancelledBeforeAdmission(Status::Code code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (code == Status::Code::kDeadlineExceeded) {
+    ++deadline_exceeded_;
+  } else {
+    ++cancelled_;
+  }
 }
 
 MetricsSnapshot ServerMetrics::Snapshot() const {
@@ -105,6 +131,8 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.admitted = admitted_;
   snap.completed = completed_;
   snap.failed = failed_;
+  snap.cancelled = cancelled_;
+  snap.deadline_exceeded = deadline_exceeded_;
   snap.queue_high_water = queue_high_water_;
   snap.plan_cache_hits = plan_cache_hits_;
   snap.plan_cache_misses = plan_cache_misses_;

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace blackbox {
 namespace serve {
 
@@ -33,28 +35,43 @@ struct LatencySummary {
 
 /// Raw latency samples with percentile queries. Not thread-safe; owned per
 /// workload class under ServerMetrics' mutex.
+///
+/// Queries share one lazily-maintained sorted copy of the samples: the
+/// first query after a Record() sorts once and caches, every further query
+/// (Percentile at any p, Max, Summarize) reads the cache. A
+/// record-heavy/query-light workload pays nothing per Record beyond the
+/// dirty flag; a query-heavy tail (a dashboard polling several percentiles)
+/// no longer re-copies and re-sorts per call.
 class LatencyRecorder {
  public:
-  void Record(double seconds) { samples_.push_back(seconds); }
+  void Record(double seconds) {
+    samples_.push_back(seconds);
+    dirty_ = true;
+  }
 
   size_t count() const { return samples_.size(); }
 
-  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples. Copies and
-  /// sorts the samples on every call — fine for a one-off query; snapshot
-  /// paths use Summarize(), which sorts once for all of its statistics.
+  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples.
   double Percentile(double p) const;
 
   double Mean() const;
+
+  /// Largest sample; 0 with no samples. Correct for any sample values —
+  /// all-negative samples return the (negative) maximum, not 0.
   double Max() const;
 
-  /// All summary statistics from a single sorted pass: one copy + sort
-  /// yields p50 and p99 by nearest rank, the mean by accumulation, and the
-  /// max as the last sorted element. Snapshot() calls this per recorder —
-  /// previously it sorted the sample vector twice per recorder per snapshot.
+  /// All summary statistics from the shared sorted cache: p50 and p99 by
+  /// nearest rank, the mean by accumulation, the max as the last sorted
+  /// element.
   LatencySummary Summarize() const;
 
  private:
+  /// Sorts into sorted_ iff samples were recorded since the last query.
+  const std::vector<double>& Sorted() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache, rebuilt when dirty_
+  mutable bool dirty_ = false;
 };
 
 /// A point-in-time copy of everything ServerMetrics tracks — what the
@@ -64,7 +81,9 @@ struct MetricsSnapshot {
   int64_t rejected = 0;   // bounced at admission (queue full / oversized)
   int64_t admitted = 0;   // granted a budget carve and started
   int64_t completed = 0;  // finished with an OK status
-  int64_t failed = 0;     // finished with a non-OK status
+  int64_t failed = 0;     // finished with a non-OK status (not cancel/deadline)
+  int64_t cancelled = 0;  // unwound via QueryHandle::Cancel (any stage)
+  int64_t deadline_exceeded = 0;  // unwound via an expired deadline
   size_t queue_high_water = 0;  // max queued-at-once across the run
 
   /// Plan-cache provenance of accepted queries: whether the submitted
@@ -94,11 +113,20 @@ class ServerMetrics {
   /// provenance (OptimizedProgram::from_plan_cache()).
   void OnPlanCache(bool hit);
 
-  /// Called once per finished query. `ok` picks completed vs failed;
-  /// latencies are recorded either way (a failed query still occupied the
-  /// server for that long).
-  void OnFinished(const std::string& workload_class, bool ok,
+  /// Called once per query that finished on a driver thread. The status
+  /// code routes the lifecycle counter — OK → completed, kCancelled →
+  /// cancelled, kDeadlineExceeded → deadline_exceeded, anything else →
+  /// failed; latencies are recorded for every code (the query occupied the
+  /// server for that long regardless of how it ended).
+  void OnFinished(const std::string& workload_class, Status::Code code,
                   double exec_seconds, double total_seconds);
+
+  /// Called for a query cancelled (or found past-deadline) before it ever
+  /// started executing — still waiting for admission. Counts toward
+  /// cancelled / deadline_exceeded but records no latency samples: the
+  /// query never occupied the server, so folding its queue wait into the
+  /// class percentiles would pollute them.
+  void OnCancelledBeforeAdmission(Status::Code code);
 
   MetricsSnapshot Snapshot() const;
 
@@ -109,6 +137,8 @@ class ServerMetrics {
   int64_t admitted_ = 0;
   int64_t completed_ = 0;
   int64_t failed_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t deadline_exceeded_ = 0;
   size_t queue_high_water_ = 0;
   int64_t plan_cache_hits_ = 0;
   int64_t plan_cache_misses_ = 0;

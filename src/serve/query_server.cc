@@ -28,15 +28,33 @@ void QueryHandle::Fulfill(QueryResult result) {
   cv_.notify_all();
 }
 
+void QueryHandle::Cancel() {
+  // Fire the token first: an executing query starts unwinding even if the
+  // server is gone and the hub below is dead.
+  if (token_) token_->Cancel();
+  if (!hub_) return;
+  std::lock_guard<std::mutex> lock(hub_->mu);
+  if (hub_->server != nullptr) hub_->server->OnCancel(id_);
+}
+
 // --- QueryServer ------------------------------------------------------------
 
 QueryServer::QueryServer(ServeOptions options)
     : options_(std::move(options)),
       budget_(options_.global_budget_bytes),
       workers_(options_.num_threads),
-      queue_(options_.max_queued) {}
+      hub_(std::make_shared<CancelHub>()),
+      queue_(options_.max_queued) {
+  hub_->server = this;
+}
 
-QueryServer::~QueryServer() { Drain(); }
+QueryServer::~QueryServer() {
+  Drain();
+  // Outstanding handles may outlive the server; from here their Cancel()
+  // degrades to a pure token fire instead of calling into freed memory.
+  std::lock_guard<std::mutex> lock(hub_->mu);
+  hub_->server = nullptr;
+}
 
 double QueryServer::EffectiveBudgetBytes(const QueryRequest& request,
                                          const ServeOptions& options) {
@@ -103,19 +121,34 @@ StatusOr<std::shared_ptr<QueryHandle>> QueryServer::Submit(
   auto state = std::make_shared<QueryState>();
   state->request = std::move(request);
   state->handle = std::make_shared<QueryHandle>();
+  state->cancel = std::make_shared<CancelToken>();
+  if (state->request.deadline) {
+    state->cancel->SetDeadline(*state->request.deadline);
+  }
   state->carve_bytes = carve;
   state->submit_time = std::chrono::steady_clock::now();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  state->id = next_id_++;
-  Status queued = queue_.Enqueue(state->request.tenant, state->id);
-  if (!queued.ok()) {
-    metrics_.OnRejected();
-    return queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->id = next_id_++;
+    // Arm the handle before the queue can see the query: once Enqueue
+    // succeeds, a concurrent Cancel() must find a fully-routed handle.
+    state->handle->token_ = state->cancel;
+    state->handle->hub_ = hub_;
+    state->handle->id_ = state->id;
+    Status queued = queue_.Enqueue(state->request.tenant, state->id);
+    if (!queued.ok()) {
+      metrics_.OnRejected();
+      return queued;
+    }
+    waiting_[state->id] = state;
+    metrics_.OnQueueDepth(queue_.size());
+    AdmitLocked();
   }
-  waiting_[state->id] = state;
-  metrics_.OnQueueDepth(queue_.size());
-  AdmitLocked();
+  // Reap outside mu_: drivers finished since the last Submit/Drain are
+  // joined here, so the live-thread count stays bounded by max_inflight
+  // plus the sweep lag instead of growing for the server's whole life.
+  ReapFinishedDrivers();
   return state->handle;
 }
 
@@ -125,6 +158,26 @@ void QueryServer::AdmitLocked() {
     if (!candidate) break;
     auto it = waiting_.find(candidate->query_id);
     std::shared_ptr<QueryState> query = it->second;
+    // Cull a candidate whose token already fired (cancelled while queued,
+    // or its deadline lapsed in the queue): it leaves its lane without
+    // carving budget or consuming the slot, and the loop moves on to the
+    // next candidate.
+    Status alive = query->cancel->Check();
+    if (!alive.ok()) {
+      queue_.Remove(candidate->tenant, candidate->query_id);
+      waiting_.erase(it);
+      metrics_.OnCancelledBeforeAdmission(alive.code());
+      QueryResult result;
+      result.query_id = query->id;
+      result.status = alive;
+      result.total_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        query->submit_time)
+              .count();
+      query->handle->Fulfill(std::move(result));
+      idle_cv_.notify_all();
+      continue;
+    }
     // Carve before committing the admission: on a full pool the candidate
     // stays queued (at its lane's head) until a completion reclaims bytes
     // and re-runs this loop.
@@ -133,7 +186,9 @@ void QueryServer::AdmitLocked() {
     waiting_.erase(it);
     ++inflight_;
     metrics_.OnAdmitted();
-    drivers_.emplace_back(&QueryServer::RunQuery, this, std::move(query));
+    uint64_t id = query->id;
+    drivers_.emplace(
+        id, std::thread(&QueryServer::RunQuery, this, std::move(query)));
   }
 }
 
@@ -147,6 +202,7 @@ void QueryServer::RunQuery(std::shared_ptr<QueryState> query) {
   exec.spill_tag =
       "q" + std::to_string(query->id) + "-" + query->request.tenant;
   exec.task_priority = query->request.priority;
+  exec.cancel = query->cancel.get();
 
   QueryResult result;
   result.query_id = query->id;
@@ -165,30 +221,76 @@ void QueryServer::RunQuery(std::shared_ptr<QueryState> query) {
   result.total_seconds =
       std::chrono::duration<double>(exec_end - query->submit_time).count();
 
-  metrics_.OnFinished(query->request.workload_class, result.status.ok(),
+  metrics_.OnFinished(query->request.workload_class, result.status.code(),
                       result.exec_seconds, result.total_seconds);
   {
     std::lock_guard<std::mutex> lock(mu_);
     budget_.Reclaim(query->carve_bytes);
     queue_.OnComplete(query->request.tenant);
     --inflight_;
+    // Retire this driver's own thread handle into the reap list — the last
+    // mu_-protected act, so once inflight_ reads 0 under mu_ every finished
+    // driver is already reapable. The handle is just moved, never joined
+    // here (a thread cannot join itself).
+    auto self = drivers_.find(query->id);
+    if (self != drivers_.end()) {
+      reap_.push_back(std::move(self->second));
+      drivers_.erase(self);
+    }
     AdmitLocked();
   }
   idle_cv_.notify_all();
   query->handle->Fulfill(std::move(result));
 }
 
-void QueryServer::Drain() {
+void QueryServer::OnCancel(uint64_t id) {
+  std::shared_ptr<QueryState> query;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiting_.find(id);
+    // Not waiting: already admitted (its driver sees the fired token and
+    // finishes through the normal completion path) or already finished.
+    if (it == waiting_.end()) return;
+    query = it->second;
+    queue_.Remove(query->request.tenant, id);
+    waiting_.erase(it);
+  }
+  metrics_.OnCancelledBeforeAdmission(Status::Code::kCancelled);
+  // A Drain() blocked on this queued query must re-check its predicate.
+  idle_cv_.notify_all();
+  QueryResult result;
+  result.query_id = id;
+  result.status = Status::Cancelled("query cancelled before admission");
+  result.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    query->submit_time)
+          .count();
+  query->handle->Fulfill(std::move(result));
+}
+
+void QueryServer::ReapFinishedDrivers() {
   std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(reap_);
+  }
+  // Join outside the lock: a reaped driver may still be on its way out
+  // (notifying idle_cv_, fulfilling its handle), and joining under mu_
+  // could deadlock against a straggler still waiting to take it.
+  for (std::thread& t : finished) t.join();
+}
+
+size_t QueryServer::live_drivers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drivers_.size() + reap_.size();
+}
+
+void QueryServer::Drain() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [&] { return queue_.size() == 0 && inflight_ == 0; });
-    finished.swap(drivers_);
   }
-  // Join outside the lock: a driver's last steps (fulfilling its handle)
-  // happen after it released mu_, and joining under the lock could
-  // deadlock against a straggler still waiting to take it.
-  for (std::thread& t : finished) t.join();
+  ReapFinishedDrivers();
 }
 
 }  // namespace serve

@@ -34,11 +34,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/optimized_program.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/task_pool.h"
 #include "engine/executor.h"
@@ -105,9 +107,17 @@ struct QueryRequest {
   /// shared pool's queue (for short interactive classes).
   int priority = 0;
 
+  /// Optional absolute deadline. Armed on the query's CancelToken at
+  /// Submit, so it covers queue wait AND execution: a query that waits past
+  /// its deadline is culled at admission, one that runs past it unwinds at
+  /// the next engine checkpoint — either way the result's status is
+  /// DeadlineExceeded and the metrics count it as such, not as a failure.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
   /// Per-query execution options (dop, per-instance budget, batch
   /// capacity). The server overrides worker_pool, ledger_parent,
-  /// spill_dir, spill_tag, and task_priority — those belong to serving.
+  /// spill_dir, spill_tag, task_priority, and cancel — those belong to
+  /// serving.
   engine::ExecOptions exec;
 };
 
@@ -121,6 +131,17 @@ struct QueryResult {
   uint64_t query_id = 0;
 };
 
+class QueryServer;
+
+/// Shared rendezvous between outstanding QueryHandles and their server:
+/// handles route Cancel() through it, and the server's destructor nulls the
+/// back-pointer so a handle outliving the server degrades to a plain token
+/// cancel instead of a dangling call.
+struct CancelHub {
+  std::mutex mu;
+  QueryServer* server = nullptr;  // guarded by mu
+};
+
 /// Future-like completion handle. Wait() blocks until the server fulfilled
 /// the result; the reference stays valid as long as the handle lives.
 class QueryHandle {
@@ -130,6 +151,15 @@ class QueryHandle {
   /// Non-blocking: true once the result is available.
   bool Done() const;
 
+  /// Requests cancellation from any thread, at any stage. Still queued: the
+  /// query leaves its tenant's lane immediately, never carves budget, and
+  /// the handle is fulfilled with Cancelled. Already executing: the engine
+  /// unwinds at its next checkpoint (at most one batch of work), the carve
+  /// is reclaimed in full, the tenant slot is released, and the tagged
+  /// spill directory is removed — exactly the completion path, with a
+  /// Cancelled status. Idempotent; a no-op once the query finished.
+  void Cancel();
+
  private:
   friend class QueryServer;
   void Fulfill(QueryResult result);
@@ -138,6 +168,10 @@ class QueryHandle {
   std::condition_variable cv_;
   bool done_ = false;
   QueryResult result_;
+
+  std::shared_ptr<CancelToken> token_;  // set by the server at Submit
+  std::shared_ptr<CancelHub> hub_;
+  uint64_t id_ = 0;
 };
 
 class QueryServer {
@@ -180,32 +214,53 @@ class QueryServer {
   const ServerMetrics& metrics() const { return metrics_; }
   const ServeOptions& options() const { return options_; }
 
+  /// Driver threads not yet reaped: running queries plus finished drivers
+  /// whose handles await the next join sweep. Bounded by max_inflight plus
+  /// the sweep lag (one admission or drain), unlike the old accumulate-
+  /// until-Drain vector — exposed for the thread-leak regression test.
+  size_t live_drivers() const;
+
  private:
+  friend class QueryHandle;  // Cancel() routes to OnCancel via the hub
+
   struct QueryState {
     QueryRequest request;
     std::shared_ptr<QueryHandle> handle;
+    std::shared_ptr<CancelToken> cancel;
     uint64_t id = 0;
     double carve_bytes = 0;
     std::chrono::steady_clock::time_point submit_time;
   };
 
-  /// Admits fair-share candidates while slots and budget allow. Caller
-  /// holds mu_.
+  /// Admits fair-share candidates while slots and budget allow; culls
+  /// cancelled / past-deadline candidates without carving. Caller holds mu_.
   void AdmitLocked();
 
   /// Driver-thread body: one admitted query start to finish.
   void RunQuery(std::shared_ptr<QueryState> query);
 
+  /// QueryHandle::Cancel for a query still waiting for admission: removes
+  /// it from its lane, fulfills the handle with Cancelled, and counts the
+  /// metric. A query already admitted (or finished) is left alone — its
+  /// driver observes the token and finishes through the normal path.
+  void OnCancel(uint64_t id);
+
+  /// Moves finished driver handles out of reap_ and joins them. Never
+  /// called from a driver thread; caller must NOT hold mu_.
+  void ReapFinishedDrivers();
+
   const ServeOptions options_;
   engine::BudgetPool budget_;
   TaskPool workers_;
   ServerMetrics metrics_;
+  std::shared_ptr<CancelHub> hub_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable idle_cv_;  // signaled when a query finishes
   FairShareQueue queue_;
   std::map<uint64_t, std::shared_ptr<QueryState>> waiting_;  // queued, by id
-  std::vector<std::thread> drivers_;  // joined by Drain()
+  std::map<uint64_t, std::thread> drivers_;  // running, by query id
+  std::vector<std::thread> reap_;  // finished, awaiting join
   int inflight_ = 0;
   uint64_t next_id_ = 1;
 };

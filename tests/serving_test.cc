@@ -227,20 +227,80 @@ TEST(FairShareQueueTest, LeastServedTenantGoesFirst) {
 
 TEST(FairShareQueueTest, LongRunShareBalancesAcrossTenants) {
   serve::FairShareQueue q(16);
-  // "a" got 5 lifetime admissions; a newcomer "b" must be preferred even
-  // though neither has anything in flight right now.
-  for (uint64_t id = 1; id <= 5; ++id) {
+  // "a" accrues 5 lifetime admissions while staying active — one query is
+  // always waiting, so its lane is never idle and never garbage-collected.
+  ASSERT_TRUE(q.Enqueue("a", 1).ok());
+  for (uint64_t id = 2; id <= 6; ++id) {
     ASSERT_TRUE(q.Enqueue("a", id).ok());
     auto cand = q.Peek();
     ASSERT_TRUE(cand.has_value());
     q.PopAdmitted(cand->tenant);
     q.OnComplete(cand->tenant);
   }
-  ASSERT_TRUE(q.Enqueue("a", 10).ok());
+  // A newcomer "b" must be preferred over the 5-admission "a" even though
+  // neither has anything in flight right now.
   ASSERT_TRUE(q.Enqueue("b", 11).ok());
   auto cand = q.Peek();
   ASSERT_TRUE(cand.has_value());
   EXPECT_EQ(cand->tenant, "b");
+}
+
+TEST(FairShareQueueTest, IdleLanesAreCollected) {
+  serve::FairShareQueue q(16);
+  // A churn of one-shot tenants must not accumulate lanes forever — this
+  // used to leak one map entry per tenant name for the queue's whole life.
+  for (int i = 0; i < 50; ++i) {
+    std::string tenant = "t" + std::to_string(i);
+    ASSERT_TRUE(q.Enqueue(tenant, 100 + static_cast<uint64_t>(i)).ok());
+    auto cand = q.Peek();
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(cand->tenant, tenant);
+    q.PopAdmitted(tenant);
+    q.OnComplete(tenant);
+  }
+  EXPECT_EQ(q.num_lanes(), 0u);
+
+  // Remove() collects too: a cancelled sole waiter leaves no lane behind.
+  ASSERT_TRUE(q.Enqueue("x", 1).ok());
+  EXPECT_EQ(q.num_lanes(), 1u);
+  EXPECT_TRUE(q.Remove("x", 1));
+  EXPECT_EQ(q.num_lanes(), 0u);
+  EXPECT_EQ(q.size(), 0u);
+  // Removing an id that is not waiting is a rejected no-op.
+  EXPECT_FALSE(q.Remove("x", 1));
+
+  // A lane with work in flight is NOT collected even with nothing waiting:
+  // its inflight count is live fair-share state.
+  ASSERT_TRUE(q.Enqueue("y", 2).ok());
+  EXPECT_TRUE(q.PopAdmitted("y"));
+  EXPECT_EQ(q.num_lanes(), 1u);
+  EXPECT_TRUE(q.OnComplete("y"));
+  EXPECT_EQ(q.num_lanes(), 0u);
+}
+
+TEST(FairShareQueueTest, CollectedLaneHistorySurvivesAsFloor) {
+  serve::FairShareQueue q(16);
+  // "a" gets 3 admissions, then goes idle and its lane is collected.
+  for (uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(q.Enqueue("a", id).ok());
+    EXPECT_TRUE(q.PopAdmitted("a"));
+    EXPECT_TRUE(q.OnComplete("a"));
+  }
+  EXPECT_EQ(q.num_lanes(), 0u);
+  // Both a returning "a" and a brand-new "b" start at the floor the erased
+  // lane left behind: collection must not hand "a" a fresh-tenant advantage
+  // over tenants admitted after it, so the two tie and the name order
+  // decides, exactly as for two fresh tenants.
+  ASSERT_TRUE(q.Enqueue("b", 10).ok());
+  ASSERT_TRUE(q.Enqueue("a", 11).ok());
+  auto cand = q.Peek();
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->tenant, "a");
+  EXPECT_TRUE(q.PopAdmitted("a"));
+  // After one admission "a" is behind again — the floor ratchets forward.
+  auto next = q.Peek();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->tenant, "b");
 }
 
 TEST(FairShareQueueTest, BoundedQueueRejects) {
@@ -270,6 +330,12 @@ TEST(FairShareQueueTest, MismatchedPopAndCompleteAreRejectedNoOps) {
   EXPECT_FALSE(q.PopAdmitted("a")) << "lane is drained; a second pop must fail";
   EXPECT_EQ(q.size(), 0u);
 
+  // Keep a query waiting in "a"'s lane across the completion below, so the
+  // lane is not garbage-collected and its admission history stays directly
+  // observable (a collected lane's history folds into the shared floor —
+  // covered by CollectedLaneHistorySurvivesAsFloor).
+  ASSERT_TRUE(q.Enqueue("a", 2).ok());
+
   // One completion succeeds; a double-complete (and a completion for a
   // tenant that never ran) must not underflow the in-flight counter...
   EXPECT_TRUE(q.OnComplete("a"));
@@ -279,7 +345,6 @@ TEST(FairShareQueueTest, MismatchedPopAndCompleteAreRejectedNoOps) {
   // ...which fair-share ordering would feel immediately: an underflowed
   // lane would win Peek() forever. After the failed double-complete, "a"
   // (admitted once) must NOT beat a fresh tenant.
-  ASSERT_TRUE(q.Enqueue("a", 2).ok());
   ASSERT_TRUE(q.Enqueue("b", 3).ok());
   auto cand = q.Peek();
   ASSERT_TRUE(cand.has_value());
@@ -320,18 +385,45 @@ TEST(MetricsTest, PercentilesAndCounters) {
   metrics.OnAdmitted();
   metrics.OnQueueDepth(3);
   metrics.OnQueueDepth(1);
-  metrics.OnFinished("scan", /*ok=*/true, 0.5, 1.0);
-  metrics.OnFinished("scan", /*ok=*/false, 0.1, 0.2);
+  metrics.OnFinished("scan", Status::Code::kOk, 0.5, 1.0);
+  metrics.OnFinished("scan", Status::Code::kInternal, 0.1, 0.2);
+  // A query unwound mid-execution records latency (it occupied the server)
+  // but routes to its own counter, not failed.
+  metrics.OnFinished("scan", Status::Code::kCancelled, 0.05, 0.3);
+  metrics.OnFinished("scan", Status::Code::kDeadlineExceeded, 0.05, 0.4);
+  // Cancelled while still queued: counted, but no latency sample — the
+  // query never occupied the server, so its queue wait must not pollute the
+  // class percentiles.
+  metrics.OnCancelledBeforeAdmission(Status::Code::kCancelled);
+  metrics.OnCancelledBeforeAdmission(Status::Code::kDeadlineExceeded);
   serve::MetricsSnapshot snap = metrics.Snapshot();
   EXPECT_EQ(snap.submitted, 2);
   EXPECT_EQ(snap.rejected, 1);
   EXPECT_EQ(snap.admitted, 1);
   EXPECT_EQ(snap.completed, 1);
   EXPECT_EQ(snap.failed, 1);
+  EXPECT_EQ(snap.cancelled, 2);
+  EXPECT_EQ(snap.deadline_exceeded, 2);
   EXPECT_EQ(snap.queue_high_water, 3u);
   ASSERT_EQ(snap.total_latency.count("scan"), 1u);
-  EXPECT_EQ(snap.total_latency.at("scan").count, 2u);
+  EXPECT_EQ(snap.total_latency.at("scan").count, 4u);
   EXPECT_DOUBLE_EQ(snap.total_latency.at("scan").max, 1.0);
+}
+
+TEST(MetricsTest, MaxHandlesNegativeSamples) {
+  serve::LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.Max(), 0.0);  // documented empty behavior
+  // An all-negative sample set must return its true (negative) maximum —
+  // the old fold from 0 reported 0 for any such set.
+  rec.Record(-3.0);
+  rec.Record(-1.5);
+  rec.Record(-2.0);
+  EXPECT_DOUBLE_EQ(rec.Max(), -1.5);
+  // The sorted cache stays coherent across interleaved records and queries.
+  rec.Record(2.0);
+  EXPECT_DOUBLE_EQ(rec.Max(), 2.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(100), 2.0);
 }
 
 // --- Spill-directory isolation ----------------------------------------------
@@ -429,6 +521,220 @@ TEST(QueryServerTest, OverAdmissionRejectsWhenQueueFull) {
   serve::MetricsSnapshot snap = server.metrics().Snapshot();
   EXPECT_EQ(snap.rejected, 1);
   EXPECT_EQ(snap.admitted, 0);
+}
+
+// --- Cancellation and deadlines ---------------------------------------------
+
+TEST(QueryServerTest, CancelBeforeAdmissionFreesQueueSlot) {
+  // No execution slots: submissions queue and stay queued, so Cancel() hits
+  // a query that never started.
+  serve::ServeOptions options;
+  options.max_inflight = 0;
+  options.max_queued = 2;
+  options.num_threads = 1;
+  serve::QueryServer server(options);
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto submit = [&]() {
+    serve::QueryRequest request;
+    request.program = &*program;
+    request.exec = exec;
+    return server.Submit(std::move(request));
+  };
+  StatusOr<std::shared_ptr<serve::QueryHandle>> first = submit();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE((*first)->Done());
+
+  (*first)->Cancel();
+  const serve::QueryResult& result = (*first)->Wait();
+  EXPECT_EQ(result.status.code(), Status::Code::kCancelled);
+  EXPECT_EQ(result.output.size(), 0u);
+
+  // The queue slot is free again: with max_queued = 2, two more
+  // submissions must be accepted, not rejected.
+  StatusOr<std::shared_ptr<serve::QueryHandle>> second = submit();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  StatusOr<std::shared_ptr<serve::QueryHandle>> third = submit();
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  (*second)->Cancel();
+  (*third)->Cancel();
+  EXPECT_EQ((*second)->Wait().status.code(), Status::Code::kCancelled);
+  EXPECT_EQ((*third)->Wait().status.code(), Status::Code::kCancelled);
+
+  // Drain must not hang on cancelled queued queries, and nothing was ever
+  // admitted or carved.
+  server.Drain();
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.submitted, 3);
+  EXPECT_EQ(snap.cancelled, 3);
+  EXPECT_EQ(snap.admitted, 0);
+  EXPECT_EQ(snap.failed, 0);
+  // Never-admitted queries record no latency samples.
+  EXPECT_EQ(snap.total_latency.count("default"), 0u);
+  EXPECT_DOUBLE_EQ(server.budget_pool().carved_bytes(), 0);
+
+  // Cancelling an already-finished query is an idempotent no-op.
+  (*first)->Cancel();
+  EXPECT_EQ((*first)->Wait().status.code(), Status::Code::kCancelled);
+}
+
+TEST(QueryServerTest, DeadlineAlreadyExpiredAtSubmit) {
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  serve::QueryServer server(options);
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  serve::QueryRequest request;
+  request.program = &*program;
+  request.exec = exec;
+  request.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+      server.Submit(std::move(request));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const serve::QueryResult& result = (*handle)->Wait();
+  EXPECT_EQ(result.status.code(), Status::Code::kDeadlineExceeded);
+
+  server.Drain();
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1);
+  EXPECT_EQ(snap.admitted, 0);
+  EXPECT_EQ(snap.failed, 0);
+  EXPECT_DOUBLE_EQ(server.budget_pool().carved_bytes(), 0);
+}
+
+// A query cancelled in the middle of spilling must unwind completely: the
+// Cancelled status comes back, the full carve is reclaimed, every ledger
+// reservation flows back to the pool, the tagged spill directory is gone,
+// and the pool records zero violations. The cancel point is deterministic:
+// cancel_after_spill_bytes fires the token inside the first spill write.
+TEST(QueryServerTest, CancelMidSpillReclaimsCarveAndRemovesSpillDir) {
+  StatusOr<SpillDirectory> root = SpillDirectory::Create("", "cancel-test");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);  // spills at this budget
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  serve::ServeOptions options;
+  options.max_inflight = 1;
+  options.num_threads = 2;
+  options.per_instance_slack_bytes = kSlackBytes;
+  options.spill_root = root->path();
+  serve::QueryServer server(options);
+
+  serve::QueryRequest request;
+  request.program = &*program;
+  request.exec = exec;
+  request.exec.cancel_after_spill_bytes = 1;  // token fires mid-first-spill
+  StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+      server.Submit(std::move(request));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const serve::QueryResult& result = (*handle)->Wait();
+  EXPECT_EQ(result.status.code(), Status::Code::kCancelled)
+      << result.status.ToString();
+  server.Drain();
+
+  const engine::BudgetPool& pool = server.budget_pool();
+  EXPECT_DOUBLE_EQ(pool.carved_bytes(), 0) << "carve not fully reclaimed";
+  EXPECT_EQ(pool.live_bytes(), 0) << "ledger reservations leaked";
+  EXPECT_EQ(pool.violations(), 0);
+  // The query's tagged spill directory removed itself during the unwind.
+  EXPECT_TRUE(std::filesystem::is_empty(root->path()))
+      << "cancelled query left spill files behind";
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.cancelled, 1);
+  EXPECT_EQ(snap.failed, 0);
+}
+
+// Cancellation must never bleed into neighbors: queries sharing the server
+// with a cancelled spilling query still produce byte-identical output to
+// their solo runs.
+TEST(QueryServerTest, SurvivorsAreByteIdenticalNextToCancelledQuery) {
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(8 << 10);
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  StatusOr<DataSet> solo = program->RunWith(0, exec);
+  ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+  const std::string solo_bytes = OutputBytes(*solo);
+
+  serve::ServeOptions options;
+  options.max_inflight = 3;
+  options.num_threads = 4;
+  options.per_instance_slack_bytes = kSlackBytes;
+  const double carve =
+      exec.dop * (exec.mem_budget_bytes + options.per_instance_slack_bytes);
+  options.global_budget_bytes = carve * options.max_inflight;
+  serve::QueryServer server(options);
+
+  std::vector<std::shared_ptr<serve::QueryHandle>> handles;
+  for (int i = 0; i < 3; ++i) {
+    serve::QueryRequest request;
+    request.program = &*program;
+    request.tenant = "t" + std::to_string(i);
+    request.exec = exec;
+    if (i == 1) request.exec.cancel_after_spill_bytes = 1;
+    StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+        server.Submit(std::move(request));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(std::move(handle).value());
+  }
+  for (int i = 0; i < 3; ++i) {
+    const serve::QueryResult& result = handles[static_cast<size_t>(i)]->Wait();
+    if (i == 1) {
+      EXPECT_EQ(result.status.code(), Status::Code::kCancelled);
+      continue;
+    }
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(OutputBytes(result.output), solo_bytes)
+        << "query " << i << " next to a cancelled neighbor diverged";
+  }
+  server.Drain();
+  EXPECT_EQ(server.budget_pool().violations(), 0);
+  EXPECT_DOUBLE_EQ(server.budget_pool().carved_bytes(), 0);
+  EXPECT_EQ(server.budget_pool().live_bytes(), 0);
+}
+
+// Regression: driver threads used to accumulate in a vector joined only by
+// Drain(), so a long-lived server leaked one OS thread per admitted query.
+// Finished drivers are now reaped on the next Submit/Drain, keeping the
+// live count bounded by max_inflight plus one sweep of lag.
+TEST(QueryServerTest, DriverThreadsAreReapedEagerly) {
+  serve::ServeOptions options;
+  options.max_inflight = 1;
+  options.num_threads = 2;
+  serve::QueryServer server(options);
+
+  workloads::Workload w = SmallClickstream();
+  engine::ExecOptions exec = SmallExec(1 << 20);  // roomy: fast queries
+  StatusOr<api::OptimizedProgram> program = Optimize(w, exec);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  constexpr int kQueries = 6;
+  for (int i = 0; i < kQueries; ++i) {
+    serve::QueryRequest request;
+    request.program = &*program;
+    request.exec = exec;
+    StatusOr<std::shared_ptr<serve::QueryHandle>> handle =
+        server.Submit(std::move(request));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    ASSERT_TRUE((*handle)->Wait().status.ok());
+    // This query's driver may still await the next sweep, but drivers from
+    // earlier iterations were joined by this iteration's Submit.
+    EXPECT_LE(server.live_drivers(), 2u)
+        << "driver threads are accumulating instead of being reaped";
+  }
+  server.Drain();
+  EXPECT_EQ(server.live_drivers(), 0u);
 }
 
 // The end-to-end differential oracle: three workloads, two concurrent

@@ -29,9 +29,11 @@ Wall-clock fields are never compared.
 BENCH_serving.json (CI's serving-smoke step, DESIGN.md §2.4) is
 schema-checked rather than baselined: its latency percentiles are genuine
 wall-clock measurements of concurrent load and would drift on every run.
-Check mode requires the file, the presence of every admission counter,
-ledger field, and per-class latency key, and the run-invariant invariants —
-zero ledger violations, outputs_match, zero failed queries.
+Check mode requires the file, the presence of every admission counter
+(including the cancelled / deadline_exceeded lifecycle counters), ledger
+field, and per-class latency key, and the run-invariant invariants — zero
+ledger violations, outputs_match, zero failed queries, and both
+cancellation probes counted.
 
 BENCH_enum_time.json (CI's enum-smoke step, DESIGN.md §3.4) is split the
 same way: the search counters (closure alternatives, ranked plans
@@ -72,8 +74,9 @@ SPEC = "BENCH_spec_smoke.json"
 # run to run. What CI pins is that the counters/fields exist and that the
 # run-invariant invariants held.
 SERVING_COUNTER_KEYS = [
-    "submitted", "admitted", "completed", "failed", "rejected",
-    "queue_high_water", "plan_cache_hits", "plan_cache_misses",
+    "submitted", "admitted", "completed", "failed", "cancelled",
+    "deadline_exceeded", "rejected", "queue_high_water", "plan_cache_hits",
+    "plan_cache_misses",
 ]
 SERVING_LEDGER_KEYS = [
     "capacity_bytes", "carved_high_water_bytes", "live_high_water_bytes",
@@ -311,6 +314,15 @@ def check_serving(dirname):
     if serving["counters"]["failed"] != 0:
         errors.append(
             f"serving: {serving['counters']['failed']} queries failed")
+    # The open-loop bench submits one deterministic cancel probe (fires its
+    # token inside its first spill write) and one already-expired-deadline
+    # probe on every run; both counters must show them.
+    if serving["counters"]["cancelled"] < 1:
+        errors.append("serving: cancel probe not counted — cancellation "
+                      "propagation is dead")
+    if serving["counters"]["deadline_exceeded"] < 1:
+        errors.append("serving: expired-deadline probe not counted — "
+                      "deadline enforcement is dead")
     if not serving.get("classes"):
         errors.append("serving: no per-class latency rows")
     return errors
